@@ -1,0 +1,140 @@
+// Command ferrum applies a protection technique to a program and prints
+// the protected assembly, mirroring how the paper's tool is used: compile
+// (or load) assembly, transform, emit.
+//
+// Usage:
+//
+//	ferrum -in prog.ll -o prot.s                 # IR input, FERRUM protection
+//	ferrum -in prog.s -asm -technique hybrid     # assembly input
+//	ferrum -in prog.ll -technique ir-eddi -stats
+//	ferrum -in prog.ll -zmm -batch 8             # AVX-512 batching
+//
+// Input is IR text by default; -asm switches to assembly input (assembly
+// input supports the ferrum and hybrid techniques, which operate at
+// assembly level).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/core"
+	"ferrum/internal/ferrumpass"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ferrum:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("ferrum", flag.ContinueOnError)
+	var (
+		inPath    = fs.String("in", "", "input file (IR text, or assembly with -asm)")
+		outPath   = fs.String("o", "", "output file (default: stdout)")
+		asmInput  = fs.Bool("asm", false, "input is assembly rather than IR")
+		technique = fs.String("technique", "ferrum", "protection: ferrum, hybrid, ir-eddi, none")
+		batch     = fs.Int("batch", 0, "FERRUM SIMD batch size (0 = default)")
+		zmm       = fs.Bool("zmm", false, "use 512-bit ZMM batching (AVX-512)")
+		noSIMD    = fs.Bool("nosimd", false, "disable FERRUM's SIMD path (ablation)")
+		ratio     = fs.Float64("ratio", 1, "selective protection fraction (SDCTune-style)")
+		stats     = fs.Bool("stats", false, "print transform statistics to stderr")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	src, err := os.ReadFile(*inPath)
+	if err != nil {
+		return err
+	}
+
+	pipe := core.New()
+	pipe.Ferrum = ferrumpass.Config{BatchSize: *batch, UseZMM: *zmm, DisableSIMD: *noSIMD}
+	if *ratio < 1 {
+		pipe.Ferrum.Select = ferrumpass.SelectRatio(*ratio, 1)
+	}
+
+	var prog *asm.Program
+	var report string
+	ferrumReport := func(rep *ferrumpass.Report) string {
+		return fmt.Sprintf("ferrum: %d simd-enabled, %d general, %d comparisons, %d batches, %d requisitions, %v",
+			rep.SIMDEnabled, rep.General, rep.Comparisons, rep.Batches, rep.Requisitions, rep.Duration)
+	}
+	if *asmInput {
+		in, err := pipe.ParseASM(string(src))
+		if err != nil {
+			return err
+		}
+		switch *technique {
+		case "ferrum":
+			prot, rep, err := pipe.Protect(in)
+			if err != nil {
+				return err
+			}
+			prog, report = prot, ferrumReport(rep)
+		case "hybrid":
+			prot, rep, err := pipe.ProtectHybrid(in)
+			if err != nil {
+				return err
+			}
+			prog = prot
+			report = fmt.Sprintf("hybrid: %d protected, %d checks", rep.Protected, rep.Checks)
+		case "none":
+			prog = in
+		default:
+			return fmt.Errorf("technique %q needs IR input", *technique)
+		}
+	} else {
+		mod, err := pipe.ParseIR(string(src))
+		if err != nil {
+			return err
+		}
+		switch *technique {
+		case "ferrum":
+			prot, rep, err := pipe.ProtectModuleFerrum(mod)
+			if err != nil {
+				return err
+			}
+			prog, report = prot, ferrumReport(rep)
+		case "hybrid":
+			prot, err := pipe.ProtectModuleHybrid(mod)
+			if err != nil {
+				return err
+			}
+			prog = prot
+		case "ir-eddi":
+			prot, err := pipe.ProtectModuleIREDDI(mod)
+			if err != nil {
+				return err
+			}
+			prog = prot
+		case "none":
+			raw, err := pipe.Compile(mod)
+			if err != nil {
+				return err
+			}
+			prog = raw
+		default:
+			return fmt.Errorf("unknown technique %q", *technique)
+		}
+	}
+
+	text := prog.String()
+	if *outPath == "" {
+		fmt.Fprint(out, text)
+	} else if err := os.WriteFile(*outPath, []byte(text), 0o644); err != nil {
+		return err
+	}
+	if *stats && report != "" {
+		fmt.Fprintln(errOut, report)
+	}
+	return nil
+}

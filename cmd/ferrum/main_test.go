@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testIR = `
+func @main(%n) {
+entry:
+  %d = add %n, 1
+  out %d
+  ret %d
+}
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunIRInputAllTechniques(t *testing.T) {
+	in := writeTemp(t, "prog.ll", testIR)
+	for _, tech := range []string{"ferrum", "hybrid", "ir-eddi", "none"} {
+		var out, errOut strings.Builder
+		if err := run([]string{"-in", in, "-technique", tech, "-stats"}, &out, &errOut); err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if !strings.Contains(out.String(), "main:") {
+			t.Errorf("%s: no assembly emitted", tech)
+		}
+		if tech == "ferrum" {
+			if !strings.Contains(out.String(), "vptest") {
+				t.Errorf("ferrum output has no SIMD checks")
+			}
+			if !strings.Contains(errOut.String(), "simd-enabled") {
+				t.Errorf("ferrum stats missing: %q", errOut.String())
+			}
+		}
+	}
+}
+
+func TestRunAsmInput(t *testing.T) {
+	asmSrc := `
+	.globl	main
+main:
+	movslq	%ecx, %rcx
+	hlt
+
+	.globl	__rt
+__rt:
+exit_function:
+	detect
+`
+	in := writeTemp(t, "prog.s", asmSrc)
+	var out, errOut strings.Builder
+	if err := run([]string{"-in", in, "-asm"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "xorq") {
+		t.Errorf("no checks in protected assembly:\n%s", out.String())
+	}
+	// IR-level techniques reject assembly input.
+	if err := run([]string{"-in", in, "-asm", "-technique", "ir-eddi"}, &out, &errOut); err == nil {
+		t.Error("ir-eddi accepted assembly input")
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	in := writeTemp(t, "prog.ll", testIR)
+	outPath := filepath.Join(t.TempDir(), "prot.s")
+	var out, errOut strings.Builder
+	if err := run([]string{"-in", in, "-o", outPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "exit_function") {
+		t.Error("output file missing detection block")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout written despite -o")
+	}
+}
+
+func TestRunVariantFlags(t *testing.T) {
+	in := writeTemp(t, "prog.ll", testIR)
+	var out, errOut strings.Builder
+	if err := run([]string{"-in", in, "-zmm", "-batch", "8"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-nosimd"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-ratio", "0.5"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{}, &out, &errOut); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.ll"}, &out, &errOut); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeTemp(t, "bad.ll", "not ir at all")
+	if err := run([]string{"-in", bad}, &out, &errOut); err == nil {
+		t.Error("bad IR accepted")
+	}
+	good := writeTemp(t, "prog.ll", testIR)
+	if err := run([]string{"-in", good, "-technique", "warp"}, &out, &errOut); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Command fidi runs a single-bit fault-injection campaign (the paper's
+// §IV-A2 methodology) against a benchmark or an IR program under a chosen
+// protection technique and prints the outcome distribution.
+//
+// Usage:
+//
+//	fidi -bench pathfinder -technique ferrum -samples 1000
+//	fidi -in prog.ll -args 100 -technique raw
+//	fidi -bench knn -technique ir-level-eddi -level ir
+//	fidi -bench bfs -technique raw -trace 8     # flight-record one fault
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ferrum/internal/fi"
+	"ferrum/internal/harness"
+	"ferrum/internal/ir"
+	"ferrum/internal/irpass"
+	"ferrum/internal/machine"
+	"ferrum/internal/rodinia"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fidi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fidi", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "", "benchmark name (see -list)")
+		inPath    = fs.String("in", "", "IR program file (alternative to -bench)")
+		argsStr   = fs.String("args", "", "comma-separated entry arguments for -in programs")
+		technique = fs.String("technique", "ferrum", "raw, ir-level-eddi, hybrid-assembly-level-eddi, ferrum")
+		level     = fs.String("level", "asm", "injection level: asm or ir (ir implies ir-level techniques)")
+		samples   = fs.Int("samples", 1000, "fault injections")
+		seed      = fs.Int64("seed", 20240624, "RNG seed")
+		scale     = fs.Int("scale", 1, "benchmark scale factor")
+		bits      = fs.Int("bits", 1, "bits flipped per fault (multi-bit upsets)")
+		list      = fs.Bool("list", false, "list benchmarks and exit")
+		trace     = fs.Int("trace", 0, "replay one sampled fault of each non-benign outcome and print the last N executed instructions")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *list {
+		for _, b := range rodinia.All() {
+			fmt.Fprintf(out, "%-16s %s\n", b.Name, b.Domain)
+		}
+		return nil
+	}
+
+	var (
+		mod  *ir.Module
+		args []uint64
+		load func(fi.MemWriter) error
+	)
+	switch {
+	case *benchName != "":
+		b, ok := rodinia.ByName(*benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", *benchName)
+		}
+		inst, err := b.Instantiate(*scale, *seed)
+		if err != nil {
+			return err
+		}
+		mod, args = inst.Mod, inst.Args
+		load = func(w fi.MemWriter) error { return inst.Setup(w) }
+	case *inPath != "":
+		src, err := os.ReadFile(*inPath)
+		if err != nil {
+			return err
+		}
+		mod, err = ir.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		for _, tok := range strings.Split(*argsStr, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(tok, 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad argument %q: %v", tok, err)
+			}
+			args = append(args, uint64(v))
+		}
+		load = func(fi.MemWriter) error { return nil }
+	default:
+		return fmt.Errorf("one of -bench or -in is required")
+	}
+
+	campaign := fi.Campaign{Samples: *samples, Seed: *seed, BitsPerFault: *bits}
+	var res fi.Result
+	var err error
+
+	if *level == "ir" {
+		target := mod
+		if harness.Technique(*technique) == harness.IREDDI {
+			target, err = irpass.EDDI(mod)
+			if err != nil {
+				return err
+			}
+		} else if *technique != string(harness.Raw) {
+			return fmt.Errorf("IR-level injection supports raw and ir-level-eddi")
+		}
+		res, err = fi.RunIRCampaign(fi.IRTarget{
+			Mod: target, MemSize: 1 << 20, Args: args, Setup: load,
+		}, campaign)
+	} else {
+		build, berr := harness.BuildTechnique(mod, harness.Technique(*technique))
+		if berr != nil {
+			return berr
+		}
+		res, err = fi.RunAsmCampaign(fi.AsmTarget{
+			Prog: build.Prog, MemSize: 1 << 20, Args: args, Setup: load,
+		}, campaign)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "technique: %s, level: %s, samples: %d, dynamic sites: %d\n",
+		*technique, *level, res.Samples, res.DynSites)
+	for _, o := range []fi.Outcome{fi.Benign, fi.SDC, fi.Detected, fi.Crash, fi.Hang} {
+		fmt.Fprintf(out, "  %-9s %5d  (%.1f%%)\n", o, res.Count(o), res.Rate(o)*100)
+	}
+	lo, hi := res.CI95()
+	fmt.Fprintf(out, "SDC rate: %.3f  (95%% CI [%.3f, %.3f])\n", res.SDCRate(), lo, hi)
+
+	if *trace > 0 && *level != "ir" {
+		build, berr := harness.BuildTechnique(mod, harness.Technique(*technique))
+		if berr != nil {
+			return berr
+		}
+		tgt := fi.AsmTarget{Prog: build.Prog, MemSize: 1 << 20, Args: args, Setup: load}
+		for _, want := range []fi.Outcome{fi.SDC, fi.Detected, fi.Crash} {
+			if res.Count(want) == 0 {
+				continue
+			}
+			f, ok, err := fi.FindExample(tgt, campaign, want)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			m, err := machine.New(build.Prog, 1<<20)
+			if err != nil {
+				return err
+			}
+			if err := load(m); err != nil {
+				return err
+			}
+			r := m.Run(machine.RunOpts{Args: args, Fault: &f, Trace: *trace})
+			fmt.Fprintf(out, "\nexample %s fault (site %d, bit %d) — last %d instructions:\n",
+				want, f.Site, f.Bit, len(r.Trace))
+			for _, line := range r.Trace {
+				fmt.Fprintln(out, "  "+line)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"bfs", "particlefilter", "kmeans"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list missing %s", name)
+		}
+	}
+}
+
+func TestRunBenchmarkCampaign(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "bfs", "-technique", "ferrum", "-samples", "80"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "SDC rate: 0.000") {
+		t.Errorf("ferrum should show zero SDC rate:\n%s", s)
+	}
+	if !strings.Contains(s, "detected") {
+		t.Errorf("output missing outcome table:\n%s", s)
+	}
+}
+
+func TestRunRawWithTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "bfs", "-technique", "raw", "-samples", "120", "-trace", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "example") || !strings.Contains(out.String(), "last 4 instructions") {
+		t.Errorf("trace output missing:\n%s", out.String())
+	}
+}
+
+func TestRunIRLevel(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "knn", "-technique", "ir-level-eddi", "-level", "ir", "-samples", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "level: ir") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// Assembly-only techniques are rejected at IR level.
+	if err := run([]string{"-bench", "knn", "-technique", "ferrum", "-level", "ir"}, &out); err == nil {
+		t.Error("ferrum accepted at IR level")
+	}
+}
+
+func TestRunFileInput(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "prog.ll")
+	src := `
+func @main(%n) {
+entry:
+  %d = mul %n, 3
+  out %d
+  ret %d
+}
+`
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", p, "-args", "7", "-technique", "raw", "-samples", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "samples: 50") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunMultiBit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bench", "lud", "-technique", "ferrum", "-samples", "60", "-bits", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SDC rate: 0.000") {
+		t.Errorf("multi-bit ferrum run:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -bench/-in accepted")
+	}
+	if err := run([]string{"-bench", "nope"}, &out); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	p := filepath.Join(t.TempDir(), "prog.ll")
+	if err := os.WriteFile(p, []byte("func @main() {\nentry:\n  ret\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", p, "-args", "zzz"}, &out); err == nil {
+		t.Error("bad args accepted")
+	}
+}

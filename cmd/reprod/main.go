@@ -1,0 +1,123 @@
+// Command reprod regenerates the paper's evaluation: Table I, Table II,
+// fig. 10 (SDC coverage), fig. 11 (runtime overhead), the §IV-B3 FERRUM
+// transform-time measurement, the cross-layer anticipated-vs-measured
+// coverage gap, and two extension experiments (overhead attribution and
+// input variation).
+//
+// Usage:
+//
+//	reprod                       # everything, paper-scale campaigns
+//	reprod -exp fig10 -samples 500
+//	reprod -exp fig11 -bench bfs,knn
+//	reprod -exp profile          # where does the overhead go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ferrum/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: all, table1, table2, fig10, fig11, exectime, gap, profile, variation")
+		samples = fs.Int("samples", 1000, "fault injections per campaign cell")
+		seed    = fs.Int64("seed", 20240624, "RNG seed")
+		scale   = fs.Int("scale", 1, "benchmark scale factor")
+		benches = fs.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+		workers = fs.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
+		o1      = fs.Bool("O1", false, "run builds through the peephole optimizer before protection")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	opts := harness.Options{Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers, Optimize: *o1}
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Fprintln(out, harness.RenderTable1())
+	}
+	if want("table2") {
+		ran = true
+		rows, err := harness.Table2(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderTable2(rows))
+	}
+	if want("fig10") {
+		ran = true
+		fmt.Fprintln(out, "running fig. 10 campaigns (this is the expensive one)...")
+		rows, err := harness.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderFig10(rows))
+	}
+	if want("fig11") {
+		ran = true
+		rows, err := harness.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderFig11(rows))
+	}
+	if want("exectime") {
+		ran = true
+		rows, err := harness.ExecTime(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderExecTime(rows))
+	}
+	if want("profile") {
+		ran = true
+		rows, err := harness.Profile(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderProfile(rows))
+	}
+	if want("variation") {
+		ran = true
+		rows, err := harness.Variation(opts, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderVariation(rows))
+	}
+	if want("gap") {
+		ran = true
+		fmt.Fprintln(out, "running cross-layer gap campaigns...")
+		rows, err := harness.Gap(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderGap(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

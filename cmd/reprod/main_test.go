@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table I") || !strings.Contains(out.String(), "ferrum") {
+		t.Errorf("table1 output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "table2", "-bench", "bfs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bfs") {
+		t.Errorf("table2 output:\n%s", out.String())
+	}
+}
+
+func TestRunSmallCampaigns(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig11", "-bench", "bfs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 11") {
+		t.Errorf("fig11 output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "fig10", "-bench", "bfs", "-samples", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 10") {
+		t.Errorf("fig10 output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "profile", "-bench", "bfs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Dynamic attribution") {
+		t.Errorf("profile output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "exectime", "-bench", "bfs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IV-B3") {
+		t.Errorf("exectime output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "bogus"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-exp", "fig11", "-bench", "nope"}, &out); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-notaflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

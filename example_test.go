@@ -1,0 +1,123 @@
+package ferrum_test
+
+import (
+	"fmt"
+
+	"ferrum"
+)
+
+// The canonical FERRUM flow: compile, protect, run.
+func Example() {
+	pipe := ferrum.New()
+	prog, err := pipe.CompileIR(`
+func @main(%n) {
+entry:
+  %sq = mul %n, %n
+  out %sq
+  ret %sq
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	prot, _, err := pipe.Protect(prog)
+	if err != nil {
+		panic(err)
+	}
+	res, err := pipe.Run(prot, []uint64{9}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Output[0])
+	// Output: 81
+}
+
+// A fault injected into a FERRUM-protected binary is detected instead of
+// silently corrupting the output.
+func Example_faultDetection() {
+	pipe := ferrum.New()
+	prog, err := pipe.CompileIR(`
+func @main(%n) {
+entry:
+  %d = add %n, 1
+  out %d
+  ret %d
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	prot, _, err := pipe.Protect(prog)
+	if err != nil {
+		panic(err)
+	}
+	m, err := pipe.NewMachine(prot)
+	if err != nil {
+		panic(err)
+	}
+	res := m.Run(ferrum.RunOpts{
+		Args:  []uint64{7},
+		Fault: &ferrum.Fault{Site: 13, Bit: 3},
+	})
+	fmt.Println(res.Outcome)
+	// Output: detected
+}
+
+// Campaigns measure the paper's coverage metric statistically.
+func ExampleCoverage() {
+	pipe := ferrum.New()
+	src := `
+func @main(%n) {
+entry:
+  %iS = alloca 1
+  %accS = alloca 1
+  store 0, %iS
+  store 0, %accS
+  br loop
+loop:
+  %i = load %iS
+  %c = icmp slt %i, %n
+  br %c, body, done
+body:
+  %a = load %accS
+  %a2 = add %a, %i
+  store %a2, %accS
+  %i2 = add %i, 1
+  store %i2, %iS
+  br loop
+done:
+  %r = load %accS
+  out %r
+  ret %r
+}
+`
+	raw, err := pipe.CompileIR(src)
+	if err != nil {
+		panic(err)
+	}
+	prot, _, err := pipe.Protect(raw)
+	if err != nil {
+		panic(err)
+	}
+	campaign := ferrum.Campaign{Samples: 200, Seed: 1}
+	rawRes, err := pipe.Campaign(raw, []uint64{50}, nil, campaign)
+	if err != nil {
+		panic(err)
+	}
+	protRes, err := pipe.Campaign(prot, []uint64{50}, nil, campaign)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coverage: %.0f%%\n", ferrum.Coverage(rawRes, protRes)*100)
+	// Output: coverage: 100%
+}
+
+// Benchmarks from the paper's Table II are available by name.
+func ExampleBenchmarkByName() {
+	b, ok := ferrum.BenchmarkByName("pathfinder")
+	if !ok {
+		panic("missing benchmark")
+	}
+	fmt.Println(b.Domain)
+	// Output: Dynamic Programming
+}

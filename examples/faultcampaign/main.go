@@ -1,0 +1,39 @@
+// Faultcampaign: run the paper's full fig. 10 + fig. 11 experiment matrix
+// over a subset of benchmarks at reduced sample counts — the quickest way
+// to see the reproduction's headline result end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ferrum"
+)
+
+func main() {
+	opts := ferrum.ExperimentOptions{
+		Samples:    300,
+		Seed:       1234,
+		Benchmarks: []string{"bfs", "knn", "kmeans"},
+	}
+
+	fmt.Println(ferrum.RenderTable1())
+
+	cov, err := ferrum.Fig10(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ferrum.RenderFig10(cov))
+
+	ov, err := ferrum.Fig11(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ferrum.RenderFig11(ov))
+
+	gap, err := ferrum.CrossLayerGap(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ferrum.RenderGap(gap))
+}

@@ -1,0 +1,70 @@
+// Pathfinder: protect a real Rodinia workload (grid dynamic programming)
+// with all three techniques from the paper and compare coverage and
+// overhead side by side — the experiment of figs. 10 and 11 on one
+// benchmark, driven through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ferrum"
+)
+
+func main() {
+	bench, ok := ferrum.BenchmarkByName("pathfinder")
+	if !ok {
+		log.Fatal("pathfinder benchmark not registered")
+	}
+	inst, err := bench.Instantiate(1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := map[uint64]uint64{}
+	for i, v := range inst.Words {
+		data[8192+8*uint64(i)] = v
+	}
+
+	pipe := ferrum.New()
+	raw, err := pipe.Compile(inst.Mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign := ferrum.Campaign{Samples: 500, Seed: 7}
+	rawRes, err := pipe.Campaign(raw, inst.Args, data, campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pathfinder (raw): %d dynamic sites, SDC rate %.1f%%, golden output %v\n\n",
+		rawRes.DynSites, rawRes.SDCRate()*100, rawRes.Golden)
+
+	type variant struct {
+		name  string
+		build func() (*ferrum.Program, error)
+	}
+	variants := []variant{
+		{"ir-level-eddi", func() (*ferrum.Program, error) { return pipe.ProtectModuleIREDDI(inst.Mod) }},
+		{"hybrid-asm-eddi", func() (*ferrum.Program, error) { return pipe.ProtectModuleHybrid(inst.Mod) }},
+		{"ferrum", func() (*ferrum.Program, error) {
+			p, _, err := pipe.ProtectModuleFerrum(inst.Mod)
+			return p, err
+		}},
+	}
+	fmt.Printf("%-16s %10s %10s %10s %10s\n", "technique", "coverage", "overhead", "detected", "sdc")
+	for _, v := range variants {
+		prog, err := v.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pipe.Campaign(prog, inst.Args, data, campaign)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %9.1f%% %9.1f%% %10d %10d\n",
+			v.name,
+			ferrum.Coverage(rawRes, res)*100,
+			ferrum.Overhead(rawRes.Cycles, res.Cycles)*100,
+			res.Count(ferrum.OutcomeDetected),
+			res.Count(ferrum.OutcomeSDC))
+	}
+}

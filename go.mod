@@ -1,0 +1,3 @@
+module ferrum
+
+go 1.22

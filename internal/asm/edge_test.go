@@ -1,0 +1,280 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestZmmOperands(t *testing.T) {
+	if got := Zmm(5).String(); got != "%zmm5" {
+		t.Errorf("Zmm(5) = %q", got)
+	}
+	x, w, ok := LookupXReg("zmm12")
+	if !ok || x != 12 || w != Z512 {
+		t.Errorf("LookupXReg(zmm12) = %v %v %v", x, w, ok)
+	}
+	if Z512.Lanes() != 8 || Y256.Lanes() != 4 || X128.Lanes() != 2 {
+		t.Error("lane counts wrong")
+	}
+	in := NewInst(VINSERTI644, Imm(1), Ymm(4), Zmm(0), Zmm(0))
+	if got := in.String(); got != "vinserti64x4\t$1, %ymm4, %zmm0, %zmm0" {
+		t.Errorf("vinserti64x4 renders as %q", got)
+	}
+	d := DestOf(in)
+	if d.Kind != DestXMM || d.LaneHi != 7 {
+		t.Errorf("vinserti64x4 dest = %+v", d)
+	}
+	// zmm-wide vpxor destination spans 8 lanes.
+	d = DestOf(NewInst(VPXOR, Zmm(1), Zmm(0), Zmm(0)))
+	if d.LaneHi != 7 {
+		t.Errorf("zmm vpxor dest = %+v", d)
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	for tag, want := range map[Tag]string{
+		TagProgram: "program", TagDup: "dup", TagCheck: "check",
+		TagStage: "stage", TagSpill: "spill", TagRuntime: "runtime",
+	} {
+		if tag.String() != want {
+			t.Errorf("%d.String() = %q", tag, tag.String())
+		}
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	in := NewInst(NOP).WithTag(TagCheck).WithComment("hi")
+	if in.Tag != TagCheck || in.Comment != "hi" {
+		t.Errorf("helpers broken: %+v", in)
+	}
+	if in.Src(0).Kind != KNone || in.Src(-1).Kind != KNone {
+		t.Error("Src out of range should be empty")
+	}
+	if NewInst(NOP).Dst().Kind != KNone {
+		t.Error("Dst of nullary should be empty")
+	}
+}
+
+func TestFlagPredicates(t *testing.T) {
+	if !WritesFlags(NewInst(ADDQ, Imm(1), Reg64(RAX)).Op) {
+		t.Error("addq writes flags")
+	}
+	if WritesFlags(MOVQ) || WritesFlags(JMP) || WritesFlags(LEA) {
+		t.Error("mov/jmp/lea do not write flags")
+	}
+	if !ReadsFlags(JNE) || !ReadsFlags(SETG) || ReadsFlags(ADDQ) {
+		t.Error("flag readers wrong")
+	}
+	if !IsTerminator(RET) || !IsTerminator(HALT) || IsTerminator(JE) {
+		t.Error("terminators wrong")
+	}
+	if !EndsBlock(JE) || EndsBlock(CALL) {
+		t.Error("block enders wrong")
+	}
+}
+
+// randInst builds a random instruction from a set of printable shapes.
+func randInst(rng *rand.Rand) Inst {
+	regs := []Reg{RAX, RCX, RDX, RBX, RSI, RDI, R8, R9, R10, R11, R12, R13, R14, R15}
+	reg := func() Reg { return regs[rng.Intn(len(regs))] }
+	mem := func() Operand {
+		m := Mem{Base: reg(), Disp: int64(rng.Intn(512) - 256)}
+		if rng.Intn(2) == 0 {
+			m.Index = reg()
+			m.Scale = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+		}
+		return MemOp(m)
+	}
+	switch rng.Intn(9) {
+	case 0:
+		return NewInst(MOVQ, mem(), Reg64(reg()))
+	case 1:
+		return NewInst(MOVQ, Reg64(reg()), mem())
+	case 2:
+		return NewInst(MOVQ, Imm(int64(rng.Intn(10000)-5000)), Reg64(reg()))
+	case 3:
+		return NewInst(ADDQ, Reg64(reg()), Reg64(reg()))
+	case 4:
+		return NewInst(CMPQ, Imm(int64(rng.Intn(100))), mem())
+	case 5:
+		return NewInst(LEA, mem(), Reg64(reg()))
+	case 6:
+		return NewInst(PINSRQ, Imm(int64(rng.Intn(2))), Reg64(reg()), Xmm(XReg(rng.Intn(16))))
+	case 7:
+		return NewInst(SETE, Reg8(reg()))
+	default:
+		return NewInst(MOVSLQ, Reg32(reg()), Reg64(reg()))
+	}
+}
+
+// TestRandomInstRoundTrip: every randomly generated instruction prints to a
+// line that parses back to itself.
+func TestRandomInstRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		in := randInst(rng)
+		line := in.String()
+		parsed, err := parseInst(strings.ReplaceAll(line, ", ", ","))
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if parsed.String() != line {
+			t.Fatalf("round trip: %q -> %q", line, parsed.String())
+		}
+	}
+}
+
+func TestParserToleratesDirectivesAndEntry(t *testing.T) {
+	src := `
+	.text
+	.entry	f
+	.globl	f
+	.align	16
+f:
+	retq
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "f" {
+		t.Errorf("entry = %q", p.Entry)
+	}
+}
+
+func TestCountTag(t *testing.T) {
+	p := &Program{Funcs: []*Func{{Name: "f", Insts: []Inst{
+		NewInst(NOP).WithTag(TagDup),
+		NewInst(NOP).WithTag(TagDup),
+		NewInst(RET),
+	}}}}
+	if p.CountTag(TagDup) != 2 || p.CountTag(TagProgram) != 1 {
+		t.Errorf("CountTag wrong: %d %d", p.CountTag(TagDup), p.CountTag(TagProgram))
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	p := &Program{Funcs: []*Func{{Name: "f", Insts: []Inst{
+		NewInst(MOVQ, Imm(1), Reg64(RAX)),
+		NewInst(RET),
+	}}}}
+	s := CollectStats(p).String()
+	if !strings.Contains(s, "insts=2") || !strings.Contains(s, "movq:1") {
+		t.Errorf("stats = %q", s)
+	}
+}
+
+func TestRegSetLikeHelpers(t *testing.T) {
+	if RNone.Valid() || NumReg.Valid() {
+		t.Error("invalid regs report valid")
+	}
+	if !RAX.Valid() || !R15.Valid() {
+		t.Error("valid regs report invalid")
+	}
+	if RNone.String() != "none" {
+		t.Errorf("RNone.String() = %q", RNone.String())
+	}
+	for _, f := range []Flag{FlagZF, FlagSF, FlagCF, FlagOF} {
+		if strings.HasPrefix(f.String(), "flag?") {
+			t.Errorf("flag %d has no name", f)
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	tests := map[string]Operand{
+		"%eax":          Reg32(RAX),
+		"%r10b":         Reg8(R10),
+		"$-5":           Imm(-5),
+		"%xmm9":         Xmm(9),
+		"%ymm0":         Ymm(0),
+		"target":        LabelOp("target"),
+		"8(%rsp)":       MemBD(RSP, 8),
+		"(%rax,%rcx,4)": MemBIS(RAX, RCX, 4, 0),
+	}
+	for want, o := range tests {
+		if got := o.String(); got != want {
+			t.Errorf("operand = %q, want %q", got, want)
+		}
+	}
+	if (Operand{}).String() != "<none>" {
+		t.Error("empty operand string")
+	}
+}
+
+func TestXUsesXDef(t *testing.T) {
+	in := NewInst(VPXOR, Ymm(1), Ymm(2), Ymm(3))
+	uses := XUses(in, nil)
+	if len(uses) != 2 || uses[0] != 1 || uses[1] != 2 {
+		t.Errorf("vpxor uses = %v", uses)
+	}
+	if d, ok := XDef(in); !ok || d != 3 {
+		t.Errorf("vpxor def = %v %v", d, ok)
+	}
+	// pinsrq reads its destination (lane-preserving write).
+	in = NewInst(PINSRQ, Imm(1), Reg64(RAX), Xmm(5))
+	uses = XUses(in, nil)
+	if len(uses) != 1 || uses[0] != 5 {
+		t.Errorf("pinsrq uses = %v", uses)
+	}
+	// vptest reads both operands and defines nothing.
+	in = NewInst(VPTEST, Ymm(0), Ymm(4))
+	uses = XUses(in, nil)
+	if len(uses) != 2 {
+		t.Errorf("vptest uses = %v", uses)
+	}
+	if _, ok := XDef(in); ok {
+		t.Error("vptest has no xmm def")
+	}
+	// movq gpr->xmm defines the xmm register.
+	in = NewInst(MOVQ, Reg64(RAX), Xmm(7))
+	if d, ok := XDef(in); !ok || d != 7 {
+		t.Errorf("movq def = %v %v", d, ok)
+	}
+}
+
+func TestGPRDefForms(t *testing.T) {
+	if GPRDef(NewInst(MOVQ, Imm(1), Reg64(R9))) != R9 {
+		t.Error("movq def wrong")
+	}
+	if GPRDef(NewInst(MOVQ, Reg64(RAX), MemBD(RBP, -8))) != RNone {
+		t.Error("store has no gpr def")
+	}
+	if GPRDef(NewInst(JMP, LabelOp("x"))) != RNone {
+		t.Error("jmp has no gpr def")
+	}
+}
+
+func TestWidthBits(t *testing.T) {
+	if W8.Bits() != 8 || W64.Bits() != 64 {
+		t.Error("Bits wrong")
+	}
+}
+
+func TestOperandHelpers(t *testing.T) {
+	if !Reg64(RAX).IsReg(RAX) || Reg64(RAX).IsReg(RCX) || Imm(1).IsReg(RAX) {
+		t.Error("IsReg wrong")
+	}
+	if !Reg64(RAX).Equal(Reg64(RAX)) || Reg64(RAX).Equal(Reg32(RAX)) {
+		t.Error("Equal wrong")
+	}
+	if MemBIS(RAX, RCX, 0, 0).M.effScale() != 1 {
+		t.Error("zero scale should act as 1")
+	}
+	if StaticCount := (&Program{Funcs: []*Func{{Name: "f", Insts: []Inst{NewInst(RET)}}}}).StaticInstCount(); StaticCount != 1 {
+		t.Errorf("StaticInstCount = %d", StaticCount)
+	}
+}
+
+func TestUnknownEnumStrings(t *testing.T) {
+	if CC(99).String() != "?" {
+		t.Error("unknown cc string")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op string empty")
+	}
+	if Tag(99).String() == "" || Flag(99).String() == "" {
+		t.Error("unknown tag/flag string empty")
+	}
+}

@@ -1,0 +1,312 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tag records the provenance of an instruction so passes, tests and the
+// fault-injection analysis can distinguish original program code from code
+// inserted by a protection pass.
+type Tag uint8
+
+// Instruction provenance tags.
+const (
+	TagProgram Tag = iota // compiled from the source program
+	TagDup                // duplicate of a program instruction (EDDI shadow)
+	TagCheck              // checker code (compare + jne exit_function)
+	TagStage              // staging move into a SIMD/spare register
+	TagSpill              // register requisition push/pop (fig. 7)
+	TagRuntime            // runtime scaffolding (_start, detect block)
+)
+
+// String names the tag.
+func (t Tag) String() string {
+	switch t {
+	case TagProgram:
+		return "program"
+	case TagDup:
+		return "dup"
+	case TagCheck:
+		return "check"
+	case TagStage:
+		return "stage"
+	case TagSpill:
+		return "spill"
+	case TagRuntime:
+		return "runtime"
+	}
+	return fmt.Sprintf("tag?%d", t)
+}
+
+// Inst is one assembly instruction. Operands are in AT&T order: sources
+// first, destination last. Labels attached to the instruction name the
+// program point immediately before it.
+type Inst struct {
+	Op      Op
+	A       []Operand
+	Labels  []string
+	Comment string
+	Tag     Tag
+}
+
+// NewInst builds an untagged program instruction.
+func NewInst(op Op, args ...Operand) Inst { return Inst{Op: op, A: args} }
+
+// WithTag returns a copy of the instruction carrying the given tag.
+func (in Inst) WithTag(t Tag) Inst {
+	in.Tag = t
+	return in
+}
+
+// WithComment returns a copy of the instruction carrying a trailing comment.
+func (in Inst) WithComment(c string) Inst {
+	in.Comment = c
+	return in
+}
+
+// Src returns the i-th source operand (operands before the last).
+func (in Inst) Src(i int) Operand {
+	if i < 0 || i >= len(in.A)-1 {
+		return Operand{}
+	}
+	return in.A[i]
+}
+
+// Dst returns the final operand, which is the destination for instructions
+// that have one.
+func (in Inst) Dst() Operand {
+	if len(in.A) == 0 {
+		return Operand{}
+	}
+	return in.A[len(in.A)-1]
+}
+
+// String renders the instruction (without labels) in AT&T syntax.
+func (in Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	for i, a := range in.A {
+		if i == 0 {
+			b.WriteByte('\t')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	if in.Comment != "" {
+		b.WriteString("\t# ")
+		b.WriteString(in.Comment)
+	}
+	return b.String()
+}
+
+// DestKind classifies the architectural destination of an instruction for
+// fault injection.
+type DestKind uint8
+
+// Destination kinds.
+const (
+	DestNone  DestKind = iota
+	DestGPR            // general-purpose register write
+	DestXMM            // SIMD register write
+	DestFlags          // status-flag write with no register destination
+)
+
+// Dest describes where a dynamic instance of an instruction deposits its
+// result, i.e. the fault-injection site the paper's §IV-A2 methodology
+// targets ("inject single bit-flip faults to the destination register of
+// instructions").
+type Dest struct {
+	Kind DestKind
+	Reg  Reg   // DestGPR
+	W    Width // DestGPR: writable width (bit flips land inside it)
+	X    XReg  // DestXMM
+	// LaneLo/LaneHi bound the 64-bit lanes a SIMD write touches,
+	// inclusive. A movq to xmm writes lane 0 (and zeroes lane 1, but the
+	// architectural value there is then a deterministic 0, so faults are
+	// modelled in the written lane range only).
+	LaneLo, LaneHi int
+}
+
+// DestOf computes the fault-injection destination of an instruction.
+//
+// Instructions that only write memory (stores, push), only transfer control
+// (jumps, call, ret) or are machine pseudo-ops have no destination: memory
+// is ECC-protected under the paper's fault model and the instruction pointer
+// is out of scope. Compare instructions destinate the status flags
+// (figs. 8-9 of the paper make these first-class injection sites). ALU
+// instructions write both a register and flags; the register is the
+// destination, matching the paper's methodology.
+func DestOf(in Inst) Dest {
+	switch in.Op {
+	case MOVQ, MOVL, MOVB:
+		d := in.Dst()
+		switch d.Kind {
+		case KReg:
+			return Dest{Kind: DestGPR, Reg: d.Reg, W: d.W}
+		case KXReg:
+			return Dest{Kind: DestXMM, X: d.X, LaneLo: 0, LaneHi: 0}
+		}
+		return Dest{} // store to memory
+	case MOVSLQ, MOVZBQ, LEA, POPQ:
+		d := in.Dst()
+		if d.Kind == KReg {
+			return Dest{Kind: DestGPR, Reg: d.Reg, W: W64}
+		}
+		return Dest{}
+	case ADDQ, SUBQ, IMULQ, ANDQ, ORQ, XORQ, SHLQ, SHRQ, SARQ, NEGQ:
+		d := in.Dst()
+		if d.Kind == KReg {
+			return Dest{Kind: DestGPR, Reg: d.Reg, W: d.W}
+		}
+		return Dest{} // read-modify-write on memory: ECC-protected
+	case XORB:
+		d := in.Dst()
+		if d.Kind == KReg {
+			return Dest{Kind: DestGPR, Reg: d.Reg, W: W8}
+		}
+		return Dest{}
+	case CQTO:
+		return Dest{Kind: DestGPR, Reg: RDX, W: W64}
+	case IDIVQ:
+		// Quotient register; the remainder write in RDX is secondary.
+		return Dest{Kind: DestGPR, Reg: RAX, W: W64}
+	case SETE, SETNE, SETL, SETLE, SETG, SETGE:
+		d := in.Dst()
+		if d.Kind == KReg {
+			return Dest{Kind: DestGPR, Reg: d.Reg, W: W8}
+		}
+		return Dest{}
+	case CMPQ, CMPL, CMPB, TESTQ, VPTEST:
+		return Dest{Kind: DestFlags}
+	case PINSRQ:
+		d := in.Dst()
+		lane := 0
+		if in.A[0].Kind == KImm {
+			lane = int(in.A[0].Imm)
+		}
+		return Dest{Kind: DestXMM, X: d.X, LaneLo: lane, LaneHi: lane}
+	case VINSERTI128:
+		d := in.Dst()
+		return Dest{Kind: DestXMM, X: d.X, LaneLo: 0, LaneHi: 3}
+	case VINSERTI644:
+		d := in.Dst()
+		return Dest{Kind: DestXMM, X: d.X, LaneLo: 0, LaneHi: 7}
+	case VPXOR:
+		d := in.Dst()
+		return Dest{Kind: DestXMM, X: d.X, LaneLo: 0, LaneHi: d.XW.Lanes() - 1}
+	}
+	return Dest{}
+}
+
+// GPRUses appends to buf the general-purpose registers the instruction
+// reads (including memory-operand base/index registers and implicit reads)
+// and returns the extended slice.
+func GPRUses(in Inst, buf []Reg) []Reg {
+	add := func(r Reg) {
+		if r.Valid() {
+			buf = append(buf, r)
+		}
+	}
+	addOperandReads := func(o Operand) {
+		switch o.Kind {
+		case KReg:
+			add(o.Reg)
+		case KMem:
+			add(o.M.Base)
+			add(o.M.Index)
+		}
+	}
+	switch in.Op {
+	case NOP, HALT, DETECT, RET, CQTO:
+		if in.Op == CQTO {
+			add(RAX)
+		}
+		return buf
+	case IDIVQ:
+		add(RAX)
+		add(RDX)
+		addOperandReads(in.A[0])
+		return buf
+	case CALL:
+		// Conservative: a call reads all argument registers.
+		buf = append(buf, ArgRegs...)
+		return buf
+	case POPQ:
+		add(RSP)
+		return buf
+	case PUSHQ:
+		add(RSP)
+		addOperandReads(in.A[0])
+		return buf
+	case LEA:
+		// lea reads only the address components.
+		addOperandReads(Operand{Kind: KMem, M: in.A[0].M})
+		return buf
+	}
+	// Generic: all sources are read; a register destination is also read
+	// for read-modify-write ALU ops and partial-width writes.
+	for i := 0; i < len(in.A)-1; i++ {
+		addOperandReads(in.A[i])
+	}
+	if len(in.A) > 0 {
+		d := in.Dst()
+		switch in.Op {
+		case ADDQ, SUBQ, IMULQ, ANDQ, ORQ, XORQ, XORB, SHLQ, SHRQ, SARQ, NEGQ,
+			MOVB, SETE, SETNE, SETL, SETLE, SETG, SETGE:
+			// RMW or partial write: old value of dest matters.
+			addOperandReads(d)
+		case CMPQ, CMPL, CMPB, TESTQ, VPTEST:
+			addOperandReads(d) // "dest" operand of a compare is read only
+		default:
+			if d.Kind == KMem {
+				addOperandReads(d) // store address
+			}
+		}
+	}
+	return buf
+}
+
+// GPRDef returns the general-purpose register the instruction writes, or
+// RNone. RSP effects of push/pop/call/ret are implicit and excluded; the
+// liveness analysis treats RSP and RBP as always-live.
+func GPRDef(in Inst) Reg {
+	d := DestOf(in)
+	if d.Kind == DestGPR {
+		return d.Reg
+	}
+	if in.Op == MOVQ && in.Dst().Kind == KReg {
+		return in.Dst().Reg
+	}
+	return RNone
+}
+
+// XUses appends the SIMD registers the instruction reads.
+func XUses(in Inst, buf []XReg) []XReg {
+	for i, o := range in.A {
+		if o.Kind != KXReg {
+			continue
+		}
+		if i == len(in.A)-1 {
+			// Destination operand: read as well for lane-preserving
+			// writes and for vptest.
+			switch in.Op {
+			case PINSRQ, VPTEST, MOVB:
+				buf = append(buf, o.X)
+			}
+			continue
+		}
+		buf = append(buf, o.X)
+	}
+	return buf
+}
+
+// XDef returns the SIMD register the instruction writes, or (0, false).
+func XDef(in Inst) (XReg, bool) {
+	d := DestOf(in)
+	if d.Kind == DestXMM {
+		return d.X, true
+	}
+	return 0, false
+}

@@ -1,0 +1,309 @@
+package asm
+
+import "fmt"
+
+// Op is an opcode in the modelled x86-64 subset.
+type Op uint8
+
+// Opcodes. AT&T suffixes are part of the opcode where the width matters to
+// semantics (movq vs movl vs movb). MOVQ doubles as the GPR<->XMM transfer
+// instruction, as in real x86-64 AT&T syntax; the operand kinds select the
+// form.
+const (
+	NOP Op = iota
+
+	// Data movement.
+	MOVQ   // movq src, dst (gpr/mem/imm/xmm combinations)
+	MOVL   // movl src, dst (32-bit, zero-extends into the 64-bit register)
+	MOVB   // movb src, dst (8-bit partial write)
+	MOVSLQ // movslq src32, dst64 (sign-extend)
+	MOVZBQ // movzbq src8, dst64 (zero-extend)
+	LEA    // leaq mem, dst
+
+	// Integer ALU. Two-operand AT&T form: op src, dst ; dst = dst OP src.
+	ADDQ
+	SUBQ
+	IMULQ
+	ANDQ
+	ORQ
+	XORQ
+	XORB
+	SHLQ
+	SHRQ
+	SARQ
+	NEGQ
+	CQTO  // sign-extend rax into rdx:rax
+	IDIVQ // signed divide rdx:rax by operand; quotient->rax, remainder->rdx
+
+	// Compares (write flags only).
+	CMPQ
+	CMPL
+	CMPB
+	TESTQ
+
+	// Control flow.
+	JMP
+	JE
+	JNE
+	JL
+	JLE
+	JG
+	JGE
+	CALL
+	RET
+
+	// Flag materialisation.
+	SETE
+	SETNE
+	SETL
+	SETLE
+	SETG
+	SETGE
+
+	// Stack.
+	PUSHQ
+	POPQ
+
+	// SIMD (the FERRUM check path, fig. 6 of the paper).
+	PINSRQ      // pinsrq $lane, src, xmm
+	VINSERTI128 // vinserti128 $lane, xmmsrc, ymmsrc2, ymmdst
+	VINSERTI644 // vinserti64x4 $lane, ymmsrc, zmmsrc2, zmmdst (AVX-512)
+	VPXOR       // vpxor v1, v2, vdst (lane count from the operand view)
+	VPTEST      // vptest v1, v2 (sets ZF from AND over the operand view)
+
+	// Pseudo-instructions understood by the machine model.
+	OUT    // out %reg : append the register value to the program output
+	HALT   // normal program termination
+	DETECT // error-detection trap (the exit_function target)
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP:         "nop",
+	MOVQ:        "movq",
+	MOVL:        "movl",
+	MOVB:        "movb",
+	MOVSLQ:      "movslq",
+	MOVZBQ:      "movzbq",
+	LEA:         "leaq",
+	ADDQ:        "addq",
+	SUBQ:        "subq",
+	IMULQ:       "imulq",
+	ANDQ:        "andq",
+	ORQ:         "orq",
+	XORQ:        "xorq",
+	XORB:        "xorb",
+	SHLQ:        "shlq",
+	SHRQ:        "shrq",
+	SARQ:        "sarq",
+	NEGQ:        "negq",
+	CQTO:        "cqto",
+	IDIVQ:       "idivq",
+	CMPQ:        "cmpq",
+	CMPL:        "cmpl",
+	CMPB:        "cmpb",
+	TESTQ:       "testq",
+	JMP:         "jmp",
+	JE:          "je",
+	JNE:         "jne",
+	JL:          "jl",
+	JLE:         "jle",
+	JG:          "jg",
+	JGE:         "jge",
+	CALL:        "callq",
+	RET:         "retq",
+	SETE:        "sete",
+	SETNE:       "setne",
+	SETL:        "setl",
+	SETLE:       "setle",
+	SETG:        "setg",
+	SETGE:       "setge",
+	PUSHQ:       "pushq",
+	POPQ:        "popq",
+	PINSRQ:      "pinsrq",
+	VINSERTI128: "vinserti128",
+	VINSERTI644: "vinserti64x4",
+	VPXOR:       "vpxor",
+	VPTEST:      "vptest",
+	OUT:         "out",
+	HALT:        "hlt",
+	DETECT:      "detect",
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opNames[op]] = op
+	}
+	return m
+}()
+
+// String returns the AT&T mnemonic.
+func (op Op) String() string {
+	if op < numOps {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op?%d", op)
+}
+
+// LookupOp resolves an AT&T mnemonic to its opcode.
+func LookupOp(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+// CC is a condition code shared by conditional jumps and setcc.
+type CC uint8
+
+// Condition codes.
+const (
+	CCNone CC = iota
+	CCE       // equal (ZF)
+	CCNE      // not equal (!ZF)
+	CCL       // signed less (SF != OF)
+	CCLE      // signed less-or-equal (ZF || SF != OF)
+	CCG       // signed greater (!ZF && SF == OF)
+	CCGE      // signed greater-or-equal (SF == OF)
+)
+
+// String returns the condition suffix, e.g. "ne".
+func (c CC) String() string {
+	switch c {
+	case CCE:
+		return "e"
+	case CCNE:
+		return "ne"
+	case CCL:
+		return "l"
+	case CCLE:
+		return "le"
+	case CCG:
+		return "g"
+	case CCGE:
+		return "ge"
+	}
+	return "?"
+}
+
+// Negate returns the opposite condition.
+func (c CC) Negate() CC {
+	switch c {
+	case CCE:
+		return CCNE
+	case CCNE:
+		return CCE
+	case CCL:
+		return CCGE
+	case CCLE:
+		return CCG
+	case CCG:
+		return CCLE
+	case CCGE:
+		return CCL
+	}
+	return CCNone
+}
+
+// CondOf returns the condition code of a conditional jump or setcc opcode,
+// or CCNone for other opcodes.
+func CondOf(op Op) CC {
+	switch op {
+	case JE, SETE:
+		return CCE
+	case JNE, SETNE:
+		return CCNE
+	case JL, SETL:
+		return CCL
+	case JLE, SETLE:
+		return CCLE
+	case JG, SETG:
+		return CCG
+	case JGE, SETGE:
+		return CCGE
+	}
+	return CCNone
+}
+
+// JccFor returns the conditional-jump opcode for a condition code.
+func JccFor(c CC) Op {
+	switch c {
+	case CCE:
+		return JE
+	case CCNE:
+		return JNE
+	case CCL:
+		return JL
+	case CCLE:
+		return JLE
+	case CCG:
+		return JG
+	case CCGE:
+		return JGE
+	}
+	return NOP
+}
+
+// SetccFor returns the setcc opcode for a condition code.
+func SetccFor(c CC) Op {
+	switch c {
+	case CCE:
+		return SETE
+	case CCNE:
+		return SETNE
+	case CCL:
+		return SETL
+	case CCLE:
+		return SETLE
+	case CCG:
+		return SETG
+	case CCGE:
+		return SETGE
+	}
+	return NOP
+}
+
+// IsCondJump reports whether op is a conditional jump.
+func IsCondJump(op Op) bool {
+	switch op {
+	case JE, JNE, JL, JLE, JG, JGE:
+		return true
+	}
+	return false
+}
+
+// IsSetcc reports whether op materialises a flag into a byte register.
+func IsSetcc(op Op) bool {
+	switch op {
+	case SETE, SETNE, SETL, SETLE, SETG, SETGE:
+		return true
+	}
+	return false
+}
+
+// WritesFlags reports whether executing op redefines the status flags.
+func WritesFlags(op Op) bool {
+	switch op {
+	case ADDQ, SUBQ, IMULQ, ANDQ, ORQ, XORQ, XORB, SHLQ, SHRQ, SARQ, NEGQ,
+		CMPQ, CMPL, CMPB, TESTQ, VPTEST, IDIVQ:
+		return true
+	}
+	return false
+}
+
+// ReadsFlags reports whether op's behaviour depends on the status flags.
+func ReadsFlags(op Op) bool { return IsCondJump(op) || IsSetcc(op) }
+
+// IsTerminator reports whether op unconditionally ends a basic block
+// (control cannot fall through to the next instruction).
+func IsTerminator(op Op) bool {
+	switch op {
+	case JMP, RET, HALT, DETECT:
+		return true
+	}
+	return false
+}
+
+// EndsBlock reports whether op ends a basic block, including conditional
+// branches whose fall-through starts a new block.
+func EndsBlock(op Op) bool { return IsTerminator(op) || IsCondJump(op) }

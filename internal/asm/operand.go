@@ -1,0 +1,137 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind discriminates the Operand union.
+type OpKind uint8
+
+// Operand kinds.
+const (
+	KNone  OpKind = iota
+	KReg          // general-purpose register at some width
+	KXReg         // SIMD register (xmm/ymm view)
+	KImm          // immediate
+	KMem          // memory reference disp(base,index,scale)
+	KLabel        // code label (branch/call target)
+)
+
+// Mem is an x86 addressing-mode memory reference: Disp(Base,Index,Scale).
+type Mem struct {
+	Base  Reg
+	Index Reg
+	Scale uint8 // 1, 2, 4 or 8; 0 treated as 1
+	Disp  int64
+}
+
+// String renders the reference in AT&T syntax, e.g. "-24(%rbp)" or
+// "(%rax,%rcx,8)".
+func (m Mem) String() string {
+	var b strings.Builder
+	if m.Disp != 0 || (m.Base == RNone && m.Index == RNone) {
+		fmt.Fprintf(&b, "%d", m.Disp)
+	}
+	if m.Base != RNone || m.Index != RNone {
+		b.WriteByte('(')
+		if m.Base != RNone {
+			b.WriteByte('%')
+			b.WriteString(m.Base.Name(W64))
+		}
+		if m.Index != RNone {
+			fmt.Fprintf(&b, ",%%%s,%d", m.Index.Name(W64), m.effScale())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func (m Mem) effScale() uint8 {
+	if m.Scale == 0 {
+		return 1
+	}
+	return m.Scale
+}
+
+// Operand is one instruction operand. Exactly the fields implied by Kind
+// are meaningful.
+type Operand struct {
+	Kind  OpKind
+	Reg   Reg    // KReg
+	W     Width  // KReg width
+	X     XReg   // KXReg
+	XW    XWidth // KXReg view
+	Imm   int64  // KImm
+	M     Mem    // KMem
+	Label string // KLabel
+}
+
+// RegOp builds a register operand at width w.
+func RegOp(r Reg, w Width) Operand { return Operand{Kind: KReg, Reg: r, W: w} }
+
+// Reg64 builds a 64-bit register operand.
+func Reg64(r Reg) Operand { return RegOp(r, W64) }
+
+// Reg32 builds a 32-bit register operand.
+func Reg32(r Reg) Operand { return RegOp(r, W32) }
+
+// Reg8 builds an 8-bit register operand.
+func Reg8(r Reg) Operand { return RegOp(r, W8) }
+
+// XOp builds a SIMD register operand at view w.
+func XOp(x XReg, w XWidth) Operand { return Operand{Kind: KXReg, X: x, XW: w} }
+
+// Xmm builds an XMM-view SIMD operand.
+func Xmm(x XReg) Operand { return XOp(x, X128) }
+
+// Ymm builds a YMM-view SIMD operand.
+func Ymm(x XReg) Operand { return XOp(x, Y256) }
+
+// Zmm builds a ZMM-view (AVX-512) SIMD operand.
+func Zmm(x XReg) Operand { return XOp(x, Z512) }
+
+// Imm builds an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: KImm, Imm: v} }
+
+// MemOp builds a memory operand from a Mem reference.
+func MemOp(m Mem) Operand { return Operand{Kind: KMem, M: m} }
+
+// MemBD builds a Disp(Base) memory operand, the backend's stack-slot shape.
+func MemBD(base Reg, disp int64) Operand {
+	return Operand{Kind: KMem, M: Mem{Base: base, Disp: disp}}
+}
+
+// MemBIS builds a Disp(Base,Index,Scale) memory operand.
+func MemBIS(base, index Reg, scale uint8, disp int64) Operand {
+	return Operand{Kind: KMem, M: Mem{Base: base, Index: index, Scale: scale, Disp: disp}}
+}
+
+// LabelOp builds a label operand.
+func LabelOp(name string) Operand { return Operand{Kind: KLabel, Label: name} }
+
+// String renders the operand in AT&T syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KReg:
+		return "%" + o.Reg.Name(o.W)
+	case KXReg:
+		return "%" + o.X.Name(o.XW)
+	case KImm:
+		return fmt.Sprintf("$%d", o.Imm)
+	case KMem:
+		return o.M.String()
+	case KLabel:
+		return o.Label
+	case KNone:
+		return "<none>"
+	}
+	return fmt.Sprintf("<operand kind %d>", o.Kind)
+}
+
+// IsReg reports whether the operand is general-purpose register r at any
+// width.
+func (o Operand) IsReg(r Reg) bool { return o.Kind == KReg && o.Reg == r }
+
+// Equal reports structural equality of two operands.
+func (o Operand) Equal(p Operand) bool { return o == p }

@@ -1,0 +1,217 @@
+// Package asm models the subset of the x86-64 instruction set that the
+// FERRUM toolchain manipulates: sixteen general-purpose registers with
+// 8/16/32/64-bit views, sixteen XMM/YMM SIMD registers, the RFLAGS status
+// bits, an AT&T-style textual syntax, and enough instruction metadata
+// (destinations, flag effects, execution unit, cost) for the protection
+// passes, the fault injector, and the machine simulator to agree on
+// semantics.
+package asm
+
+import "fmt"
+
+// Reg identifies a general-purpose register. The zero value RNone means
+// "no register" and is what an absent Base/Index field in a memory operand
+// holds.
+type Reg uint8
+
+// General-purpose registers in x86-64 encoding order.
+const (
+	RNone Reg = iota
+	RAX
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NumReg is one past the largest valid Reg and sizes register files.
+	NumReg
+)
+
+// Width is an operand width in bytes.
+type Width uint8
+
+// Operand widths.
+const (
+	W8  Width = 1
+	W16 Width = 2
+	W32 Width = 4
+	W64 Width = 8
+)
+
+// Bits reports the width in bits.
+func (w Width) Bits() uint { return uint(w) * 8 }
+
+// gprNames[reg][width] gives the AT&T register name (without the % sigil).
+var gprNames = map[Reg]map[Width]string{
+	RAX: {W64: "rax", W32: "eax", W16: "ax", W8: "al"},
+	RCX: {W64: "rcx", W32: "ecx", W16: "cx", W8: "cl"},
+	RDX: {W64: "rdx", W32: "edx", W16: "dx", W8: "dl"},
+	RBX: {W64: "rbx", W32: "ebx", W16: "bx", W8: "bl"},
+	RSP: {W64: "rsp", W32: "esp", W16: "sp", W8: "spl"},
+	RBP: {W64: "rbp", W32: "ebp", W16: "bp", W8: "bpl"},
+	RSI: {W64: "rsi", W32: "esi", W16: "si", W8: "sil"},
+	RDI: {W64: "rdi", W32: "edi", W16: "di", W8: "dil"},
+	R8:  {W64: "r8", W32: "r8d", W16: "r8w", W8: "r8b"},
+	R9:  {W64: "r9", W32: "r9d", W16: "r9w", W8: "r9b"},
+	R10: {W64: "r10", W32: "r10d", W16: "r10w", W8: "r10b"},
+	R11: {W64: "r11", W32: "r11d", W16: "r11w", W8: "r11b"},
+	R12: {W64: "r12", W32: "r12d", W16: "r12w", W8: "r12b"},
+	R13: {W64: "r13", W32: "r13d", W16: "r13w", W8: "r13b"},
+	R14: {W64: "r14", W32: "r14d", W16: "r14w", W8: "r14b"},
+	R15: {W64: "r15", W32: "r15d", W16: "r15w", W8: "r15b"},
+}
+
+// regByName maps every register name at every width back to (reg, width).
+var regByName = func() map[string]struct {
+	Reg Reg
+	W   Width
+} {
+	m := make(map[string]struct {
+		Reg Reg
+		W   Width
+	})
+	for r, ws := range gprNames {
+		for w, name := range ws {
+			m[name] = struct {
+				Reg Reg
+				W   Width
+			}{r, w}
+		}
+	}
+	return m
+}()
+
+// Name returns the AT&T name of the register at width w, e.g. "eax".
+func (r Reg) Name(w Width) string {
+	if ws, ok := gprNames[r]; ok {
+		return ws[w]
+	}
+	return fmt.Sprintf("r?%d", r)
+}
+
+// String returns the 64-bit name of the register.
+func (r Reg) String() string {
+	if r == RNone {
+		return "none"
+	}
+	return r.Name(W64)
+}
+
+// Valid reports whether r names an actual register.
+func (r Reg) Valid() bool { return r > RNone && r < NumReg }
+
+// LookupReg resolves an AT&T register name (without the % sigil) to its
+// register and width. ok is false for unknown names.
+func LookupReg(name string) (reg Reg, w Width, ok bool) {
+	e, ok := regByName[name]
+	return e.Reg, e.W, ok
+}
+
+// XReg identifies a SIMD register. XMM and YMM views share the same file:
+// XMMi aliases the low 128 bits of YMMi, matching real hardware and the
+// aliasing FERRUM exploits in fig. 6 of the paper.
+type XReg uint8
+
+// NumXReg is the number of SIMD registers.
+const NumXReg = 16
+
+// XWidth selects the XMM (128-bit), YMM (256-bit) or ZMM (512-bit,
+// AVX-512) view of a SIMD register. The paper's §III-B3 notes ZMM as a
+// viable extension of the FERRUM design; this model supports it.
+type XWidth uint8
+
+// SIMD register views.
+const (
+	X128 XWidth = 1 // xmm view, lanes 0-1
+	Y256 XWidth = 2 // ymm view, lanes 0-3
+	Z512 XWidth = 3 // zmm view, lanes 0-7 (AVX-512)
+)
+
+// Lanes reports how many 64-bit lanes the view covers.
+func (w XWidth) Lanes() int {
+	switch w {
+	case Z512:
+		return 8
+	case Y256:
+		return 4
+	}
+	return 2
+}
+
+// Name returns the register name at the given view, e.g. "xmm3" or "zmm3".
+func (x XReg) Name(w XWidth) string {
+	switch w {
+	case Z512:
+		return fmt.Sprintf("zmm%d", x)
+	case Y256:
+		return fmt.Sprintf("ymm%d", x)
+	}
+	return fmt.Sprintf("xmm%d", x)
+}
+
+// LookupXReg resolves "xmmN"/"ymmN"/"zmmN" to a SIMD register and view.
+func LookupXReg(name string) (x XReg, w XWidth, ok bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "xmm%d", &n); err == nil && n >= 0 && n < NumXReg {
+		return XReg(n), X128, true
+	}
+	if _, err := fmt.Sscanf(name, "ymm%d", &n); err == nil && n >= 0 && n < NumXReg {
+		return XReg(n), Y256, true
+	}
+	if _, err := fmt.Sscanf(name, "zmm%d", &n); err == nil && n >= 0 && n < NumXReg {
+		return XReg(n), Z512, true
+	}
+	return 0, 0, false
+}
+
+// Flag identifies one RFLAGS status bit. Flags are a fault-injection
+// destination for compare instructions (§IV-B1 of the paper: "faults ...
+// introduced into the status register following the test instruction").
+type Flag uint8
+
+// Status flags tracked by the machine model.
+const (
+	FlagZF Flag = iota // zero
+	FlagSF             // sign
+	FlagCF             // carry
+	FlagOF             // overflow
+
+	// NumFlag is the number of modelled status flags.
+	NumFlag
+)
+
+// String returns the conventional flag mnemonic.
+func (f Flag) String() string {
+	switch f {
+	case FlagZF:
+		return "ZF"
+	case FlagSF:
+		return "SF"
+	case FlagCF:
+		return "CF"
+	case FlagOF:
+		return "OF"
+	}
+	return fmt.Sprintf("flag?%d", f)
+}
+
+// CallerSaved lists the registers a callee may clobber under the System-V
+// style convention the backend emits (argument and scratch registers).
+var CallerSaved = []Reg{RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11}
+
+// CalleeSaved lists the registers a callee must preserve.
+var CalleeSaved = []Reg{RBX, RBP, R12, R13, R14, R15}
+
+// ArgRegs lists the integer argument registers in order.
+var ArgRegs = []Reg{RDI, RSI, RDX, RCX, R8, R9}

@@ -1,0 +1,480 @@
+package backend
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/ir"
+	"ferrum/internal/machine"
+)
+
+const memSize = 1 << 20
+
+func compileRun(t *testing.T, src string, args []uint64, setup func(img func(addr, v uint64))) (machine.Result, ir.RunResult) {
+	t.Helper()
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("ir.Parse: %v", err)
+	}
+	prog, err := Compile(mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m, err := machine.New(prog, memSize)
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	ip, err := ir.NewInterp(mod, memSize)
+	if err != nil {
+		t.Fatalf("NewInterp: %v", err)
+	}
+	if setup != nil {
+		setup(func(addr, v uint64) {
+			if err := m.WriteWordImage(addr, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := ip.WriteWordImage(addr, v); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	mres := m.Run(machine.RunOpts{Args: args})
+	ires := ip.Run(ir.RunOpts{Args: args})
+	return mres, ires
+}
+
+func assertMatch(t *testing.T, mres machine.Result, ires ir.RunResult) {
+	t.Helper()
+	if mres.Outcome != machine.OutcomeOK {
+		t.Fatalf("machine outcome = %v (%s)", mres.Outcome, mres.CrashMsg)
+	}
+	if ires.Outcome != ir.OutcomeOK {
+		t.Fatalf("interp outcome = %v (%s)", ires.Outcome, ires.CrashMsg)
+	}
+	if len(mres.Output) != len(ires.Output) {
+		t.Fatalf("output lengths differ: asm %v vs ir %v", mres.Output, ires.Output)
+	}
+	for i := range mres.Output {
+		if mres.Output[i] != ires.Output[i] {
+			t.Fatalf("output[%d]: asm %d vs ir %d", i, mres.Output[i], ires.Output[i])
+		}
+	}
+}
+
+func TestCompileSumLoop(t *testing.T) {
+	src := `
+func @main(%n) {
+entry:
+  %acc = alloca 1
+  %i = alloca 1
+  store 0, %acc
+  store 1, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = icmp sle %iv, %n
+  br %c, body, done
+body:
+  %a = load %acc
+  %a2 = add %a, %iv
+  store %a2, %acc
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  %r = load %acc
+  out %r
+  ret %r
+}
+`
+	mres, ires := compileRun(t, src, []uint64{100}, nil)
+	assertMatch(t, mres, ires)
+	if mres.Output[0] != 5050 {
+		t.Fatalf("sum = %d", mres.Output[0])
+	}
+}
+
+func TestCompileAllBinaryOps(t *testing.T) {
+	src := `
+func @main(%a, %b) {
+entry:
+  %v0 = add %a, %b
+  out %v0
+  %v1 = sub %a, %b
+  out %v1
+  %v2 = mul %a, %b
+  out %v2
+  %v3 = sdiv %a, %b
+  out %v3
+  %v4 = srem %a, %b
+  out %v4
+  %v5 = and %a, %b
+  out %v5
+  %v6 = or %a, %b
+  out %v6
+  %v7 = xor %a, %b
+  out %v7
+  %v8 = shl %a, 3
+  out %v8
+  %v9 = lshr %a, 2
+  out %v9
+  %v10 = ashr %a, 2
+  out %v10
+  %v11 = add %a, 7
+  out %v11
+  ret
+}
+`
+	for _, pair := range [][2]int64{{100, 7}, {-100, 7}, {-100, -7}, {0, 5}, {1 << 40, 3}} {
+		mres, ires := compileRun(t, src, []uint64{uint64(pair[0]), uint64(pair[1])}, nil)
+		assertMatch(t, mres, ires)
+	}
+}
+
+func TestCompileICmpAllPreds(t *testing.T) {
+	src := `
+func @main(%a, %b) {
+entry:
+  %c0 = icmp eq %a, %b
+  out %c0
+  %c1 = icmp ne %a, %b
+  out %c1
+  %c2 = icmp slt %a, %b
+  out %c2
+  %c3 = icmp sle %a, %b
+  out %c3
+  %c4 = icmp sgt %a, %b
+  out %c4
+  %c5 = icmp sge %a, %b
+  out %c5
+  %c6 = icmp slt %a, 5
+  out %c6
+  ret
+}
+`
+	for _, pair := range [][2]int64{{1, 2}, {2, 1}, {3, 3}, {-5, 5}, {5, -5}, {-5, -5}} {
+		mres, ires := compileRun(t, src, []uint64{uint64(pair[0]), uint64(pair[1])}, nil)
+		assertMatch(t, mres, ires)
+	}
+}
+
+func TestCompileMemoryProgram(t *testing.T) {
+	// Reverse an array of n words at %base in place, then emit it.
+	src := `
+func @main(%base, %n) {
+entry:
+  %iSlot = alloca 1
+  %jSlot = alloca 1
+  store 0, %iSlot
+  %n1 = sub %n, 1
+  store %n1, %jSlot
+  br loop
+loop:
+  %i = load %iSlot
+  %j = load %jSlot
+  %c = icmp slt %i, %j
+  br %c, swap, emit
+swap:
+  %pi = gep %base, %i
+  %pj = gep %base, %j
+  %vi = load %pi
+  %vj = load %pj
+  store %vj, %pi
+  store %vi, %pj
+  %i2 = add %i, 1
+  store %i2, %iSlot
+  %j2 = sub %j, 1
+  store %j2, %jSlot
+  br loop
+emit:
+  %kSlot = alloca 1
+  store 0, %kSlot
+  br eloop
+eloop:
+  %k = load %kSlot
+  %ec = icmp slt %k, %n
+  br %ec, ebody, done
+ebody:
+  %pk = gep %base, %k
+  %vk = load %pk
+  out %vk
+  %k2 = add %k, 1
+  store %k2, %kSlot
+  br eloop
+done:
+  ret
+}
+`
+	base := uint64(8192)
+	n := uint64(9)
+	mres, ires := compileRun(t, src, []uint64{base, n}, func(img func(addr, v uint64)) {
+		for i := uint64(0); i < n; i++ {
+			img(base+8*i, i*i)
+		}
+	})
+	assertMatch(t, mres, ires)
+	for i := uint64(0); i < n; i++ {
+		want := (n - 1 - i) * (n - 1 - i)
+		if mres.Output[i] != want {
+			t.Errorf("output[%d] = %d, want %d", i, mres.Output[i], want)
+		}
+	}
+}
+
+func TestCompileCalls(t *testing.T) {
+	src := `
+func @mix(%a, %b, %c, %d, %e, %f) {
+entry:
+  %s1 = add %a, %b
+  %s2 = add %s1, %c
+  %s3 = add %s2, %d
+  %s4 = add %s3, %e
+  %s5 = add %s4, %f
+  ret %s5
+}
+
+func @fib(%n) {
+entry:
+  %c = icmp sle %n, 1
+  br %c, base, rec
+base:
+  ret %n
+rec:
+  %n1 = sub %n, 1
+  %n2 = sub %n, 2
+  %a = call @fib(%n1)
+  %b = call @fib(%n2)
+  %r = add %a, %b
+  ret %r
+}
+
+func @main(%n) {
+entry:
+  %r = call @fib(%n)
+  out %r
+  %m = call @mix(1, 2, 3, 4, 5, 6)
+  out %m
+  call @mix(0, 0, 0, 0, 0, 0)
+  ret
+}
+`
+	mres, ires := compileRun(t, src, []uint64{12}, nil)
+	assertMatch(t, mres, ires)
+	if mres.Output[0] != 144 || mres.Output[1] != 21 {
+		t.Fatalf("output = %v", mres.Output)
+	}
+}
+
+func TestCompileCheckIntrinsic(t *testing.T) {
+	src := `
+func @main(%n) {
+entry:
+  %a = add %n, 1
+  %b = add %n, 2
+  check %a, %b
+  out %a
+  ret
+}
+`
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(prog, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(machine.RunOpts{Args: []uint64{1}})
+	if res.Outcome != machine.OutcomeDetected {
+		t.Fatalf("outcome = %v, want detected", res.Outcome)
+	}
+}
+
+func TestCondBrRematerialisesFlags(t *testing.T) {
+	// The compiled form of a conditional branch must contain the
+	// cmpq $0, slot + jne pattern of fig. 9 — the new FI site.
+	src := `
+func @main(%n) {
+entry:
+  %c = icmp sgt %n, 0
+  br %c, a, b
+a:
+  out 1
+  ret
+b:
+  out 0
+  ret
+}
+`
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	if !strings.Contains(text, "cmpq\t$0, -") {
+		t.Errorf("missing rematerialised compare in:\n%s", text)
+	}
+	main := prog.Func("main")
+	found := false
+	for _, in := range main.Insts {
+		if in.Op == asm.CMPQ && in.A[0].Kind == asm.KImm && in.A[0].Imm == 0 &&
+			in.A[1].Kind == asm.KMem {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no cmpq $0, slot instruction found")
+	}
+}
+
+func TestCompileRejectsBadModules(t *testing.T) {
+	mod := &ir.Module{Entry: "missing"}
+	if _, err := Compile(mod); err == nil {
+		t.Error("Compile accepted module without entry")
+	}
+}
+
+// randModule builds a random straight-line arithmetic program whose
+// interpreter and machine outputs must agree — a differential fuzz test of
+// the backend and both executors.
+func randModule(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("func @main(%a, %b) {\nentry:\n")
+	vals := []string{"%a", "%b"}
+	ops := []string{"add", "sub", "mul", "and", "or", "xor"}
+	n := 5 + rng.Intn(20)
+	for i := 0; i < n; i++ {
+		var operand string
+		if rng.Intn(3) == 0 {
+			operand = fmt.Sprintf("%d", rng.Int63n(1000)-500)
+		} else {
+			operand = vals[rng.Intn(len(vals))]
+		}
+		name := fmt.Sprintf("%%v%d", i)
+		fmt.Fprintf(&b, "  %s = %s %s, %s\n", name, ops[rng.Intn(len(ops))],
+			vals[rng.Intn(len(vals))], operand)
+		vals = append(vals, name)
+	}
+	fmt.Fprintf(&b, "  out %s\n  ret\n}\n", vals[len(vals)-1])
+	return b.String()
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 60; i++ {
+		src := randModule(rng)
+		args := []uint64{uint64(rng.Int63()), uint64(rng.Int63())}
+		mres, ires := compileRun(t, src, args, nil)
+		if mres.Outcome != machine.OutcomeOK || ires.Outcome != ir.OutcomeOK {
+			t.Fatalf("iteration %d: outcomes %v/%v\n%s", i, mres.Outcome, ires.Outcome, src)
+		}
+		if mres.Output[0] != ires.Output[0] {
+			t.Fatalf("iteration %d: asm %d vs ir %d\n%s", i, mres.Output[0], ires.Output[0], src)
+		}
+	}
+}
+
+func TestGeneratedProgramsAreParseable(t *testing.T) {
+	src := `
+func @main(%n) {
+entry:
+  %c = icmp sgt %n, 0
+  br %c, a, b
+a:
+  out 1
+  ret
+b:
+  out 0
+  ret
+}
+`
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := asm.Parse(prog.String())
+	if err != nil {
+		t.Fatalf("generated assembly does not re-parse: %v\n%s", err, prog)
+	}
+	if p2.String() != prog.String() {
+		t.Error("assembly print/parse round trip mismatch")
+	}
+}
+
+func TestProvenancePropagatesToTags(t *testing.T) {
+	src := `
+func @main(%n) {
+entry:
+  %a = add %n, 1
+  out %a
+  ret %a
+}
+`
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark the add as a duplicate and verify its lowered instructions
+	// carry the dup tag.
+	mod.Funcs[0].Blocks[0].Insts[0].Prov = ir.ProvDup
+	prog, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	dupTagged := 0
+	for _, in := range f.Insts {
+		if in.Tag == asm.TagDup {
+			dupTagged++
+		}
+	}
+	// The add lowers to at least load+op+store, all dup-tagged.
+	if dupTagged < 3 {
+		t.Errorf("dup-tagged instructions = %d, want >= 3\n%s", dupTagged, prog)
+	}
+}
+
+func TestFrameAlignment(t *testing.T) {
+	src := `
+func @main(%a, %b, %c) {
+entry:
+  %x = add %a, %b
+  %y = add %x, %c
+  out %y
+  ret
+}
+`
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	for _, in := range f.Insts {
+		if in.Op == asm.SUBQ && in.Dst().IsReg(asm.RSP) {
+			if in.A[0].Imm%16 != 0 {
+				t.Errorf("frame size %d not 16-aligned", in.A[0].Imm)
+			}
+			return
+		}
+	}
+	t.Error("no frame allocation found")
+}

@@ -1,0 +1,187 @@
+package backend
+
+import (
+	"fmt"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/ir"
+)
+
+// compileInst lowers one IR instruction. Scratch registers RAX, RCX and RDX
+// are free at every instruction boundary because all values live in stack
+// slots (-O0 discipline).
+func (c *funcCompiler) compileInst(in *ir.Inst, allocaBase map[string]int64) error {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl,
+		ir.OpLShr, ir.OpAShr, ir.OpMul:
+		c.loadVal(in.Args[0], asm.RAX)
+		var src asm.Operand
+		if k, ok := in.Args[1].(ir.Const); ok && in.Op != ir.OpMul {
+			src = asm.Imm(int64(k))
+		} else {
+			c.loadVal(in.Args[1], asm.RCX)
+			src = asm.Reg64(asm.RCX)
+		}
+		c.emit(asm.NewInst(binOpFor(in.Op), src, asm.Reg64(asm.RAX)))
+		c.storeResult(in.Name, asm.RAX)
+
+	case ir.OpSDiv, ir.OpSRem:
+		c.loadVal(in.Args[0], asm.RAX)
+		c.emit(asm.NewInst(asm.CQTO))
+		c.loadVal(in.Args[1], asm.RCX)
+		c.emit(asm.NewInst(asm.IDIVQ, asm.Reg64(asm.RCX)))
+		if in.Op == ir.OpSDiv {
+			c.storeResult(in.Name, asm.RAX)
+		} else {
+			c.storeResult(in.Name, asm.RDX)
+		}
+
+	case ir.OpICmp:
+		c.loadVal(in.Args[0], asm.RAX)
+		if k, ok := in.Args[1].(ir.Const); ok {
+			c.emit(asm.NewInst(asm.CMPQ, asm.Imm(int64(k)), asm.Reg64(asm.RAX)))
+		} else {
+			c.loadVal(in.Args[1], asm.RCX)
+			c.emit(asm.NewInst(asm.CMPQ, asm.Reg64(asm.RCX), asm.Reg64(asm.RAX)))
+		}
+		c.emit(asm.NewInst(asm.SetccFor(ccForPred(in.Pred)), asm.Reg8(asm.RAX)))
+		c.emit(asm.NewInst(asm.MOVZBQ, asm.Reg8(asm.RAX), asm.Reg64(asm.RAX)))
+		c.storeResult(in.Name, asm.RAX)
+
+	case ir.OpAlloca:
+		off := allocaBase[in.Name]
+		c.emit(asm.NewInst(asm.LEA, asm.MemBD(asm.RBP, off), asm.Reg64(asm.RAX)))
+		c.storeResult(in.Name, asm.RAX)
+
+	case ir.OpLoad:
+		c.loadVal(in.Args[0], asm.RAX)
+		c.emit(asm.NewInst(asm.MOVQ, asm.MemBD(asm.RAX, 0), asm.Reg64(asm.RCX)))
+		c.storeResult(in.Name, asm.RCX)
+
+	case ir.OpStore:
+		c.loadVal(in.Args[0], asm.RAX)
+		c.loadVal(in.Args[1], asm.RCX)
+		c.emit(asm.NewInst(asm.MOVQ, asm.Reg64(asm.RAX), asm.MemBD(asm.RCX, 0)))
+
+	case ir.OpGEP:
+		c.loadVal(in.Args[0], asm.RAX)
+		if k, ok := in.Args[1].(ir.Const); ok {
+			c.emit(asm.NewInst(asm.LEA, asm.MemBD(asm.RAX, 8*int64(k)), asm.Reg64(asm.RCX)))
+		} else {
+			c.loadVal(in.Args[1], asm.RCX)
+			c.emit(asm.NewInst(asm.LEA, asm.MemBIS(asm.RAX, asm.RCX, 8, 0), asm.Reg64(asm.RCX)))
+		}
+		c.storeResult(in.Name, asm.RCX)
+
+	case ir.OpBr:
+		c.emit(asm.NewInst(asm.JMP, asm.LabelOp(c.blockLabel(in.Targets[0]))))
+
+	case ir.OpCondBr:
+		// The cross-layer pattern of figs. 8-9: the condition value is
+		// reloaded from its slot and the flags are rematerialised with a
+		// compare the IR never sees. This compare is a fresh
+		// fault-injection site that IR-LEVEL-EDDI does not protect.
+		cond := in.Args[0]
+		if k, ok := cond.(ir.Const); ok {
+			// Constant condition still materialises a compare at -O0.
+			c.loadVal(k, asm.RAX)
+			c.emit(asm.NewInst(asm.CMPQ, asm.Imm(0), asm.Reg64(asm.RAX)))
+		} else {
+			c.emit(asm.NewInst(asm.CMPQ, asm.Imm(0), c.slotOf(cond)))
+		}
+		c.emit(asm.NewInst(asm.JNE, asm.LabelOp(c.blockLabel(in.Targets[0]))))
+		c.emit(asm.NewInst(asm.JMP, asm.LabelOp(c.blockLabel(in.Targets[1]))))
+
+	case ir.OpCall:
+		if len(in.Args) > len(asm.ArgRegs) {
+			return fmt.Errorf("call @%s: too many arguments", in.Callee)
+		}
+		for i, a := range in.Args {
+			c.loadVal(a, asm.ArgRegs[i])
+		}
+		c.emit(asm.NewInst(asm.CALL, asm.LabelOp(in.Callee)))
+		if in.Name != "" {
+			c.storeResult(in.Name, asm.RAX)
+		}
+
+	case ir.OpRet:
+		if len(in.Args) == 1 {
+			c.loadVal(in.Args[0], asm.RAX)
+		}
+		c.emit(asm.NewInst(asm.MOVQ, asm.Reg64(asm.RBP), asm.Reg64(asm.RSP)))
+		c.emit(asm.NewInst(asm.POPQ, asm.Reg64(asm.RBP)))
+		c.emit(asm.NewInst(asm.RET))
+
+	case ir.OpOut:
+		c.loadVal(in.Args[0], asm.RAX)
+		c.emit(asm.NewInst(asm.OUT, asm.Reg64(asm.RAX)))
+
+	case ir.OpCheck:
+		// The EDDI checker intrinsic: compare and trap on mismatch.
+		c.loadVal(in.Args[0], asm.RAX)
+		if k, ok := in.Args[1].(ir.Const); ok {
+			c.emit(asm.NewInst(asm.CMPQ, asm.Imm(int64(k)), asm.Reg64(asm.RAX)))
+		} else {
+			c.loadVal(in.Args[1], asm.RCX)
+			c.emit(asm.NewInst(asm.CMPQ, asm.Reg64(asm.RCX), asm.Reg64(asm.RAX)))
+		}
+		c.emit(asm.NewInst(asm.JNE, asm.LabelOp(asm.DetectLabel)))
+
+	default:
+		return fmt.Errorf("unsupported IR op %s", in.Op)
+	}
+	return nil
+}
+
+// slotOf returns the stack-slot operand of a non-constant value.
+func (c *funcCompiler) slotOf(v ir.Value) asm.Operand {
+	switch x := v.(type) {
+	case *ir.Param:
+		return c.slot(x.Name)
+	case *ir.Inst:
+		return c.slot(x.Name)
+	}
+	panic("backend: slotOf on constant")
+}
+
+func binOpFor(op ir.Op) asm.Op {
+	switch op {
+	case ir.OpAdd:
+		return asm.ADDQ
+	case ir.OpSub:
+		return asm.SUBQ
+	case ir.OpMul:
+		return asm.IMULQ
+	case ir.OpAnd:
+		return asm.ANDQ
+	case ir.OpOr:
+		return asm.ORQ
+	case ir.OpXor:
+		return asm.XORQ
+	case ir.OpShl:
+		return asm.SHLQ
+	case ir.OpLShr:
+		return asm.SHRQ
+	case ir.OpAShr:
+		return asm.SARQ
+	}
+	panic(fmt.Sprintf("backend: not a binary op: %s", op))
+}
+
+func ccForPred(p ir.Pred) asm.CC {
+	switch p {
+	case ir.PredEQ:
+		return asm.CCE
+	case ir.PredNE:
+		return asm.CCNE
+	case ir.PredSLT:
+		return asm.CCL
+	case ir.PredSLE:
+		return asm.CCLE
+	case ir.PredSGT:
+		return asm.CCG
+	case ir.PredSGE:
+		return asm.CCGE
+	}
+	panic(fmt.Sprintf("backend: unknown predicate %v", p))
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/ferrumpass"
+	"ferrum/internal/fi"
+	"ferrum/internal/machine"
+)
+
+const kernelSrc = `
+func @main(%base, %n) {
+entry:
+  %iS = alloca 1
+  %accS = alloca 1
+  store 0, %iS
+  store 0, %accS
+  br loop
+loop:
+  %i = load %iS
+  %c = icmp slt %i, %n
+  br %c, body, done
+body:
+  %p = gep %base, %i
+  %v = load %p
+  %a = load %accS
+  %a2 = add %a, %v
+  store %a2, %accS
+  %i2 = add %i, 1
+  store %i2, %iS
+  br loop
+done:
+  %r = load %accS
+  out %r
+  ret %r
+}
+`
+
+func testData() map[uint64]uint64 {
+	return map[uint64]uint64{8192: 5, 8200: 6, 8208: 7}
+}
+
+func TestPipelineCompileRun(t *testing.T) {
+	p := New()
+	prog, err := p.CompileIR(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(prog, []uint64{8192, 3}, testData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != machine.OutcomeOK || res.Output[0] != 18 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPipelineVerify(t *testing.T) {
+	p := New()
+	mod, err := p.ParseIR(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(mod, prog, []uint64{8192, 3}, testData()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// A protected program also verifies against the unprotected IR.
+	prot, _, err := p.Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(mod, prot, []uint64{8192, 3}, testData()); err != nil {
+		t.Fatalf("Verify protected: %v", err)
+	}
+}
+
+func TestPipelineProtectVariantsAgree(t *testing.T) {
+	p := New()
+	mod, err := p.ParseIR(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []uint64{8192, 3}
+	want := uint64(18)
+
+	ireddi, err := p.ProtectModuleIREDDI(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := p.ProtectModuleHybrid(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fer, rep, err := p.ProtectModuleFerrum(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SIMDEnabled == 0 {
+		t.Error("FERRUM report empty")
+	}
+	for name, prog := range map[string]*asm.Program{"ireddi": ireddi, "hybrid": hybrid, "ferrum": fer} {
+		res, err := p.Run(prog, args, testData())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Output[0] != want {
+			t.Errorf("%s: output = %v", name, res.Output)
+		}
+	}
+}
+
+func TestPipelineCampaign(t *testing.T) {
+	p := New()
+	prog, err := p.CompileIR(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Campaign(prog, []uint64{8192, 3}, testData(), fi.Campaign{Samples: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 100 || res.DynSites == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPipelineFerrumConfigFlowsThrough(t *testing.T) {
+	p := New()
+	p.Ferrum = ferrumpass.Config{DisableSIMD: true}
+	prog, err := p.CompileIR(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, rep, err := p.Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SIMDEnabled != 0 {
+		t.Errorf("SIMD used despite DisableSIMD: %+v", rep)
+	}
+	if strings.Contains(prot.String(), "vpxor") {
+		t.Error("SIMD instructions present despite DisableSIMD")
+	}
+}
+
+func TestPipelineZeroValueUsable(t *testing.T) {
+	var p Pipeline
+	if _, err := p.CompileIR(kernelSrc); err != nil {
+		t.Fatalf("zero-value pipeline: %v", err)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	p := New()
+	if _, err := p.CompileIR("not ir"); err == nil {
+		t.Error("bad IR accepted")
+	}
+	if _, err := p.ParseASM("frobnicate"); err == nil {
+		t.Error("bad asm accepted")
+	}
+	prog, err := p.CompileIR(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data write outside memory bounds is surfaced.
+	if _, err := p.Run(prog, nil, map[uint64]uint64{1 << 40: 1}); err == nil {
+		t.Error("out-of-range data accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package eddi implements assembly-level error detection by duplicated
+// instructions. It provides the shared duplication machinery (how to build
+// an independent second computation of any protectable instruction into a
+// spare register) and the HYBRID-ASSEMBLY-LEVEL-EDDI baseline of the paper:
+// every protectable instruction is immediately duplicated and checked with
+// an xor + jne pair (fig. 4), while comparison and branch instructions are
+// protected at IR level by the irpass.Signature pass (Table I).
+package eddi
+
+import (
+	"ferrum/internal/asm"
+)
+
+// Kind classifies how an instruction can be protected at assembly level.
+type Kind uint8
+
+// Protection kinds.
+const (
+	KindSkip      Kind = iota // no register destination, or checker plumbing
+	KindMov                   // re-executable move-family: dup re-runs with a spare destination
+	KindRMW                   // read-modify-write ALU: dup copies the old dest then re-applies
+	KindNeg                   // one-operand RMW
+	KindSetcc                 // flag materialisation: dup re-runs setcc into a spare byte
+	KindPop                   // pop: dup pre-reads the stack slot
+	KindCqto                  // sign extension: dup recomputes with mov+sar
+	KindIdiv                  // division: verified with the multiplicative identity
+	KindFlagsOnly             // cmp/test: destination is RFLAGS (deferred/IR protection)
+)
+
+// Classify determines the protection kind of an instruction.
+func Classify(in asm.Inst) Kind {
+	switch in.Op {
+	case asm.MOVQ, asm.MOVL, asm.MOVB:
+		if in.Dst().Kind == asm.KReg {
+			return KindMov
+		}
+		return KindSkip // store or SIMD transfer
+	case asm.MOVSLQ, asm.MOVZBQ, asm.LEA:
+		return KindMov
+	case asm.ADDQ, asm.SUBQ, asm.IMULQ, asm.ANDQ, asm.ORQ, asm.XORQ, asm.XORB,
+		asm.SHLQ, asm.SHRQ, asm.SARQ:
+		if in.Dst().Kind == asm.KReg {
+			return KindRMW
+		}
+		return KindSkip
+	case asm.NEGQ:
+		if in.Dst().Kind == asm.KReg {
+			return KindNeg
+		}
+		return KindSkip
+	case asm.SETE, asm.SETNE, asm.SETL, asm.SETLE, asm.SETG, asm.SETGE:
+		if in.Dst().Kind == asm.KReg {
+			return KindSetcc
+		}
+		return KindSkip
+	case asm.POPQ:
+		if in.Dst().Kind == asm.KReg {
+			return KindPop
+		}
+		return KindSkip
+	case asm.CQTO:
+		return KindCqto
+	case asm.IDIVQ:
+		return KindIdiv
+	case asm.CMPQ, asm.CMPL, asm.CMPB, asm.TESTQ:
+		return KindFlagsOnly
+	}
+	return KindSkip
+}
+
+// CheckWidth returns the width at which the duplicate should be compared
+// with the original destination.
+func CheckWidth(in asm.Inst) asm.Width {
+	d := asm.DestOf(in)
+	if d.Kind == asm.DestGPR && d.W == asm.W8 {
+		return asm.W8
+	}
+	return asm.W64
+}
+
+// replaceDst returns a copy of the instruction with its destination operand
+// replaced by reg at the destination's width.
+func replaceDst(in asm.Inst, reg asm.Reg) asm.Inst {
+	out := in
+	out.Labels = nil
+	out.Comment = ""
+	out.A = append([]asm.Operand(nil), in.A...)
+	d := out.A[len(out.A)-1]
+	out.A[len(out.A)-1] = asm.RegOp(reg, d.W)
+	return out
+}
+
+// DupSeq holds the instruction sequences that implement one duplication:
+// Pre runs before the original instruction (it must observe pre-state),
+// Post runs after it, and Check compares the duplicate against the
+// original's destination, ending with a jne to the detection label.
+// CheckReg is the register holding the duplicate at check time.
+type DupSeq struct {
+	Pre      []asm.Inst
+	Post     []asm.Inst
+	Check    []asm.Inst
+	CheckReg asm.Reg
+}
+
+// BuildDup constructs the duplication for a protectable instruction using
+// spare registers. spare is the primary duplicate register; spare2 is only
+// needed for KindIdiv. ok is false when the instruction is not protectable
+// by duplication (KindSkip and KindFlagsOnly).
+//
+// The emitted shapes follow the paper:
+//
+//	KindMov (fig. 4):     dup-with-spare-dest ; ORIG ; xor origDst,spare ; jne
+//	KindRMW:              mov dst,spare ; op src,spare ; ORIG ; xor ; jne
+//	KindPop:              mov (rsp),spare ; ORIG ; xor ; jne
+//	KindCqto:             mov rax,spare ; sar $63,spare ; ORIG ; xor rdx,spare ; jne
+//	KindIdiv:             mov rax,spare ; ORIG ; mov rax,spare2 ;
+//	                      imul divisor,spare2 ; add rdx,spare2 ;
+//	                      xor spare2,spare ; jne      (q*b + r == a)
+func BuildDup(in asm.Inst, spare, spare2 asm.Reg) (DupSeq, bool) {
+	kind := Classify(in)
+	w := CheckWidth(in)
+	xorOp := asm.XORQ
+	if w == asm.W8 {
+		xorOp = asm.XORB
+	}
+	checkAgainst := func(origDst asm.Operand) []asm.Inst {
+		return []asm.Inst{
+			asm.NewInst(xorOp, asm.RegOp(origDst.Reg, w), asm.RegOp(spare, w)).WithTag(asm.TagCheck),
+			asm.NewInst(asm.JNE, asm.LabelOp(asm.DetectLabel)).WithTag(asm.TagCheck),
+		}
+	}
+	switch kind {
+	case KindMov, KindSetcc:
+		return DupSeq{
+			Pre:      []asm.Inst{replaceDst(in, spare).WithTag(asm.TagDup)},
+			Check:    checkAgainst(in.Dst()),
+			CheckReg: spare,
+		}, true
+	case KindRMW:
+		dst := in.Dst()
+		op := replaceDst(in, spare)
+		return DupSeq{
+			Pre: []asm.Inst{
+				asm.NewInst(asm.MOVQ, asm.Reg64(dst.Reg), asm.Reg64(spare)).WithTag(asm.TagDup),
+				op.WithTag(asm.TagDup),
+			},
+			Check:    checkAgainst(dst),
+			CheckReg: spare,
+		}, true
+	case KindNeg:
+		dst := in.Dst()
+		return DupSeq{
+			Pre: []asm.Inst{
+				asm.NewInst(asm.MOVQ, asm.Reg64(dst.Reg), asm.Reg64(spare)).WithTag(asm.TagDup),
+				asm.NewInst(asm.NEGQ, asm.Reg64(spare)).WithTag(asm.TagDup),
+			},
+			Check:    checkAgainst(dst),
+			CheckReg: spare,
+		}, true
+	case KindPop:
+		dst := in.Dst()
+		return DupSeq{
+			Pre: []asm.Inst{
+				asm.NewInst(asm.MOVQ, asm.MemBD(asm.RSP, 0), asm.Reg64(spare)).WithTag(asm.TagDup),
+			},
+			Check:    checkAgainst(dst),
+			CheckReg: spare,
+		}, true
+	case KindCqto:
+		return DupSeq{
+			Pre: []asm.Inst{
+				asm.NewInst(asm.MOVQ, asm.Reg64(asm.RAX), asm.Reg64(spare)).WithTag(asm.TagDup),
+				asm.NewInst(asm.SARQ, asm.Imm(63), asm.Reg64(spare)).WithTag(asm.TagDup),
+			},
+			Check: []asm.Inst{
+				asm.NewInst(asm.XORQ, asm.Reg64(asm.RDX), asm.Reg64(spare)).WithTag(asm.TagCheck),
+				asm.NewInst(asm.JNE, asm.LabelOp(asm.DetectLabel)).WithTag(asm.TagCheck),
+			},
+			CheckReg: spare,
+		}, true
+	case KindIdiv:
+		divisor := in.A[0]
+		return DupSeq{
+			Pre: []asm.Inst{
+				asm.NewInst(asm.MOVQ, asm.Reg64(asm.RAX), asm.Reg64(spare)).WithTag(asm.TagDup),
+			},
+			Post: []asm.Inst{
+				asm.NewInst(asm.MOVQ, asm.Reg64(asm.RAX), asm.Reg64(spare2)).WithTag(asm.TagDup),
+				asm.NewInst(asm.IMULQ, divisor, asm.Reg64(spare2)).WithTag(asm.TagDup),
+				asm.NewInst(asm.ADDQ, asm.Reg64(asm.RDX), asm.Reg64(spare2)).WithTag(asm.TagDup),
+			},
+			Check: []asm.Inst{
+				asm.NewInst(asm.XORQ, asm.Reg64(spare2), asm.Reg64(spare)).WithTag(asm.TagCheck),
+				asm.NewInst(asm.JNE, asm.LabelOp(asm.DetectLabel)).WithTag(asm.TagCheck),
+			},
+			CheckReg: spare,
+		}, true
+	}
+	return DupSeq{}, false
+}

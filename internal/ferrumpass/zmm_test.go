@@ -1,0 +1,181 @@
+package ferrumpass
+
+import (
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/machine"
+)
+
+func TestZMMPreservesSemantics(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	data := arrayData(8192, 9, 8, 7, 6, 5, 4)
+	args := []uint64{6, 8192}
+	raw := newMachine(t, prog, data).Run(machine.RunOpts{Args: args})
+	if raw.Outcome != machine.OutcomeOK {
+		t.Fatalf("raw: %v", raw.Outcome)
+	}
+	prot, rep, err := Protect(prog, Config{UseZMM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SIMDEnabled == 0 {
+		t.Fatal("no SIMD instructions under ZMM")
+	}
+	res := newMachine(t, prot, data).Run(machine.RunOpts{Args: args})
+	if res.Outcome != machine.OutcomeOK {
+		t.Fatalf("zmm outcome %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if !equalOutput(raw.Output, res.Output) {
+		t.Fatalf("outputs differ: %v vs %v", raw.Output, res.Output)
+	}
+	if !strings.Contains(prot.String(), "vinserti64x4") {
+		t.Error("no 512-bit combines emitted")
+	}
+	if !strings.Contains(prot.String(), "zmm") {
+		t.Error("no zmm operands emitted")
+	}
+}
+
+func TestZMMBatchesAreLarger(t *testing.T) {
+	// A straight-line run of eight batchable loads: one ZMM batch vs two
+	// YMM batches.
+	src := `
+	.globl	main
+main:
+	movq	-8(%rbp), %rax
+	movq	-16(%rbp), %rcx
+	movq	-24(%rbp), %rdx
+	movq	-32(%rbp), %rsi
+	movq	-40(%rbp), %rdi
+	movq	-48(%rbp), %rbx
+	movq	-56(%rbp), %r8
+	movq	-64(%rbp), %r9
+	hlt
+
+	.globl	__rt
+__rt:
+exit_function:
+	detect
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ymm, repY, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zmm, repZ, err := Protect(prog, Config{UseZMM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repY.Batches != 2 || repZ.Batches != 1 {
+		t.Errorf("batches: ymm=%d zmm=%d, want 2/1", repY.Batches, repZ.Batches)
+	}
+	countJNE := func(p *asm.Program) int {
+		n := 0
+		for _, f := range p.Funcs {
+			for _, in := range f.Insts {
+				if in.Op == asm.JNE {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countJNE(zmm) >= countJNE(ymm) {
+		t.Errorf("zmm should have fewer check branches: %d vs %d", countJNE(zmm), countJNE(ymm))
+	}
+}
+
+func TestZMMFullCoverage(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	prot, _, err := Protect(prog, Config{UseZMM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := arrayData(8192, 3, 1, 4, 1, 5)
+	args := []uint64{5, 8192}
+	m := newMachine(t, prot, data)
+	golden := m.Run(machine.RunOpts{Args: args})
+	if golden.Outcome != machine.OutcomeOK {
+		t.Fatalf("golden: %v (%s)", golden.Outcome, golden.CrashMsg)
+	}
+	sdc := 0
+	for site := uint64(0); site < golden.DynSites; site++ {
+		for _, bit := range []uint{0, 13, 42, 63} {
+			res := m.Run(machine.RunOpts{Args: args, Fault: &machine.Fault{Site: site, Bit: bit}})
+			if res.Outcome == machine.OutcomeOK && !equalOutput(res.Output, golden.Output) {
+				sdc++
+			}
+		}
+	}
+	if sdc > 0 {
+		t.Errorf("ZMM mode SDCs = %d, want 0", sdc)
+	}
+}
+
+func TestZMMPartialBatchSizes(t *testing.T) {
+	// Every batch size 1..8 must preserve semantics in ZMM mode.
+	prog := compileIR(t, loopSrc)
+	data := arrayData(8192, 2, 3, 5, 7)
+	args := []uint64{4, 8192}
+	raw := newMachine(t, prog, data).Run(machine.RunOpts{Args: args})
+	for batch := 1; batch <= 8; batch++ {
+		prot, _, err := Protect(prog, Config{UseZMM: true, BatchSize: batch})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		res := newMachine(t, prot, data).Run(machine.RunOpts{Args: args})
+		if res.Outcome != machine.OutcomeOK || !equalOutput(raw.Output, res.Output) {
+			t.Errorf("batch %d: outcome %v output %v, want %v",
+				batch, res.Outcome, res.Output, raw.Output)
+		}
+	}
+	// Without ZMM, batch sizes above 4 are rejected.
+	if _, _, err := Protect(prog, Config{BatchSize: 8}); err == nil {
+		t.Error("batch 8 accepted without UseZMM")
+	}
+}
+
+func TestZMMFallsBackWithoutSpares(t *testing.T) {
+	prog := compileIR(t, loopSrc)
+	// Only 6 XMM spares: ZMM mode needs 8, so SIMD falls back to the
+	// GENERAL path entirely.
+	prot, rep, err := Protect(prog, Config{UseZMM: true, SpareXMMs: []asm.XReg{0, 1, 2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SIMDEnabled != 0 {
+		t.Errorf("SIMD used with insufficient spares: %+v", rep)
+	}
+	data := arrayData(8192, 1, 2)
+	res := newMachine(t, prot, data).Run(machine.RunOpts{Args: []uint64{2, 8192}})
+	if res.Outcome != machine.OutcomeOK {
+		t.Fatalf("fallback outcome %v (%s)", res.Outcome, res.CrashMsg)
+	}
+}
+
+func TestZMMCheaperThanYMM(t *testing.T) {
+	// On a batch-friendly straight-line kernel, ZMM halves the number of
+	// flush sequences, so it must not be more expensive than YMM.
+	prog := compileIR(t, loopSrc)
+	data := arrayData(8192, 1, 2, 3, 4, 5, 6, 7, 8)
+	args := []uint64{8, 8192}
+	ymm, _, err := Protect(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zmm, _, err := Protect(prog, Config{UseZMM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ymmRes := newMachine(t, ymm, data).Run(machine.RunOpts{Args: args})
+	zmmRes := newMachine(t, zmm, data).Run(machine.RunOpts{Args: args})
+	if zmmRes.Cycles > ymmRes.Cycles*1.05 {
+		t.Errorf("zmm (%v cycles) notably worse than ymm (%v cycles)",
+			zmmRes.Cycles, ymmRes.Cycles)
+	}
+}

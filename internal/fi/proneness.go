@@ -1,0 +1,91 @@
+package fi
+
+import (
+	"fmt"
+	"sort"
+
+	"ferrum/internal/machine"
+)
+
+// SiteStats aggregates per-static-instruction fault outcomes from a
+// profiling campaign: how often faults at that instruction's dynamic
+// instances became silent corruptions. This is the empirical
+// SDC-proneness signal SDCTune-style selective protection (ref. [9] of the
+// paper) ranks instructions by.
+type SiteStats struct {
+	Loc     machine.SiteLoc
+	Faults  int
+	SDCs    int
+	Crashes int
+}
+
+// Proneness is the fraction of sampled faults at this location that became
+// SDCs.
+func (s SiteStats) Proneness() float64 {
+	if s.Faults == 0 {
+		return 0
+	}
+	return float64(s.SDCs) / float64(s.Faults)
+}
+
+// ProfileProneness runs a fault-injection campaign against the (raw)
+// target, attributing every sampled fault to the static instruction it hit
+// and aggregating SDC counts per instruction. The result is sorted by
+// descending proneness (ties broken by fault count, then location).
+func ProfileProneness(tgt AsmTarget, c Campaign) ([]SiteStats, error) {
+	m, err := machine.New(tgt.Prog, tgt.MemSize)
+	if err != nil {
+		return nil, fmt.Errorf("fi: %w", err)
+	}
+	if tgt.Setup != nil {
+		if err := tgt.Setup(m); err != nil {
+			return nil, err
+		}
+	}
+	golden := m.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps, RecordSiteLocs: true})
+	if golden.Outcome != machine.OutcomeOK {
+		return nil, fmt.Errorf("fi: golden run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
+	}
+	if golden.DynSites == 0 {
+		return nil, fmt.Errorf("fi: no fault-injection sites")
+	}
+	agg := map[machine.SiteLoc]*SiteStats{}
+	for _, p := range makePlans(c, golden.DynSites) {
+		loc := golden.SiteLocs[p.site]
+		st := agg[loc]
+		if st == nil {
+			st = &SiteStats{Loc: loc}
+			agg[loc] = st
+		}
+		st.Faults++
+		r := m.Run(machine.RunOpts{
+			Args:     tgt.Args,
+			MaxSteps: c.MaxSteps,
+			Fault:    &machine.Fault{Site: p.site, Bit: p.bit, Extra: p.extra},
+		})
+		switch classifyAsm(r, golden.Output) {
+		case SDC:
+			st.SDCs++
+		case Crash:
+			st.Crashes++
+		}
+	}
+	out := make([]SiteStats, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Proneness(), out[j].Proneness()
+		if pi != pj {
+			return pi > pj
+		}
+		if out[i].Faults != out[j].Faults {
+			return out[i].Faults > out[j].Faults
+		}
+		if out[i].Loc.Fn != out[j].Loc.Fn {
+			return out[i].Loc.Fn < out[j].Loc.Fn
+		}
+		return out[i].Loc.Idx < out[j].Loc.Idx
+	})
+	return out, nil
+}

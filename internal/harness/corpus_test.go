@@ -1,0 +1,488 @@
+package harness
+
+import (
+	"testing"
+
+	"ferrum/internal/ir"
+	"ferrum/internal/machine"
+)
+
+// corpus is a set of small programs beyond the Rodinia suite, used to
+// differential-test the full pipeline (interpreter vs. machine, raw vs.
+// every protection technique) on diverse program shapes: sorting, number
+// theory, searching, nested data structures and deep call chains.
+var corpus = []struct {
+	name string
+	src  string
+	args []uint64
+	data map[uint64]uint64
+	want []uint64
+}{
+	{
+		name: "gcd",
+		src: `
+func @gcd(%a, %b) {
+entry:
+  %zero = icmp eq %b, 0
+  br %zero, base, rec
+base:
+  ret %a
+rec:
+  %r = srem %a, %b
+  %g = call @gcd(%b, %r)
+  ret %g
+}
+func @main(%a, %b) {
+entry:
+  %g = call @gcd(%a, %b)
+  out %g
+  ret %g
+}
+`,
+		args: []uint64{252, 105},
+		want: []uint64{21},
+	},
+	{
+		name: "bubblesort",
+		src: `
+func @main(%base, %n) {
+entry:
+  %iS = alloca 1
+  %jS = alloca 1
+  store 0, %iS
+  br outer
+outer:
+  %i = load %iS
+  %n1 = sub %n, 1
+  %oc = icmp slt %i, %n1
+  br %oc, inner_init, emit
+inner_init:
+  store 0, %jS
+  br inner
+inner:
+  %j = load %jS
+  %lim = sub %n1, %i
+  %ic = icmp slt %j, %lim
+  br %ic, body, onext
+body:
+  %pj = gep %base, %j
+  %j1 = add %j, 1
+  %pj1 = gep %base, %j1
+  %vj = load %pj
+  %vj1 = load %pj1
+  %gt = icmp sgt %vj, %vj1
+  br %gt, swap, nnext
+swap:
+  store %vj1, %pj
+  store %vj, %pj1
+  br nnext
+nnext:
+  %j2 = add %j, 1
+  store %j2, %jS
+  br inner
+onext:
+  %i2 = add %i, 1
+  store %i2, %iS
+  br outer
+emit:
+  store 0, %iS
+  br eloop
+eloop:
+  %e = load %iS
+  %ec = icmp slt %e, %n
+  br %ec, ebody, done
+ebody:
+  %pe = gep %base, %e
+  %ve = load %pe
+  out %ve
+  %e2 = add %e, 1
+  store %e2, %iS
+  br eloop
+done:
+  ret
+}
+`,
+		args: []uint64{8192, 6},
+		data: map[uint64]uint64{8192: 5, 8200: 2, 8208: 9, 8216: 1, 8224: 7, 8232: 2},
+		want: []uint64{1, 2, 2, 5, 7, 9},
+	},
+	{
+		name: "sieve",
+		src: `
+; count primes below n with a sieve of flags
+func @main(%base, %n) {
+entry:
+  %iS = alloca 1
+  %jS = alloca 1
+  %cntS = alloca 1
+  store 2, %iS
+  br mark
+mark:
+  %i = load %iS
+  %sq = mul %i, %i
+  %mc = icmp sle %sq, %n
+  br %mc, minner_init, count
+minner_init:
+  %pi = gep %base, %i
+  %vi = load %pi
+  %composite = icmp ne %vi, 0
+  br %composite, mnext, minner
+minner:
+  %i2 = mul %i, %i
+  store %i2, %jS
+  br mloop
+mloop:
+  %j = load %jS
+  %jc = icmp slt %j, %n
+  br %jc, mbody, mnext
+mbody:
+  %pj = gep %base, %j
+  store 1, %pj
+  %j2 = add %j, %i
+  store %j2, %jS
+  br mloop
+mnext:
+  %i3 = load %iS
+  %i4 = add %i3, 1
+  store %i4, %iS
+  br mark
+count:
+  store 0, %cntS
+  store 2, %iS
+  br cloop
+cloop:
+  %c = load %iS
+  %cc = icmp slt %c, %n
+  br %cc, cbody, done
+cbody:
+  %pc = gep %base, %c
+  %vc = load %pc
+  %isprime = icmp eq %vc, 0
+  br %isprime, bump, cnext
+bump:
+  %cnt = load %cntS
+  %cnt1 = add %cnt, 1
+  store %cnt1, %cntS
+  br cnext
+cnext:
+  %c2 = add %c, 1
+  store %c2, %iS
+  br cloop
+done:
+  %cntF = load %cntS
+  out %cntF
+  ret %cntF
+}
+`,
+		args: []uint64{8192, 50},
+		want: []uint64{15}, // primes below 50
+	},
+	{
+		name: "binarysearch",
+		src: `
+func @main(%base, %n, %needle) {
+entry:
+  %loS = alloca 1
+  %hiS = alloca 1
+  %resS = alloca 1
+  store 0, %loS
+  store %n, %hiS
+  store -1, %resS
+  br loop
+loop:
+  %lo = load %loS
+  %hi = load %hiS
+  %c = icmp slt %lo, %hi
+  br %c, body, done
+body:
+  %sum = add %lo, %hi
+  %mid = ashr %sum, 1
+  %pm = gep %base, %mid
+  %vm = load %pm
+  %eq = icmp eq %vm, %needle
+  br %eq, found, narrow
+found:
+  store %mid, %resS
+  br done
+narrow:
+  %lt = icmp slt %vm, %needle
+  br %lt, goright, goleft
+goright:
+  %mid1 = add %mid, 1
+  store %mid1, %loS
+  br loop
+goleft:
+  store %mid, %hiS
+  br loop
+done:
+  %res = load %resS
+  out %res
+  ret %res
+}
+`,
+		args: []uint64{8192, 8, 23},
+		data: map[uint64]uint64{8192: 2, 8200: 5, 8208: 9, 8216: 14, 8224: 23, 8232: 31, 8240: 44, 8248: 60},
+		want: []uint64{4},
+	},
+	{
+		name: "collatz",
+		src: `
+func @main(%n) {
+entry:
+  %curS = alloca 1
+  %stepsS = alloca 1
+  store %n, %curS
+  store 0, %stepsS
+  br loop
+loop:
+  %cur = load %curS
+  %done = icmp sle %cur, 1
+  br %done, finish, step
+step:
+  %parity = and %cur, 1
+  %odd = icmp eq %parity, 1
+  br %odd, odd3n1, even
+odd3n1:
+  %t = mul %cur, 3
+  %t1 = add %t, 1
+  store %t1, %curS
+  br bump
+even:
+  %half = ashr %cur, 1
+  store %half, %curS
+  br bump
+bump:
+  %s = load %stepsS
+  %s1 = add %s, 1
+  store %s1, %stepsS
+  br loop
+finish:
+  %sf = load %stepsS
+  out %sf
+  ret %sf
+}
+`,
+		args: []uint64{27},
+		want: []uint64{111},
+	},
+	{
+		name: "matmul",
+		src: `
+; C = A*B for n x n matrices; layout A | B | C
+func @main(%base, %n) {
+entry:
+  %iS = alloca 1
+  %jS = alloca 1
+  %kS = alloca 1
+  %accS = alloca 1
+  %csS = alloca 1
+  %nsq = mul %n, %n
+  %coff = mul %nsq, 2
+  %bB = gep %base, %nsq
+  %cB = gep %base, %coff
+  store 0, %iS
+  br iloop
+iloop:
+  %i = load %iS
+  %ic = icmp slt %i, %n
+  br %ic, jinit, checksum
+jinit:
+  store 0, %jS
+  br jloop
+jloop:
+  %j = load %jS
+  %jc = icmp slt %j, %n
+  br %jc, kinit, inext
+kinit:
+  store 0, %kS
+  store 0, %accS
+  br kloop
+kloop:
+  %k = load %kS
+  %kc = icmp slt %k, %n
+  br %kc, kbody, cstore
+kbody:
+  %aIdx0 = mul %i, %n
+  %aIdx = add %aIdx0, %k
+  %pa = gep %base, %aIdx
+  %va = load %pa
+  %bIdx0 = mul %k, %n
+  %bIdx = add %bIdx0, %j
+  %pb = gep %bB, %bIdx
+  %vb = load %pb
+  %prod = mul %va, %vb
+  %acc = load %accS
+  %acc1 = add %acc, %prod
+  store %acc1, %accS
+  %k1 = add %k, 1
+  store %k1, %kS
+  br kloop
+cstore:
+  %cIdx0 = mul %i, %n
+  %j0 = load %jS
+  %cIdx = add %cIdx0, %j0
+  %pc = gep %cB, %cIdx
+  %accF = load %accS
+  store %accF, %pc
+  %j1 = add %j0, 1
+  store %j1, %jS
+  br jloop
+inext:
+  %i1 = add %i, 1
+  store %i1, %iS
+  br iloop
+checksum:
+  store 0, %csS
+  store 0, %iS
+  br csloop
+csloop:
+  %ci = load %iS
+  %cc = icmp slt %ci, %nsq
+  br %cc, csbody, done
+csbody:
+  %pcs = gep %cB, %ci
+  %vcs = load %pcs
+  %cs = load %csS
+  %cs1 = mul %cs, 31
+  %cs2 = add %cs1, %vcs
+  store %cs2, %csS
+  %ci1 = add %ci, 1
+  store %ci1, %iS
+  br csloop
+done:
+  %csF = load %csS
+  out %csF
+  ret %csF
+}
+`,
+		args: []uint64{8192, 4},
+		data: func() map[uint64]uint64 {
+			m := map[uint64]uint64{}
+			for i := 0; i < 32; i++ { // A and B
+				m[8192+8*uint64(i)] = uint64(i%7 + 1)
+			}
+			return m
+		}(),
+		want: nil, // checked for agreement only
+	},
+}
+
+// TestCorpusDifferential runs every corpus program through the IR
+// interpreter, the raw machine build, and all three protected builds; all
+// five executions must agree.
+func TestCorpusDifferential(t *testing.T) {
+	for _, tc := range corpus {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mod, err := ir.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ip, err := ir.NewInterp(mod, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for addr, v := range tc.data {
+				if err := ip.WriteWordImage(addr, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ires := ip.Run(ir.RunOpts{Args: tc.args})
+			if ires.Outcome != ir.OutcomeOK {
+				t.Fatalf("interp: %v (%s)", ires.Outcome, ires.CrashMsg)
+			}
+			if tc.want != nil {
+				if len(ires.Output) != len(tc.want) {
+					t.Fatalf("output %v, want %v", ires.Output, tc.want)
+				}
+				for i := range tc.want {
+					if ires.Output[i] != tc.want[i] {
+						t.Fatalf("output %v, want %v", ires.Output, tc.want)
+					}
+				}
+			}
+			for _, tech := range append([]Technique{Raw}, Techniques...) {
+				build, err := BuildTechnique(mod, tech)
+				if err != nil {
+					t.Fatalf("%s: %v", tech, err)
+				}
+				m, err := machine.New(build.Prog, 1<<20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for addr, v := range tc.data {
+					if err := m.WriteWordImage(addr, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res := m.Run(machine.RunOpts{Args: tc.args})
+				if res.Outcome != machine.OutcomeOK {
+					t.Fatalf("%s: %v (%s)", tech, res.Outcome, res.CrashMsg)
+				}
+				if len(res.Output) != len(ires.Output) {
+					t.Fatalf("%s: output %v vs interp %v", tech, res.Output, ires.Output)
+				}
+				for i := range res.Output {
+					if res.Output[i] != ires.Output[i] {
+						t.Fatalf("%s: output[%d] %d vs interp %d", tech, i, res.Output[i], ires.Output[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusFerrumCoverage samples faults over every corpus program under
+// FERRUM; no silent corruption is tolerated.
+func TestCorpusFerrumCoverage(t *testing.T) {
+	for _, tc := range corpus {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mod, err := ir.Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			build, err := BuildTechnique(mod, Ferrum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := machine.New(build.Prog, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for addr, v := range tc.data {
+				if err := m.WriteWordImage(addr, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden := m.Run(machine.RunOpts{Args: tc.args})
+			if golden.Outcome != machine.OutcomeOK {
+				t.Fatalf("golden: %v (%s)", golden.Outcome, golden.CrashMsg)
+			}
+			stride := golden.DynSites/150 + 1
+			sdc := 0
+			for site := uint64(0); site < golden.DynSites; site += stride {
+				for _, bit := range []uint{1, 29, 60} {
+					res := m.Run(machine.RunOpts{Args: tc.args,
+						Fault: &machine.Fault{Site: site, Bit: bit}})
+					if res.Outcome == machine.OutcomeOK {
+						same := len(res.Output) == len(golden.Output)
+						if same {
+							for i := range res.Output {
+								if res.Output[i] != golden.Output[i] {
+									same = false
+								}
+							}
+						}
+						if !same {
+							sdc++
+						}
+					}
+				}
+			}
+			if sdc != 0 {
+				t.Errorf("SDCs = %d, want 0", sdc)
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ferrum/internal/fi"
+	"ferrum/internal/ir"
+	"ferrum/internal/machine"
+	"ferrum/internal/rodinia"
+)
+
+// Fig10Row is one benchmark's SDC-coverage measurement (fig. 10 of the
+// paper): coverage per technique, derived from assembly-level injection
+// campaigns against the raw and protected binaries.
+type Fig10Row struct {
+	Benchmark  string
+	RawSDCRate float64
+	RawCI      [2]float64
+	Coverage   map[Technique]float64
+	SDCRate    map[Technique]float64
+	Counts     map[Technique]fi.Result
+}
+
+// Fig10 reproduces the SDC-coverage experiment.
+func Fig10(opts Options) ([]Fig10Row, error) {
+	opts = opts.withDefaults()
+	insts, err := opts.instances()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for _, inst := range insts {
+		row := Fig10Row{
+			Benchmark: inst.Bench.Name,
+			Coverage:  map[Technique]float64{},
+			SDCRate:   map[Technique]float64{},
+			Counts:    map[Technique]fi.Result{},
+		}
+		rawBuild, err := BuildTechniqueOpts(inst.Mod, Raw, BuildOptions{Optimize: opts.Optimize})
+		if err != nil {
+			return nil, fmt.Errorf("%s/raw: %w", inst.Bench.Name, err)
+		}
+		campaign := fi.Campaign{Samples: opts.Samples, Seed: opts.Seed, Workers: opts.Workers}
+		rawRes, err := fi.RunAsmCampaign(asmTarget(inst, rawBuild), campaign)
+		if err != nil {
+			return nil, fmt.Errorf("%s/raw: %w", inst.Bench.Name, err)
+		}
+		row.RawSDCRate = rawRes.SDCRate()
+		lo, hi := rawRes.CI95()
+		row.RawCI = [2]float64{lo, hi}
+		row.Counts[Raw] = rawRes
+		for _, tech := range Techniques {
+			build, err := BuildTechniqueOpts(inst.Mod, tech, BuildOptions{Optimize: opts.Optimize})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+			}
+			res, err := fi.RunAsmCampaign(asmTarget(inst, build), campaign)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+			}
+			row.Coverage[tech] = fi.Coverage(rawRes, res)
+			row.SDCRate[tech] = res.SDCRate()
+			row.Counts[tech] = res
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func asmTarget(inst *rodinia.Instance, build *Build) fi.AsmTarget {
+	return fi.AsmTarget{
+		Prog:    build.Prog,
+		MemSize: 1 << 20,
+		Args:    inst.Args,
+		Setup:   func(w fi.MemWriter) error { return inst.Setup(w) },
+	}
+}
+
+// Fig11Row is one benchmark's runtime performance overhead (fig. 11):
+// (cycles_prot - cycles_raw) / cycles_raw on the machine cycle model.
+type Fig11Row struct {
+	Benchmark string
+	RawCycles float64
+	Overhead  map[Technique]float64
+	Cycles    map[Technique]float64
+	DynInsts  map[Technique]uint64
+}
+
+// Fig11 reproduces the runtime-overhead experiment.
+func Fig11(opts Options) ([]Fig11Row, error) {
+	opts = opts.withDefaults()
+	insts, err := opts.instances()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for _, inst := range insts {
+		row := Fig11Row{
+			Benchmark: inst.Bench.Name,
+			Overhead:  map[Technique]float64{},
+			Cycles:    map[Technique]float64{},
+			DynInsts:  map[Technique]uint64{},
+		}
+		raw, err := goldenRun(inst, Raw, BuildOptions{Optimize: opts.Optimize})
+		if err != nil {
+			return nil, err
+		}
+		row.RawCycles = raw.cycles
+		row.Cycles[Raw] = raw.cycles
+		row.DynInsts[Raw] = raw.dyn
+		for _, tech := range Techniques {
+			g, err := goldenRun(inst, tech, BuildOptions{Optimize: opts.Optimize})
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead[tech] = fi.Overhead(raw.cycles, g.cycles)
+			row.Cycles[tech] = g.cycles
+			row.DynInsts[tech] = g.dyn
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+type golden struct {
+	cycles float64
+	dyn    uint64
+	output []uint64
+}
+
+func goldenRun(inst *rodinia.Instance, tech Technique, bo BuildOptions) (golden, error) {
+	build, err := BuildTechniqueOpts(inst.Mod, tech, bo)
+	if err != nil {
+		return golden{}, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+	}
+	res, err := runBuild(inst, build)
+	if err != nil {
+		return golden{}, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+	}
+	return res, nil
+}
+
+// ExecTimeRow is one benchmark's FERRUM transform-time measurement
+// (§IV-B3 of the paper), correlated with the static instruction count.
+type ExecTimeRow struct {
+	Benchmark   string
+	StaticInsts int
+	Duration    time.Duration
+	SIMDEnabled int
+	General     int
+	Comparisons int
+	Batches     int
+}
+
+// ExecTime reproduces the §IV-B3 measurement: the FERRUM transform is run
+// repeatedly and the fastest time is reported (wall-clock, per the paper).
+func ExecTime(opts Options) ([]ExecTimeRow, error) {
+	opts = opts.withDefaults()
+	insts, err := opts.instances()
+	if err != nil {
+		return nil, err
+	}
+	const reps = 5
+	var rows []ExecTimeRow
+	for _, inst := range insts {
+		var best *ExecTimeRow
+		for r := 0; r < reps; r++ {
+			build, err := BuildTechniqueOpts(inst.Mod, Ferrum, BuildOptions{Optimize: opts.Optimize})
+			if err != nil {
+				return nil, err
+			}
+			rep := build.FerrumStats
+			row := ExecTimeRow{
+				Benchmark:   inst.Bench.Name,
+				StaticInsts: rep.StaticInsts,
+				Duration:    rep.Duration,
+				SIMDEnabled: rep.SIMDEnabled,
+				General:     rep.General,
+				Comparisons: rep.Comparisons,
+				Batches:     rep.Batches,
+			}
+			if best == nil || row.Duration < best.Duration {
+				best = &row
+			}
+		}
+		rows = append(rows, *best)
+	}
+	return rows, nil
+}
+
+// GapRow is one benchmark's anticipated-vs-measured coverage for
+// IR-LEVEL-EDDI (the paper's first headline finding: a 28% average gap).
+// Anticipated coverage comes from IR-level injection into the protected
+// IR; measured coverage from assembly-level injection into the compiled
+// binary.
+type GapRow struct {
+	Benchmark   string
+	Anticipated float64
+	Measured    float64
+	Gap         float64
+}
+
+// Gap reproduces the cross-layer coverage-gap experiment.
+func Gap(opts Options) ([]GapRow, error) {
+	opts = opts.withDefaults()
+	insts, err := opts.instances()
+	if err != nil {
+		return nil, err
+	}
+	campaign := fi.Campaign{Samples: opts.Samples, Seed: opts.Seed, Workers: opts.Workers}
+	var rows []GapRow
+	for _, inst := range insts {
+		// Anticipated: IR-level campaigns on raw and protected IR.
+		rawIR, err := fi.RunIRCampaign(irTarget(inst, inst.Mod), campaign)
+		if err != nil {
+			return nil, fmt.Errorf("%s/ir-raw: %w", inst.Bench.Name, err)
+		}
+		build, err := BuildTechniqueOpts(inst.Mod, IREDDI, BuildOptions{Optimize: opts.Optimize})
+		if err != nil {
+			return nil, err
+		}
+		protIR, err := fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), campaign)
+		if err != nil {
+			return nil, fmt.Errorf("%s/ir-prot: %w", inst.Bench.Name, err)
+		}
+		anticipated := fi.Coverage(rawIR, protIR)
+
+		// Measured: assembly-level campaigns on the compiled binaries.
+		rawBuild, err := BuildTechniqueOpts(inst.Mod, Raw, BuildOptions{Optimize: opts.Optimize})
+		if err != nil {
+			return nil, err
+		}
+		rawAsm, err := fi.RunAsmCampaign(asmTarget(inst, rawBuild), campaign)
+		if err != nil {
+			return nil, fmt.Errorf("%s/asm-raw: %w", inst.Bench.Name, err)
+		}
+		protAsm, err := fi.RunAsmCampaign(asmTarget(inst, build), campaign)
+		if err != nil {
+			return nil, fmt.Errorf("%s/asm-prot: %w", inst.Bench.Name, err)
+		}
+		measured := fi.Coverage(rawAsm, protAsm)
+		rows = append(rows, GapRow{
+			Benchmark:   inst.Bench.Name,
+			Anticipated: anticipated,
+			Measured:    measured,
+			Gap:         anticipated - measured,
+		})
+	}
+	return rows, nil
+}
+
+func irTarget(inst *rodinia.Instance, mod *ir.Module) fi.IRTarget {
+	return fi.IRTarget{
+		Mod:     mod,
+		MemSize: 1 << 20,
+		Args:    inst.Args,
+		Setup:   func(w fi.MemWriter) error { return inst.Setup(w) },
+	}
+}
+
+// runBuild executes a build's golden run on a fresh machine.
+func runBuild(inst *rodinia.Instance, build *Build) (golden, error) {
+	m, err := machine.New(build.Prog, 1<<20)
+	if err != nil {
+		return golden{}, err
+	}
+	if err := inst.Setup(m); err != nil {
+		return golden{}, err
+	}
+	res := m.Run(machine.RunOpts{Args: inst.Args})
+	if res.Outcome != machine.OutcomeOK {
+		return golden{}, fmt.Errorf("golden run failed: %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	return golden{cycles: res.Cycles, dyn: res.DynInsts, output: res.Output}, nil
+}

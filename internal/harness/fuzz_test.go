@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/ferrumpass"
+	"ferrum/internal/ir"
+	"ferrum/internal/machine"
+	"ferrum/internal/progen"
+)
+
+// runConfig executes a program on a fresh machine with the fuzz scratch
+// image installed.
+func runFuzz(t *testing.T, prog *machineProg, args []uint64) machine.Result {
+	t.Helper()
+	m, err := machine.New(prog, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if err := m.WriteWordImage(8192+8*uint64(s), uint64(s*5+3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Run(machine.RunOpts{Args: args, MaxSteps: 5_000_000})
+}
+
+type asmProgram = asm.Program
+
+type machineProg = asmProgram
+
+// TestFuzzAllTechniquesAgree generates random programs and requires the IR
+// interpreter, the raw build and every protection variant to produce
+// identical outputs — the strongest whole-stack semantic property.
+func TestFuzzAllTechniquesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	for i := 0; i < iters; i++ {
+		mod, err := progen.Generate(rng, progen.Options{Stmts: 25, Calls: i%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []uint64{8192, uint64(rng.Int63n(10000)), uint64(rng.Int63n(10000))}
+
+		ip, err := ir.NewInterp(mod, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 8; s++ {
+			if err := ip.WriteWordImage(8192+8*uint64(s), uint64(s*5+3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ires := ip.Run(ir.RunOpts{Args: args, MaxSteps: 5_000_000})
+		if ires.Outcome != ir.OutcomeOK {
+			t.Fatalf("iter %d: interp %v (%s)\n%s", i, ires.Outcome, ires.CrashMsg, mod)
+		}
+
+		type variant struct {
+			name  string
+			build func() (*machineProg, error)
+		}
+		variants := []variant{
+			{"raw", func() (*machineProg, error) {
+				b, err := BuildTechnique(mod, Raw)
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+			{"ir-eddi", func() (*machineProg, error) {
+				b, err := BuildTechnique(mod, IREDDI)
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+			{"hybrid", func() (*machineProg, error) {
+				b, err := BuildTechnique(mod, Hybrid)
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+			{"ferrum", func() (*machineProg, error) {
+				b, err := BuildTechnique(mod, Ferrum)
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+			{"ferrum-zmm", func() (*machineProg, error) {
+				b, err := BuildTechnique(mod, Raw)
+				if err != nil {
+					return nil, err
+				}
+				p, _, err := ferrumpass.Protect(b.Prog, ferrumpass.Config{UseZMM: true})
+				return p, err
+			}},
+			{"ferrum-nosimd", func() (*machineProg, error) {
+				b, err := BuildTechnique(mod, Raw)
+				if err != nil {
+					return nil, err
+				}
+				p, _, err := ferrumpass.Protect(b.Prog, ferrumpass.Config{DisableSIMD: true})
+				return p, err
+			}},
+			{"ferrum-selective", func() (*machineProg, error) {
+				b, err := BuildTechnique(mod, Raw)
+				if err != nil {
+					return nil, err
+				}
+				p, _, err := ferrumpass.Protect(b.Prog, ferrumpass.Config{
+					Select: ferrumpass.SelectRatio(0.5, int64(i)),
+				})
+				return p, err
+			}},
+			{"raw-O1", func() (*machineProg, error) {
+				b, err := BuildTechniqueOpts(mod, Raw, BuildOptions{Optimize: true})
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+			{"ferrum-O1", func() (*machineProg, error) {
+				b, err := BuildTechniqueOpts(mod, Ferrum, BuildOptions{Optimize: true})
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+			{"hybrid-O1", func() (*machineProg, error) {
+				b, err := BuildTechniqueOpts(mod, Hybrid, BuildOptions{Optimize: true})
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+			{"ireddi-O1", func() (*machineProg, error) {
+				b, err := BuildTechniqueOpts(mod, IREDDI, BuildOptions{Optimize: true})
+				if err != nil {
+					return nil, err
+				}
+				return b.Prog, nil
+			}},
+		}
+		for _, v := range variants {
+			prog, err := v.build()
+			if err != nil {
+				t.Fatalf("iter %d %s: %v\n%s", i, v.name, err, mod)
+			}
+			res := runFuzz(t, prog, args)
+			if res.Outcome != machine.OutcomeOK {
+				t.Fatalf("iter %d %s: %v (%s)\n%s", i, v.name, res.Outcome, res.CrashMsg, mod)
+			}
+			if len(res.Output) != len(ires.Output) {
+				t.Fatalf("iter %d %s: output %v vs interp %v\n%s", i, v.name, res.Output, ires.Output, mod)
+			}
+			for j := range res.Output {
+				if res.Output[j] != ires.Output[j] {
+					t.Fatalf("iter %d %s: output[%d] %d vs %d\n%s",
+						i, v.name, j, res.Output[j], ires.Output[j], mod)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzFerrumCoverage samples fault injections over random FERRUM-
+// protected programs; no silent corruption is allowed.
+func TestFuzzFerrumCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	for i := 0; i < iters; i++ {
+		mod, err := progen.Generate(rng, progen.Options{Stmts: 15, Calls: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		build, err := BuildTechnique(mod, Ferrum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []uint64{8192, uint64(rng.Int63n(500)), uint64(rng.Int63n(500))}
+		m, err := machine.New(build.Prog, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 8; s++ {
+			if err := m.WriteWordImage(8192+8*uint64(s), uint64(s*5+3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		golden := m.Run(machine.RunOpts{Args: args, MaxSteps: 5_000_000})
+		if golden.Outcome != machine.OutcomeOK {
+			t.Fatalf("iter %d: golden %v (%s)", i, golden.Outcome, golden.CrashMsg)
+		}
+		stride := golden.DynSites/120 + 1
+		for site := uint64(0); site < golden.DynSites; site += stride {
+			bit := uint(rng.Intn(64))
+			res := m.Run(machine.RunOpts{Args: args, MaxSteps: 5_000_000,
+				Fault: &machine.Fault{Site: site, Bit: bit}})
+			if res.Outcome == machine.OutcomeOK {
+				same := len(res.Output) == len(golden.Output)
+				if same {
+					for j := range res.Output {
+						if res.Output[j] != golden.Output[j] {
+							same = false
+						}
+					}
+				}
+				if !same {
+					t.Fatalf("iter %d site %d bit %d: silent corruption\n%s",
+						i, site, bit, mod)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"math"
+	"sort"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/ferrumpass"
+	"ferrum/internal/fi"
+	"ferrum/internal/machine"
+)
+
+type asmInst = asm.Inst
+
+// GuidedSelector builds a selective-protection Selector from an empirical
+// SDC-proneness profile (fi.ProfileProneness): it protects the given
+// fraction of observed instructions, chosen by descending SDC mass. This is
+// the SDCTune idea (ref. [9] of the paper) — spend the protection budget
+// where silent corruptions actually come from — in contrast to
+// ferrumpass.SelectRatio's uniform random subset.
+//
+// Instructions that never appeared in the profile (unsampled or without a
+// fault destination) are left unprotected; by construction they carry
+// little observed SDC mass.
+func GuidedSelector(stats []fi.SiteStats, fraction float64) ferrumpass.Selector {
+	if fraction >= 1 {
+		return func(string, int, asmInst) bool { return true }
+	}
+	ranked := append([]fi.SiteStats(nil), stats...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].SDCs != ranked[j].SDCs {
+			return ranked[i].SDCs > ranked[j].SDCs
+		}
+		return ranked[i].Crashes > ranked[j].Crashes
+	})
+	take := int(math.Ceil(fraction * float64(len(ranked))))
+	if take > len(ranked) {
+		take = len(ranked)
+	}
+	chosen := make(map[machine.SiteLoc]bool, take)
+	for _, st := range ranked[:take] {
+		chosen[st.Loc] = true
+	}
+	return func(fn string, idx int, _ asmInst) bool {
+		return chosen[machine.SiteLoc{Fn: fn, Idx: idx}]
+	}
+}

@@ -1,0 +1,189 @@
+// Package harness assembles the paper's evaluation (§IV): it builds each
+// benchmark under each protection technique, runs assembly-level and
+// IR-level fault-injection campaigns, measures runtime overhead on the
+// machine cycle model, and renders every table and figure of the paper
+// (Table I, Table II, fig. 10, fig. 11, the §IV-B3 transform-time
+// measurement, and the cross-layer anticipated-vs-measured coverage gap).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/eddi"
+	"ferrum/internal/ferrumpass"
+	"ferrum/internal/ir"
+	"ferrum/internal/irpass"
+	"ferrum/internal/opt"
+	"ferrum/internal/rodinia"
+)
+
+// Technique identifies one protection scheme from the paper's evaluation.
+type Technique string
+
+// The paper's techniques. Raw is the unprotected baseline every metric is
+// relative to.
+const (
+	Raw    Technique = "raw"
+	IREDDI Technique = "ir-level-eddi"
+	Hybrid Technique = "hybrid-assembly-level-eddi"
+	Ferrum Technique = "ferrum"
+)
+
+// Techniques lists the protected techniques in the paper's presentation
+// order.
+var Techniques = []Technique{IREDDI, Hybrid, Ferrum}
+
+// Build holds one compiled (and possibly protected) benchmark binary plus
+// metadata about the transformation.
+type Build struct {
+	Technique   Technique
+	Prog        *asm.Program
+	ProtectedIR *ir.Module    // IR after IR-level passes (nil for asm-only)
+	Transform   time.Duration // wall-clock protection time (FERRUM: §IV-B3)
+	FerrumStats *ferrumpass.Report
+	HybridStats *eddi.Report
+}
+
+// BuildTechnique compiles the module under the given technique:
+//
+//	raw:     backend only
+//	ir-eddi: irpass.EDDI -> backend
+//	hybrid:  irpass.Signature -> backend -> eddi.Protect
+//	ferrum:  backend -> ferrumpass.Protect
+func BuildTechnique(mod *ir.Module, tech Technique) (*Build, error) {
+	return BuildTechniqueOpts(mod, tech, BuildOptions{})
+}
+
+// BuildOptions tunes the build pipeline.
+type BuildOptions struct {
+	// Optimize inserts the -O1-style peephole optimizer between the
+	// backend and the assembly-level protection passes, modelling
+	// production compilation (see internal/opt).
+	Optimize bool
+}
+
+// BuildTechniqueOpts compiles the module under the given technique with
+// explicit build options.
+func BuildTechniqueOpts(mod *ir.Module, tech Technique, bo BuildOptions) (*Build, error) {
+	b := &Build{Technique: tech}
+	compile := func(m *ir.Module) (*asm.Program, error) {
+		prog, err := backend.Compile(m)
+		if err != nil {
+			return nil, err
+		}
+		if bo.Optimize {
+			prog, _, err = opt.Optimize(prog)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return prog, nil
+	}
+	switch tech {
+	case Raw:
+		prog, err := compile(mod)
+		if err != nil {
+			return nil, err
+		}
+		b.Prog = prog
+	case IREDDI:
+		start := time.Now()
+		prot, err := irpass.EDDI(mod)
+		if err != nil {
+			return nil, err
+		}
+		b.Transform = time.Since(start)
+		b.ProtectedIR = prot
+		prog, err := compile(prot)
+		if err != nil {
+			return nil, err
+		}
+		b.Prog = prog
+	case Hybrid:
+		start := time.Now()
+		sig, err := irpass.Signature(mod)
+		if err != nil {
+			return nil, err
+		}
+		b.ProtectedIR = sig
+		prog, err := compile(sig)
+		if err != nil {
+			return nil, err
+		}
+		prot, rep, err := eddi.Protect(prog)
+		if err != nil {
+			return nil, err
+		}
+		b.Transform = time.Since(start)
+		b.Prog = prot
+		b.HybridStats = rep
+	case Ferrum:
+		prog, err := compile(mod)
+		if err != nil {
+			return nil, err
+		}
+		prot, rep, err := ferrumpass.Protect(prog, ferrumpass.Config{})
+		if err != nil {
+			return nil, err
+		}
+		b.Prog = prot
+		b.Transform = rep.Duration
+		b.FerrumStats = rep
+	default:
+		return nil, fmt.Errorf("harness: unknown technique %q", tech)
+	}
+	return b, nil
+}
+
+// Options configures an experiment run.
+type Options struct {
+	Samples    int      // fault injections per campaign cell (paper: 1000)
+	Seed       int64    // base RNG seed
+	Scale      int      // benchmark scale factor (1 = default)
+	MemSize    int      // machine/interpreter memory (0 = 1 MiB)
+	Workers    int      // campaign parallelism (0 = GOMAXPROCS)
+	Benchmarks []string // nil = all eight
+	// Optimize runs every build through the -O1-style peephole optimizer
+	// before protection, modelling production compilation.
+	Optimize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples == 0 {
+		o.Samples = 1000
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.MemSize == 0 {
+		o.MemSize = 1 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 20240624
+	}
+	if o.Benchmarks == nil {
+		for _, b := range rodinia.All() {
+			o.Benchmarks = append(o.Benchmarks, b.Name)
+		}
+	}
+	return o
+}
+
+func (o Options) instances() ([]*rodinia.Instance, error) {
+	var out []*rodinia.Instance
+	for _, name := range o.Benchmarks {
+		b, ok := rodinia.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+		}
+		inst, err := b.Instantiate(o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}

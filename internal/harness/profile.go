@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/machine"
+)
+
+// ProfileRow attributes one benchmark's dynamic execution under a
+// technique to instruction provenance, answering "where does the overhead
+// go": how much of the protected run is original program code vs.
+// duplicates, checker sequences, SIMD staging and stack requisition.
+type ProfileRow struct {
+	Benchmark string
+	Technique Technique
+	DynInsts  uint64
+	Fractions map[asm.Tag]float64
+	// ScalarWork/VectorWork are the total unit costs issued per tag.
+	ScalarWork map[asm.Tag]float64
+	VectorWork map[asm.Tag]float64
+}
+
+// Profile runs every benchmark under every technique with dynamic
+// attribution enabled.
+func Profile(opts Options) ([]ProfileRow, error) {
+	opts = opts.withDefaults()
+	insts, err := opts.instances()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ProfileRow
+	for _, inst := range insts {
+		for _, tech := range append([]Technique{Raw}, Techniques...) {
+			build, err := BuildTechniqueOpts(inst.Mod, tech, BuildOptions{Optimize: opts.Optimize})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+			}
+			m, err := machine.New(build.Prog, 1<<20)
+			if err != nil {
+				return nil, err
+			}
+			if err := inst.Setup(m); err != nil {
+				return nil, err
+			}
+			res := m.Run(machine.RunOpts{Args: inst.Args, Profile: true})
+			if res.Outcome != machine.OutcomeOK {
+				return nil, fmt.Errorf("%s/%s: %v (%s)", inst.Bench.Name, tech, res.Outcome, res.CrashMsg)
+			}
+			row := ProfileRow{
+				Benchmark:  inst.Bench.Name,
+				Technique:  tech,
+				DynInsts:   res.DynInsts,
+				Fractions:  map[asm.Tag]float64{},
+				ScalarWork: map[asm.Tag]float64{},
+				VectorWork: map[asm.Tag]float64{},
+			}
+			for t := asm.TagProgram; t <= asm.TagRuntime; t++ {
+				row.Fractions[t] = res.Profile.TagFraction(t)
+				row.ScalarWork[t] = res.Profile.TagScalar[t]
+				row.VectorWork[t] = res.Profile.TagVector[t]
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderProfile renders the dynamic-attribution table.
+func RenderProfile(rows []ProfileRow) string {
+	t := &table{header: []string{"benchmark", "technique", "dyn insts",
+		"program", "dup", "check", "stage", "spill"}}
+	last := ""
+	for _, r := range rows {
+		name := ""
+		if r.Benchmark != last {
+			name, last = r.Benchmark, r.Benchmark
+		}
+		t.add(name, string(r.Technique), fmt.Sprintf("%d", r.DynInsts),
+			pct(r.Fractions[asm.TagProgram]), pct(r.Fractions[asm.TagDup]),
+			pct(r.Fractions[asm.TagCheck]), pct(r.Fractions[asm.TagStage]),
+			pct(r.Fractions[asm.TagSpill]))
+	}
+	var b strings.Builder
+	b.WriteString("Dynamic attribution — where each technique's instructions go\n")
+	b.WriteString("(fractions of dynamically executed instructions by provenance)\n\n")
+	b.WriteString(t.String())
+	return b.String()
+}

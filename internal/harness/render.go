@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table is a small text-table builder with right-padded columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// RenderFig10 renders the SDC-coverage figure as a text table with bars.
+func RenderFig10(rows []Fig10Row) string {
+	t := &table{header: []string{"benchmark", "raw SDC", "technique", "coverage", ""}}
+	means := map[Technique]float64{}
+	for _, r := range rows {
+		first := true
+		for _, tech := range Techniques {
+			cov := r.Coverage[tech]
+			means[tech] += cov
+			name, raw := "", ""
+			if first {
+				name, raw = r.Benchmark, pct(r.RawSDCRate)
+				first = false
+			}
+			t.add(name, raw, string(tech), pct(cov), bar(cov, 30))
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 10 — SDC coverage per benchmark and technique\n")
+	b.WriteString("(coverage = (SDC_raw - SDC_prot) / SDC_raw, assembly-level injection)\n\n")
+	b.WriteString(t.String())
+	if len(rows) > 0 {
+		b.WriteString("\naverages: ")
+		for i, tech := range Techniques {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", tech, pct(means[tech]/float64(len(rows))))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFig11 renders the runtime-overhead figure.
+func RenderFig11(rows []Fig11Row) string {
+	maxOv := 0.0
+	for _, r := range rows {
+		for _, tech := range Techniques {
+			if r.Overhead[tech] > maxOv {
+				maxOv = r.Overhead[tech]
+			}
+		}
+	}
+	if maxOv == 0 {
+		maxOv = 1
+	}
+	t := &table{header: []string{"benchmark", "raw cycles", "technique", "overhead", ""}}
+	means := map[Technique]float64{}
+	for _, r := range rows {
+		first := true
+		for _, tech := range Techniques {
+			ov := r.Overhead[tech]
+			means[tech] += ov
+			name, raw := "", ""
+			if first {
+				name, raw = r.Benchmark, fmt.Sprintf("%.0f", r.RawCycles)
+				first = false
+			}
+			t.add(name, raw, string(tech), pct(ov), bar(ov/maxOv, 30))
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 11 — runtime performance overhead per benchmark and technique\n")
+	b.WriteString("(overhead = (cycles_prot - cycles_raw) / cycles_raw, machine cycle model)\n\n")
+	b.WriteString(t.String())
+	if len(rows) > 0 {
+		b.WriteString("\naverages: ")
+		for i, tech := range Techniques {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", tech, pct(means[tech]/float64(len(rows))))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTable1 renders the technique capability matrix.
+func RenderTable1() string {
+	m := Table1()
+	header := []string{"technique"}
+	for _, c := range InstClasses {
+		header = append(header, string(c))
+	}
+	t := &table{header: header}
+	for _, tech := range Techniques {
+		row := []string{string(tech)}
+		for _, c := range InstClasses {
+			row = append(row, m[tech][c])
+		}
+		t.add(row...)
+	}
+	return "Table I — FERRUM and baseline techniques\n\n" + t.String()
+}
+
+// RenderTable2 renders the benchmark-details table.
+func RenderTable2(rows []Table2Row) string {
+	t := &table{header: []string{"benchmark", "suite", "domain", "IR insts", "asm insts"}}
+	for _, r := range rows {
+		t.add(r.Benchmark, r.Suite, r.Domain,
+			fmt.Sprintf("%d", r.IRInsts), fmt.Sprintf("%d", r.StaticInsts))
+	}
+	return "Table II — details of benchmarks\n\n" + t.String()
+}
+
+// RenderExecTime renders the §IV-B3 transform-time measurement.
+func RenderExecTime(rows []ExecTimeRow) string {
+	t := &table{header: []string{"benchmark", "static insts", "transform time",
+		"simd-enabled", "general", "comparisons", "batches"}}
+	var total float64
+	for _, r := range rows {
+		total += r.Duration.Seconds()
+		t.add(r.Benchmark, fmt.Sprintf("%d", r.StaticInsts), r.Duration.String(),
+			fmt.Sprintf("%d", r.SIMDEnabled), fmt.Sprintf("%d", r.General),
+			fmt.Sprintf("%d", r.Comparisons), fmt.Sprintf("%d", r.Batches))
+	}
+	var b strings.Builder
+	b.WriteString("§IV-B3 — time to execute FERRUM (compile-time transform)\n\n")
+	b.WriteString(t.String())
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "\naverage: %.6fs across %d benchmarks\n",
+			total/float64(len(rows)), len(rows))
+	}
+	return b.String()
+}
+
+// RenderGap renders the anticipated-vs-measured coverage gap for
+// IR-LEVEL-EDDI.
+func RenderGap(rows []GapRow) string {
+	t := &table{header: []string{"benchmark", "anticipated (IR FI)", "measured (asm FI)", "gap"}}
+	var totalGap float64
+	for _, r := range rows {
+		totalGap += r.Gap
+		t.add(r.Benchmark, pct(r.Anticipated), pct(r.Measured), pct(r.Gap))
+	}
+	var b strings.Builder
+	b.WriteString("Cross-layer gap — IR-LEVEL-EDDI anticipated vs. measured SDC coverage\n\n")
+	b.WriteString(t.String())
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "\naverage gap: %s\n", pct(totalGap/float64(len(rows))))
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ferrum/internal/fi"
+)
+
+// VariationRow summarises how a technique's runtime overhead varies across
+// program inputs for one benchmark — the phenomenon the paper's authors
+// study in their companion work on runtime performance variation in EDDI
+// (ref. [37]): protection overhead is not a single number but a
+// distribution over inputs.
+type VariationRow struct {
+	Benchmark string
+	Technique Technique
+	Seeds     int
+	Mean      float64
+	Min       float64
+	Max       float64
+	StdDev    float64
+}
+
+// Variation measures per-technique overhead across several input seeds.
+func Variation(opts Options, seeds int) ([]VariationRow, error) {
+	opts = opts.withDefaults()
+	if seeds < 2 {
+		seeds = 5
+	}
+	var rows []VariationRow
+	for _, name := range opts.Benchmarks {
+		samples := map[Technique][]float64{}
+		for s := 0; s < seeds; s++ {
+			seedOpts := opts
+			seedOpts.Seed = opts.Seed + int64(s)
+			seedOpts.Benchmarks = []string{name}
+			insts, err := seedOpts.instances()
+			if err != nil {
+				return nil, err
+			}
+			inst := insts[0]
+			raw, err := goldenRun(inst, Raw, BuildOptions{Optimize: opts.Optimize})
+			if err != nil {
+				return nil, err
+			}
+			for _, tech := range Techniques {
+				g, err := goldenRun(inst, tech, BuildOptions{Optimize: opts.Optimize})
+				if err != nil {
+					return nil, err
+				}
+				samples[tech] = append(samples[tech], fi.Overhead(raw.cycles, g.cycles))
+			}
+		}
+		for _, tech := range Techniques {
+			xs := samples[tech]
+			rows = append(rows, VariationRow{
+				Benchmark: name,
+				Technique: tech,
+				Seeds:     seeds,
+				Mean:      mean(xs),
+				Min:       minOf(xs),
+				Max:       maxOf(xs),
+				StdDev:    stddev(xs),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - mu) * (x - mu)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// RenderVariation renders the input-variation table.
+func RenderVariation(rows []VariationRow) string {
+	t := &table{header: []string{"benchmark", "technique", "mean", "min", "max", "stddev"}}
+	last := ""
+	for _, r := range rows {
+		name := ""
+		if r.Benchmark != last {
+			name, last = r.Benchmark, r.Benchmark
+		}
+		t.add(name, string(r.Technique), pct(r.Mean), pct(r.Min), pct(r.Max),
+			fmt.Sprintf("%.2fpp", r.StdDev*100))
+	}
+	var b strings.Builder
+	b.WriteString("Overhead variation across inputs (ref. [37] companion study)\n\n")
+	b.WriteString(t.String())
+	return b.String()
+}

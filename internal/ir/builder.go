@@ -1,0 +1,203 @@
+package ir
+
+import "fmt"
+
+// Builder constructs modules programmatically with automatic name
+// generation and structural bookkeeping, as an alternative to writing IR
+// text. Finish with Module, which verifies the result:
+//
+//	b := ir.NewBuilder()
+//	f := b.Func("main", "n")
+//	entry := f.Entry()
+//	sq := entry.Bin(OpMul, f.Param("n"), f.Param("n"))
+//	entry.Out(sq)
+//	entry.Ret(sq)
+//	mod, err := b.Module()
+type Builder struct {
+	mod     *Module
+	nameSeq int
+}
+
+// NewBuilder returns an empty builder with entry function "main".
+func NewBuilder() *Builder {
+	return &Builder{mod: &Module{Entry: "main"}}
+}
+
+// SetEntry overrides the module entry function name.
+func (b *Builder) SetEntry(name string) { b.mod.Entry = name }
+
+// Func starts a new function with the given parameter names and returns
+// its builder. The entry block is created automatically.
+func (b *Builder) Func(name string, params ...string) *FuncBuilder {
+	f := &Func{Name: name}
+	for i, p := range params {
+		f.Params = append(f.Params, &Param{Name: p, Index: i})
+	}
+	entry := &Block{Name: "entry"}
+	f.Blocks = []*Block{entry}
+	b.mod.Funcs = append(b.mod.Funcs, f)
+	return &FuncBuilder{b: b, f: f}
+}
+
+// Module verifies and returns the built module.
+func (b *Builder) Module() (*Module, error) {
+	if err := Verify(b.mod); err != nil {
+		return nil, fmt.Errorf("ir: builder produced invalid module: %w", err)
+	}
+	return b.mod, nil
+}
+
+func (b *Builder) fresh(prefix string) string {
+	b.nameSeq++
+	return fmt.Sprintf("%s.%d", prefix, b.nameSeq)
+}
+
+// FuncBuilder builds one function.
+type FuncBuilder struct {
+	b *Builder
+	f *Func
+}
+
+// Param returns the named parameter value.
+func (fb *FuncBuilder) Param(name string) Value {
+	for _, p := range fb.f.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("ir: no parameter %%%s in @%s", name, fb.f.Name))
+}
+
+// Entry returns the entry block's builder.
+func (fb *FuncBuilder) Entry() *BlockBuilder {
+	return &BlockBuilder{fb: fb, blk: fb.f.Blocks[0]}
+}
+
+// Block creates a new named block and returns its builder. An empty name
+// generates a fresh one.
+func (fb *FuncBuilder) Block(name string) *BlockBuilder {
+	if name == "" {
+		name = fb.b.fresh("bb")
+	}
+	blk := &Block{Name: name}
+	fb.f.Blocks = append(fb.f.Blocks, blk)
+	return &BlockBuilder{fb: fb, blk: blk}
+}
+
+// Alloca reserves n frame words in the entry block (the required position
+// for allocas) and returns the address value.
+func (fb *FuncBuilder) Alloca(n int64) Value {
+	in := &Inst{Op: OpAlloca, Name: fb.b.fresh("slot"), NSlots: n}
+	entry := fb.f.Blocks[0]
+	entry.Insts = append([]*Inst{in}, entry.Insts...)
+	return in
+}
+
+// BlockBuilder appends instructions to one block.
+type BlockBuilder struct {
+	fb  *FuncBuilder
+	blk *Block
+}
+
+// Name returns the block's label.
+func (bb *BlockBuilder) Name() string { return bb.blk.Name }
+
+func (bb *BlockBuilder) push(in *Inst) *Inst {
+	bb.blk.Insts = append(bb.blk.Insts, in)
+	return in
+}
+
+// Bin emits a binary operation and returns its result.
+func (bb *BlockBuilder) Bin(op Op, a, v Value) Value {
+	if !op.IsBinary() {
+		panic(fmt.Sprintf("ir: %s is not a binary op", op))
+	}
+	return bb.push(&Inst{Op: op, Name: bb.fb.b.fresh("v"), Args: []Value{a, v}})
+}
+
+// ICmp emits a comparison producing 0 or 1.
+func (bb *BlockBuilder) ICmp(pred Pred, a, v Value) Value {
+	return bb.push(&Inst{Op: OpICmp, Name: bb.fb.b.fresh("c"), Pred: pred, Args: []Value{a, v}})
+}
+
+// Load emits a load from the address value.
+func (bb *BlockBuilder) Load(addr Value) Value {
+	return bb.push(&Inst{Op: OpLoad, Name: bb.fb.b.fresh("l"), Args: []Value{addr}})
+}
+
+// Store emits a store of v to the address.
+func (bb *BlockBuilder) Store(v, addr Value) {
+	bb.push(&Inst{Op: OpStore, Args: []Value{v, addr}})
+}
+
+// GEP emits base + 8*index address arithmetic.
+func (bb *BlockBuilder) GEP(base, index Value) Value {
+	return bb.push(&Inst{Op: OpGEP, Name: bb.fb.b.fresh("p"), Args: []Value{base, index}})
+}
+
+// Call emits a call whose result is captured.
+func (bb *BlockBuilder) Call(callee string, args ...Value) Value {
+	return bb.push(&Inst{Op: OpCall, Name: bb.fb.b.fresh("r"), Callee: callee, Args: args})
+}
+
+// CallVoid emits a call whose result is discarded.
+func (bb *BlockBuilder) CallVoid(callee string, args ...Value) {
+	bb.push(&Inst{Op: OpCall, Callee: callee, Args: args})
+}
+
+// Out emits a program output.
+func (bb *BlockBuilder) Out(v Value) {
+	bb.push(&Inst{Op: OpOut, Args: []Value{v}})
+}
+
+// Check emits the EDDI checker intrinsic.
+func (bb *BlockBuilder) Check(a, v Value) {
+	bb.push(&Inst{Op: OpCheck, Args: []Value{a, v}})
+}
+
+// Br emits an unconditional branch to the target block.
+func (bb *BlockBuilder) Br(target *BlockBuilder) {
+	bb.push(&Inst{Op: OpBr, Targets: []string{target.blk.Name}})
+}
+
+// CondBr emits a conditional branch.
+func (bb *BlockBuilder) CondBr(cond Value, then, els *BlockBuilder) {
+	bb.push(&Inst{Op: OpCondBr, Args: []Value{cond}, Targets: []string{then.blk.Name, els.blk.Name}})
+}
+
+// Ret emits a valued return.
+func (bb *BlockBuilder) Ret(v Value) {
+	bb.push(&Inst{Op: OpRet, Args: []Value{v}})
+}
+
+// RetVoid emits a void return.
+func (bb *BlockBuilder) RetVoid() {
+	bb.push(&Inst{Op: OpRet})
+}
+
+// Loop builds a counting loop `for i = 0; i < limit; i++` rooted at the
+// receiver: it allocates a counter slot, emits the header and exit blocks,
+// and calls body with a builder for the loop body and the induction value.
+// If the body introduces its own control flow it must return the builder
+// of the block where straight-line execution continues (returning nil
+// means the body block itself). Loop returns the exit block's builder.
+func (bb *BlockBuilder) Loop(limit Value, body func(*BlockBuilder, Value) *BlockBuilder) *BlockBuilder {
+	fb := bb.fb
+	ctr := fb.Alloca(1)
+	bb.Store(Const(0), ctr)
+	head := fb.Block("")
+	bodyB := fb.Block("")
+	exit := fb.Block("")
+	bb.Br(head)
+	iv := head.Load(ctr)
+	cond := head.ICmp(PredSLT, iv, limit)
+	head.CondBr(cond, bodyB, exit)
+	cont := body(bodyB, iv)
+	if cont == nil {
+		cont = bodyB
+	}
+	next := cont.Bin(OpAdd, iv, Const(1))
+	cont.Store(next, ctr)
+	cont.Br(head)
+	return exit
+}

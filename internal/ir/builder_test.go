@@ -1,0 +1,185 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderSumOfSquares(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main", "n")
+	acc := f.Alloca(1)
+	entry := f.Entry()
+	entry.Store(Const(0), acc)
+	exit := entry.Loop(f.Param("n"), func(body *BlockBuilder, iv Value) *BlockBuilder {
+		sq := body.Bin(OpMul, iv, iv)
+		old := body.Load(acc)
+		body.Store(body.Bin(OpAdd, old, sq), acc)
+		return nil
+	})
+	total := exit.Load(acc)
+	exit.Out(total)
+	exit.Ret(total)
+	mod, err := b.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterp(mod, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ip.Run(RunOpts{Args: []uint64{5}})
+	// 0^2 + 1^2 + ... + 4^2 = 30
+	if res.Outcome != OutcomeOK || res.Output[0] != 30 {
+		t.Fatalf("res = %+v (%s)\n%s", res, res.CrashMsg, mod)
+	}
+	// Built modules print and re-parse.
+	if _, err := Parse(mod.String()); err != nil {
+		t.Fatalf("built module does not re-parse: %v\n%s", err, mod)
+	}
+}
+
+func TestBuilderNestedLoops(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main", "n")
+	acc := f.Alloca(1)
+	entry := f.Entry()
+	entry.Store(Const(0), acc)
+	exit := entry.Loop(f.Param("n"), func(outer *BlockBuilder, i Value) *BlockBuilder {
+		inner := outer.Loop(f.Param("n"), func(body *BlockBuilder, j Value) *BlockBuilder {
+			old := body.Load(acc)
+			body.Store(body.Bin(OpAdd, old, Const(1)), acc)
+			return nil
+		})
+		_ = i
+		return inner
+	})
+	total := exit.Load(acc)
+	exit.Out(total)
+	exit.RetVoid()
+	mod, err := b.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterp(mod, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ip.Run(RunOpts{Args: []uint64{4}})
+	if res.Outcome != OutcomeOK || res.Output[0] != 16 {
+		t.Fatalf("res = %+v\n%s", res, mod)
+	}
+}
+
+func TestBuilderBranchesAndCalls(t *testing.T) {
+	b := NewBuilder()
+	h := b.Func("abs", "x")
+	he := h.Entry()
+	neg := he.ICmp(PredSLT, h.Param("x"), Const(0))
+	negB := h.Block("")
+	posB := h.Block("")
+	he.CondBr(neg, negB, posB)
+	negB.Ret(negB.Bin(OpSub, Const(0), h.Param("x")))
+	posB.Ret(h.Param("x"))
+
+	f := b.Func("main", "a")
+	e := f.Entry()
+	r := e.Call("abs", f.Param("a"))
+	e.Out(r)
+	e.CallVoid("abs", Const(1))
+	e.RetVoid()
+
+	mod, err := b.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterp(mod, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negSeven := int64(-7)
+	res := ip.Run(RunOpts{Args: []uint64{uint64(negSeven)}})
+	if res.Outcome != OutcomeOK || res.Output[0] != 7 {
+		t.Fatalf("res = %+v\n%s", res, mod)
+	}
+}
+
+func TestBuilderMemoryOps(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main", "base")
+	e := f.Entry()
+	p1 := e.GEP(f.Param("base"), Const(1))
+	v := e.Load(p1)
+	e.Check(v, v)
+	e.Out(v)
+	e.RetVoid()
+	mod, err := b.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterp(mod, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.WriteWordImage(8200, 77); err != nil {
+		t.Fatal(err)
+	}
+	res := ip.Run(RunOpts{Args: []uint64{8192}})
+	if res.Outcome != OutcomeOK || res.Output[0] != 77 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestBuilderRejectsInvalid(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	_ = f // entry block left unterminated
+	if _, err := b.Module(); err == nil {
+		t.Error("unterminated function accepted")
+	}
+	// Bin panics on a non-binary op.
+	defer func() {
+		if recover() == nil {
+			t.Error("Bin accepted icmp opcode")
+		}
+	}()
+	b2 := NewBuilder()
+	f2 := b2.Func("main")
+	f2.Entry().Bin(OpICmp, Const(1), Const(2))
+}
+
+func TestBuilderParamPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown parameter did not panic")
+		}
+	}()
+	b := NewBuilder()
+	f := b.Func("main", "x")
+	f.Param("y")
+}
+
+func TestBuilderFreshNamesUnique(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main", "n")
+	e := f.Entry()
+	var names []string
+	for i := 0; i < 20; i++ {
+		v := e.Bin(OpAdd, f.Param("n"), Const(int64(i))).(*Inst)
+		names = append(names, v.Name)
+	}
+	e.RetVoid()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate generated name %q", n)
+		}
+		seen[n] = true
+	}
+	if _, err := b.Module(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(names[0], "v.") {
+		t.Errorf("unexpected name shape %q", names[0])
+	}
+}

@@ -1,0 +1,55 @@
+package ir
+
+// Clone deep-copies a module, remapping all value references so the copy
+// shares no mutable state with the original. Protection passes transform
+// clones, leaving the caller's module intact.
+func Clone(m *Module) *Module {
+	nm := &Module{Entry: m.Entry}
+	for _, f := range m.Funcs {
+		nm.Funcs = append(nm.Funcs, cloneFunc(f))
+	}
+	return nm
+}
+
+func cloneFunc(f *Func) *Func {
+	nf := &Func{Name: f.Name}
+	remap := map[Value]Value{}
+	for _, p := range f.Params {
+		np := &Param{Name: p.Name, Index: p.Index}
+		nf.Params = append(nf.Params, np)
+		remap[p] = np
+	}
+	// First pass: create instruction shells so forward identity exists.
+	instMap := map[*Inst]*Inst{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			ni := &Inst{
+				Op:      in.Op,
+				Name:    in.Name,
+				Pred:    in.Pred,
+				Callee:  in.Callee,
+				Targets: append([]string(nil), in.Targets...),
+				NSlots:  in.NSlots,
+				Prov:    in.Prov,
+			}
+			instMap[in] = ni
+			remap[in] = ni
+		}
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name}
+		for _, in := range b.Insts {
+			ni := instMap[in]
+			for _, a := range in.Args {
+				if mapped, ok := remap[a]; ok {
+					ni.Args = append(ni.Args, mapped)
+				} else {
+					ni.Args = append(ni.Args, a) // Const
+				}
+			}
+			nb.Insts = append(nb.Insts, ni)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}

@@ -1,0 +1,264 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	m := mustParse(t, sumSrc)
+	c := Clone(m)
+	if c.String() != m.String() {
+		t.Fatal("clone differs textually")
+	}
+	// Mutating the clone leaves the original untouched.
+	c.Funcs[0].Blocks[0].Insts[0].Name = "renamed"
+	c.Funcs[0].Name = "other"
+	if strings.Contains(m.String(), "renamed") || m.Funcs[0].Name == "other" {
+		t.Error("clone shares state with original")
+	}
+	// Cloned instruction operands reference cloned instructions, not the
+	// originals.
+	orig := m.Funcs[0]
+	cl := Clone(m).Funcs[0]
+	for bi, b := range cl.Blocks {
+		for ii, in := range b.Insts {
+			for ai, a := range in.Args {
+				if inst, ok := a.(*Inst); ok {
+					if inst == orig.Blocks[bi].Insts[ii].Args[ai] {
+						t.Fatal("clone references original instruction")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCloneKeepsProvenance(t *testing.T) {
+	m := mustParse(t, sumSrc)
+	m.Funcs[0].Blocks[0].Insts[0].Prov = ProvDup
+	c := Clone(m)
+	if c.Funcs[0].Blocks[0].Insts[0].Prov != ProvDup {
+		t.Error("provenance lost in clone")
+	}
+}
+
+func TestInterpAllocaStackOverflow(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %p = alloca 100000
+  ret
+}
+`
+	m := mustParse(t, src)
+	ip, err := NewInterp(m, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ip.Run(RunOpts{})
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("outcome = %v, want crash (stack overflow)", res.Outcome)
+	}
+}
+
+func TestInterpFaultOnICmpFlipsBranch(t *testing.T) {
+	src := `
+func @main(%n) {
+entry:
+  %c = icmp sgt %n, 100
+  br %c, big, small
+big:
+  out 1
+  ret
+small:
+  out 0
+  ret
+}
+`
+	m := mustParse(t, src)
+	ip, err := NewInterp(m, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := ip.Run(RunOpts{Args: []uint64{5}})
+	if golden.Output[0] != 0 {
+		t.Fatalf("golden = %v", golden.Output)
+	}
+	// Site 0 is the icmp; flipping bit 0 makes the condition true.
+	res := ip.Run(RunOpts{Args: []uint64{5}, Fault: &Fault{Site: 0, Bit: 0}})
+	if !res.Injected || res.Output[0] != 1 {
+		t.Fatalf("fault res = %+v", res)
+	}
+}
+
+func TestVerifyRejectsDeepErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Module
+	}{
+		{"void operand", func() *Module {
+			st := &Inst{Op: OpRet}
+			use := &Inst{Op: OpOut, Args: []Value{st}}
+			return &Module{Funcs: []*Func{{Name: "f", Blocks: []*Block{
+				{Name: "e", Insts: []*Inst{use, {Op: OpRet}}},
+			}}}}
+		}},
+		{"seven params", func() *Module {
+			f := &Func{Name: "f", Blocks: []*Block{{Name: "e", Insts: []*Inst{{Op: OpRet}}}}}
+			for i := 0; i < 7; i++ {
+				f.Params = append(f.Params, &Param{Name: string(rune('a' + i)), Index: i})
+			}
+			return &Module{Funcs: []*Func{f}}
+		}},
+		{"duplicate function", func() *Module {
+			f := func() *Func {
+				return &Func{Name: "f", Blocks: []*Block{{Name: "e", Insts: []*Inst{{Op: OpRet}}}}}
+			}
+			return &Module{Funcs: []*Func{f(), f()}}
+		}},
+		{"icmp without result", func() *Module {
+			return &Module{Funcs: []*Func{{Name: "f", Blocks: []*Block{
+				{Name: "e", Insts: []*Inst{
+					{Op: OpICmp, Args: []Value{Const(1), Const(2)}},
+					{Op: OpRet},
+				}},
+			}}}}
+		}},
+		{"store with one arg", func() *Module {
+			return &Module{Funcs: []*Func{{Name: "f", Blocks: []*Block{
+				{Name: "e", Insts: []*Inst{
+					{Op: OpStore, Args: []Value{Const(1)}},
+					{Op: OpRet},
+				}},
+			}}}}
+		}},
+		{"ret with two values", func() *Module {
+			return &Module{Funcs: []*Func{{Name: "f", Blocks: []*Block{
+				{Name: "e", Insts: []*Inst{{Op: OpRet, Args: []Value{Const(1), Const(2)}}}},
+			}}}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Verify(tc.build()); err == nil {
+				t.Error("Verify accepted invalid module")
+			}
+		})
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpAdd.IsBinary() || OpLoad.IsBinary() || OpICmp.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+	if !OpRet.IsTerminator() || !OpBr.IsTerminator() || OpCall.IsTerminator() {
+		t.Error("IsTerminator wrong")
+	}
+	if OpStore.HasResult() || !OpLoad.HasResult() || !OpCall.HasResult() {
+		t.Error("HasResult wrong")
+	}
+	if OpCheck.String() != "check" || OpGEP.String() != "gep" {
+		t.Error("op names wrong")
+	}
+}
+
+func TestPrinterVoidCallAndRet(t *testing.T) {
+	src := `
+func @g() {
+entry:
+  ret
+}
+func @main() {
+entry:
+  call @g()
+  %r = call @g()
+  out %r
+  ret
+}
+`
+	m := mustParse(t, src)
+	text := m.String()
+	if !strings.Contains(text, "call @g()") {
+		t.Errorf("void call lost:\n%s", text)
+	}
+	if !strings.Contains(text, "%r = call @g()") {
+		t.Errorf("named call lost:\n%s", text)
+	}
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.String() != text {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestTerminatorAccessor(t *testing.T) {
+	m := mustParse(t, sumSrc)
+	for _, b := range m.Funcs[0].Blocks {
+		if b.Terminator() == nil {
+			t.Errorf("block %s has no terminator", b.Name)
+		}
+	}
+	empty := &Block{Name: "x"}
+	if empty.Terminator() != nil {
+		t.Error("empty block has terminator")
+	}
+}
+
+func TestInterpRunResetsState(t *testing.T) {
+	// Each Run starts from the pristine image and fresh stack even after
+	// a crash or detection.
+	src := `
+func @main(%mode) {
+entry:
+  %bad = icmp eq %mode, 1
+  br %bad, crash, good
+crash:
+  %v = load 0
+  ret
+good:
+  out 42
+  ret
+}
+`
+	m := mustParse(t, src)
+	ip, err := NewInterp(m, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ip.Run(RunOpts{Args: []uint64{1}}); res.Outcome != OutcomeCrash {
+		t.Fatalf("first run: %v", res.Outcome)
+	}
+	if res := ip.Run(RunOpts{Args: []uint64{0}}); res.Outcome != OutcomeOK || res.Output[0] != 42 {
+		t.Fatalf("second run: %+v", res)
+	}
+}
+
+func TestInterpRecursionDepthGuard(t *testing.T) {
+	src := `
+func @inf(%n) {
+entry:
+  %r = call @inf(%n)
+  ret %r
+}
+func @main(%n) {
+entry:
+  %r = call @inf(%n)
+  ret %r
+}
+`
+	m := mustParse(t, src)
+	ip, err := NewInterp(m, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ip.Run(RunOpts{Args: []uint64{1}})
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("outcome = %v, want crash (depth guard)", res.Outcome)
+	}
+	if !strings.Contains(res.CrashMsg, "depth") {
+		t.Errorf("crash msg = %q", res.CrashMsg)
+	}
+}

@@ -1,0 +1,376 @@
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Outcome is the terminal state of one IR execution.
+type Outcome uint8
+
+// Execution outcomes.
+const (
+	OutcomeOK       Outcome = iota
+	OutcomeDetected         // a check instruction fired
+	OutcomeCrash            // memory fault or divide error
+	OutcomeHang             // exceeded the step budget
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	}
+	return fmt.Sprintf("outcome?%d", o)
+}
+
+// GuardSize mirrors the machine's unmapped low region so IR and assembly
+// executions share one address space layout.
+const GuardSize = 4096
+
+// DefaultMaxSteps bounds runaway executions.
+const DefaultMaxSteps = 50_000_000
+
+// MaxCallDepth bounds recursion so that fault-corrupted base cases crash
+// the interpreted program (matching the machine model, where runaway
+// recursion exhausts the simulated stack) instead of exhausting the host
+// stack.
+const MaxCallDepth = 10_000
+
+// Fault is an IR-level single-bit fault plan (the LLFI-style injector the
+// paper's "anticipated" coverage is measured with): flip bit Bit of the
+// result of the Site-th dynamically executed value-producing instruction.
+// Alloca addresses and call results are not sites; see package fi.
+type Fault struct {
+	Site uint64
+	Bit  uint
+}
+
+// RunOpts configures one interpreted execution.
+type RunOpts struct {
+	Args     []uint64
+	MaxSteps uint64
+	Fault    *Fault
+}
+
+// RunResult summarises one interpreted execution.
+type RunResult struct {
+	Outcome  Outcome
+	Output   []uint64
+	Steps    uint64
+	Sites    uint64
+	CrashMsg string
+	Injected bool
+}
+
+// Interp executes IR modules against the same flat memory model the
+// machine uses, so benchmark data loaders work identically at both levels.
+type Interp struct {
+	mod      *Module
+	memImage []byte
+
+	mem      []byte
+	sp       uint64
+	output   []uint64
+	steps    uint64
+	maxSteps uint64
+	depth    int
+	sites    uint64
+	fault    *Fault
+	injected bool
+}
+
+// NewInterp builds an interpreter for a verified module.
+func NewInterp(mod *Module, memSize int) (*Interp, error) {
+	if err := Verify(mod); err != nil {
+		return nil, err
+	}
+	if mod.Entry == "" || mod.Func(mod.Entry) == nil {
+		return nil, fmt.Errorf("ir: entry function %q not found", mod.Entry)
+	}
+	if memSize < GuardSize*2 {
+		return nil, fmt.Errorf("ir: memory size %d too small", memSize)
+	}
+	return &Interp{mod: mod, memImage: make([]byte, memSize), mem: make([]byte, memSize)}, nil
+}
+
+// SetMemImage copies data into the pristine memory image at addr.
+func (ip *Interp) SetMemImage(addr uint64, data []byte) error {
+	if addr < GuardSize || addr+uint64(len(data)) > uint64(len(ip.memImage)) {
+		return fmt.Errorf("ir: image write [%d,%d) out of range", addr, addr+uint64(len(data)))
+	}
+	copy(ip.memImage[addr:], data)
+	return nil
+}
+
+// WriteWordImage stores a 64-bit little-endian word into the pristine image.
+func (ip *Interp) WriteWordImage(addr uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return ip.SetMemImage(addr, b[:])
+}
+
+type irCrash struct{ msg string }
+
+func (e irCrash) Error() string { return e.msg }
+
+var (
+	errDetected = fmt.Errorf("ir: detected")
+	errHang     = fmt.Errorf("ir: step budget exceeded")
+)
+
+// Run executes the module's entry function.
+func (ip *Interp) Run(opts RunOpts) RunResult {
+	copy(ip.mem, ip.memImage)
+	ip.sp = uint64(len(ip.mem))
+	ip.output = ip.output[:0]
+	ip.steps, ip.sites = 0, 0
+	ip.depth = 0
+	ip.injected = false
+	ip.fault = opts.Fault
+	ip.maxSteps = opts.MaxSteps
+	if ip.maxSteps == 0 {
+		ip.maxSteps = DefaultMaxSteps
+	}
+
+	entry := ip.mod.Func(ip.mod.Entry)
+	args := make([]uint64, len(entry.Params))
+	copy(args, opts.Args)
+	_, err := ip.call(entry, args)
+
+	res := RunResult{
+		Output:   append([]uint64(nil), ip.output...),
+		Steps:    ip.steps,
+		Sites:    ip.sites,
+		Injected: ip.injected,
+	}
+	switch e := err.(type) {
+	case nil:
+		res.Outcome = OutcomeOK
+	case irCrash:
+		res.Outcome = OutcomeCrash
+		res.CrashMsg = e.msg
+	default:
+		switch err {
+		case errDetected:
+			res.Outcome = OutcomeDetected
+		case errHang:
+			res.Outcome = OutcomeHang
+		default:
+			res.Outcome = OutcomeCrash
+			res.CrashMsg = err.Error()
+		}
+	}
+	return res
+}
+
+// isSite reports whether the instruction's dynamic execution is an
+// IR-level fault-injection site.
+func isSite(in *Inst) bool {
+	if in.Name == "" {
+		return false
+	}
+	switch in.Op {
+	case OpAlloca, OpCall:
+		return false
+	}
+	return true
+}
+
+func (ip *Interp) call(f *Func, args []uint64) (uint64, error) {
+	ip.depth++
+	defer func() { ip.depth-- }()
+	if ip.depth > MaxCallDepth {
+		return 0, irCrash{"call depth exceeded"}
+	}
+	env := make(map[string]uint64, len(f.Params)+f.InstCount())
+	for i, p := range f.Params {
+		if i < len(args) {
+			env[p.Name] = args[i]
+		}
+	}
+	savedSP := ip.sp
+	defer func() { ip.sp = savedSP }()
+
+	block := f.Blocks[0]
+	for {
+		for _, in := range block.Insts {
+			ip.steps++
+			if ip.steps > ip.maxSteps {
+				return 0, errHang
+			}
+			switch in.Op {
+			case OpBr:
+				block = f.Block(in.Targets[0])
+				goto nextBlock
+			case OpCondBr:
+				if ip.eval(in.Args[0], env) != 0 {
+					block = f.Block(in.Targets[0])
+				} else {
+					block = f.Block(in.Targets[1])
+				}
+				goto nextBlock
+			case OpRet:
+				if len(in.Args) == 1 {
+					return ip.eval(in.Args[0], env), nil
+				}
+				return 0, nil
+			}
+			if err := ip.exec(f, in, env); err != nil {
+				return 0, err
+			}
+		}
+		return 0, irCrash{fmt.Sprintf("@%s/%s: fell off block end", f.Name, block.Name)}
+	nextBlock:
+	}
+}
+
+func (ip *Interp) exec(f *Func, in *Inst, env map[string]uint64) error {
+	var result uint64
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		a := ip.eval(in.Args[0], env)
+		b := ip.eval(in.Args[1], env)
+		r, err := evalBinary(in.Op, a, b)
+		if err != nil {
+			return err
+		}
+		result = r
+	case OpICmp:
+		a := int64(ip.eval(in.Args[0], env))
+		b := int64(ip.eval(in.Args[1], env))
+		if in.Pred.Eval(a, b) {
+			result = 1
+		}
+	case OpAlloca:
+		size := uint64(in.NSlots) * 8
+		if size > ip.sp || ip.sp-size < GuardSize {
+			return irCrash{"stack overflow in alloca"}
+		}
+		ip.sp -= size
+		result = ip.sp
+	case OpLoad:
+		addr := ip.eval(in.Args[0], env)
+		v, err := ip.load(addr)
+		if err != nil {
+			return err
+		}
+		result = v
+	case OpStore:
+		v := ip.eval(in.Args[0], env)
+		addr := ip.eval(in.Args[1], env)
+		return ip.store(addr, v)
+	case OpGEP:
+		result = ip.eval(in.Args[0], env) + 8*ip.eval(in.Args[1], env)
+	case OpCall:
+		callee := ip.mod.Func(in.Callee)
+		args := make([]uint64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = ip.eval(a, env)
+		}
+		r, err := ip.call(callee, args)
+		if err != nil {
+			return err
+		}
+		if in.Name != "" {
+			env[in.Name] = r
+		}
+		return nil
+	case OpOut:
+		ip.output = append(ip.output, ip.eval(in.Args[0], env))
+		return nil
+	case OpCheck:
+		if ip.eval(in.Args[0], env) != ip.eval(in.Args[1], env) {
+			return errDetected
+		}
+		return nil
+	default:
+		return irCrash{fmt.Sprintf("unimplemented op %s", in.Op)}
+	}
+
+	if isSite(in) {
+		if ip.fault != nil && ip.sites == ip.fault.Site {
+			result ^= 1 << (ip.fault.Bit % 64)
+			ip.injected = true
+		}
+		ip.sites++
+	}
+	if in.Name != "" {
+		env[in.Name] = result
+	}
+	return nil
+}
+
+func evalBinary(op Op, a, b uint64) (uint64, error) {
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpSDiv:
+		if b == 0 {
+			return 0, irCrash{"divide by zero"}
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0, irCrash{"divide overflow"}
+		}
+		return uint64(int64(a) / int64(b)), nil
+	case OpSRem:
+		if b == 0 {
+			return 0, irCrash{"divide by zero"}
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0, irCrash{"divide overflow"}
+		}
+		return uint64(int64(a) % int64(b)), nil
+	case OpAnd:
+		return a & b, nil
+	case OpOr:
+		return a | b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpShl:
+		return a << (b & 63), nil
+	case OpLShr:
+		return a >> (b & 63), nil
+	case OpAShr:
+		return uint64(int64(a) >> (b & 63)), nil
+	}
+	return 0, irCrash{fmt.Sprintf("bad binary op %s", op)}
+}
+
+func (ip *Interp) load(addr uint64) (uint64, error) {
+	if addr < GuardSize || addr+8 > uint64(len(ip.mem)) || addr+8 < addr {
+		return 0, irCrash{fmt.Sprintf("load at %#x out of range", addr)}
+	}
+	return binary.LittleEndian.Uint64(ip.mem[addr:]), nil
+}
+
+func (ip *Interp) store(addr, v uint64) error {
+	if addr < GuardSize || addr+8 > uint64(len(ip.mem)) || addr+8 < addr {
+		return irCrash{fmt.Sprintf("store at %#x out of range", addr)}
+	}
+	binary.LittleEndian.PutUint64(ip.mem[addr:], v)
+	return nil
+}
+
+func (ip *Interp) eval(v Value, env map[string]uint64) uint64 {
+	switch x := v.(type) {
+	case Const:
+		return uint64(int64(x))
+	case *Param:
+		return env[x.Name]
+	case *Inst:
+		return env[x.Name]
+	}
+	return 0
+}

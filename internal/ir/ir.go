@@ -1,0 +1,261 @@
+// Package ir defines the reproduction's LLVM-like intermediate
+// representation: 64-bit integer values, alloca/load/store memory access,
+// explicit basic blocks, and the textual form the Rodinia kernels are
+// written in. The IR is the layer at which IR-LEVEL-EDDI (the paper's first
+// baseline) and the hybrid baseline's signature protection operate, and the
+// layer the backend compiles to assembly.
+package ir
+
+import "fmt"
+
+// Op is an IR opcode.
+type Op uint8
+
+// IR opcodes. All values are 64-bit signed integers; memory is addressed in
+// bytes, and load/store move 8-byte words.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+	OpICmp   // result 0/1 per Pred
+	OpAlloca // allocate NSlots 8-byte words in the frame; result = address
+	OpLoad   // load word at Args[0]
+	OpStore  // store Args[0] to address Args[1]
+	OpGEP    // Args[0] + 8*Args[1]
+	OpBr     // unconditional: Targets[0]
+	OpCondBr // Args[0] != 0 ? Targets[0] : Targets[1]
+	OpCall   // call Callee(Args...); Name may capture the return value
+	OpRet    // return Args[0] (or void with no args)
+	OpOut    // emit Args[0] to the program output stream
+	OpCheck  // EDDI checker intrinsic: detect if Args[0] != Args[1]
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpLShr: "lshr",
+	OpAShr: "ashr", OpICmp: "icmp", OpAlloca: "alloca", OpLoad: "load",
+	OpStore: "store", OpGEP: "gep", OpBr: "br", OpCondBr: "br",
+	OpCall: "call", OpRet: "ret", OpOut: "out", OpCheck: "check",
+}
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	if op < numOps {
+		return opNames[op]
+	}
+	return fmt.Sprintf("irop?%d", op)
+}
+
+// IsBinary reports whether op is a two-operand arithmetic/logic operation.
+func (op Op) IsBinary() bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor,
+		OpShl, OpLShr, OpAShr:
+		return true
+	}
+	return false
+}
+
+// HasResult reports whether an instruction with this opcode produces a
+// value.
+func (op Op) HasResult() bool {
+	switch op {
+	case OpStore, OpBr, OpCondBr, OpRet, OpOut, OpCheck:
+		return false
+	case OpCall:
+		return true // optional; Inst.Name == "" means result discarded
+	}
+	return true
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool {
+	switch op {
+	case OpBr, OpCondBr, OpRet:
+		return true
+	}
+	return false
+}
+
+// Pred is an integer comparison predicate.
+type Pred uint8
+
+// Comparison predicates (signed).
+const (
+	PredEQ Pred = iota
+	PredNE
+	PredSLT
+	PredSLE
+	PredSGT
+	PredSGE
+	numPreds
+)
+
+var predNames = [numPreds]string{"eq", "ne", "slt", "sle", "sgt", "sge"}
+
+// String returns the predicate mnemonic.
+func (p Pred) String() string {
+	if p < numPreds {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred?%d", p)
+}
+
+// LookupPred resolves a predicate mnemonic.
+func LookupPred(s string) (Pred, bool) {
+	for i, n := range predNames {
+		if n == s {
+			return Pred(i), true
+		}
+	}
+	return 0, false
+}
+
+// Eval applies the predicate to two signed values.
+func (p Pred) Eval(a, b int64) bool {
+	switch p {
+	case PredEQ:
+		return a == b
+	case PredNE:
+		return a != b
+	case PredSLT:
+		return a < b
+	case PredSLE:
+		return a <= b
+	case PredSGT:
+		return a > b
+	case PredSGE:
+		return a >= b
+	}
+	return false
+}
+
+// Value is an operand: a constant, a function parameter, or the result of
+// an instruction.
+type Value interface {
+	// OperandString renders the value as it appears in operand position.
+	OperandString() string
+}
+
+// Const is an integer literal operand.
+type Const int64
+
+// OperandString renders the literal.
+func (c Const) OperandString() string { return fmt.Sprintf("%d", int64(c)) }
+
+// Param is a function parameter.
+type Param struct {
+	Name  string
+	Index int
+}
+
+// OperandString renders the parameter reference.
+func (p *Param) OperandString() string { return "%" + p.Name }
+
+// Prov records an instruction's provenance: original program code, or a
+// duplicate/check inserted by an IR-level protection pass. The backend
+// propagates it into the assembly tags so dynamic profiles can attribute
+// overhead (see machine.Profile).
+type Prov uint8
+
+// Instruction provenance.
+const (
+	ProvProgram Prov = iota
+	ProvDup
+	ProvCheck
+)
+
+// Inst is one IR instruction. Instructions with results double as values.
+type Inst struct {
+	Op      Op
+	Name    string // result name without %, "" for void
+	Pred    Pred   // OpICmp
+	Args    []Value
+	Callee  string   // OpCall
+	Targets []string // OpBr (1), OpCondBr (2)
+	NSlots  int64    // OpAlloca
+	Prov    Prov     // origin of this instruction
+}
+
+// OperandString renders a reference to the instruction's result.
+func (in *Inst) OperandString() string { return "%" + in.Name }
+
+// Block is a named basic block.
+type Block struct {
+	Name  string
+	Insts []*Inst
+}
+
+// Terminator returns the block's final instruction if it is a terminator.
+func (b *Block) Terminator() *Inst {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	t := b.Insts[len(b.Insts)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Func is an IR function. Blocks[0] is the entry block.
+type Func struct {
+	Name   string
+	Params []*Param
+	Blocks []*Block
+}
+
+// Block returns the named block, or nil.
+func (f *Func) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// InstCount reports the number of instructions in the function.
+func (f *Func) InstCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Module is a compilation unit: a set of functions plus the entry function
+// name (default "main").
+type Module struct {
+	Funcs []*Func
+	Entry string
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// InstCount reports the number of instructions in the module.
+func (m *Module) InstCount() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.InstCount()
+	}
+	return n
+}

@@ -1,0 +1,395 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const memSize = 1 << 16
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return m
+}
+
+func interpRun(t *testing.T, src string, opts RunOpts) RunResult {
+	t.Helper()
+	m := mustParse(t, src)
+	ip, err := NewInterp(m, memSize)
+	if err != nil {
+		t.Fatalf("NewInterp: %v", err)
+	}
+	return ip.Run(opts)
+}
+
+const sumSrc = `
+; sum 1..n via a memory-carried loop counter
+func @main(%n) {
+entry:
+  %acc = alloca 1
+  %i = alloca 1
+  store 0, %acc
+  store 1, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = icmp sle %iv, %n
+  br %c, body, done
+body:
+  %a = load %acc
+  %a2 = add %a, %iv
+  store %a2, %acc
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  %r = load %acc
+  out %r
+  ret %r
+}
+`
+
+func TestInterpSumLoop(t *testing.T) {
+	res := interpRun(t, sumSrc, RunOpts{Args: []uint64{10}})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 55 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestInterpRecursion(t *testing.T) {
+	src := `
+func @fib(%n) {
+entry:
+  %c = icmp sle %n, 1
+  br %c, base, rec
+base:
+  ret %n
+rec:
+  %n1 = sub %n, 1
+  %n2 = sub %n, 2
+  %a = call @fib(%n1)
+  %b = call @fib(%n2)
+  %r = add %a, %b
+  ret %r
+}
+
+func @main(%n) {
+entry:
+  %r = call @fib(%n)
+  out %r
+  ret %r
+}
+`
+	res := interpRun(t, src, RunOpts{Args: []uint64{10}})
+	if res.Outcome != OutcomeOK || res.Output[0] != 55 {
+		t.Fatalf("res = %+v (%s)", res, res.CrashMsg)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m := mustParse(t, sumSrc)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if m2.String() != text {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", text, m2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src string
+	}{
+		{"undefined value", "func @f() {\nentry:\n  out %x\n  ret\n}\n"},
+		{"unknown op", "func @f() {\nentry:\n  %x = frob 1, 2\n  ret\n}\n"},
+		{"redefinition", "func @f() {\nentry:\n  %x = add 1, 2\n  %x = add 1, 2\n  ret\n}\n"},
+		{"missing terminator", "func @f() {\nentry:\n  %x = add 1, 2\n}\n"},
+		{"bad target", "func @f() {\nentry:\n  br nowhere\n}\n"},
+		{"unknown callee", "func @f() {\nentry:\n  call @g()\n  ret\n}\n"},
+		{"bad arity call", "func @g(%a) {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  call @g()\n  ret\n}\n"},
+		{"inst outside block", "func @f() {\n  %x = add 1, 2\n}\n"},
+		{"store with result", "func @f() {\nentry:\n  %p = alloca 1\n  %x = store 1, %p\n  ret\n}\n"},
+		{"use before def", "func @f() {\nentry:\n  out %y\n  %y = add 1, 2\n  ret\n}\n"},
+		{"terminator mid-block", "func @f() {\nentry:\n  ret\n  ret\n}\n"},
+		{"dup param", "func @f(%a, %a) {\nentry:\n  ret\n}\n"},
+		{"icmp bad pred", "func @f() {\nentry:\n  %c = icmp wat 1, 2\n  ret\n}\n"},
+		{"alloca zero", "func @f() {\nentry:\n  %p = alloca 0\n  ret\n}\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Errorf("Parse accepted bad program:\n%s", tt.src)
+			}
+		})
+	}
+}
+
+func TestCheckInstruction(t *testing.T) {
+	ok := `
+func @main(%n) {
+entry:
+  %a = add %n, 1
+  %b = add %n, 1
+  check %a, %b
+  out %a
+  ret
+}
+`
+	res := interpRun(t, ok, RunOpts{Args: []uint64{4}})
+	if res.Outcome != OutcomeOK || res.Output[0] != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+	bad := `
+func @main(%n) {
+entry:
+  %a = add %n, 1
+  %b = add %n, 2
+  check %a, %b
+  out %a
+  ret
+}
+`
+	res = interpRun(t, bad, RunOpts{Args: []uint64{4}})
+	if res.Outcome != OutcomeDetected {
+		t.Fatalf("outcome = %v, want detected", res.Outcome)
+	}
+	if len(res.Output) != 0 {
+		t.Errorf("output after detection = %v, want none", res.Output)
+	}
+}
+
+func TestCrashOutcomes(t *testing.T) {
+	tests := []struct {
+		name, src string
+	}{
+		{"null load", "func @main() {\nentry:\n  %v = load 0\n  ret\n}\n"},
+		{"oob store", fmt.Sprintf("func @main() {\nentry:\n  store 1, %d\n  ret\n}\n", memSize)},
+		{"div by zero", "func @main(%n) {\nentry:\n  %v = sdiv 1, %n\n  ret\n}\n"},
+		{"rem by zero", "func @main(%n) {\nentry:\n  %v = srem 1, %n\n  ret\n}\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := interpRun(t, tt.src, RunOpts{})
+			if res.Outcome != OutcomeCrash {
+				t.Errorf("outcome = %v, want crash", res.Outcome)
+			}
+		})
+	}
+}
+
+func TestHang(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  br entry
+}
+`
+	res := interpRun(t, src, RunOpts{MaxSteps: 100})
+	if res.Outcome != OutcomeHang {
+		t.Fatalf("outcome = %v, want hang", res.Outcome)
+	}
+}
+
+func TestMemImageVisibleToProgram(t *testing.T) {
+	src := `
+func @main(%base) {
+entry:
+  %v = load %base
+  %p1 = gep %base, 1
+  %w = load %p1
+  %s = add %v, %w
+  out %s
+  ret
+}
+`
+	m := mustParse(t, src)
+	ip, err := NewInterp(m, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.WriteWordImage(8192, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.WriteWordImage(8200, 2); err != nil {
+		t.Fatal(err)
+	}
+	res := ip.Run(RunOpts{Args: []uint64{8192}})
+	if res.Outcome != OutcomeOK || res.Output[0] != 42 {
+		t.Fatalf("res = %+v (%s)", res, res.CrashMsg)
+	}
+	// Second run sees the pristine image again even though the program
+	// could have modified memory.
+	res2 := ip.Run(RunOpts{Args: []uint64{8192}})
+	if res2.Output[0] != 42 {
+		t.Fatalf("image not restored: %v", res2.Output)
+	}
+}
+
+func TestFaultInjectionIR(t *testing.T) {
+	src := `
+func @main(%n) {
+entry:
+  %a = add %n, 0
+  out %a
+  ret
+}
+`
+	m := mustParse(t, src)
+	ip, err := NewInterp(m, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := ip.Run(RunOpts{Args: []uint64{100}})
+	if golden.Sites != 1 {
+		t.Fatalf("golden sites = %d, want 1", golden.Sites)
+	}
+	res := ip.Run(RunOpts{Args: []uint64{100}, Fault: &Fault{Site: 0, Bit: 3}})
+	if !res.Injected || res.Output[0] != 108 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Alloca and call results are not sites.
+	src2 := `
+func @id(%x) {
+entry:
+  ret %x
+}
+func @main(%n) {
+entry:
+  %p = alloca 4
+  %r = call @id(%n)
+  out %r
+  ret
+}
+`
+	m2 := mustParse(t, src2)
+	ip2, err := NewInterp(m2, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ip2.Run(RunOpts{Args: []uint64{5}})
+	if g.Sites != 0 {
+		t.Fatalf("sites = %d, want 0 (alloca/call excluded)", g.Sites)
+	}
+}
+
+func TestBinaryOpsPropertyVsGo(t *testing.T) {
+	ops := map[string]func(a, b int64) int64{
+		"add": func(a, b int64) int64 { return a + b },
+		"sub": func(a, b int64) int64 { return a - b },
+		"mul": func(a, b int64) int64 { return a * b },
+		"and": func(a, b int64) int64 { return a & b },
+		"or":  func(a, b int64) int64 { return a | b },
+		"xor": func(a, b int64) int64 { return a ^ b },
+	}
+	for name, eval := range ops {
+		name, eval := name, eval
+		f := func(a, b int64) bool {
+			src := fmt.Sprintf("func @main(%%a, %%b) {\nentry:\n  %%r = %s %%a, %%b\n  out %%r\n  ret\n}\n", name)
+			m, err := Parse(src)
+			if err != nil {
+				return false
+			}
+			ip, err := NewInterp(m, memSize)
+			if err != nil {
+				return false
+			}
+			res := ip.Run(RunOpts{Args: []uint64{uint64(a), uint64(b)}})
+			return res.Outcome == OutcomeOK && int64(res.Output[0]) == eval(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDivRemPropertyVsGo(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 || (a == -1<<63 && b == -1) {
+			return true
+		}
+		src := "func @main(%a, %b) {\nentry:\n  %q = sdiv %a, %b\n  %r = srem %a, %b\n  out %q\n  out %r\n  ret\n}\n"
+		m, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		ip, err := NewInterp(m, memSize)
+		if err != nil {
+			return false
+		}
+		res := ip.Run(RunOpts{Args: []uint64{uint64(a), uint64(b)}})
+		return res.Outcome == OutcomeOK &&
+			int64(res.Output[0]) == a/b && int64(res.Output[1]) == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestICmpPropertyVsGo(t *testing.T) {
+	for pred := PredEQ; pred <= PredSGE; pred++ {
+		pred := pred
+		f := func(a, b int64) bool {
+			src := fmt.Sprintf("func @main(%%a, %%b) {\nentry:\n  %%c = icmp %s %%a, %%b\n  out %%c\n  ret\n}\n", pred)
+			m, err := Parse(src)
+			if err != nil {
+				return false
+			}
+			ip, err := NewInterp(m, memSize)
+			if err != nil {
+				return false
+			}
+			res := ip.Run(RunOpts{Args: []uint64{uint64(a), uint64(b)}})
+			want := uint64(0)
+			if pred.Eval(a, b) {
+				want = 1
+			}
+			return res.Outcome == OutcomeOK && res.Output[0] == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%v: %v", pred, err)
+		}
+	}
+}
+
+func TestVerifyBuilderModules(t *testing.T) {
+	// A hand-built module missing a terminator must be rejected.
+	blk := &Block{Name: "entry", Insts: []*Inst{
+		{Op: OpAdd, Name: "x", Args: []Value{Const(1), Const(2)}},
+	}}
+	m := &Module{Funcs: []*Func{{Name: "f", Blocks: []*Block{blk}}}}
+	if err := Verify(m); err == nil {
+		t.Error("Verify accepted unterminated block")
+	}
+	blk.Insts = append(blk.Insts, &Inst{Op: OpRet})
+	if err := Verify(m); err != nil {
+		t.Errorf("Verify rejected valid module: %v", err)
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m := mustParse(t, sumSrc)
+	if m.Func("main") == nil || m.Func("nope") != nil {
+		t.Error("Func lookup broken")
+	}
+	if got := m.InstCount(); got != 17 {
+		t.Errorf("InstCount = %d, want 17", got)
+	}
+	f := m.Func("main")
+	if f.Block("loop") == nil {
+		t.Error("Block lookup broken")
+	}
+	if !strings.Contains(f.String(), "icmp sle") {
+		t.Error("printer lost icmp predicate")
+	}
+}

@@ -1,0 +1,314 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module in the textual form Print emits. Values must be
+// defined before use in layout order (the IR has no phi nodes; loops carry
+// values through memory, as unoptimised compiler output does).
+func Parse(src string) (*Module, error) {
+	p := &irParser{}
+	if err := p.parse(src); err != nil {
+		return nil, err
+	}
+	if err := Verify(p.mod); err != nil {
+		return nil, err
+	}
+	return p.mod, nil
+}
+
+type irParser struct {
+	mod    *Module
+	fn     *Func
+	block  *Block
+	values map[string]Value
+	lineNo int
+}
+
+func (p *irParser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.lineNo, fmt.Sprintf(format, args...))
+}
+
+func (p *irParser) parse(src string) error {
+	p.mod = &Module{Entry: "main"}
+	for i, raw := range strings.Split(src, "\n") {
+		p.lineNo = i + 1
+		line := raw
+		if idx := strings.IndexByte(line, ';'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if p.fn != nil {
+				return p.errf("nested func")
+			}
+			if err := p.parseFuncHeader(line); err != nil {
+				return err
+			}
+		case line == "}":
+			if p.fn == nil {
+				return p.errf("} outside function")
+			}
+			p.fn, p.block, p.values = nil, nil, nil
+		case strings.HasSuffix(line, ":"):
+			if p.fn == nil {
+				return p.errf("block label outside function")
+			}
+			name := strings.TrimSuffix(line, ":")
+			p.block = &Block{Name: name}
+			p.fn.Blocks = append(p.fn.Blocks, p.block)
+		default:
+			if p.block == nil {
+				return p.errf("instruction outside block: %q", line)
+			}
+			in, err := p.parseInst(line)
+			if err != nil {
+				return err
+			}
+			p.block.Insts = append(p.block.Insts, in)
+			if in.Name != "" {
+				if _, dup := p.values[in.Name]; dup {
+					return p.errf("redefinition of %%%s", in.Name)
+				}
+				p.values[in.Name] = in
+			}
+		}
+	}
+	if p.fn != nil {
+		return fmt.Errorf("ir: unterminated function %q", p.fn.Name)
+	}
+	return nil
+}
+
+func (p *irParser) parseFuncHeader(line string) error {
+	// func @name(%a, %b) {
+	rest := strings.TrimPrefix(line, "func ")
+	if !strings.HasSuffix(rest, "{") {
+		return p.errf("func header must end with '{'")
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open {
+		return p.errf("malformed func header")
+	}
+	name := strings.TrimSpace(rest[:open])
+	if !strings.HasPrefix(name, "@") || len(name) < 2 {
+		return p.errf("function name must start with @")
+	}
+	p.fn = &Func{Name: name[1:]}
+	p.values = map[string]Value{}
+	for _, ps := range splitArgs(rest[open+1 : closeIdx]) {
+		ps = strings.TrimSpace(ps)
+		if ps == "" {
+			continue
+		}
+		if !strings.HasPrefix(ps, "%") {
+			return p.errf("parameter %q must start with %%", ps)
+		}
+		param := &Param{Name: ps[1:], Index: len(p.fn.Params)}
+		if _, dup := p.values[param.Name]; dup {
+			return p.errf("duplicate parameter %%%s", param.Name)
+		}
+		p.fn.Params = append(p.fn.Params, param)
+		p.values[param.Name] = param
+	}
+	p.mod.Funcs = append(p.mod.Funcs, p.fn)
+	p.block = nil
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func (p *irParser) value(tok string) (Value, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "%") {
+		v, ok := p.values[tok[1:]]
+		if !ok {
+			return nil, p.errf("use of undefined value %s", tok)
+		}
+		return v, nil
+	}
+	n, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return nil, p.errf("bad operand %q", tok)
+	}
+	return Const(n), nil
+}
+
+func (p *irParser) values2(rest string) (Value, Value, error) {
+	parts := splitArgs(rest)
+	if len(parts) != 2 {
+		return nil, nil, p.errf("expected two operands, got %q", rest)
+	}
+	a, err := p.value(parts[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := p.value(parts[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+func (p *irParser) parseInst(line string) (*Inst, error) {
+	name := ""
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, p.errf("missing '=' in %q", line)
+		}
+		name = strings.TrimSpace(line[1:eq])
+		name = strings.TrimPrefix(name, "%")
+		line = strings.TrimSpace(line[eq+1:])
+	}
+	op := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		op, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+
+	mk := func(o Op, args ...Value) *Inst { return &Inst{Op: o, Name: name, Args: args} }
+
+	binOps := map[string]Op{
+		"add": OpAdd, "sub": OpSub, "mul": OpMul, "sdiv": OpSDiv,
+		"srem": OpSRem, "and": OpAnd, "or": OpOr, "xor": OpXor,
+		"shl": OpShl, "lshr": OpLShr, "ashr": OpAShr,
+	}
+	if o, ok := binOps[op]; ok {
+		a, b, err := p.values2(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.named(mk(o, a, b))
+	}
+
+	switch op {
+	case "icmp":
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return nil, p.errf("icmp needs a predicate")
+		}
+		pred, ok := LookupPred(rest[:sp])
+		if !ok {
+			return nil, p.errf("unknown predicate %q", rest[:sp])
+		}
+		a, b, err := p.values2(rest[sp+1:])
+		if err != nil {
+			return nil, err
+		}
+		in := mk(OpICmp, a, b)
+		in.Pred = pred
+		return p.named(in)
+	case "alloca":
+		n, err := strconv.ParseInt(strings.TrimSpace(rest), 0, 64)
+		if err != nil || n <= 0 {
+			return nil, p.errf("alloca needs a positive slot count")
+		}
+		in := mk(OpAlloca)
+		in.NSlots = n
+		return p.named(in)
+	case "load":
+		a, err := p.value(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.named(mk(OpLoad, a))
+	case "store":
+		a, b, err := p.values2(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.void(mk(OpStore, a, b))
+	case "gep":
+		a, b, err := p.values2(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.named(mk(OpGEP, a, b))
+	case "br":
+		parts := splitArgs(rest)
+		switch len(parts) {
+		case 1:
+			in := mk(OpBr)
+			in.Targets = []string{strings.TrimSpace(parts[0])}
+			return p.void(in)
+		case 3:
+			c, err := p.value(parts[0])
+			if err != nil {
+				return nil, err
+			}
+			in := mk(OpCondBr, c)
+			in.Targets = []string{strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2])}
+			return p.void(in)
+		default:
+			return nil, p.errf("br needs 1 or 3 operands")
+		}
+	case "call":
+		open := strings.IndexByte(rest, '(')
+		closeIdx := strings.LastIndexByte(rest, ')')
+		if open < 0 || closeIdx < open || !strings.HasPrefix(rest, "@") {
+			return nil, p.errf("malformed call %q", rest)
+		}
+		in := mk(OpCall)
+		in.Callee = rest[1:open]
+		for _, as := range splitArgs(rest[open+1 : closeIdx]) {
+			v, err := p.value(as)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, v)
+		}
+		return in, nil // name optional for call
+	case "ret":
+		in := mk(OpRet)
+		if strings.TrimSpace(rest) != "" {
+			v, err := p.value(rest)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = []Value{v}
+		}
+		return p.void(in)
+	case "out":
+		v, err := p.value(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.void(mk(OpOut, v))
+	case "check":
+		a, b, err := p.values2(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.void(mk(OpCheck, a, b))
+	}
+	return nil, p.errf("unknown instruction %q", op)
+}
+
+func (p *irParser) named(in *Inst) (*Inst, error) {
+	if in.Name == "" {
+		return nil, p.errf("%s must name its result", in.Op)
+	}
+	return in, nil
+}
+
+func (p *irParser) void(in *Inst) (*Inst, error) {
+	if in.Name != "" {
+		return nil, p.errf("%s produces no result", in.Op)
+	}
+	return in, nil
+}

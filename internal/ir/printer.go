@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in the textual syntax Parse accepts.
+func (in *Inst) String() string {
+	var b strings.Builder
+	if in.Name != "" {
+		fmt.Fprintf(&b, "%%%s = ", in.Name)
+	}
+	args := func(vs []Value) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = v.OperandString()
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch {
+	case in.Op.IsBinary():
+		fmt.Fprintf(&b, "%s %s", in.Op, args(in.Args))
+	case in.Op == OpICmp:
+		fmt.Fprintf(&b, "icmp %s %s", in.Pred, args(in.Args))
+	case in.Op == OpAlloca:
+		fmt.Fprintf(&b, "alloca %d", in.NSlots)
+	case in.Op == OpBr:
+		fmt.Fprintf(&b, "br %s", in.Targets[0])
+	case in.Op == OpCondBr:
+		fmt.Fprintf(&b, "br %s, %s, %s", in.Args[0].OperandString(), in.Targets[0], in.Targets[1])
+	case in.Op == OpCall:
+		fmt.Fprintf(&b, "call @%s(%s)", in.Callee, args(in.Args))
+	case in.Op == OpRet && len(in.Args) == 0:
+		b.WriteString("ret")
+	default:
+		fmt.Fprintf(&b, "%s %s", in.Op, args(in.Args))
+	}
+	return b.String()
+}
+
+// String renders the function.
+func (f *Func) String() string {
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = "%" + p.Name
+	}
+	fmt.Fprintf(&b, "func @%s(%s) {\n", f.Name, strings.Join(params, ", "))
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Insts {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the module.
+func (m *Module) String() string {
+	var b strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package ir
+
+import "fmt"
+
+// Verify checks module well-formedness: unique names, terminated blocks,
+// resolvable branch targets and callees, argument-count agreement, and
+// definition-before-use in layout order (the representation has no phi
+// nodes, so loop-carried values must flow through memory).
+func Verify(m *Module) error {
+	funcs := map[string]*Func{}
+	for _, f := range m.Funcs {
+		if f.Name == "" {
+			return fmt.Errorf("ir: function with empty name")
+		}
+		if _, dup := funcs[f.Name]; dup {
+			return fmt.Errorf("ir: duplicate function @%s", f.Name)
+		}
+		funcs[f.Name] = f
+	}
+	for _, f := range m.Funcs {
+		if err := verifyFunc(f, funcs); err != nil {
+			return err
+		}
+	}
+	if m.Entry != "" {
+		if f, ok := funcs[m.Entry]; ok {
+			if len(f.Params) > 6 {
+				return fmt.Errorf("ir: entry @%s has more than 6 parameters", m.Entry)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func, funcs map[string]*Func) error {
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("ir: @%s: %s", f.Name, fmt.Sprintf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		return errf("no blocks")
+	}
+	if len(f.Params) > 6 {
+		return errf("more than 6 parameters")
+	}
+	blocks := map[string]bool{}
+	for _, b := range f.Blocks {
+		if b.Name == "" {
+			return errf("block with empty name")
+		}
+		if blocks[b.Name] {
+			return errf("duplicate block %s", b.Name)
+		}
+		blocks[b.Name] = true
+	}
+	defined := map[string]bool{}
+	for _, p := range f.Params {
+		if p.Name == "" {
+			return errf("parameter with empty name")
+		}
+		if defined[p.Name] {
+			return errf("duplicate name %%%s", p.Name)
+		}
+		defined[p.Name] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Insts) == 0 {
+			return errf("block %s is empty", b.Name)
+		}
+		for i, in := range b.Insts {
+			isLast := i == len(b.Insts)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return errf("block %s does not end with a terminator", b.Name)
+				}
+				return errf("block %s has terminator %s mid-block", b.Name, in.Op)
+			}
+			if err := verifyInst(f, b, in, defined, blocks, funcs); err != nil {
+				return err
+			}
+			if in.Name != "" {
+				if defined[in.Name] {
+					return errf("block %s: redefinition of %%%s", b.Name, in.Name)
+				}
+				defined[in.Name] = true
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInst(f *Func, b *Block, in *Inst, defined, blocks map[string]bool, funcs map[string]*Func) error {
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("ir: @%s/%s: %s", f.Name, b.Name, fmt.Sprintf(format, args...))
+	}
+	for _, a := range in.Args {
+		switch v := a.(type) {
+		case Const:
+		case *Param:
+			if !defined[v.Name] {
+				return errf("%s uses undefined %%%s", in.Op, v.Name)
+			}
+		case *Inst:
+			if v.Name == "" {
+				return errf("%s uses a void instruction as operand", in.Op)
+			}
+			if !defined[v.Name] {
+				return errf("%s uses %%%s before its definition", in.Op, v.Name)
+			}
+		default:
+			return errf("%s has operand of unknown kind %T", in.Op, a)
+		}
+	}
+	wantArgs := func(n int) error {
+		if len(in.Args) != n {
+			return errf("%s expects %d operands, has %d", in.Op, n, len(in.Args))
+		}
+		return nil
+	}
+	wantResult := func(want bool) error {
+		if want && in.Name == "" {
+			return errf("%s must name its result", in.Op)
+		}
+		if !want && in.Name != "" {
+			return errf("%s cannot name a result", in.Op)
+		}
+		return nil
+	}
+	switch {
+	case in.Op.IsBinary():
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		return wantResult(true)
+	case in.Op == OpICmp, in.Op == OpGEP:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		return wantResult(true)
+	case in.Op == OpLoad:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		return wantResult(true)
+	case in.Op == OpAlloca:
+		if in.NSlots <= 0 {
+			return errf("alloca with non-positive slot count %d", in.NSlots)
+		}
+		if err := wantArgs(0); err != nil {
+			return err
+		}
+		return wantResult(true)
+	case in.Op == OpStore, in.Op == OpCheck:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		return wantResult(false)
+	case in.Op == OpBr:
+		if len(in.Targets) != 1 || !blocks[in.Targets[0]] {
+			return errf("br to unknown block %v", in.Targets)
+		}
+		return wantResult(false)
+	case in.Op == OpCondBr:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if len(in.Targets) != 2 || !blocks[in.Targets[0]] || !blocks[in.Targets[1]] {
+			return errf("conditional br to unknown block %v", in.Targets)
+		}
+		return wantResult(false)
+	case in.Op == OpCall:
+		callee, ok := funcs[in.Callee]
+		if !ok {
+			return errf("call to unknown function @%s", in.Callee)
+		}
+		if len(in.Args) != len(callee.Params) {
+			return errf("call @%s with %d args, wants %d", in.Callee, len(in.Args), len(callee.Params))
+		}
+		return nil
+	case in.Op == OpRet:
+		if len(in.Args) > 1 {
+			return errf("ret with %d operands", len(in.Args))
+		}
+		return wantResult(false)
+	case in.Op == OpOut:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		return wantResult(false)
+	}
+	return errf("unknown opcode %d", in.Op)
+}

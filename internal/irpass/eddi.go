@@ -1,0 +1,115 @@
+// Package irpass implements the paper's IR-level protection passes:
+//
+//   - EDDI: classic error detection by duplicated instructions at IR level
+//     (fig. 2 of the paper) — the IR-LEVEL-EDDI baseline.
+//   - Signature: SWIFT-style condition-signature protection of comparison
+//     and branch instructions — the IR-level half of the
+//     HYBRID-ASSEMBLY-LEVEL-EDDI baseline (Table I's "branch" and
+//     "comparison" rows for that technique).
+//
+// Both passes return transformed clones; the input module is not modified.
+package irpass
+
+import (
+	"fmt"
+
+	"ferrum/internal/ir"
+)
+
+// DupSuffix is appended to a value name to form its EDDI shadow name.
+const DupSuffix = ".d"
+
+// EDDI applies IR-level instruction duplication to every function in the
+// module: duplicable computations (arithmetic, compares, loads, address
+// computations) are executed twice, and before every synchronisation point
+// (store, conditional branch, call, return, output) the values it consumes
+// are compared against their shadows with the check intrinsic.
+//
+// Memory is not duplicated (the fault model assumes ECC), so stores happen
+// once and a duplicated load re-reads the same address through the shadow
+// address chain, exactly as in classic EDDI.
+func EDDI(mod *ir.Module) (*ir.Module, error) {
+	out := ir.Clone(mod)
+	for _, f := range out.Funcs {
+		transformFuncEDDI(f)
+	}
+	if err := ir.Verify(out); err != nil {
+		return nil, fmt.Errorf("irpass: EDDI produced invalid IR: %w", err)
+	}
+	return out, nil
+}
+
+func dupable(op ir.Op) bool {
+	if op.IsBinary() {
+		return true
+	}
+	switch op {
+	case ir.OpICmp, ir.OpLoad, ir.OpGEP:
+		return true
+	}
+	return false
+}
+
+func transformFuncEDDI(f *ir.Func) {
+	// shadow maps an original value to its duplicate computation. Values
+	// with no entry (params, constants, alloca addresses, call results)
+	// are their own shadow: they are EDDI sphere inputs.
+	shadow := map[ir.Value]ir.Value{}
+	shadowOf := func(v ir.Value) ir.Value {
+		if s, ok := shadow[v]; ok {
+			return s
+		}
+		return v
+	}
+
+	for _, b := range f.Blocks {
+		var insts []*ir.Inst
+		emitChecks := func(vals ...ir.Value) {
+			for _, v := range vals {
+				s := shadowOf(v)
+				if s == v {
+					continue
+				}
+				insts = append(insts, &ir.Inst{Op: ir.OpCheck, Args: []ir.Value{v, s}, Prov: ir.ProvCheck})
+			}
+		}
+		for _, in := range b.Insts {
+			switch {
+			case dupable(in.Op):
+				insts = append(insts, in)
+				dup := &ir.Inst{
+					Op:   in.Op,
+					Name: in.Name + DupSuffix,
+					Pred: in.Pred,
+					Prov: ir.ProvDup,
+				}
+				for _, a := range in.Args {
+					dup.Args = append(dup.Args, shadowOf(a))
+				}
+				insts = append(insts, dup)
+				shadow[in] = dup
+
+			case in.Op == ir.OpStore:
+				emitChecks(in.Args[0], in.Args[1])
+				insts = append(insts, in)
+
+			case in.Op == ir.OpCondBr:
+				emitChecks(in.Args[0])
+				insts = append(insts, in)
+
+			case in.Op == ir.OpCall:
+				emitChecks(in.Args...)
+				insts = append(insts, in)
+
+			case in.Op == ir.OpRet, in.Op == ir.OpOut:
+				emitChecks(in.Args...)
+				insts = append(insts, in)
+
+			default:
+				// alloca, br, check: pass through.
+				insts = append(insts, in)
+			}
+		}
+		b.Insts = insts
+	}
+}

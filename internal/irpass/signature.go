@@ -1,0 +1,160 @@
+package irpass
+
+import (
+	"fmt"
+
+	"ferrum/internal/ir"
+)
+
+// SigSuffix is appended to a condition name to form its signature copy.
+const SigSuffix = ".sig"
+
+// Signature applies SWIFT-style condition-signature protection to every
+// conditional branch: the branch condition is computed a second time,
+// independently of the copy the branch consumes, and each outgoing edge is
+// split with a block that verifies the recomputed condition matches the
+// direction actually taken. A transient fault that corrupts the branch
+// condition or flips the flags feeding the jump sends control down an edge
+// whose expectation disagrees with the intact recomputation, and the check
+// traps.
+//
+// This is the protection the paper's HYBRID-ASSEMBLY-LEVEL-EDDI baseline
+// uses for the "branch" and "comparison" instruction classes (Table I),
+// following the open-source IR patches of the authors' prior work [13].
+func Signature(mod *ir.Module) (*ir.Module, error) {
+	out := ir.Clone(mod)
+	for _, f := range out.Funcs {
+		transformFuncSignature(f)
+	}
+	if err := ir.Verify(out); err != nil {
+		return nil, fmt.Errorf("irpass: Signature produced invalid IR: %w", err)
+	}
+	return out, nil
+}
+
+func transformFuncSignature(f *ir.Func) {
+	// Recompute each condbr condition. For a condition defined by an
+	// instruction, duplicate that instruction immediately after the
+	// original so the signature is an independent dataflow copy. For
+	// parameters or constants, materialise a copy at function entry.
+	sig := map[ir.Value]ir.Value{}
+	sigCounter := 0
+
+	// Collect conditions needing signatures.
+	var needSig []ir.Value
+	seen := map[ir.Value]bool{}
+	for _, b := range f.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == ir.OpCondBr {
+			c := t.Args[0]
+			if _, isConst := c.(ir.Const); isConst {
+				continue
+			}
+			if !seen[c] {
+				seen[c] = true
+				needSig = append(needSig, c)
+			}
+		}
+	}
+	if len(needSig) == 0 {
+		return
+	}
+
+	// Insert duplicates.
+	for _, b := range f.Blocks {
+		var insts []*ir.Inst
+		for _, in := range b.Insts {
+			insts = append(insts, in)
+			if !seen[in] {
+				continue
+			}
+			dup := &ir.Inst{
+				Op:   in.Op,
+				Name: fmt.Sprintf("%s%s%d", in.Name, SigSuffix, sigCounter),
+				Pred: in.Pred,
+				Args: append([]ir.Value(nil), in.Args...),
+				Prov: ir.ProvDup,
+			}
+			sigCounter++
+			insts = append(insts, dup)
+			sig[in] = dup
+		}
+		b.Insts = insts
+	}
+	// Parameter conditions: copy at entry via add 0.
+	var entryPrefix []*ir.Inst
+	for _, c := range needSig {
+		p, ok := c.(*ir.Param)
+		if !ok {
+			continue
+		}
+		dup := &ir.Inst{
+			Op:   ir.OpAdd,
+			Name: fmt.Sprintf("%s%s%d", p.Name, SigSuffix, sigCounter),
+			Args: []ir.Value{p, ir.Const(0)},
+			Prov: ir.ProvDup,
+		}
+		sigCounter++
+		entryPrefix = append(entryPrefix, dup)
+		sig[p] = dup
+	}
+	if len(entryPrefix) > 0 {
+		entry := f.Blocks[0]
+		entry.Insts = append(entryPrefix, entry.Insts...)
+	}
+
+	// Split every conditional edge with a verification block.
+	var newBlocks []*ir.Block
+	edgeCounter := 0
+	for _, b := range f.Blocks {
+		newBlocks = append(newBlocks, b)
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		c := t.Args[0]
+		s, ok := sig[c]
+		if !ok {
+			continue // constant condition
+		}
+		makeEdge := func(target string, takenExpect bool) string {
+			name := fmt.Sprintf("%s.sigedge%d", b.Name, edgeCounter)
+			edgeCounter++
+			var checkInst *ir.Inst
+			if inst, isInst := c.(*ir.Inst); isInst && inst.Op == ir.OpICmp {
+				// icmp conditions are 0/1: compare directly.
+				expect := ir.Const(0)
+				if takenExpect {
+					expect = ir.Const(1)
+				}
+				checkInst = &ir.Inst{Op: ir.OpCheck, Args: []ir.Value{s, expect}, Prov: ir.ProvCheck}
+				newBlocks = append(newBlocks, &ir.Block{Name: name, Insts: []*ir.Inst{
+					checkInst,
+					{Op: ir.OpBr, Targets: []string{target}},
+				}})
+				return name
+			}
+			// General conditions: normalise to 0/1 first.
+			norm := &ir.Inst{
+				Op:   ir.OpICmp,
+				Name: fmt.Sprintf("sig.norm%d", edgeCounter),
+				Pred: ir.PredNE,
+				Args: []ir.Value{s, ir.Const(0)},
+				Prov: ir.ProvCheck,
+			}
+			expect := ir.Const(0)
+			if takenExpect {
+				expect = ir.Const(1)
+			}
+			checkInst = &ir.Inst{Op: ir.OpCheck, Args: []ir.Value{norm, expect}, Prov: ir.ProvCheck}
+			newBlocks = append(newBlocks, &ir.Block{Name: name, Insts: []*ir.Inst{
+				norm,
+				checkInst,
+				{Op: ir.OpBr, Targets: []string{target}},
+			}})
+			return name
+		}
+		t.Targets[0] = makeEdge(t.Targets[0], true)
+		t.Targets[1] = makeEdge(t.Targets[1], false)
+	}
+	f.Blocks = newBlocks
+}

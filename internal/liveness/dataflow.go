@@ -1,0 +1,156 @@
+package liveness
+
+import (
+	"ferrum/internal/asm"
+)
+
+// CFG is the control-flow graph of one function's basic blocks.
+type CFG struct {
+	Blocks []asm.Block
+	// Succs[i] lists the indices of blocks control may reach from block i.
+	// Targets outside the function (the shared detection block) are
+	// omitted: they never return, so they contribute no liveness.
+	Succs [][]int
+}
+
+// BuildCFG partitions the function into blocks and connects them.
+func BuildCFG(f *asm.Func) *CFG {
+	blocks := asm.Blocks(f)
+	labelToBlock := map[string]int{}
+	for i, b := range blocks {
+		for _, l := range f.Insts[b.Start].Labels {
+			labelToBlock[l] = i
+		}
+	}
+	cfg := &CFG{Blocks: blocks, Succs: make([][]int, len(blocks))}
+	for i, b := range blocks {
+		last := f.Insts[b.End-1]
+		addTarget := func(label string) {
+			if t, ok := labelToBlock[label]; ok {
+				cfg.Succs[i] = append(cfg.Succs[i], t)
+			}
+		}
+		switch {
+		case last.Op == asm.JMP:
+			addTarget(last.A[0].Label)
+		case asm.IsCondJump(last.Op):
+			addTarget(last.A[0].Label)
+			if i+1 < len(blocks) {
+				cfg.Succs[i] = append(cfg.Succs[i], i+1)
+			}
+		case asm.IsTerminator(last.Op):
+			// ret/halt/detect: no successors.
+		default:
+			if i+1 < len(blocks) {
+				cfg.Succs[i] = append(cfg.Succs[i], i+1)
+			}
+		}
+	}
+	return cfg
+}
+
+// Liveness holds the result of the backward dataflow: registers live at
+// block entry and exit.
+type Liveness struct {
+	CFG     *CFG
+	LiveIn  []RegSet
+	LiveOut []RegSet
+	f       *asm.Func
+}
+
+// Analyze runs the backward may-liveness dataflow to a fixed point. Calls
+// are modelled as using the argument registers and defining the
+// caller-saved set; ret uses RAX (the return value), RSP and RBP.
+func Analyze(f *asm.Func) *Liveness {
+	cfg := BuildCFG(f)
+	n := len(cfg.Blocks)
+	lv := &Liveness{
+		CFG:     cfg,
+		LiveIn:  make([]RegSet, n),
+		LiveOut: make([]RegSet, n),
+		f:       f,
+	}
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	for i, b := range cfg.Blocks {
+		var u, d RegSet
+		var buf []asm.Reg
+		for idx := b.Start; idx < b.End; idx++ {
+			in := f.Insts[idx]
+			buf = instUses(in, buf[:0])
+			for _, r := range buf {
+				if !d.Has(r) {
+					u.Add(r)
+				}
+			}
+			for _, r := range instDefs(in) {
+				d.Add(r)
+			}
+		}
+		use[i], def[i] = u, d
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var out RegSet
+			for _, s := range cfg.Succs[i] {
+				out.Union(lv.LiveIn[s])
+			}
+			in := use[i] | (out &^ def[i])
+			if out != lv.LiveOut[i] {
+				lv.LiveOut[i] = out
+				changed = true
+			}
+			if in != lv.LiveIn[i] {
+				lv.LiveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAt returns the registers live immediately before instruction index
+// idx (which must lie inside a block of the analysed function).
+func (lv *Liveness) LiveAt(idx int) RegSet {
+	for bi, b := range lv.CFG.Blocks {
+		if idx < b.Start || idx >= b.End {
+			continue
+		}
+		live := lv.LiveOut[bi]
+		var buf []asm.Reg
+		for j := b.End - 1; j >= idx; j-- {
+			in := lv.f.Insts[j]
+			for _, r := range instDefs(in) {
+				live.Remove(r)
+			}
+			buf = instUses(in, buf[:0])
+			for _, r := range buf {
+				live.Add(r)
+			}
+		}
+		return live
+	}
+	return 0
+}
+
+func instUses(in asm.Inst, buf []asm.Reg) []asm.Reg {
+	buf = asm.GPRUses(in, buf)
+	switch in.Op {
+	case asm.RET:
+		buf = append(buf, asm.RAX, asm.RSP, asm.RBP)
+	case asm.CALL:
+		buf = append(buf, asm.RSP)
+	}
+	return buf
+}
+
+func instDefs(in asm.Inst) []asm.Reg {
+	if in.Op == asm.CALL {
+		return asm.CallerSaved
+	}
+	if d := asm.GPRDef(in); d != asm.RNone {
+		return []asm.Reg{d}
+	}
+	return nil
+}

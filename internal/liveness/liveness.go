@@ -1,0 +1,138 @@
+// Package liveness implements the static register analysis FERRUM's first
+// phase performs (§III-B1 of the paper): scanning a function for the
+// general-purpose and SIMD registers it uses, discovering spare registers
+// available for duplication, finding registers unused within individual
+// basic blocks (candidates for stack requisition, fig. 7), and a classic
+// backward liveness dataflow over the assembly CFG used to validate
+// insertion points.
+package liveness
+
+import (
+	"ferrum/internal/asm"
+)
+
+// RegSet is a small bitset over general-purpose registers.
+type RegSet uint32
+
+// Add inserts a register.
+func (s *RegSet) Add(r asm.Reg) { *s |= 1 << r }
+
+// Has reports membership.
+func (s RegSet) Has(r asm.Reg) bool { return s&(1<<r) != 0 }
+
+// Union merges another set into this one and reports whether it grew.
+func (s *RegSet) Union(o RegSet) bool {
+	old := *s
+	*s |= o
+	return *s != old
+}
+
+// Remove deletes a register.
+func (s *RegSet) Remove(r asm.Reg) { *s &^= 1 << r }
+
+// Regs lists the members in register order.
+func (s RegSet) Regs() []asm.Reg {
+	var out []asm.Reg
+	for r := asm.RAX; r < asm.NumReg; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// UsedGPRs reports every general-purpose register the function reads or
+// writes, including implicit uses. RSP and RBP are always considered used:
+// they anchor the stack and frame.
+func UsedGPRs(f *asm.Func) RegSet {
+	var used RegSet
+	used.Add(asm.RSP)
+	used.Add(asm.RBP)
+	var buf []asm.Reg
+	for _, in := range f.Insts {
+		buf = asm.GPRUses(in, buf[:0])
+		for _, r := range buf {
+			used.Add(r)
+		}
+		if d := asm.GPRDef(in); d != asm.RNone {
+			used.Add(d)
+		}
+	}
+	return used
+}
+
+// UsedXMMs reports every SIMD register the function touches.
+func UsedXMMs(f *asm.Func) map[asm.XReg]bool {
+	used := map[asm.XReg]bool{}
+	var buf []asm.XReg
+	for _, in := range f.Insts {
+		buf = asm.XUses(in, buf[:0])
+		for _, x := range buf {
+			used[x] = true
+		}
+		if x, ok := asm.XDef(in); ok {
+			used[x] = true
+		}
+	}
+	return used
+}
+
+// SpareGPRs lists the general-purpose registers the function never touches,
+// in allocation-preference order (high registers first, matching the
+// paper's examples which requisition %r10-%r12).
+func SpareGPRs(f *asm.Func) []asm.Reg {
+	used := UsedGPRs(f)
+	var out []asm.Reg
+	for r := asm.R15; r >= asm.RAX; r-- {
+		if !used.Has(r) {
+			out = append(out, r)
+		}
+		if r == asm.RAX {
+			break
+		}
+	}
+	return out
+}
+
+// SpareXMMs lists the SIMD registers the function never touches, lowest
+// first (FERRUM stages batches in xmm0-xmm3 when free, as in fig. 6).
+func SpareXMMs(f *asm.Func) []asm.XReg {
+	used := UsedXMMs(f)
+	var out []asm.XReg
+	for x := asm.XReg(0); x < asm.NumXReg; x++ {
+		if !used[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// BlockUnusedGPRs lists registers not referenced anywhere inside the block,
+// which therefore can be requisitioned with push/pop around the block body
+// (fig. 7 of the paper). RSP and RBP are never candidates.
+func BlockUnusedGPRs(f *asm.Func, b asm.Block) []asm.Reg {
+	var used RegSet
+	used.Add(asm.RSP)
+	used.Add(asm.RBP)
+	var buf []asm.Reg
+	for i := b.Start; i < b.End; i++ {
+		in := f.Insts[i]
+		buf = asm.GPRUses(in, buf[:0])
+		for _, r := range buf {
+			used.Add(r)
+		}
+		if d := asm.GPRDef(in); d != asm.RNone {
+			used.Add(d)
+		}
+	}
+	var out []asm.Reg
+	for r := asm.R15; r >= asm.RAX; r-- {
+		if !used.Has(r) {
+			out = append(out, r)
+		}
+		if r == asm.RAX {
+			break
+		}
+	}
+	return out
+}

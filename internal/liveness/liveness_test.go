@@ -1,0 +1,256 @@
+package liveness
+
+import (
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/ir"
+)
+
+func parseFunc(t *testing.T, src string) *asm.Func {
+	t.Helper()
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p.Funcs[0]
+}
+
+func TestUsedAndSpareGPRs(t *testing.T) {
+	f := parseFunc(t, `
+	.globl	f
+f:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	movq	-8(%rbp), %rax
+	addq	%rcx, %rax
+	popq	%rbp
+	retq
+`)
+	used := UsedGPRs(f)
+	for _, r := range []asm.Reg{asm.RAX, asm.RCX, asm.RBP, asm.RSP} {
+		if !used.Has(r) {
+			t.Errorf("%v should be used", r)
+		}
+	}
+	if used.Has(asm.R10) || used.Has(asm.RBX) {
+		t.Error("r10/rbx wrongly marked used")
+	}
+	spare := SpareGPRs(f)
+	if len(spare) == 0 || spare[0] != asm.R15 {
+		t.Errorf("spare = %v, want r15 first", spare)
+	}
+	for _, r := range spare {
+		if used.Has(r) {
+			t.Errorf("spare register %v is used", r)
+		}
+	}
+}
+
+func TestUsedXMMs(t *testing.T) {
+	f := parseFunc(t, `
+	.globl	f
+f:
+	movq	%rax, %xmm1
+	pinsrq	$1, %rcx, %xmm3
+	vinserti128	$1, %xmm3, %ymm1, %ymm5
+	retq
+`)
+	used := UsedXMMs(f)
+	for _, x := range []asm.XReg{1, 3, 5} {
+		if !used[x] {
+			t.Errorf("xmm%d should be used", x)
+		}
+	}
+	if used[0] || used[2] {
+		t.Error("xmm0/xmm2 wrongly used")
+	}
+	spare := SpareXMMs(f)
+	if len(spare) != 13 || spare[0] != 0 || spare[1] != 2 {
+		t.Errorf("spare xmms = %v", spare)
+	}
+}
+
+func TestBlockUnusedGPRs(t *testing.T) {
+	f := parseFunc(t, `
+	.globl	f
+f:
+	movq	$1, %rax
+	jmp	.Lb
+.Lb:
+	movq	$2, %r10
+	movq	%r10, %rcx
+	retq
+`)
+	blocks := asm.Blocks(f)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	un0 := BlockUnusedGPRs(f, blocks[0])
+	has := func(rs []asm.Reg, r asm.Reg) bool {
+		for _, x := range rs {
+			if x == r {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(un0, asm.R10) || has(un0, asm.RAX) {
+		t.Errorf("block 0 unused = %v", un0)
+	}
+	un1 := BlockUnusedGPRs(f, blocks[1])
+	if has(un1, asm.R10) || has(un1, asm.RCX) || !has(un1, asm.RBX) {
+		t.Errorf("block 1 unused = %v", un1)
+	}
+}
+
+func TestCFGConstruction(t *testing.T) {
+	f := parseFunc(t, `
+	.globl	f
+f:
+	cmpq	$0, %rax
+	je	.La
+	movq	$1, %rcx
+	jmp	.Lb
+.La:
+	movq	$2, %rcx
+.Lb:
+	retq
+`)
+	cfg := BuildCFG(f)
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(cfg.Blocks))
+	}
+	// Block 0 (cmp/je) -> .La (block 2) and fallthrough (block 1).
+	if len(cfg.Succs[0]) != 2 {
+		t.Errorf("succs[0] = %v", cfg.Succs[0])
+	}
+	// Block 1 (mov/jmp) -> .Lb (block 3).
+	if len(cfg.Succs[1]) != 1 || cfg.Succs[1][0] != 3 {
+		t.Errorf("succs[1] = %v", cfg.Succs[1])
+	}
+	// Block 2 (.La) -> fallthrough block 3.
+	if len(cfg.Succs[2]) != 1 || cfg.Succs[2][0] != 3 {
+		t.Errorf("succs[2] = %v", cfg.Succs[2])
+	}
+	// Block 3 (ret) -> none.
+	if len(cfg.Succs[3]) != 0 {
+		t.Errorf("succs[3] = %v", cfg.Succs[3])
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// rax is the accumulator carried around the loop; rcx is the counter.
+	f := parseFunc(t, `
+	.globl	f
+f:
+	movq	$0, %rax
+	movq	$10, %rcx
+.Lloop:
+	addq	%rcx, %rax
+	subq	$1, %rcx
+	cmpq	$0, %rcx
+	jg	.Lloop
+	retq
+`)
+	lv := Analyze(f)
+	// Find the loop block.
+	loopIdx := -1
+	for i, b := range lv.CFG.Blocks {
+		for _, l := range f.Insts[b.Start].Labels {
+			if l == ".Lloop" {
+				loopIdx = i
+			}
+		}
+	}
+	if loopIdx < 0 {
+		t.Fatal("loop block not found")
+	}
+	in := lv.LiveIn[loopIdx]
+	if !in.Has(asm.RAX) || !in.Has(asm.RCX) {
+		t.Errorf("loop live-in = %v", in.Regs())
+	}
+	if in.Has(asm.R10) {
+		t.Errorf("r10 live at loop entry: %v", in.Regs())
+	}
+	out := lv.LiveOut[loopIdx]
+	if !out.Has(asm.RAX) {
+		t.Errorf("rax not live-out of loop: %v", out.Regs())
+	}
+}
+
+func TestLiveAtInstruction(t *testing.T) {
+	f := parseFunc(t, `
+	.globl	f
+f:
+	movq	$1, %rax
+	movq	$2, %rcx
+	addq	%rcx, %rax
+	retq
+`)
+	lv := Analyze(f)
+	// Before the addq (index 2), both rax and rcx are live.
+	live := lv.LiveAt(2)
+	if !live.Has(asm.RAX) || !live.Has(asm.RCX) {
+		t.Errorf("live at addq = %v", live.Regs())
+	}
+	// Before the first movq only the function-entry registers matter;
+	// rcx is not yet live (it is defined at index 1 before any use).
+	live = lv.LiveAt(0)
+	if live.Has(asm.RCX) {
+		t.Errorf("rcx live at entry: %v", live.Regs())
+	}
+}
+
+func TestCallKillsCallerSaved(t *testing.T) {
+	f := parseFunc(t, `
+	.globl	f
+f:
+	movq	$1, %r10
+	movq	$2, %rbx
+	callq	f
+	addq	%rbx, %r10
+	retq
+`)
+	lv := Analyze(f)
+	// r10 is caller-saved and redefined... actually killed by the call,
+	// so before the call it is NOT live (its pre-call value never
+	// reaches a use). rbx is callee-saved and survives to the addq.
+	live := lv.LiveAt(2) // before callq
+	if live.Has(asm.R10) {
+		t.Errorf("r10 should be killed by call: %v", live.Regs())
+	}
+	if !live.Has(asm.RBX) {
+		t.Errorf("rbx should be live across call: %v", live.Regs())
+	}
+}
+
+func TestSparseOnCompiledCode(t *testing.T) {
+	mod, err := ir.Parse(`
+func @main(%n) {
+entry:
+  %x = add %n, 1
+  out %x
+  ret
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := backend.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	spare := SpareGPRs(f)
+	// The backend only uses rax/rcx/rdx scratch + rdi arg + rbp/rsp, so
+	// rbx and r10-r15 must be spare: plenty for FERRUM's requirements
+	// (2 GPRs) and the comparison protection (2 more).
+	if len(spare) < 4 {
+		t.Errorf("spare = %v, want at least 4", spare)
+	}
+	if len(SpareXMMs(f)) != 16 {
+		t.Errorf("all 16 xmm registers should be spare in scalar code")
+	}
+}

@@ -1,0 +1,349 @@
+// Package machine executes programs in the asm model. It is the
+// reproduction's stand-in for the paper's Intel Xeon testbed: it interprets
+// the x86-64 subset, accounts cycles with a calibrated dual-issue cost
+// model (scalar and vector units overlap within a basic block, which is
+// what makes FERRUM's SIMD checking cheap on real hardware), and exposes
+// the single-bit fault-injection hook that the fi package drives.
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ferrum/internal/asm"
+)
+
+// Outcome is the terminal state of one program execution.
+type Outcome uint8
+
+// Execution outcomes.
+const (
+	OutcomeOK       Outcome = iota // reached HALT
+	OutcomeDetected                // reached DETECT (a checker fired)
+	OutcomeCrash                   // memory fault, bad control transfer, div error
+	OutcomeHang                    // exceeded the step budget
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	}
+	return fmt.Sprintf("outcome?%d", o)
+}
+
+// GuardSize is the size of the unmapped low region; accesses below it crash,
+// catching null-pointer-style corruption.
+const GuardSize = 4096
+
+// Fault is a fault plan in the paper's §IV-A2 model: flip bit Bit of the
+// destination of the Site-th dynamically executed instruction that has an
+// architectural destination, immediately after it retires. Extra lists
+// additional bits flipped in the same destination, modelling the
+// multi-bit-upset scenario the paper defers to future work (§II-A).
+type Fault struct {
+	Site  uint64
+	Bit   uint
+	Extra []uint
+}
+
+// Result summarises one execution.
+type Result struct {
+	Outcome  Outcome
+	Output   []uint64
+	Cycles   float64
+	DynInsts uint64
+	DynSites uint64 // dynamic instructions with a fault-injection destination
+	CrashMsg string
+	Injected bool // whether the planned fault was reached and applied
+	// SiteDests holds the destination kind of each dynamic site, in site
+	// order, when RunOpts.RecordSites was set.
+	SiteDests []asm.DestKind
+	// SiteLocs holds each dynamic site's static location when
+	// RunOpts.RecordSiteLocs was set.
+	SiteLocs []SiteLoc
+	// Profile holds the dynamic attribution when RunOpts.Profile was set.
+	Profile *Profile
+	// Trace holds the last RunOpts.Trace executed instructions, oldest
+	// first, each rendered as "<tag>\t<instruction>".
+	Trace []string
+}
+
+// RunOpts configures one execution.
+type RunOpts struct {
+	Args        []uint64 // passed to the entry function in the argument registers
+	MaxSteps    uint64   // dynamic instruction budget; 0 means DefaultMaxSteps
+	Fault       *Fault   // optional fault plan
+	RecordSites bool     // record each dynamic site's destination kind
+	// RecordSiteLocs records each dynamic site's static location
+	// (function, index) in Result.SiteLocs, for proneness profiling.
+	RecordSiteLocs bool
+	Profile        bool // attribute dynamic instructions/cycles by opcode and tag
+	// Trace keeps the last N executed instructions (rendered with their
+	// provenance tags) in Result.Trace — a flight recorder for debugging
+	// fault outcomes. 0 disables tracing.
+	Trace int
+}
+
+// DefaultMaxSteps bounds executions that lost control of their loop
+// conditions after a fault.
+const DefaultMaxSteps = 50_000_000
+
+// SiteLoc is the static location of a dynamic fault-injection site: the
+// enclosing function and the instruction's index within it.
+type SiteLoc struct {
+	Fn  string
+	Idx int
+}
+
+type flatInst struct {
+	in   asm.Inst
+	dest asm.Dest
+	cost cost
+	fn   string // enclosing function name
+	idx  int    // index within the function
+}
+
+// Machine executes one loaded program. A Machine is reusable: each Run
+// resets architectural state but keeps the loaded program and memory image.
+type Machine struct {
+	insts  []flatInst
+	labels map[string]int
+	entry  int
+	start  int
+
+	memImage []byte // pristine memory restored before each run
+
+	// Architectural state (reset per run).
+	gpr   [asm.NumReg]uint64
+	x     [asm.NumXReg][8]uint64
+	flags [asm.NumFlag]bool
+	mem   []byte
+
+	output   []uint64
+	pc       int
+	dyn      uint64
+	sites    uint64
+	injected bool
+
+	scalarSpan float64
+	vectorSpan float64
+	cycles     float64
+
+	costs *CostModel
+}
+
+// New loads a program into a machine with the given memory size. The
+// initial memory image is zero; use SetMemImage or WriteWord to install
+// benchmark data before Run.
+func New(p *asm.Program, memSize int) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if memSize < GuardSize*2 {
+		return nil, fmt.Errorf("machine: memory size %d too small", memSize)
+	}
+	m := &Machine{
+		labels:   make(map[string]int),
+		memImage: make([]byte, memSize),
+		costs:    DefaultCostModel(),
+	}
+	for _, f := range p.Funcs {
+		m.labels[f.Name] = len(m.insts)
+		for i, in := range f.Insts {
+			for _, l := range in.Labels {
+				m.labels[l] = len(m.insts)
+			}
+			m.insts = append(m.insts, flatInst{
+				in: in, dest: asm.DestOf(in), fn: f.Name, idx: i,
+			})
+		}
+	}
+	for i := range m.insts {
+		m.insts[i].cost = m.costs.staticCost(m.insts[i].in)
+	}
+	entry := p.Entry
+	if entry == "" {
+		return nil, fmt.Errorf("machine: program has no entry")
+	}
+	start, ok := m.labels[asm.StartLabel]
+	if !ok {
+		// Without scaffolding, begin directly at the entry function.
+		start = m.labels[entry]
+	}
+	m.start = start
+	m.entry = m.labels[entry]
+	m.mem = make([]byte, memSize)
+	return m, nil
+}
+
+// SetCostModel replaces the cycle cost model (before Run).
+func (m *Machine) SetCostModel(c *CostModel) {
+	m.costs = c
+	for i := range m.insts {
+		m.insts[i].cost = c.staticCost(m.insts[i].in)
+	}
+}
+
+// MemSize reports the size of the machine's memory.
+func (m *Machine) MemSize() int { return len(m.memImage) }
+
+// SetMemImage copies data into the pristine memory image at addr; every Run
+// starts from that image.
+func (m *Machine) SetMemImage(addr uint64, data []byte) error {
+	if addr < GuardSize || addr+uint64(len(data)) > uint64(len(m.memImage)) {
+		return fmt.Errorf("machine: image write [%d,%d) out of range", addr, addr+uint64(len(data)))
+	}
+	copy(m.memImage[addr:], data)
+	return nil
+}
+
+// WriteWordImage stores a 64-bit little-endian word into the pristine image.
+func (m *Machine) WriteWordImage(addr uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return m.SetMemImage(addr, b[:])
+}
+
+// ReadWord reads a 64-bit word from the current (post-run) memory.
+func (m *Machine) ReadWord(addr uint64) (uint64, error) {
+	if addr < GuardSize || addr+8 > uint64(len(m.mem)) {
+		return 0, fmt.Errorf("machine: read [%d,%d) out of range", addr, addr+8)
+	}
+	return binary.LittleEndian.Uint64(m.mem[addr:]), nil
+}
+
+type crashError struct{ msg string }
+
+func (e crashError) Error() string { return e.msg }
+
+func crashf(format string, args ...any) error {
+	return crashError{fmt.Sprintf(format, args...)}
+}
+
+// Run executes the program from the entry scaffolding and returns the
+// result. Run never returns a Go error for in-program failures; those are
+// reported through the Outcome.
+func (m *Machine) Run(opts RunOpts) Result {
+	m.reset()
+	for i, a := range opts.Args {
+		if i >= len(asm.ArgRegs) {
+			break
+		}
+		m.gpr[asm.ArgRegs[i]] = a
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	outcome := OutcomeHang
+	var crashMsg string
+	var siteDests []asm.DestKind
+	var siteLocs []SiteLoc
+	var prof *Profile
+	if opts.Profile {
+		prof = newProfile()
+	}
+	var trace *traceRing
+	if opts.Trace > 0 {
+		trace = newTraceRing(opts.Trace)
+	}
+loop:
+	for m.dyn < maxSteps {
+		if m.pc < 0 || m.pc >= len(m.insts) {
+			outcome, crashMsg = OutcomeCrash, fmt.Sprintf("pc %d out of range", m.pc)
+			break
+		}
+		fi := &m.insts[m.pc]
+		m.dyn++
+		if prof != nil {
+			prof.record(fi)
+		}
+		if trace != nil {
+			trace.record(fi)
+		}
+		next, err := m.step(fi)
+		if err != nil {
+			outcome, crashMsg = OutcomeCrash, err.Error()
+			break
+		}
+		// Fault injection: flip one bit of the destination after retire.
+		if fi.dest.Kind != asm.DestNone {
+			if opts.Fault != nil && m.sites == opts.Fault.Site {
+				m.applyFault(fi.dest, opts.Fault.Bit)
+				for _, b := range opts.Fault.Extra {
+					m.applyFault(fi.dest, b)
+				}
+				m.injected = true
+			}
+			if opts.RecordSites {
+				siteDests = append(siteDests, fi.dest.Kind)
+			}
+			if opts.RecordSiteLocs {
+				siteLocs = append(siteLocs, SiteLoc{Fn: fi.fn, Idx: fi.idx})
+			}
+			m.sites++
+		}
+		switch next {
+		case nextHalt:
+			outcome = OutcomeOK
+			break loop
+		case nextDetect:
+			outcome = OutcomeDetected
+			break loop
+		}
+	}
+	m.flushSpan()
+	return Result{
+		Outcome:   outcome,
+		Output:    append([]uint64(nil), m.output...),
+		Cycles:    m.cycles,
+		DynInsts:  m.dyn,
+		DynSites:  m.sites,
+		CrashMsg:  crashMsg,
+		Injected:  m.injected,
+		SiteDests: siteDests,
+		SiteLocs:  siteLocs,
+		Profile:   prof,
+		Trace:     trace.dump(),
+	}
+}
+
+func (m *Machine) reset() {
+	m.gpr = [asm.NumReg]uint64{}
+	m.x = [asm.NumXReg][8]uint64{}
+	m.flags = [asm.NumFlag]bool{}
+	copy(m.mem, m.memImage)
+	m.output = m.output[:0]
+	m.pc = m.start
+	m.dyn, m.sites = 0, 0
+	m.injected = false
+	m.scalarSpan, m.vectorSpan, m.cycles = 0, 0, 0
+	// Stack at top of memory; push a sentinel return address so a stray
+	// top-level RET crashes instead of wrapping.
+	m.gpr[asm.RSP] = uint64(len(m.mem))
+}
+
+func (m *Machine) applyFault(d asm.Dest, bit uint) {
+	switch d.Kind {
+	case asm.DestGPR:
+		b := bit % d.W.Bits()
+		m.gpr[d.Reg] ^= 1 << b
+	case asm.DestXMM:
+		lanes := uint(d.LaneHi-d.LaneLo+1) * 64
+		b := bit % lanes
+		lane := d.LaneLo + int(b/64)
+		m.x[d.X][lane] ^= 1 << (b % 64)
+	case asm.DestFlags:
+		f := asm.Flag(bit % uint(asm.NumFlag))
+		m.flags[f] = !m.flags[f]
+	}
+}

@@ -1,0 +1,651 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ferrum/internal/asm"
+)
+
+const memSize = 1 << 16
+
+func mustParse(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, opts RunOpts) Result {
+	t.Helper()
+	m, err := New(mustParse(t, src), memSize)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m.Run(opts)
+}
+
+func TestSimpleArithmetic(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$6, %rax
+	movq	$7, %rcx
+	imulq	%rcx, %rax
+	out	%rax
+	hlt
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("output = %v, want [42]", res.Output)
+	}
+}
+
+func TestBranchesAndFlags(t *testing.T) {
+	// Sum 1..10 with a loop, exercising cmp/jle.
+	src := `
+	.globl	main
+main:
+	movq	$0, %rax
+	movq	$1, %rcx
+.Lloop:
+	cmpq	$10, %rcx
+	jg	.Ldone
+	addq	%rcx, %rax
+	addq	$1, %rcx
+	jmp	.Lloop
+.Ldone:
+	out	%rax
+	hlt
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeOK || len(res.Output) != 1 || res.Output[0] != 55 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSignedConditions(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		jcc  string
+		want uint64 // 1 if branch taken
+	}{
+		{-5, 3, "jl", 1},
+		{3, -5, "jl", 0},
+		{3, 3, "jle", 1},
+		{4, 3, "jle", 0},
+		{4, 3, "jg", 1},
+		{-4, 3, "jg", 0},
+		{3, 3, "jge", 1},
+		{-9223372036854775808 + 1, 1, "jl", 1},
+		{7, 7, "je", 1},
+		{7, 8, "jne", 1},
+	}
+	for _, tc := range cases {
+		src := fmt.Sprintf(`
+	.globl	main
+main:
+	movq	$%d, %%rax
+	movq	$%d, %%rcx
+	cmpq	%%rcx, %%rax
+	%s	.Ltaken
+	out	%%rax
+	movq	$0, %%rax
+	out	%%rax
+	hlt
+.Ltaken:
+	movq	$1, %%rax
+	out	%%rax
+	hlt
+`, tc.a, tc.b, tc.jcc)
+		res := run(t, src, RunOpts{})
+		if res.Outcome != OutcomeOK {
+			t.Fatalf("%s %d,%d: outcome %v", tc.jcc, tc.a, tc.b, res.Outcome)
+		}
+		got := res.Output[len(res.Output)-1]
+		if got != tc.want {
+			t.Errorf("cmp %d,%d %s: taken=%d, want %d", tc.a, tc.b, tc.jcc, got, tc.want)
+		}
+	}
+}
+
+func TestMemoryAndLEA(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$8192, %rax
+	movq	$123, %rcx
+	movq	%rcx, (%rax)
+	movq	$1, %rdx
+	leaq	(%rax,%rdx,8), %rsi
+	movq	$456, %rcx
+	movq	%rcx, (%rsi)
+	movq	8(%rax), %rdi
+	out	%rdi
+	movq	(%rax), %rdi
+	out	%rdi
+	hlt
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if len(res.Output) != 2 || res.Output[0] != 456 || res.Output[1] != 123 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	src := `
+	.entry	main
+	.globl	_start
+_start:
+	callq	main
+	hlt
+
+	.globl	main
+main:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	movq	$5, %rdi
+	callq	double
+	out	%rax
+	movq	%rbp, %rsp
+	popq	%rbp
+	retq
+
+	.globl	double
+double:
+	movq	%rdi, %rax
+	addq	%rax, %rax
+	retq
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeOK || len(res.Output) != 1 || res.Output[0] != 10 {
+		t.Fatalf("res = %+v (%s)", res, res.CrashMsg)
+	}
+}
+
+func TestArgsReachEntry(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	out	%rdi
+	out	%rsi
+	hlt
+`
+	res := run(t, src, RunOpts{Args: []uint64{11, 22}})
+	if res.Outcome != OutcomeOK || res.Output[0] != 11 || res.Output[1] != 22 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMovWidths(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$-1, %rax
+	movl	$5, %eax	# 32-bit write zero-extends
+	out	%rax
+	movq	$-1, %rcx
+	movb	$7, %cl		# 8-bit write preserves upper bits
+	out	%rcx
+	movq	$8192, %rdx
+	movl	$-2, (%rdx)
+	movslq	(%rdx), %rbx	# sign-extending load
+	out	%rbx
+	movq	$511, %rsi
+	movzbq	%sil, %rdi
+	out	%rdi
+	hlt
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	negTwo := int64(-2)
+	want := []uint64{5, 0xffffffffffffff07, uint64(negTwo), 255}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("output[%d] = %#x, want %#x", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestDivision(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$-37, %rax
+	cqto
+	movq	$5, %rcx
+	idivq	%rcx
+	out	%rax
+	out	%rdx
+	hlt
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if int64(res.Output[0]) != -7 || int64(res.Output[1]) != -2 {
+		t.Fatalf("div results = %d rem %d", int64(res.Output[0]), int64(res.Output[1]))
+	}
+}
+
+func TestDivideByZeroCrashes(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	cqto
+	movq	$0, %rcx
+	idivq	%rcx
+	hlt
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("outcome = %v, want crash", res.Outcome)
+	}
+}
+
+func TestOutOfBoundsCrashes(t *testing.T) {
+	for _, addr := range []int64{0, 100, memSize, memSize + 8, -8} {
+		src := fmt.Sprintf(`
+	.globl	main
+main:
+	movq	$%d, %%rax
+	movq	(%%rax), %%rcx
+	hlt
+`, addr)
+		res := run(t, src, RunOpts{})
+		if res.Outcome != OutcomeCrash {
+			t.Errorf("addr %d: outcome = %v, want crash", addr, res.Outcome)
+		}
+	}
+}
+
+func TestHangOutcome(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	jmp	main
+`
+	res := run(t, src, RunOpts{MaxSteps: 1000})
+	if res.Outcome != OutcomeHang {
+		t.Fatalf("outcome = %v, want hang", res.Outcome)
+	}
+}
+
+func TestDetectOutcome(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	cmpq	$2, %rax
+	jne	exit_function
+	hlt
+
+	.globl	__detect
+exit_function:
+	detect
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeDetected {
+		t.Fatalf("outcome = %v, want detected", res.Outcome)
+	}
+}
+
+func TestSIMDPath(t *testing.T) {
+	// Mirror the fig. 6 check sequence: equal values => no detection.
+	src := `
+	.globl	main
+main:
+	movq	$8192, %rbp
+	movq	$111, %rcx
+	movq	%rcx, (%rbp)
+	movq	(%rbp), %xmm0
+	movq	(%rbp), %rax
+	movq	%rax, %xmm1
+	pinsrq	$1, (%rbp), %xmm0
+	movq	(%rbp), %rdi
+	pinsrq	$1, %rdi, %xmm1
+	movq	(%rbp), %xmm2
+	movq	(%rbp), %rax
+	movq	%rax, %xmm3
+	pinsrq	$1, (%rbp), %xmm2
+	movq	(%rbp), %rdi
+	pinsrq	$1, %rdi, %xmm3
+	vinserti128	$1, %xmm2, %ymm0, %ymm0
+	vinserti128	$1, %xmm3, %ymm1, %ymm1
+	vpxor	%ymm1, %ymm0, %ymm0
+	vptest	%ymm0, %ymm0
+	jne	exit_function
+	movq	$1, %rax
+	out	%rax
+	hlt
+
+	.globl	__detect
+exit_function:
+	detect
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeOK || len(res.Output) != 1 {
+		t.Fatalf("res = %+v (%s)", res, res.CrashMsg)
+	}
+}
+
+func TestSIMDMismatchDetected(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$111, %rax
+	movq	%rax, %xmm0
+	movq	$112, %rax
+	movq	%rax, %xmm1
+	vpxor	%ymm1, %ymm0, %ymm0
+	vptest	%ymm0, %ymm0
+	jne	exit_function
+	hlt
+
+	.globl	__detect
+exit_function:
+	detect
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeDetected {
+		t.Fatalf("outcome = %v, want detected", res.Outcome)
+	}
+}
+
+const faultTestSrc = `
+	.globl	main
+main:
+	movq	$100, %rax
+	movq	%rax, %rcx
+	out	%rcx
+	hlt
+`
+
+func TestFaultInjectionGPR(t *testing.T) {
+	m, err := New(mustParse(t, faultTestSrc), memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := m.Run(RunOpts{})
+	if golden.Outcome != OutcomeOK || golden.DynSites != 2 {
+		t.Fatalf("golden = %+v", golden)
+	}
+	// Flip bit 3 of the first site (movq $100, %rax): 100 ^ 8 = 108.
+	res := m.Run(RunOpts{Fault: &Fault{Site: 0, Bit: 3}})
+	if !res.Injected {
+		t.Fatal("fault not injected")
+	}
+	if res.Output[0] != 108 {
+		t.Fatalf("faulted output = %d, want 108", res.Output[0])
+	}
+	// Flip bit 3 of the second site (movq %rax, %rcx): rax stays 100.
+	res = m.Run(RunOpts{Fault: &Fault{Site: 1, Bit: 3}})
+	if res.Output[0] != 108 {
+		t.Fatalf("faulted output = %d, want 108", res.Output[0])
+	}
+	// A site beyond the end is never reached.
+	res = m.Run(RunOpts{Fault: &Fault{Site: 99, Bit: 3}})
+	if res.Injected || res.Output[0] != 100 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFaultInjectionFlags(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	cmpq	$1, %rax
+	je	.Leq
+	movq	$0, %rcx
+	out	%rcx
+	hlt
+.Leq:
+	movq	$1, %rcx
+	out	%rcx
+	hlt
+`
+	m, err := New(mustParse(t, src), memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := m.Run(RunOpts{})
+	if golden.Output[0] != 1 {
+		t.Fatalf("golden output = %v", golden.Output)
+	}
+	// Site 1 is the cmpq (site 0 is the movq). Bit 0 flips ZF.
+	res := m.Run(RunOpts{Fault: &Fault{Site: 1, Bit: 0}})
+	if !res.Injected || res.Output[0] != 0 {
+		t.Fatalf("flag fault res = %+v", res)
+	}
+}
+
+func TestFaultInjectionXMM(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$5, %rax
+	movq	%rax, %xmm0
+	movq	%xmm0, %rcx
+	out	%rcx
+	hlt
+`
+	m, err := New(mustParse(t, src), memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 is movq %rax, %xmm0 (site 0 = movq imm, site 2 = movq xmm->rcx).
+	res := m.Run(RunOpts{Fault: &Fault{Site: 1, Bit: 1}})
+	if !res.Injected || res.Output[0] != 7 {
+		t.Fatalf("xmm fault res = %+v", res)
+	}
+}
+
+func TestVectorOverlapCycles(t *testing.T) {
+	// A block with only scalar work, vs the same block plus vector work
+	// that fits under the scalar span: same cycle count.
+	scalarOnly := `
+	.globl	main
+main:
+	movq	$1, %rax
+	addq	$2, %rax
+	addq	$3, %rax
+	addq	$4, %rax
+	hlt
+`
+	withVector := `
+	.globl	main
+main:
+	movq	$1, %rax
+	addq	$2, %rax
+	movq	%rax, %xmm0
+	addq	$3, %rax
+	addq	$4, %rax
+	hlt
+`
+	r1 := run(t, scalarOnly, RunOpts{})
+	r2 := run(t, withVector, RunOpts{})
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("vector op not hidden: %v vs %v cycles", r1.Cycles, r2.Cycles)
+	}
+	// But vector work beyond the scalar span costs extra.
+	vectorHeavy := withVector
+	for i := 0; i < 8; i++ {
+		vectorHeavy = vectorHeavy[:len(vectorHeavy)-len("\thlt\n")] + "\tvpxor\t%ymm1, %ymm0, %ymm0\n\thlt\n"
+	}
+	r3 := run(t, vectorHeavy, RunOpts{})
+	if r3.Cycles <= r2.Cycles {
+		t.Errorf("vector-heavy block should cost more: %v vs %v", r3.Cycles, r2.Cycles)
+	}
+}
+
+func TestCyclesPositiveAndDeterministic(t *testing.T) {
+	m, err := New(mustParse(t, faultTestSrc), memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Run(RunOpts{})
+	b := m.Run(RunOpts{})
+	if a.Cycles <= 0 || a.Cycles != b.Cycles || a.DynInsts != b.DynInsts {
+		t.Fatalf("nondeterministic or nonpositive cycles: %+v vs %+v", a, b)
+	}
+}
+
+func TestMemImageRestoredBetweenRuns(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$8192, %rax
+	movq	(%rax), %rcx
+	addq	$1, %rcx
+	movq	%rcx, (%rax)
+	out	%rcx
+	hlt
+`
+	m, err := New(mustParse(t, src), memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWordImage(8192, 41); err != nil {
+		t.Fatal(err)
+	}
+	r1 := m.Run(RunOpts{})
+	r2 := m.Run(RunOpts{})
+	if r1.Output[0] != 42 || r2.Output[0] != 42 {
+		t.Fatalf("memory not restored: %v then %v", r1.Output, r2.Output)
+	}
+}
+
+// TestALUPropertyVsGo cross-checks machine arithmetic against Go's own
+// 64-bit semantics on random operand pairs.
+func TestALUPropertyVsGo(t *testing.T) {
+	type binop struct {
+		op   string
+		eval func(a, b int64) int64
+	}
+	ops := []binop{
+		{"addq", func(a, b int64) int64 { return b + a }},
+		{"subq", func(a, b int64) int64 { return b - a }},
+		{"imulq", func(a, b int64) int64 { return b * a }},
+		{"andq", func(a, b int64) int64 { return b & a }},
+		{"orq", func(a, b int64) int64 { return b | a }},
+		{"xorq", func(a, b int64) int64 { return b ^ a }},
+	}
+	for _, o := range ops {
+		o := o
+		f := func(a, b int64) bool {
+			src := fmt.Sprintf(`
+	.globl	main
+main:
+	movq	$%d, %%rax
+	movq	$%d, %%rcx
+	%s	%%rax, %%rcx
+	out	%%rcx
+	hlt
+`, a, b, o.op)
+			p, err := asm.Parse(src)
+			if err != nil {
+				return false
+			}
+			m, err := New(p, memSize)
+			if err != nil {
+				return false
+			}
+			res := m.Run(RunOpts{})
+			return res.Outcome == OutcomeOK && int64(res.Output[0]) == o.eval(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", o.op, err)
+		}
+	}
+}
+
+// TestCmpFlagsPropertyVsGo checks every signed condition against Go
+// comparisons on random pairs.
+func TestCmpFlagsPropertyVsGo(t *testing.T) {
+	conds := map[string]func(a, b int64) bool{
+		"je":  func(a, b int64) bool { return a == b },
+		"jne": func(a, b int64) bool { return a != b },
+		"jl":  func(a, b int64) bool { return a < b },
+		"jle": func(a, b int64) bool { return a <= b },
+		"jg":  func(a, b int64) bool { return a > b },
+		"jge": func(a, b int64) bool { return a >= b },
+	}
+	for cc, eval := range conds {
+		cc, eval := cc, eval
+		f := func(a, b int64) bool {
+			src := fmt.Sprintf(`
+	.globl	main
+main:
+	movq	$%d, %%rax
+	movq	$%d, %%rcx
+	cmpq	%%rcx, %%rax
+	%s	.Lt
+	movq	$0, %%rdx
+	out	%%rdx
+	hlt
+.Lt:
+	movq	$1, %%rdx
+	out	%%rdx
+	hlt
+`, a, b, cc)
+			p, err := asm.Parse(src)
+			if err != nil {
+				return false
+			}
+			m, err := New(p, memSize)
+			if err != nil {
+				return false
+			}
+			res := m.Run(RunOpts{})
+			want := uint64(0)
+			if eval(a, b) {
+				want = 1
+			}
+			return res.Outcome == OutcomeOK && res.Output[0] == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", cc, err)
+		}
+	}
+}
+
+func TestPushPopRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		src := fmt.Sprintf(`
+	.globl	main
+main:
+	movq	$%d, %%r10
+	pushq	%%r10
+	movq	$0, %%r10
+	popq	%%r10
+	out	%%r10
+	hlt
+`, v)
+		p, err := asm.Parse(src)
+		if err != nil {
+			return false
+		}
+		m, err := New(p, memSize)
+		if err != nil {
+			return false
+		}
+		res := m.Run(RunOpts{})
+		return res.Outcome == OutcomeOK && int64(res.Output[0]) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ferrum/internal/asm"
+)
+
+// Profile attributes a run's dynamic instructions and cycle costs to
+// opcodes and to instruction provenance (program code vs. duplicates,
+// checks, staging and spills inserted by a protection pass). It is how the
+// harness explains *where* each technique's overhead goes.
+type Profile struct {
+	OpCount  map[asm.Op]uint64
+	TagCount map[asm.Tag]uint64
+	// TagScalar and TagVector accumulate the scalar- and vector-unit
+	// costs charged to instructions of each provenance tag. Because the
+	// units overlap within blocks, these sum to more than Result.Cycles;
+	// they measure issued work per unit, not wall-clock.
+	TagScalar map[asm.Tag]float64
+	TagVector map[asm.Tag]float64
+}
+
+func newProfile() *Profile {
+	return &Profile{
+		OpCount:   map[asm.Op]uint64{},
+		TagCount:  map[asm.Tag]uint64{},
+		TagScalar: map[asm.Tag]float64{},
+		TagVector: map[asm.Tag]float64{},
+	}
+}
+
+func (p *Profile) record(fi *flatInst) {
+	p.OpCount[fi.in.Op]++
+	p.TagCount[fi.in.Tag]++
+	p.TagScalar[fi.in.Tag] += fi.cost.scalar
+	p.TagVector[fi.in.Tag] += fi.cost.vector
+}
+
+// DynInsts reports the total dynamic instruction count in the profile.
+func (p *Profile) DynInsts() uint64 {
+	var n uint64
+	for _, c := range p.TagCount {
+		n += c
+	}
+	return n
+}
+
+// TagFraction reports the fraction of dynamic instructions with the tag.
+func (p *Profile) TagFraction(t asm.Tag) float64 {
+	total := p.DynInsts()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.TagCount[t]) / float64(total)
+}
+
+// TopOps returns the n most-executed opcodes with counts, descending.
+func (p *Profile) TopOps(n int) []struct {
+	Op    asm.Op
+	Count uint64
+} {
+	type oc struct {
+		Op    asm.Op
+		Count uint64
+	}
+	all := make([]oc, 0, len(p.OpCount))
+	for op, c := range p.OpCount {
+		all = append(all, oc{op, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Op < all[j].Op
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Op    asm.Op
+		Count uint64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Op    asm.Op
+			Count uint64
+		}{all[i].Op, all[i].Count}
+	}
+	return out
+}
+
+// String summarises the profile by provenance tag.
+func (p *Profile) String() string {
+	var b strings.Builder
+	tags := []asm.Tag{asm.TagProgram, asm.TagDup, asm.TagCheck, asm.TagStage, asm.TagSpill, asm.TagRuntime}
+	total := p.DynInsts()
+	fmt.Fprintf(&b, "dyn insts %d:", total)
+	for _, t := range tags {
+		if p.TagCount[t] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s %.1f%%", t, p.TagFraction(t)*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+)
+
+func TestProfileAttribution(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	addq	$2, %rax
+	out	%rax
+	hlt
+`
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag the addq as a duplicate to exercise attribution.
+	p.Funcs[0].Insts[1].Tag = asm.TagDup
+	m, err := New(p, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(RunOpts{Profile: true})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	prof := res.Profile
+	if prof == nil {
+		t.Fatal("no profile recorded")
+	}
+	if prof.DynInsts() != res.DynInsts {
+		t.Errorf("profile insts %d != %d", prof.DynInsts(), res.DynInsts)
+	}
+	if prof.TagCount[asm.TagDup] != 1 {
+		t.Errorf("dup count = %d", prof.TagCount[asm.TagDup])
+	}
+	if prof.OpCount[asm.MOVQ] != 1 || prof.OpCount[asm.ADDQ] != 1 {
+		t.Errorf("op counts = %v", prof.OpCount)
+	}
+	if prof.TagFraction(asm.TagDup) != 0.25 {
+		t.Errorf("dup fraction = %v", prof.TagFraction(asm.TagDup))
+	}
+	top := prof.TopOps(2)
+	if len(top) != 2 || top[0].Count < top[1].Count {
+		t.Errorf("top ops = %v", top)
+	}
+	if !strings.Contains(prof.String(), "dup") {
+		t.Errorf("profile string = %q", prof.String())
+	}
+	// Scalar work attributed to the dup tag.
+	if prof.TagScalar[asm.TagDup] <= 0 {
+		t.Errorf("dup scalar work = %v", prof.TagScalar[asm.TagDup])
+	}
+}
+
+func TestProfileDisabledByDefault(t *testing.T) {
+	p, err := asm.Parse("\t.globl\tmain\nmain:\n\thlt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(RunOpts{}); res.Profile != nil {
+		t.Error("profile recorded without being requested")
+	}
+}

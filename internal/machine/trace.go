@@ -1,0 +1,37 @@
+package machine
+
+import "fmt"
+
+// traceRing is a fixed-size flight recorder of executed instructions.
+type traceRing struct {
+	entries []string
+	next    int
+	full    bool
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{entries: make([]string, n)}
+}
+
+func (t *traceRing) record(fi *flatInst) {
+	t.entries[t.next] = fmt.Sprintf("%s\t%s", fi.in.Tag, fi.in.String())
+	t.next++
+	if t.next == len(t.entries) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// dump returns the recorded entries oldest first; nil receiver yields nil.
+func (t *traceRing) dump() []string {
+	if t == nil {
+		return nil
+	}
+	if !t.full {
+		return append([]string(nil), t.entries[:t.next]...)
+	}
+	out := make([]string, 0, len(t.entries))
+	out = append(out, t.entries[t.next:]...)
+	out = append(out, t.entries[:t.next]...)
+	return out
+}

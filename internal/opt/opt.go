@@ -1,0 +1,222 @@
+// Package opt is a peephole optimizer over the asm subset, modelling the
+// step from -O0 to lightly optimised (-O1-style) code: within each basic
+// block it forwards stack-slot stores to subsequent loads, eliminates
+// redundant reloads, and removes jumps to the next instruction.
+//
+// The optimizer matters to the reproduction beyond performance: the paper's
+// benchmarks were compiled by a production compiler, whose denser code has
+// proportionally more of the backend-introduced fault sites (flag
+// rematerialisation, address staging) that IR-LEVEL-EDDI cannot protect.
+// Running the evaluation at both optimisation levels shows how the
+// cross-layer coverage gap widens as slot traffic is optimised away (see
+// EXPERIMENTS.md).
+package opt
+
+import (
+	"fmt"
+
+	"ferrum/internal/asm"
+)
+
+// Report counts the rewrites the optimizer performed.
+type Report struct {
+	LoadsEliminated int // loads deleted because the value was already in place
+	LoadsForwarded  int // loads replaced by register moves or immediates
+	JumpsElided     int // jumps to the textually next instruction removed
+}
+
+// Optimize returns an optimised clone of the program. Runtime scaffolding
+// functions are left untouched.
+func Optimize(prog *asm.Program) (*asm.Program, *Report, error) {
+	out := prog.Clone()
+	rep := &Report{}
+	for _, f := range out.Funcs {
+		optimizeFunc(f, rep)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("opt: produced invalid program: %w", err)
+	}
+	return out, rep, nil
+}
+
+// slotVal describes what a frame slot currently mirrors.
+type slotVal struct {
+	isImm bool
+	reg   asm.Reg
+	imm   int64
+}
+
+func optimizeFunc(f *asm.Func, rep *Report) {
+	forwardSlots(f, rep)
+	elideJumps(f, rep)
+}
+
+// forwardSlots runs the per-block slot-cache dataflow.
+func forwardSlots(f *asm.Func, rep *Report) {
+	var out []asm.Inst
+	cache := map[int64]slotVal{}
+
+	invalidateReg := func(r asm.Reg) {
+		for k, v := range cache {
+			if !v.isImm && v.reg == r {
+				delete(cache, k)
+			}
+		}
+	}
+	invalidateAll := func() {
+		for k := range cache {
+			delete(cache, k)
+		}
+	}
+
+	for _, in := range f.Insts {
+		// Block boundary: labels mean unknown predecessors.
+		if len(in.Labels) > 0 {
+			invalidateAll()
+		}
+
+		if repl, drop, handled := rewriteSlotAccess(in, cache, rep); handled {
+			if !drop {
+				out = append(out, repl)
+			} else if len(in.Labels) > 0 {
+				// Never drop a labelled instruction silently; keep a nop
+				// to anchor the label. (Labels invalidate the cache, so
+				// this cannot happen: rewrites need a warm cache.)
+				nop := asm.NewInst(asm.NOP)
+				nop.Labels = in.Labels
+				out = append(out, nop)
+			}
+		} else {
+			out = append(out, in)
+			updateCache(in, cache, invalidateReg, invalidateAll)
+		}
+		if asm.EndsBlock(in.Op) || in.Op == asm.CALL {
+			invalidateAll()
+		}
+	}
+	f.Insts = out
+}
+
+// rewriteSlotAccess handles the two rewrite patterns. handled reports
+// whether the instruction was consumed by a rewrite; drop means it is
+// deleted entirely.
+func rewriteSlotAccess(in asm.Inst, cache map[int64]slotVal, rep *Report) (asm.Inst, bool, bool) {
+	if in.Op != asm.MOVQ || len(in.A) != 2 {
+		return asm.Inst{}, false, false
+	}
+	src, dst := in.A[0], in.A[1]
+	// Load from a frame slot into a 64-bit register.
+	if isFrameSlot(src) && dst.Kind == asm.KReg && dst.W == asm.W64 {
+		v, ok := cache[src.M.Disp]
+		if !ok {
+			return asm.Inst{}, false, false
+		}
+		if !v.isImm && v.reg == dst.Reg {
+			rep.LoadsEliminated++
+			// Value already in the destination register: drop the load.
+			// The cache stays valid (nothing changed).
+			return asm.Inst{}, true, true
+		}
+		rep.LoadsForwarded++
+		repl := in
+		if v.isImm {
+			repl.A = []asm.Operand{asm.Imm(v.imm), dst}
+		} else {
+			repl.A = []asm.Operand{asm.Reg64(v.reg), dst}
+		}
+		// The destination register now mirrors the slot too; prefer to
+		// keep the existing (older) mapping, but update mappings broken
+		// by the write to dst.
+		for k, sv := range cache {
+			if !sv.isImm && sv.reg == dst.Reg {
+				delete(cache, k)
+			}
+		}
+		if v.isImm {
+			cache[src.M.Disp] = v
+		} else {
+			cache[src.M.Disp] = slotVal{reg: dst.Reg}
+		}
+		return repl, false, true
+	}
+	return asm.Inst{}, false, false
+}
+
+// updateCache tracks the effect of a (non-rewritten) instruction.
+func updateCache(in asm.Inst, cache map[int64]slotVal,
+	invalidateReg func(asm.Reg), invalidateAll func()) {
+	// Stores to frame slots refresh the cache; all other memory writes
+	// may alias a slot through an alloca pointer and flush it.
+	if in.Op == asm.MOVQ && len(in.A) == 2 && isFrameSlot(in.A[1]) {
+		src := in.A[0]
+		switch {
+		case src.Kind == asm.KReg && src.W == asm.W64:
+			cache[in.A[1].M.Disp] = slotVal{reg: src.Reg}
+		case src.Kind == asm.KImm:
+			cache[in.A[1].M.Disp] = slotVal{isImm: true, imm: src.Imm}
+		default:
+			delete(cache, in.A[1].M.Disp)
+		}
+		return
+	}
+	d := asm.DestOf(in)
+	switch d.Kind {
+	case asm.DestGPR:
+		invalidateReg(d.Reg)
+		if in.Op == asm.IDIVQ {
+			invalidateReg(asm.RDX) // remainder write
+		}
+	}
+	// Any memory write outside the frame-slot pattern may alias.
+	if writesMemory(in) {
+		invalidateAll()
+	}
+	if in.Op == asm.CALL {
+		invalidateAll()
+	}
+}
+
+// isFrameSlot matches the backend's canonical %rbp-relative value slots.
+func isFrameSlot(o asm.Operand) bool {
+	return o.Kind == asm.KMem && o.M.Base == asm.RBP &&
+		o.M.Index == asm.RNone && o.M.Disp < 0
+}
+
+// writesMemory reports whether the instruction stores to memory anywhere
+// other than a frame slot (push included: it writes the stack).
+func writesMemory(in asm.Inst) bool {
+	switch in.Op {
+	case asm.PUSHQ:
+		return true
+	case asm.MOVQ, asm.MOVL, asm.MOVB:
+		d := in.Dst()
+		return d.Kind == asm.KMem && !isFrameSlot(d)
+	case asm.ADDQ, asm.SUBQ, asm.IMULQ, asm.ANDQ, asm.ORQ, asm.XORQ,
+		asm.SHLQ, asm.SHRQ, asm.SARQ, asm.NEGQ:
+		return in.Dst().Kind == asm.KMem
+	}
+	return false
+}
+
+// elideJumps removes `jmp L` when L labels the next instruction.
+func elideJumps(f *asm.Func, rep *Report) {
+	var out []asm.Inst
+	for i, in := range f.Insts {
+		if in.Op == asm.JMP && i+1 < len(f.Insts) {
+			target := in.A[0].Label
+			next := f.Insts[i+1]
+			hit := false
+			for _, l := range next.Labels {
+				if l == target {
+					hit = true
+				}
+			}
+			if hit && len(in.Labels) == 0 {
+				rep.JumpsElided++
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	f.Insts = out
+}

@@ -1,0 +1,316 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/ir"
+	"ferrum/internal/machine"
+	"ferrum/internal/progen"
+)
+
+const memSize = 1 << 20
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$5, %rax
+	movq	%rax, -8(%rbp)
+	movq	-8(%rbp), %rax
+	movq	-8(%rbp), %rcx
+	out	%rax
+	out	%rcx
+	hlt
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, rep, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoadsEliminated != 1 {
+		t.Errorf("eliminated = %d, want 1 (reload into same register)", rep.LoadsEliminated)
+	}
+	if rep.LoadsForwarded != 1 {
+		t.Errorf("forwarded = %d, want 1 (reload into another register)", rep.LoadsForwarded)
+	}
+	text := o.Func("main")
+	// The second load became a register move.
+	found := false
+	for _, in := range text.Insts {
+		if in.Op == asm.MOVQ && in.A[0].IsReg(asm.RAX) && in.A[1].IsReg(asm.RCX) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("forwarded move missing:\n%s", o)
+	}
+}
+
+func TestImmediateForwarding(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$42, -8(%rbp)
+	movq	-8(%rbp), %rax
+	out	%rax
+	hlt
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, rep, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoadsForwarded != 1 {
+		t.Errorf("forwarded = %d", rep.LoadsForwarded)
+	}
+	if !strings.Contains(o.String(), "movq\t$42, %rax") {
+		t.Errorf("immediate not forwarded:\n%s", o)
+	}
+}
+
+func TestInvalidationRules(t *testing.T) {
+	// A register redefinition, an aliasing store, and a call must each
+	// prevent forwarding.
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	movq	%rax, -8(%rbp)
+	movq	$2, %rax
+	movq	-8(%rbp), %rcx
+	movq	%rcx, (%rdx)
+	movq	-8(%rbp), %rsi
+	callq	main
+	movq	-8(%rbp), %rdi
+	hlt
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, rep, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First reload: rax was overwritten, but the slot still maps to...
+	// rax mapping is invalidated, so the load stays a load. After the
+	// aliasing store and the call, loads must also stay.
+	loads := 0
+	for _, in := range o.Func("main").Insts {
+		if in.Op == asm.MOVQ && in.A[0].Kind == asm.KMem {
+			loads++
+		}
+	}
+	if loads != 3 {
+		t.Errorf("loads = %d, want all 3 preserved:\n%s", loads, o)
+	}
+	_ = rep
+}
+
+func TestLabelBoundaryInvalidates(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	movq	%rax, -8(%rbp)
+	jmp	.Lnext
+.Lnext:
+	movq	-8(%rbp), %rcx
+	out	%rcx
+	hlt
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, rep, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoadsForwarded != 0 || rep.LoadsEliminated != 0 {
+		t.Errorf("forwarding across a label: %+v", rep)
+	}
+	// But the jump to the next instruction is gone.
+	if rep.JumpsElided != 1 {
+		t.Errorf("jumps elided = %d", rep.JumpsElided)
+	}
+	if strings.Contains(o.Func("main").Insts[2].Op.String(), "jmp") {
+		t.Errorf("jmp not elided:\n%s", o)
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	irSrc := `
+func @main(%base, %n) {
+entry:
+  %iS = alloca 1
+  %accS = alloca 1
+  store 0, %iS
+  store 0, %accS
+  br loop
+loop:
+  %i = load %iS
+  %c = icmp slt %i, %n
+  br %c, body, done
+body:
+  %p = gep %base, %i
+  %v = load %p
+  %a = load %accS
+  %a2 = add %a, %v
+  store %a2, %accS
+  %i2 = add %i, 1
+  store %i2, %iS
+  br loop
+done:
+  %r = load %accS
+  out %r
+  ret %r
+}
+`
+	mod, err := ir.Parse(irSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := backend.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, rep, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoadsForwarded+rep.LoadsEliminated == 0 {
+		t.Error("optimizer found nothing on -O0 output")
+	}
+	if o.StaticInstCount() >= prog.StaticInstCount() {
+		t.Errorf("no shrink: %d -> %d", prog.StaticInstCount(), o.StaticInstCount())
+	}
+	run := func(p *asm.Program) machine.Result {
+		m, err := machine.New(p, memSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range []uint64{10, 20, 30, 40} {
+			if err := m.WriteWordImage(8192+8*uint64(i), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Run(machine.RunOpts{Args: []uint64{8192, 4}})
+	}
+	a, b := run(prog), run(o)
+	if a.Outcome != machine.OutcomeOK || b.Outcome != machine.OutcomeOK {
+		t.Fatalf("outcomes %v/%v (%s)", a.Outcome, b.Outcome, b.CrashMsg)
+	}
+	if a.Output[0] != b.Output[0] {
+		t.Fatalf("outputs differ: %v vs %v", a.Output, b.Output)
+	}
+	if b.Cycles >= a.Cycles {
+		t.Errorf("optimised not faster: %v vs %v cycles", b.Cycles, a.Cycles)
+	}
+}
+
+// TestOptimizeFuzz: random programs keep identical outputs after
+// optimisation.
+func TestOptimizeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 60; i++ {
+		mod, err := progen.Generate(rng, progen.Options{Stmts: 25, Calls: i%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := backend.Compile(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _, err := Optimize(prog)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		args := []uint64{8192, uint64(rng.Int63n(5000)), uint64(rng.Int63n(5000))}
+		run := func(p *asm.Program) machine.Result {
+			m, err := machine.New(p, memSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < 8; s++ {
+				if err := m.WriteWordImage(8192+8*uint64(s), uint64(s+11)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return m.Run(machine.RunOpts{Args: args, MaxSteps: 5_000_000})
+		}
+		a, b := run(prog), run(o)
+		if a.Outcome != machine.OutcomeOK || b.Outcome != machine.OutcomeOK {
+			t.Fatalf("iter %d: outcomes %v/%v (%s)\n%s", i, a.Outcome, b.Outcome, b.CrashMsg, mod)
+		}
+		if len(a.Output) != len(b.Output) {
+			t.Fatalf("iter %d: output lengths differ\n%s", i, mod)
+		}
+		for j := range a.Output {
+			if a.Output[j] != b.Output[j] {
+				t.Fatalf("iter %d: output[%d] %d vs %d\n%s", i, j, a.Output[j], b.Output[j], mod)
+			}
+		}
+	}
+}
+
+func TestLabeledJumpKept(t *testing.T) {
+	// A jmp that itself carries a label must not be elided (something
+	// may jump to it).
+	src := `
+	.globl	main
+main:
+	cmpq	$0, %rax
+	je	.Lj
+	hlt
+.Lj:
+	jmp	.Lnext
+.Lnext:
+	hlt
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, rep, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JumpsElided != 0 {
+		t.Errorf("labeled jmp elided:\n%s", o)
+	}
+}
+
+func TestXmmStoreInvalidatesSlot(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$5, %rax
+	movq	%rax, -8(%rbp)
+	movq	%xmm0, -8(%rbp)
+	movq	-8(%rbp), %rcx
+	out	%rcx
+	hlt
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoadsForwarded != 0 || rep.LoadsEliminated != 0 {
+		t.Errorf("forwarded across an xmm store: %+v", rep)
+	}
+}

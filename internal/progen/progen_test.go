@@ -1,0 +1,76 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+
+	"ferrum/internal/ir"
+)
+
+func TestGenerateVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		mod, err := Generate(rng, Options{Calls: i%2 == 0})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if mod.Func("main") == nil {
+			t.Fatal("no main")
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		mod, err := Generate(rng, Options{Stmts: 30, Calls: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, err := ir.NewInterp(mod, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 8; s++ {
+			if err := ip.WriteWordImage(8192+8*uint64(s), uint64(s*3+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := ip.Run(ir.RunOpts{Args: []uint64{8192, uint64(rng.Int63()), uint64(rng.Int63())}, MaxSteps: 2_000_000})
+		if res.Outcome != ir.OutcomeOK {
+			t.Fatalf("iteration %d: %v (%s)\n%s", i, res.Outcome, res.CrashMsg, mod)
+		}
+		if len(res.Output) == 0 {
+			t.Fatal("no output")
+		}
+	}
+}
+
+func TestGeneratedProgramsRoundTripText(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mod, err := Generate(rng, Options{Calls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod2, err := ir.Parse(mod.String())
+	if err != nil {
+		t.Fatalf("generated text does not parse: %v\n%s", err, mod)
+	}
+	if mod2.String() != mod.String() {
+		t.Error("print/parse round trip mismatch")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(rand.New(rand.NewSource(5)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rand.New(rand.NewSource(5)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different programs")
+	}
+}

@@ -1,0 +1,173 @@
+package rodinia
+
+import "math/rand"
+
+// Backprop: one forward and one backward pass of a two-layer perceptron in
+// Q8.8 fixed point, mirroring the structure of Rodinia's backprop kernel
+// (input->hidden matrix-vector product, activation, output accumulation,
+// weight update). Memory layout, in 64-bit words starting at DataBase:
+//
+//	input[nin] | w1[nhid*nin] | hidden[nhid] | w2[nhid] | target
+//
+// Arguments: base, nin, nhid. Output: network output, delta, and a
+// checksum over the updated weights and hidden activations.
+var Backprop = register(&Benchmark{
+	Name:   "backprop",
+	Domain: "Machine Learning",
+	source: backpropSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		nin := 12 * scale
+		nhid := 6 * scale
+		words := make([]uint64, 0, nin+nhid*nin+2*nhid+1)
+		for i := 0; i < nin; i++ {
+			words = append(words, q8(rng.Float64()*2-1))
+		}
+		for i := 0; i < nhid*nin; i++ {
+			words = append(words, q8(rng.Float64()-0.5))
+		}
+		for i := 0; i < nhid; i++ {
+			words = append(words, 0) // hidden activations
+		}
+		for i := 0; i < nhid; i++ {
+			words = append(words, q8(rng.Float64()-0.5)) // w2
+		}
+		words = append(words, q8(0.25)) // target
+		return []uint64{DataBase, uint64(nin), uint64(nhid)}, words
+	},
+})
+
+const backpropSrc = `
+; Rodinia backprop miniature: forward pass, leaky activation, output layer,
+; gradient update of the output weights, checksum.
+func @main(%base, %nin, %nhid) {
+entry:
+  %hS = alloca 1
+  %iS = alloca 1
+  %accS = alloca 1
+  %oS = alloca 1
+  %csS = alloca 1
+  %w1size = mul %nin, %nhid
+  %hidoff = add %nin, %w1size
+  %w2off = add %hidoff, %nhid
+  %tgtoff = add %w2off, %nhid
+  %w1B = gep %base, %nin
+  %hidB = gep %base, %hidoff
+  %w2B = gep %base, %w2off
+  %tgtP = gep %base, %tgtoff
+  store 0, %hS
+  br hloop
+hloop:
+  %h = load %hS
+  %hc = icmp slt %h, %nhid
+  br %hc, hbody, fdone
+hbody:
+  store 0, %accS
+  store 0, %iS
+  br iloop
+iloop:
+  %i = load %iS
+  %ic = icmp slt %i, %nin
+  br %ic, ibody, isum
+ibody:
+  %inP = gep %base, %i
+  %inV = load %inP
+  %wIdx0 = mul %h, %nin
+  %wIdx = add %wIdx0, %i
+  %wP = gep %w1B, %wIdx
+  %wV = load %wP
+  %prod = mul %inV, %wV
+  %prodQ = ashr %prod, 8
+  %acc0 = load %accS
+  %acc1 = add %acc0, %prodQ
+  store %acc1, %accS
+  %i1 = add %i, 1
+  store %i1, %iS
+  br iloop
+isum:
+  %accv = load %accS
+  %neg = icmp slt %accv, 0
+  br %neg, leaky, actdone
+leaky:
+  %lv = ashr %accv, 2
+  store %lv, %accS
+  br actdone
+actdone:
+  %hval = load %accS
+  %hidP = gep %hidB, %h
+  store %hval, %hidP
+  %h1 = add %h, 1
+  store %h1, %hS
+  br hloop
+fdone:
+  store 0, %oS
+  store 0, %hS
+  br oloop
+oloop:
+  %oh = load %hS
+  %ohc = icmp slt %oh, %nhid
+  br %ohc, obody, odone
+obody:
+  %hv2P = gep %hidB, %oh
+  %hv2 = load %hv2P
+  %w2P = gep %w2B, %oh
+  %w2v = load %w2P
+  %p2 = mul %hv2, %w2v
+  %p2q = ashr %p2, 8
+  %o0 = load %oS
+  %o1 = add %o0, %p2q
+  store %o1, %oS
+  %oh1 = add %oh, 1
+  store %oh1, %hS
+  br oloop
+odone:
+  %outv = load %oS
+  %tgt = load %tgtP
+  %delta = sub %outv, %tgt
+  store 0, %hS
+  br uloop
+uloop:
+  %uh = load %hS
+  %uc = icmp slt %uh, %nhid
+  br %uc, ubody, udone
+ubody:
+  %uhP = gep %hidB, %uh
+  %uhv = load %uhP
+  %g0 = mul %delta, %uhv
+  %g1 = ashr %g0, 12
+  %uw2P = gep %w2B, %uh
+  %uw2v = load %uw2P
+  %uw2n = sub %uw2v, %g1
+  store %uw2n, %uw2P
+  %uh1 = add %uh, 1
+  store %uh1, %hS
+  br uloop
+udone:
+  store 0, %csS
+  store 0, %hS
+  br csloop
+csloop:
+  %ch = load %hS
+  %cc = icmp slt %ch, %nhid
+  br %cc, csbody, csdone
+csbody:
+  %cw2P = gep %w2B, %ch
+  %cw2 = load %cw2P
+  %chidP = gep %hidB, %ch
+  %chid = load %chidP
+  %cs0 = load %csS
+  %cs1 = add %cs0, %cw2
+  %cs2 = mul %cs1, 31
+  %cs3 = add %cs2, %chid
+  store %cs3, %csS
+  %ch1 = add %ch, 1
+  store %ch1, %hS
+  br csloop
+csdone:
+  %outF = load %oS
+  out %outF
+  out %delta
+  %csF = load %csS
+  out %csF
+  ret %csF
+}
+`

@@ -1,0 +1,151 @@
+package rodinia
+
+import "math/rand"
+
+// BFS: breadth-first search over a CSR graph with an explicit frontier
+// queue, mirroring Rodinia's bfs kernel. Memory layout in words:
+//
+//	off[n+1] | edges[nedge] | dist[n] | queue[n]
+//
+// Arguments: base, n, nedge. Output: a checksum over the distance array
+// and the number of visited nodes.
+var BFS = register(&Benchmark{
+	Name:   "bfs",
+	Domain: "Graph Algorithm",
+	source: bfsSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		n := 28 * scale
+		// Ring edges guarantee connectivity; random chords add irregular
+		// fan-out like the Rodinia graphs.
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			adj[i] = append(adj[i], (i+1)%n)
+		}
+		for c := 0; c < n; c++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				adj[u] = append(adj[u], v)
+			}
+		}
+		var off, edges []uint64
+		for i := 0; i < n; i++ {
+			off = append(off, uint64(len(edges)))
+			for _, v := range adj[i] {
+				edges = append(edges, uint64(v))
+			}
+		}
+		off = append(off, uint64(len(edges)))
+		words := make([]uint64, 0, len(off)+len(edges)+2*n)
+		words = append(words, off...)
+		words = append(words, edges...)
+		for i := 0; i < 2*n; i++ {
+			words = append(words, 0) // dist + queue, initialised by the kernel
+		}
+		return []uint64{DataBase, uint64(n), uint64(len(edges))}, words
+	},
+})
+
+const bfsSrc = `
+; Rodinia BFS miniature: frontier-queue BFS over a CSR graph.
+func @main(%base, %n, %nedge) {
+entry:
+  %qhS = alloca 1
+  %qtS = alloca 1
+  %eS = alloca 1
+  %csS = alloca 1
+  %iS = alloca 1
+  %n1 = add %n, 1
+  %distoff = add %n1, %nedge
+  %queueoff = add %distoff, %n
+  %edgeB = gep %base, %n1
+  %distB = gep %base, %distoff
+  %queueB = gep %base, %queueoff
+  store 0, %iS
+  br initloop
+initloop:
+  %ii = load %iS
+  %ic = icmp slt %ii, %n
+  br %ic, initbody, initdone
+initbody:
+  %dP = gep %distB, %ii
+  store -1, %dP
+  %ii1 = add %ii, 1
+  store %ii1, %iS
+  br initloop
+initdone:
+  %d0P = gep %distB, 0
+  store 0, %d0P
+  %q0P = gep %queueB, 0
+  store 0, %q0P
+  store 0, %qhS
+  store 1, %qtS
+  br bfsloop
+bfsloop:
+  %qh = load %qhS
+  %qt = load %qtS
+  %qc = icmp slt %qh, %qt
+  br %qc, visit, bfsdone
+visit:
+  %quP = gep %queueB, %qh
+  %u = load %quP
+  %qh1 = add %qh, 1
+  store %qh1, %qhS
+  %uoffP = gep %base, %u
+  %ustart = load %uoffP
+  %u1 = add %u, 1
+  %uoffP2 = gep %base, %u1
+  %uend = load %uoffP2
+  store %ustart, %eS
+  br eloop
+eloop:
+  %e = load %eS
+  %ec = icmp slt %e, %uend
+  br %ec, ebody, bfsloop
+ebody:
+  %evP = gep %edgeB, %e
+  %v = load %evP
+  %vdP = gep %distB, %v
+  %vd = load %vdP
+  %seen = icmp sge %vd, 0
+  br %seen, enext, enqueue
+enqueue:
+  %udP = gep %distB, %u
+  %ud = load %udP
+  %vd1 = add %ud, 1
+  store %vd1, %vdP
+  %qt0 = load %qtS
+  %qslot = gep %queueB, %qt0
+  store %v, %qslot
+  %qt1 = add %qt0, 1
+  store %qt1, %qtS
+  br enext
+enext:
+  %e1 = add %e, 1
+  store %e1, %eS
+  br eloop
+bfsdone:
+  store 0, %csS
+  store 0, %iS
+  br csloop
+csloop:
+  %ci = load %iS
+  %cc = icmp slt %ci, %n
+  br %cc, csbody, csdone
+csbody:
+  %cdP = gep %distB, %ci
+  %cd = load %cdP
+  %cs0 = load %csS
+  %cs1 = mul %cs0, 33
+  %cs2 = add %cs1, %cd
+  store %cs2, %csS
+  %ci1 = add %ci, 1
+  store %ci1, %iS
+  br csloop
+csdone:
+  %csF = load %csS
+  out %csF
+  %qtF = load %qtS
+  out %qtF
+  ret %csF
+}
+`

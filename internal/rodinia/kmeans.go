@@ -1,0 +1,222 @@
+package rodinia
+
+import "math/rand"
+
+// Kmeans: Lloyd iterations over 2-D points, as in Rodinia's kmeans:
+// nearest-centroid assignment (distance computation + comparisons), then
+// centroid recomputation with integer division. Memory layout:
+//
+//	px[n] | py[n] | cx[k] | cy[k] | sumx[k] | sumy[k] | cnt[k] | assign[n]
+//
+// Arguments: base, n, k, iters. Output: centroid checksum and the final
+// total assignment distance.
+var Kmeans = register(&Benchmark{
+	Name:   "kmeans",
+	Domain: "Data Mining",
+	source: kmeansSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		n := 30 * scale
+		k := 3
+		iters := 3
+		words := make([]uint64, 0, 2*n+5*k+n)
+		for i := 0; i < n; i++ {
+			words = append(words, uint64(rng.Intn(1000)))
+		}
+		for i := 0; i < n; i++ {
+			words = append(words, uint64(rng.Intn(1000)))
+		}
+		for c := 0; c < k; c++ {
+			words = append(words, uint64(rng.Intn(1000))) // cx
+		}
+		for c := 0; c < k; c++ {
+			words = append(words, uint64(rng.Intn(1000))) // cy
+		}
+		for i := 0; i < 3*k+n; i++ {
+			words = append(words, 0) // sums, counts, assignments
+		}
+		return []uint64{DataBase, uint64(n), uint64(k), uint64(iters)}, words
+	},
+})
+
+const kmeansSrc = `
+; Rodinia kmeans miniature: Lloyd iterations with integer centroids.
+func @dist2k(%ax, %ay, %bx, %by) {
+entry:
+  %dx = sub %ax, %bx
+  %dy = sub %ay, %by
+  %dx2 = mul %dx, %dx
+  %dy2 = mul %dy, %dy
+  %d = add %dx2, %dy2
+  ret %d
+}
+
+func @main(%base, %n, %k, %iters) {
+entry:
+  %tS = alloca 1
+  %iS = alloca 1
+  %cS = alloca 1
+  %bestS = alloca 1
+  %bestCS = alloca 1
+  %totS = alloca 1
+  %csS = alloca 1
+  %pyoff = add %n, 0
+  %cxoff = mul %n, 2
+  %cyoff = add %cxoff, %k
+  %sxoff = add %cyoff, %k
+  %syoff = add %sxoff, %k
+  %cntoff = add %syoff, %k
+  %asgoff = add %cntoff, %k
+  %pyB = gep %base, %pyoff
+  %cxB = gep %base, %cxoff
+  %cyB = gep %base, %cyoff
+  %sxB = gep %base, %sxoff
+  %syB = gep %base, %syoff
+  %cntB = gep %base, %cntoff
+  %asgB = gep %base, %asgoff
+  store 0, %tS
+  br titer
+titer:
+  %t = load %tS
+  %tc = icmp slt %t, %iters
+  br %tc, tbody, report
+tbody:
+  ; clear accumulators
+  store 0, %cS
+  br clearloop
+clearloop:
+  %cc0 = load %cS
+  %ccc = icmp slt %cc0, %k
+  br %ccc, clearbody, assign
+clearbody:
+  %sxP = gep %sxB, %cc0
+  store 0, %sxP
+  %syP = gep %syB, %cc0
+  store 0, %syP
+  %cntP = gep %cntB, %cc0
+  store 0, %cntP
+  %cc1 = add %cc0, 1
+  store %cc1, %cS
+  br clearloop
+assign:
+  store 0, %iS
+  store 0, %totS
+  br ailoop
+ailoop:
+  %i = load %iS
+  %ic = icmp slt %i, %n
+  br %ic, aibody, update
+aibody:
+  %pxP = gep %base, %i
+  %px = load %pxP
+  %pyP = gep %pyB, %i
+  %py = load %pyP
+  store 4611686018427387903, %bestS
+  store 0, %bestCS
+  store 0, %cS
+  br acloop
+acloop:
+  %c = load %cS
+  %acc = icmp slt %c, %k
+  br %acc, acbody, apick
+acbody:
+  %cxP = gep %cxB, %c
+  %cx = load %cxP
+  %cyP = gep %cyB, %c
+  %cy = load %cyP
+  %d = call @dist2k(%px, %py, %cx, %cy)
+  %b = load %bestS
+  %closer = icmp slt %d, %b
+  br %closer, acupd, acnext
+acupd:
+  store %d, %bestS
+  store %c, %bestCS
+  br acnext
+acnext:
+  %c1 = add %c, 1
+  store %c1, %cS
+  br acloop
+apick:
+  %bc = load %bestCS
+  %asgP = gep %asgB, %i
+  store %bc, %asgP
+  %sxuP = gep %sxB, %bc
+  %sxu = load %sxuP
+  %sxu1 = add %sxu, %px
+  store %sxu1, %sxuP
+  %syuP = gep %syB, %bc
+  %syu = load %syuP
+  %syu1 = add %syu, %py
+  store %syu1, %syuP
+  %cntuP = gep %cntB, %bc
+  %cntu = load %cntuP
+  %cntu1 = add %cntu, 1
+  store %cntu1, %cntuP
+  %bdist = load %bestS
+  %tot0 = load %totS
+  %tot1 = add %tot0, %bdist
+  store %tot1, %totS
+  %i1 = add %i, 1
+  store %i1, %iS
+  br ailoop
+update:
+  store 0, %cS
+  br upcloop
+upcloop:
+  %uc = load %cS
+  %ucc = icmp slt %uc, %k
+  br %ucc, upcbody, tnext
+upcbody:
+  %ucntP = gep %cntB, %uc
+  %ucnt = load %ucntP
+  %empty = icmp sle %ucnt, 0
+  br %empty, upcnext, upcompute
+upcompute:
+  %usxP = gep %sxB, %uc
+  %usx = load %usxP
+  %newcx = sdiv %usx, %ucnt
+  %ucxP = gep %cxB, %uc
+  store %newcx, %ucxP
+  %usyP = gep %syB, %uc
+  %usy = load %usyP
+  %newcy = sdiv %usy, %ucnt
+  %ucyP = gep %cyB, %uc
+  store %newcy, %ucyP
+  br upcnext
+upcnext:
+  %uc1 = add %uc, 1
+  store %uc1, %cS
+  br upcloop
+tnext:
+  %t1 = add %t, 1
+  store %t1, %tS
+  br titer
+report:
+  store 0, %csS
+  store 0, %cS
+  br rloop
+rloop:
+  %rc0 = load %cS
+  %rcc = icmp slt %rc0, %k
+  br %rcc, rbody, done
+rbody:
+  %rcxP = gep %cxB, %rc0
+  %rcx = load %rcxP
+  %rcyP = gep %cyB, %rc0
+  %rcy = load %rcyP
+  %cs0 = load %csS
+  %cs1 = mul %cs0, 41
+  %cs2 = add %cs1, %rcx
+  %cs3 = mul %cs2, 41
+  %cs4 = add %cs3, %rcy
+  store %cs4, %csS
+  %rc1 = add %rc0, 1
+  store %rc1, %cS
+  br rloop
+done:
+  %csF = load %csS
+  out %csF
+  %totF = load %totS
+  out %totF
+  ret %csF
+}
+`

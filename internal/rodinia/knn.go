@@ -1,0 +1,143 @@
+package rodinia
+
+import "math/rand"
+
+// KNN: k-nearest-neighbours over 2-D points, as in Rodinia's nn kernel:
+// squared Euclidean distances to a query point, then k selection passes of
+// a comparison-heavy minimum scan with a visited mask. Memory layout:
+//
+//	xs[n] | ys[n] | visited[n] | outd[k] | outi[k]
+//
+// Arguments: base, n, k. Output: each of the k nearest squared distances,
+// their accumulated sum, and the checksum of selected indices.
+var KNN = register(&Benchmark{
+	Name:   "knn",
+	Domain: "Machine Learning",
+	source: knnSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		n := 40 * scale
+		k := 4 * scale
+		words := make([]uint64, 0, 3*n)
+		for i := 0; i < n; i++ {
+			words = append(words, uint64(rng.Intn(2000))) // xs
+		}
+		for i := 0; i < n; i++ {
+			words = append(words, uint64(rng.Intn(2000))) // ys
+		}
+		for i := 0; i < n+2*k; i++ {
+			words = append(words, 0) // visited, outd, outi
+		}
+		return []uint64{DataBase, uint64(n), uint64(k)}, words
+	},
+})
+
+const knnSrc = `
+; Rodinia nn miniature: k rounds of minimum-distance selection.
+func @dist2(%ax, %ay, %bx, %by) {
+entry:
+  %dx = sub %ax, %bx
+  %dy = sub %ay, %by
+  %dx2 = mul %dx, %dx
+  %dy2 = mul %dy, %dy
+  %d = add %dx2, %dy2
+  ret %d
+}
+
+func @main(%base, %n, %k) {
+entry:
+  %rS = alloca 1
+  %iS = alloca 1
+  %bestS = alloca 1
+  %bestIdxS = alloca 1
+  %accS = alloca 1
+  %idxCsS = alloca 1
+  %ysB = gep %base, %n
+  %visoff = mul %n, 2
+  %visB = gep %base, %visoff
+  %outdoff = mul %n, 3
+  %outdB = gep %base, %outdoff
+  %outioff = add %outdoff, %k
+  %outiB = gep %base, %outioff
+  store 0, %rS
+  store 0, %accS
+  store 0, %idxCsS
+  br rloop
+rloop:
+  %r = load %rS
+  %rc = icmp slt %r, %k
+  br %rc, rbody, alldone
+rbody:
+  store -1, %bestIdxS
+  store 4611686018427387903, %bestS
+  store 0, %iS
+  br scan
+scan:
+  %i = load %iS
+  %ic = icmp slt %i, %n
+  br %ic, sbody, rpick
+sbody:
+  %vP = gep %visB, %i
+  %v = load %vP
+  %taken = icmp ne %v, 0
+  br %taken, snext, smeasure
+smeasure:
+  %xP = gep %base, %i
+  %x = load %xP
+  %yP = gep %ysB, %i
+  %y = load %yP
+  %d = call @dist2(%x, %y, 1000, 1000)
+  %b = load %bestS
+  %closer = icmp slt %d, %b
+  br %closer, supdate, snext
+supdate:
+  store %d, %bestS
+  store %i, %bestIdxS
+  br snext
+snext:
+  %i1 = add %i, 1
+  store %i1, %iS
+  br scan
+rpick:
+  %bi = load %bestIdxS
+  %found = icmp sge %bi, 0
+  br %found, rmark, alldone
+rmark:
+  %mP = gep %visB, %bi
+  store 1, %mP
+  %bd = load %bestS
+  %odP = gep %outdB, %r
+  store %bd, %odP
+  %oiP = gep %outiB, %r
+  store %bi, %oiP
+  %a0 = load %accS
+  %a1 = add %a0, %bd
+  store %a1, %accS
+  %ic0 = load %idxCsS
+  %ic1 = mul %ic0, 37
+  %ic2 = add %ic1, %bi
+  store %ic2, %idxCsS
+  %r1 = add %r, 1
+  store %r1, %rS
+  br rloop
+alldone:
+  store 0, %iS
+  br emitloop
+emitloop:
+  %ei = load %iS
+  %ec = icmp slt %ei, %k
+  br %ec, emitbody, emitdone
+emitbody:
+  %edP = gep %outdB, %ei
+  %ed = load %edP
+  out %ed
+  %ei1 = add %ei, 1
+  store %ei1, %iS
+  br emitloop
+emitdone:
+  %accF = load %accS
+  out %accF
+  %icsF = load %idxCsS
+  out %icsF
+  ret %accF
+}
+`

@@ -1,0 +1,144 @@
+package rodinia
+
+import "math/rand"
+
+// LUD: in-place LU decomposition (Doolittle, no pivoting) of a diagonally
+// dominant matrix in Q8.8 fixed point, as in Rodinia's lud. Exercises the
+// division protection path. Memory layout: a[n*n]. Arguments: base, n.
+// Output: the U-factor diagonal, the matrix checksum and the final pivot.
+var LUD = register(&Benchmark{
+	Name:   "lud",
+	Domain: "Linear Algebra",
+	source: ludSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		n := 7 * scale
+		words := make([]uint64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := q8(rng.Float64()*2 - 1)
+				if i == j {
+					// Diagonal dominance keeps pivots well away from zero.
+					v = q8(float64(n) + rng.Float64())
+				}
+				words[i*n+j] = v
+			}
+		}
+		return []uint64{DataBase, uint64(n)}, words
+	},
+})
+
+const ludSrc = `
+; Rodinia LUD miniature: Doolittle LU decomposition in fixed point.
+func @main(%base, %n) {
+entry:
+  %kS = alloca 1
+  %iS = alloca 1
+  %jS = alloca 1
+  %csS = alloca 1
+  store 0, %kS
+  br kloop
+kloop:
+  %k = load %kS
+  %kmax = sub %n, 1
+  %kc = icmp slt %k, %kmax
+  br %kc, kbody, luddone
+kbody:
+  %pivIdx0 = mul %k, %n
+  %pivIdx = add %pivIdx0, %k
+  %pivP = gep %base, %pivIdx
+  %piv = load %pivP
+  %k1 = add %k, 1
+  store %k1, %iS
+  br iloop
+iloop:
+  %i = load %iS
+  %ic = icmp slt %i, %n
+  br %ic, ibody, knext
+ibody:
+  %aikIdx0 = mul %i, %n
+  %aikIdx = add %aikIdx0, %k
+  %aikP = gep %base, %aikIdx
+  %aik = load %aikP
+  %num = shl %aik, 8
+  %factor = sdiv %num, %piv
+  store %factor, %aikP
+  %kk1 = add %k, 1
+  store %kk1, %jS
+  br jloop
+jloop:
+  %j = load %jS
+  %jc = icmp slt %j, %n
+  br %jc, jbody, inext
+jbody:
+  %akjIdx0 = mul %k, %n
+  %akjIdx = add %akjIdx0, %j
+  %akjP = gep %base, %akjIdx
+  %akj = load %akjP
+  %aijIdx0 = mul %i, %n
+  %aijIdx = add %aijIdx0, %j
+  %aijP = gep %base, %aijIdx
+  %aij = load %aijP
+  %upd0 = mul %factor, %akj
+  %upd = ashr %upd0, 8
+  %aijn = sub %aij, %upd
+  store %aijn, %aijP
+  %j1 = add %j, 1
+  store %j1, %jS
+  br jloop
+inext:
+  %i1 = add %i, 1
+  store %i1, %iS
+  br iloop
+knext:
+  %kn = load %kS
+  %kn1 = add %kn, 1
+  store %kn1, %kS
+  br kloop
+luddone:
+  ; emit the U diagonal
+  store 0, %iS
+  br dloop
+dloop:
+  %di = load %iS
+  %dc = icmp slt %di, %n
+  br %dc, dbody, ddone
+dbody:
+  %dIdx0 = mul %di, %n
+  %dIdx = add %dIdx0, %di
+  %dP = gep %base, %dIdx
+  %dv = load %dP
+  out %dv
+  %di1 = add %di, 1
+  store %di1, %iS
+  br dloop
+ddone:
+  store 0, %csS
+  store 0, %iS
+  br csloop
+csloop:
+  %ci = load %iS
+  %size = mul %n, %n
+  %cc = icmp slt %ci, %size
+  br %cc, csbody, done
+csbody:
+  %cP = gep %base, %ci
+  %cv = load %cP
+  %cs0 = load %csS
+  %cs1 = mul %cs0, 33
+  %cs2 = add %cs1, %cv
+  %cs3 = and %cs2, 1152921504606846975
+  store %cs3, %csS
+  %ci1 = add %ci, 1
+  store %ci1, %iS
+  br csloop
+done:
+  %lastIdx0 = mul %n, %n
+  %lastIdx = sub %lastIdx0, 1
+  %lastP = gep %base, %lastIdx
+  %last = load %lastP
+  out %last
+  %csF = load %csS
+  out %csF
+  ret %csF
+}
+`

@@ -1,0 +1,201 @@
+package rodinia
+
+import "math/rand"
+
+// Needle: Needleman-Wunsch global sequence alignment scoring, as in
+// Rodinia's needle — a branch-heavy DP over a (n+1)^2 score matrix with a
+// match/mismatch similarity and linear gap penalty. Memory layout:
+//
+//	a[n] | b[n] | m[(n+1)*(n+1)]
+//
+// Arguments: base, n. Output: alignment score and a checksum of the final
+// row.
+var Needle = register(&Benchmark{
+	Name:   "needle",
+	Domain: "Dynamic Programming",
+	source: needleSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		n := 10 * scale
+		words := make([]uint64, 0, 2*n+(n+1)*(n+1))
+		for i := 0; i < 2*n; i++ {
+			words = append(words, uint64(rng.Intn(4))) // 4-letter alphabet
+		}
+		for i := 0; i < (n+1)*(n+1); i++ {
+			words = append(words, 0)
+		}
+		return []uint64{DataBase, uint64(n)}, words
+	},
+})
+
+const needleSrc = `
+; Rodinia needle miniature: Needleman-Wunsch DP with max-of-three scoring.
+func @max2(%x, %y) {
+entry:
+  %c = icmp sgt %x, %y
+  br %c, takex, takey
+takex:
+  ret %x
+takey:
+  ret %y
+}
+
+func @main(%base, %n) {
+entry:
+  %iS = alloca 1
+  %jS = alloca 1
+  %csS = alloca 1
+  %n1 = add %n, 1
+  %moff = mul %n, 2
+  %mB = gep %base, %moff
+  %bB = gep %base, %n
+  ; boundary row and column: -2 per gap
+  store 0, %iS
+  br binit
+binit:
+  %bi = load %iS
+  %bic = icmp sle %bi, %n
+  br %bic, binitbody, binitdone
+binitbody:
+  %g0 = mul %bi, -2
+  %rowP = gep %mB, %bi
+  store %g0, %rowP
+  %colIdx = mul %bi, %n1
+  %colP = gep %mB, %colIdx
+  store %g0, %colP
+  %bi1 = add %bi, 1
+  store %bi1, %iS
+  br binit
+binitdone:
+  store 1, %iS
+  br irow
+irow:
+  %i = load %iS
+  %ic = icmp sle %i, %n
+  br %ic, icol, nwdone
+icol:
+  store 1, %jS
+  br jloop
+jloop:
+  %j = load %jS
+  %jc = icmp sle %j, %n
+  br %jc, jbody, inext
+jbody:
+  %ai0 = sub %i, 1
+  %aiP = gep %base, %ai0
+  %ai = load %aiP
+  %bj0 = sub %j, 1
+  %bjP = gep %bB, %bj0
+  %bj = load %bjP
+  %same = icmp eq %ai, %bj
+  br %same, matched, mismatched
+matched:
+  %dIdxm0 = sub %i, 1
+  %dIdxm1 = mul %dIdxm0, %n1
+  %dIdxm2 = sub %j, 1
+  %dIdxm = add %dIdxm1, %dIdxm2
+  %dPm = gep %mB, %dIdxm
+  %dvm = load %dPm
+  %diagm = add %dvm, 3
+  br combine
+mismatched:
+  %dIdxx0 = sub %i, 1
+  %dIdxx1 = mul %dIdxx0, %n1
+  %dIdxx2 = sub %j, 1
+  %dIdxx = add %dIdxx1, %dIdxx2
+  %dPx = gep %mB, %dIdxx
+  %dvx = load %dPx
+  %diagx = sub %dvx, 1
+  br combine
+combine:
+  ; reload the chosen diagonal score through memory (no phi nodes)
+  %curIdx0 = mul %i, %n1
+  %curIdx = add %curIdx0, %j
+  %curP = gep %mB, %curIdx
+  %upIdx0 = sub %i, 1
+  %upIdx1 = mul %upIdx0, %n1
+  %upIdx = add %upIdx1, %j
+  %upP = gep %mB, %upIdx
+  %upv0 = load %upP
+  %upv = sub %upv0, 2
+  %leftIdx0 = mul %i, %n1
+  %leftIdx1 = sub %j, 1
+  %leftIdx = add %leftIdx0, %leftIdx1
+  %leftP = gep %mB, %leftIdx
+  %leftv0 = load %leftP
+  %leftv = sub %leftv0, 2
+  %best0 = call @max2(%upv, %leftv)
+  store %best0, %curP
+  br diagsel
+diagsel:
+  ; merge the diag value via the store-free path: recompute both ways
+  %sIdx0 = sub %i, 1
+  %sIdx1 = mul %sIdx0, %n1
+  %sIdx2 = sub %j, 1
+  %sIdx = add %sIdx1, %sIdx2
+  %sP = gep %mB, %sIdx
+  %sv = load %sP
+  %ai2P = gep %base, %sIdx2
+  %useIdx = sub %i, 1
+  %ai2P2 = gep %base, %useIdx
+  %av2 = load %ai2P2
+  %bv2P = gep %bB, %sIdx2
+  %bv2 = load %bv2P
+  %same2 = icmp eq %av2, %bv2
+  br %same2, diag3, diagm1
+diag3:
+  %d3 = add %sv, 3
+  %cur3P0 = mul %i, %n1
+  %cur3Idx = add %cur3P0, %j
+  %cur3P = gep %mB, %cur3Idx
+  %old3 = load %cur3P
+  %best3 = call @max2(%old3, %d3)
+  store %best3, %cur3P
+  br jnext
+diagm1:
+  %dm1 = sub %sv, 1
+  %curmP0 = mul %i, %n1
+  %curmIdx = add %curmP0, %j
+  %curmP = gep %mB, %curmIdx
+  %oldm = load %curmP
+  %bestm = call @max2(%oldm, %dm1)
+  store %bestm, %curmP
+  br jnext
+jnext:
+  %j1 = add %j, 1
+  store %j1, %jS
+  br jloop
+inext:
+  %i1 = add %i, 1
+  store %i1, %iS
+  br irow
+nwdone:
+  %finIdx0 = mul %n, %n1
+  %finIdx = add %finIdx0, %n
+  %finP = gep %mB, %finIdx
+  %score = load %finP
+  out %score
+  store 0, %csS
+  store 0, %jS
+  br csloop
+csloop:
+  %cj = load %jS
+  %cjc = icmp sle %cj, %n
+  br %cjc, csbody, done
+csbody:
+  %crIdx0 = mul %n, %n1
+  %crIdx = add %crIdx0, %cj
+  %crP = gep %mB, %crIdx
+  %crv = load %crP
+  %cs0 = load %csS
+  %cs1 = mul %cs0, 29
+  %cs2 = add %cs1, %crv
+  store %cs2, %csS
+  %cj1 = add %cj, 1
+  store %cj1, %jS
+  br csloop
+done:
+  %csF = load %csS
+  out %csF
+  ret %csF
+}
+`

@@ -1,0 +1,301 @@
+package rodinia
+
+import "math/rand"
+
+// Particlefilter: a sequential Monte-Carlo tracker miniature following
+// Rodinia's particlefilter: per-step particle propagation with LCG noise,
+// likelihood weighting with integer division, cumulative-weight
+// computation, systematic resampling and a weighted state estimate. It is
+// the largest benchmark, matching the paper's observation that
+// particlefilter has the largest static instruction count. Memory layout:
+//
+//	x[p] | y[p] | w[p] | cw[p] | nx[p] | ny[p] | seed
+//
+// Arguments: base, nparticles, nsteps. Output: the final x/y estimates and
+// a particle checksum.
+var Particlefilter = register(&Benchmark{
+	Name:   "particlefilter",
+	Domain: "Noise estimator",
+	source: particlefilterSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		p := 24 * scale
+		steps := 5
+		words := make([]uint64, 0, 6*p+1)
+		for i := 0; i < p; i++ {
+			words = append(words, uint64(100+rng.Intn(20))) // x
+		}
+		for i := 0; i < p; i++ {
+			words = append(words, uint64(100+rng.Intn(20))) // y
+		}
+		for i := 0; i < 4*p; i++ {
+			words = append(words, 0) // w, cw, nx, ny
+		}
+		words = append(words, uint64(rng.Int63n(1<<31)+1)) // seed
+		return []uint64{DataBase, uint64(p), uint64(steps)}, words
+	},
+})
+
+const particlefilterSrc = `
+; Rodinia particlefilter miniature: propagate, weight, resample, estimate.
+func @lcg(%s) {
+entry:
+  %m0 = mul %s, 1103515245
+  %m1 = add %m0, 12345
+  %m2 = and %m1, 2147483647
+  ret %m2
+}
+
+func @main(%base, %np, %nsteps) {
+entry:
+  %tS = alloca 1
+  %iS = alloca 1
+  %jS = alloca 1
+  %totS = alloca 1
+  %exS = alloca 1
+  %eyS = alloca 1
+  %csS = alloca 1
+  %txS = alloca 1
+  %tyS = alloca 1
+  %yoff = add %np, 0
+  %woff = mul %np, 2
+  %cwoff = mul %np, 3
+  %nxoff = mul %np, 4
+  %nyoff = mul %np, 5
+  %seedoff = mul %np, 6
+  %yB = gep %base, %yoff
+  %wB = gep %base, %woff
+  %cwB = gep %base, %cwoff
+  %nxB = gep %base, %nxoff
+  %nyB = gep %base, %nyoff
+  %seedP = gep %base, %seedoff
+  store 100, %txS
+  store 100, %tyS
+  store 0, %tS
+  br step
+step:
+  %t = load %tS
+  %tc = icmp slt %t, %nsteps
+  br %tc, propagate, finish
+propagate:
+  ; true object moves deterministically
+  %tx0 = load %txS
+  %tx1 = add %tx0, 3
+  store %tx1, %txS
+  %ty0 = load %tyS
+  %ty1 = add %ty0, 2
+  store %ty1, %tyS
+  store 0, %iS
+  br ploop
+ploop:
+  %i = load %iS
+  %ic = icmp slt %i, %np
+  br %ic, pbody, weight
+pbody:
+  %s0 = load %seedP
+  %s1 = call @lcg(%s0)
+  store %s1, %seedP
+  %noisex0 = srem %s1, 5
+  %noisex = sub %noisex0, 2
+  %s2 = call @lcg(%s1)
+  store %s2, %seedP
+  %noisey0 = srem %s2, 5
+  %noisey = sub %noisey0, 2
+  %xP = gep %base, %i
+  %x0 = load %xP
+  %x1 = add %x0, 3
+  %x2 = add %x1, %noisex
+  store %x2, %xP
+  %yP = gep %yB, %i
+  %y0 = load %yP
+  %y1 = add %y0, 2
+  %y2 = add %y1, %noisey
+  store %y2, %yP
+  %i1 = add %i, 1
+  store %i1, %iS
+  br ploop
+weight:
+  store 0, %iS
+  store 0, %totS
+  br wloop
+wloop:
+  %wi = load %iS
+  %wc = icmp slt %wi, %np
+  br %wc, wbody, cumsum
+wbody:
+  %wxP = gep %base, %wi
+  %wx = load %wxP
+  %wyP = gep %yB, %wi
+  %wy = load %wyP
+  %txv = load %txS
+  %tyv = load %tyS
+  %dx = sub %wx, %txv
+  %dy = sub %wy, %tyv
+  %dx2 = mul %dx, %dx
+  %dy2 = mul %dy, %dy
+  %d2 = add %dx2, %dy2
+  %d2p1 = add %d2, 1
+  %wv = sdiv 65536, %d2p1
+  %wslot = gep %wB, %wi
+  store %wv, %wslot
+  %tot0 = load %totS
+  %tot1 = add %tot0, %wv
+  store %tot1, %totS
+  %wi1 = add %wi, 1
+  store %wi1, %iS
+  br wloop
+cumsum:
+  store 0, %iS
+  br cloop
+cloop:
+  %ci = load %iS
+  %ccnd = icmp slt %ci, %np
+  br %ccnd, cbody, resample
+cbody:
+  %cwvP = gep %wB, %ci
+  %cwv = load %cwvP
+  %prev0 = icmp sgt %ci, 0
+  br %prev0, chain, first
+chain:
+  %cim1 = sub %ci, 1
+  %prevP = gep %cwB, %cim1
+  %prev = load %prevP
+  %sum = add %prev, %cwv
+  %slotc = gep %cwB, %ci
+  store %sum, %slotc
+  br cnext
+first:
+  %slotf = gep %cwB, %ci
+  store %cwv, %slotf
+  br cnext
+cnext:
+  %ci1 = add %ci, 1
+  store %ci1, %iS
+  br cloop
+resample:
+  ; systematic resampling: u_j = j*total/np; pick first cw > u_j
+  store 0, %jS
+  br rloop
+rloop:
+  %j = load %jS
+  %jc = icmp slt %j, %np
+  br %jc, rbody, copyback
+rbody:
+  %total = load %totS
+  %ju0 = mul %j, %total
+  %u = sdiv %ju0, %np
+  store 0, %iS
+  br pick
+pick:
+  %pi = load %iS
+  %pinb = icmp slt %pi, %np
+  br %pinb, picktest, picklast
+picktest:
+  %pcP = gep %cwB, %pi
+  %pc = load %pcP
+  %gt = icmp sgt %pc, %u
+  br %gt, picked, picknext
+picknext:
+  %pi1 = add %pi, 1
+  store %pi1, %iS
+  br pick
+picklast:
+  %lastI = sub %np, 1
+  store %lastI, %iS
+  br picked
+picked:
+  %sel = load %iS
+  %selxP = gep %base, %sel
+  %selx = load %selxP
+  %selyP = gep %yB, %sel
+  %sely = load %selyP
+  %nxP = gep %nxB, %j
+  store %selx, %nxP
+  %nyP = gep %nyB, %j
+  store %sely, %nyP
+  %j1 = add %j, 1
+  store %j1, %jS
+  br rloop
+copyback:
+  store 0, %iS
+  br cbloop
+cbloop:
+  %cbi = load %iS
+  %cbc = icmp slt %cbi, %np
+  br %cbc, cbbody, estimate
+cbbody:
+  %cbxP = gep %nxB, %cbi
+  %cbx = load %cbxP
+  %dstxP = gep %base, %cbi
+  store %cbx, %dstxP
+  %cbyP = gep %nyB, %cbi
+  %cby = load %cbyP
+  %dstyP = gep %yB, %cbi
+  store %cby, %dstyP
+  %cbi1 = add %cbi, 1
+  store %cbi1, %iS
+  br cbloop
+estimate:
+  store 0, %iS
+  store 0, %exS
+  store 0, %eyS
+  br eloop
+eloop:
+  %ei = load %iS
+  %ec = icmp slt %ei, %np
+  br %ec, ebody, enorm
+ebody:
+  %exP = gep %base, %ei
+  %ex = load %exP
+  %ex0 = load %exS
+  %ex1 = add %ex0, %ex
+  store %ex1, %exS
+  %eyP = gep %yB, %ei
+  %ey = load %eyP
+  %ey0 = load %eyS
+  %ey1 = add %ey0, %ey
+  store %ey1, %eyS
+  %ei1 = add %ei, 1
+  store %ei1, %iS
+  br eloop
+enorm:
+  %exT = load %exS
+  %exAvg = sdiv %exT, %np
+  store %exAvg, %exS
+  %eyT = load %eyS
+  %eyAvg = sdiv %eyT, %np
+  store %eyAvg, %eyS
+  %t1 = add %t, 1
+  store %t1, %tS
+  br step
+finish:
+  %exF = load %exS
+  out %exF
+  %eyF = load %eyS
+  out %eyF
+  store 0, %csS
+  store 0, %iS
+  br fsloop
+fsloop:
+  %fi = load %iS
+  %fc = icmp slt %fi, %np
+  br %fc, fsbody, alldone
+fsbody:
+  %fxP = gep %base, %fi
+  %fx = load %fxP
+  %fyP = gep %yB, %fi
+  %fy = load %fyP
+  %fcs0 = load %csS
+  %fcs1 = mul %fcs0, 43
+  %fcs2 = add %fcs1, %fx
+  %fcs3 = mul %fcs2, 43
+  %fcs4 = add %fcs3, %fy
+  store %fcs4, %csS
+  %fi1 = add %fi, 1
+  store %fi1, %iS
+  br fsloop
+alldone:
+  %csF = load %csS
+  out %csF
+  ret %csF
+}
+`

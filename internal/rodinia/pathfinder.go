@@ -1,0 +1,170 @@
+package rodinia
+
+import "math/rand"
+
+// Pathfinder: dynamic-programming minimum path through a grid, row by row,
+// as in Rodinia's pathfinder. dp'[j] = grid[i][j] + min(dp[j-1], dp[j],
+// dp[j+1]) with clamped boundaries. Memory layout in words:
+//
+//	grid[rows*cols] | dp[cols] | dpn[cols]
+//
+// Arguments: base, rows, cols. Output: minimum path cost, a checksum of the
+// final row.
+var Pathfinder = register(&Benchmark{
+	Name:   "pathfinder",
+	Domain: "Dynamic Programming",
+	source: pathfinderSrc,
+	build: func(scale int, rng *rand.Rand) ([]uint64, []uint64) {
+		rows := 8 * scale
+		cols := 20 * scale
+		words := make([]uint64, 0, rows*cols+2*cols)
+		for i := 0; i < rows*cols; i++ {
+			words = append(words, uint64(rng.Intn(10)))
+		}
+		for i := 0; i < 2*cols; i++ {
+			words = append(words, 0)
+		}
+		return []uint64{DataBase, uint64(rows), uint64(cols)}, words
+	},
+})
+
+const pathfinderSrc = `
+; Rodinia pathfinder miniature: row-wise DP with three-way min.
+func @main(%base, %rows, %cols) {
+entry:
+  %iS = alloca 1
+  %jS = alloca 1
+  %minS = alloca 1
+  %csS = alloca 1
+  %bestS = alloca 1
+  %gridsize = mul %rows, %cols
+  %dpnoff = add %gridsize, %cols
+  %dpB = gep %base, %gridsize
+  %dpnB = gep %base, %dpnoff
+  ; dp = grid row 0
+  store 0, %jS
+  br initloop
+initloop:
+  %ij = load %jS
+  %ijc = icmp slt %ij, %cols
+  br %ijc, initbody, initdone
+initbody:
+  %g0P = gep %base, %ij
+  %g0 = load %g0P
+  %dp0P = gep %dpB, %ij
+  store %g0, %dp0P
+  %ij1 = add %ij, 1
+  store %ij1, %jS
+  br initloop
+initdone:
+  store 1, %iS
+  br rowloop
+rowloop:
+  %i = load %iS
+  %rc = icmp slt %i, %rows
+  br %rc, rowbody, dpdone
+rowbody:
+  store 0, %jS
+  br colloop
+colloop:
+  %j = load %jS
+  %cc = icmp slt %j, %cols
+  br %cc, colbody, rowcopy
+colbody:
+  ; min of dp[j-1], dp[j], dp[j+1] with boundary clamping
+  %dpjP = gep %dpB, %j
+  %dpj = load %dpjP
+  store %dpj, %minS
+  %hasL = icmp sgt %j, 0
+  br %hasL, left, midr
+left:
+  %jm1 = sub %j, 1
+  %dplP = gep %dpB, %jm1
+  %dpl = load %dplP
+  %m0 = load %minS
+  %lless = icmp slt %dpl, %m0
+  br %lless, takeleft, midr
+takeleft:
+  store %dpl, %minS
+  br midr
+midr:
+  %jp1 = add %j, 1
+  %hasR = icmp slt %jp1, %cols
+  br %hasR, right, apply
+right:
+  %dprP = gep %dpB, %jp1
+  %dpr = load %dprP
+  %m1 = load %minS
+  %rless = icmp slt %dpr, %m1
+  br %rless, takeright, apply
+takeright:
+  store %dpr, %minS
+  br apply
+apply:
+  %gidx0 = mul %i, %cols
+  %gidx = add %gidx0, %j
+  %gP = gep %base, %gidx
+  %g = load %gP
+  %mf = load %minS
+  %nv = add %g, %mf
+  %dpnP = gep %dpnB, %j
+  store %nv, %dpnP
+  %j1 = add %j, 1
+  store %j1, %jS
+  br colloop
+rowcopy:
+  store 0, %jS
+  br copyloop
+copyloop:
+  %cj = load %jS
+  %cjc = icmp slt %cj, %cols
+  br %cjc, copybody, rownext
+copybody:
+  %srcP = gep %dpnB, %cj
+  %sv = load %srcP
+  %dstP = gep %dpB, %cj
+  store %sv, %dstP
+  %cj1 = add %cj, 1
+  store %cj1, %jS
+  br copyloop
+rownext:
+  %i1 = add %i, 1
+  store %i1, %iS
+  br rowloop
+dpdone:
+  ; best = min over final dp, checksum over row
+  %b0P = gep %dpB, 0
+  %b0 = load %b0P
+  store %b0, %bestS
+  store 0, %csS
+  store 0, %jS
+  br scanloop
+scanloop:
+  %sj = load %jS
+  %sjc = icmp slt %sj, %cols
+  br %sjc, scanbody, done
+scanbody:
+  %sP = gep %dpB, %sj
+  %sv2 = load %sP
+  %cs0 = load %csS
+  %cs1 = mul %cs0, 31
+  %cs2 = add %cs1, %sv2
+  store %cs2, %csS
+  %bb = load %bestS
+  %better = icmp slt %sv2, %bb
+  br %better, takebest, scannext
+takebest:
+  store %sv2, %bestS
+  br scannext
+scannext:
+  %sj1 = add %sj, 1
+  store %sj1, %jS
+  br scanloop
+done:
+  %bestF = load %bestS
+  out %bestF
+  %csF = load %csS
+  out %csF
+  ret %bestF
+}
+`

@@ -1,0 +1,115 @@
+// Package rodinia provides the paper's eight evaluation benchmarks
+// (Table II) re-implemented in the reproduction's IR: Backprop, BFS,
+// Pathfinder, LUD, Needle, kNN, kmeans and Particlefilter. Each benchmark
+// couples an IR module with a deterministic input generator that installs
+// the same memory image into the IR interpreter and the machine model, so
+// the two executions are directly comparable.
+//
+// Floating-point kernels use Q8.8-style fixed-point arithmetic in 64-bit
+// integers; EDDI compares results bit-wise, so the arithmetic domain does
+// not affect protection behaviour (see DESIGN.md).
+package rodinia
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ferrum/internal/ir"
+)
+
+// DataBase is the address where benchmark data is loaded; it matches the
+// layout both executors share (above the guard page).
+const DataBase = 8192
+
+// MemWriter is the data-loading interface implemented by both the machine
+// model and the IR interpreter (and by fi's campaign targets).
+type MemWriter interface {
+	WriteWordImage(addr, v uint64) error
+	SetMemImage(addr uint64, data []byte) error
+}
+
+// Instance is one runnable configuration of a benchmark: the module, the
+// entry arguments, and the memory image loader.
+type Instance struct {
+	Bench *Benchmark
+	Mod   *ir.Module
+	Args  []uint64
+	Words []uint64 // memory image, written word-by-word at DataBase
+}
+
+// Setup installs the instance's memory image.
+func (in *Instance) Setup(w MemWriter) error {
+	for i, v := range in.Words {
+		if err := w.WriteWordImage(DataBase+8*uint64(i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Benchmark describes one Table II workload.
+type Benchmark struct {
+	Name   string
+	Suite  string
+	Domain string
+	source string
+	// build generates args and the memory image for a scale factor
+	// (1 = default miniature of the Rodinia input).
+	build func(scale int, rng *rand.Rand) (args []uint64, words []uint64)
+}
+
+// Instantiate parses the benchmark source and generates inputs at the given
+// scale with a deterministic seed.
+func (b *Benchmark) Instantiate(scale int, seed int64) (*Instance, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("rodinia: scale %d < 1", scale)
+	}
+	mod, err := ir.Parse(b.source)
+	if err != nil {
+		return nil, fmt.Errorf("rodinia: %s: %w", b.Name, err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	args, words := b.build(scale, rng)
+	return &Instance{Bench: b, Mod: mod, Args: args, Words: words}, nil
+}
+
+// Source returns the benchmark's IR text.
+func (b *Benchmark) Source() string { return b.source }
+
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) *Benchmark {
+	b.Suite = "Rodinia"
+	registry[b.Name] = b
+	return b
+}
+
+// All returns every benchmark in the paper's Table II order.
+func All() []*Benchmark {
+	names := []string{"backprop", "bfs", "pathfinder", "lud", "needle", "knn", "kmeans", "particlefilter"}
+	out := make([]*Benchmark, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// ByName looks up a benchmark; the boolean reports whether it exists.
+func ByName(name string) (*Benchmark, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names lists registered benchmark names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// q8 converts a small rational to Q8.8 fixed point.
+func q8(x float64) uint64 { return uint64(int64(x * 256)) }

