@@ -27,7 +27,7 @@ import (
 const benchSamples = 250
 
 func benchOpts(names ...string) harness.Options {
-	return harness.Options{Samples: benchSamples, Seed: 20240624, Benchmarks: names}
+	return harness.Options{Samples: benchSamples, Seed: harness.DefaultSeed, Benchmarks: names}
 }
 
 // BenchmarkFig10SDCCoverage regenerates fig. 10 one benchmark at a time,

@@ -4,12 +4,20 @@
 // coverage gap, and two extension experiments (overhead attribution and
 // input variation).
 //
+// All experiments in one invocation share a build cache, so each
+// (benchmark, technique, optimize) build and golden run happens exactly
+// once; independent campaign cells run concurrently (bounded by
+// -cell-workers) without changing any table byte. -progress streams live
+// cell status to stderr; a suite summary with cache counters always goes
+// to stderr at the end.
+//
 // Usage:
 //
 //	reprod                       # everything, paper-scale campaigns
 //	reprod -exp fig10 -samples 500
 //	reprod -exp fig11 -bench bfs,knn
 //	reprod -exp profile          # where does the overhead go
+//	reprod -progress             # live per-cell status on stderr
 package main
 
 import (
@@ -18,9 +26,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"ferrum/internal/harness"
 )
+
+// errw carries progress and the suite summary; tests swap it for a buffer.
+var errw io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -29,22 +42,67 @@ func main() {
 	}
 }
 
+// suiteStats accumulates scheduler events across all experiments of one
+// invocation for the closing summary.
+type suiteStats struct {
+	mu         sync.Mutex
+	cells      int
+	injections int64
+	campaign   time.Duration // summed cell wall-clock
+}
+
 func run(argv []string, out io.Writer) error {
 	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, table1, table2, fig10, fig11, exectime, gap, profile, variation")
-		samples = fs.Int("samples", 1000, "fault injections per campaign cell")
-		seed    = fs.Int64("seed", 20240624, "RNG seed")
-		scale   = fs.Int("scale", 1, "benchmark scale factor")
-		benches = fs.String("bench", "", "comma-separated benchmark subset (default: all eight)")
-		workers = fs.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
-		o1      = fs.Bool("O1", false, "run builds through the peephole optimizer before protection")
+		exp         = fs.String("exp", "all", "experiment: all, table1, table2, fig10, fig11, exectime, gap, profile, variation")
+		samples     = fs.Int("samples", 1000, "fault injections per campaign cell")
+		seed        = fs.Int64("seed", harness.DefaultSeed, "RNG seed (any value, including 0, is honoured)")
+		scale       = fs.Int("scale", 1, "benchmark scale factor")
+		benches     = fs.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+		workers     = fs.Int("workers", 0, "intra-campaign parallelism (0 = GOMAXPROCS/cell-workers)")
+		cellWorkers = fs.Int("cell-workers", 0, "concurrent campaign cells (0 = GOMAXPROCS); any value yields identical tables")
+		progress    = fs.Bool("progress", false, "stream live cell status to stderr")
+		o1          = fs.Bool("O1", false, "run builds through the peephole optimizer before protection")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 
-	opts := harness.Options{Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers, Optimize: *o1}
+	cache := harness.NewBuildCache()
+	stats := &suiteStats{}
+	opts := harness.Options{
+		Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers,
+		Optimize: *o1, CellWorkers: *cellWorkers, Cache: cache,
+		Progress: func(ev harness.CellEvent) {
+			// The scheduler serialises callbacks within one experiment and
+			// experiments run sequentially, but keep the accounting locked
+			// so the invariant doesn't depend on that.
+			stats.mu.Lock()
+			defer stats.mu.Unlock()
+			if !ev.Done {
+				if *progress {
+					fmt.Fprintf(errw, "[%s] %s ...\n", ev.Experiment, ev.Cell)
+				}
+				return
+			}
+			stats.cells++
+			stats.injections += int64(ev.Injections)
+			stats.campaign += ev.Wall
+			if *progress {
+				rate := ""
+				if ev.Injections > 0 && ev.Wall > 0 {
+					rate = fmt.Sprintf(", %.0f inj/s", float64(ev.Injections)/ev.Wall.Seconds())
+				}
+				status := "done"
+				if ev.Err != nil {
+					status = "FAILED: " + ev.Err.Error()
+				}
+				fmt.Fprintf(errw, "[%s] %s %s in %v (%d inj%s) [%d/%d]\n",
+					ev.Experiment, ev.Cell, status, ev.Wall.Round(time.Millisecond),
+					ev.Injections, rate, ev.Index+1, ev.Total)
+			}
+		},
+	}
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {
 			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
@@ -53,6 +111,7 @@ func run(argv []string, out io.Writer) error {
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
+	start := time.Now()
 
 	if want("table1") {
 		ran = true
@@ -119,5 +178,15 @@ func run(argv []string, out io.Writer) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+
+	cs := cache.Stats()
+	stats.mu.Lock()
+	fmt.Fprintf(errw,
+		"suite: %d cells, %d injections, %v wall (%v summed cell time); "+
+			"builds: %d unique, %d cache hits; goldens: %d unique, %d cache hits\n",
+		stats.cells, stats.injections, time.Since(start).Round(time.Millisecond),
+		stats.campaign.Round(time.Millisecond),
+		cs.BuildMisses, cs.BuildHits, cs.GoldenMisses, cs.GoldenHits)
+	stats.mu.Unlock()
 	return nil
 }

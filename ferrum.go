@@ -108,7 +108,23 @@ type (
 	Technique = harness.Technique
 	// ExperimentOptions configures a reproduction run.
 	ExperimentOptions = harness.Options
+	// BuildCache memoises benchmark instances, technique builds and golden
+	// runs; share one across experiment calls (ExperimentOptions.Cache) so
+	// each (benchmark, technique, optimize) build happens exactly once.
+	BuildCache = harness.BuildCache
+	// CellEvent is one scheduler cell transition, streamed to
+	// ExperimentOptions.Progress.
+	CellEvent = harness.CellEvent
+	// CacheStats snapshots a BuildCache's hit/miss counters.
+	CacheStats = harness.CacheStats
 )
+
+// DefaultSeed is the seed the paper-scale reproduction uses; the harness
+// honours every seed, including zero.
+const DefaultSeed = harness.DefaultSeed
+
+// NewBuildCache returns an empty experiment build cache.
+func NewBuildCache() *BuildCache { return harness.NewBuildCache() }
 
 // The paper's techniques.
 const (

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ferrum/internal/asm"
 	"ferrum/internal/ir"
@@ -57,9 +58,14 @@ type Campaign struct {
 	Workers  int    // parallel workers (0: GOMAXPROCS)
 	// BitsPerFault is the number of distinct bits flipped in the sampled
 	// destination (default 1, the paper's fault model; >1 models the
-	// multi-bit upsets §II-A defers to future work). Assembly-level
-	// campaigns only.
+	// multi-bit upsets §II-A defers to future work; capped at 64, the
+	// widest destination). Assembly-level campaigns only.
 	BitsPerFault int
+	// Progress, if non-nil, receives the cumulative number of completed
+	// injections (out of Samples) as the campaign advances. It may be
+	// called concurrently from campaign worker goroutines; implementations
+	// must be safe for concurrent use.
+	Progress func(done int)
 }
 
 // Result aggregates campaign outcomes.
@@ -68,7 +74,10 @@ type Result struct {
 	Counts   [numOutcomes]int
 	DynSites uint64 // dynamic fault-injection sites in the golden run
 	Golden   []uint64
-	Cycles   float64 // golden-run cycle count
+	// Cycles is the golden-run cycle count on the machine cycle model.
+	// Only assembly-level campaigns set it; the IR interpreter has no
+	// cycle model, so IR campaigns leave it zero.
+	Cycles float64
 }
 
 // Count returns the number of runs with the given outcome.
@@ -267,15 +276,23 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 
 func makePlans(c Campaign, sites uint64) []plannedFault {
 	rng := rand.New(rand.NewSource(c.Seed))
+	bits := c.BitsPerFault
+	if bits > 64 {
+		bits = 64 // a destination has at most 64 distinct bits
+	}
 	plans := make([]plannedFault, c.Samples)
 	for i := range plans {
 		p := plannedFault{
 			site: uint64(rng.Int63n(int64(sites))),
 			bit:  uint(rng.Intn(64)),
 		}
-		for extra := 1; extra < c.BitsPerFault; extra++ {
+		for extra := 1; extra < bits; extra++ {
+			// Resample until the bit is distinct from every bit already
+			// chosen for this fault, not just the primary one: two equal
+			// extras would XOR-cancel and silently weaken the planned
+			// multi-bit upset.
 			b := uint(rng.Intn(64))
-			for b == p.bit {
+			for duplicateBit(p, b) {
 				b = uint(rng.Intn(64))
 			}
 			p.extra = append(p.extra, b)
@@ -283,6 +300,18 @@ func makePlans(c Campaign, sites uint64) []plannedFault {
 		plans[i] = p
 	}
 	return plans
+}
+
+func duplicateBit(p plannedFault, b uint) bool {
+	if b == p.bit {
+		return true
+	}
+	for _, e := range p.extra {
+		if e == b {
+			return true
+		}
+	}
+	return false
 }
 
 func runParallel(c Campaign, plans []plannedFault,
@@ -295,13 +324,25 @@ func runParallel(c Campaign, plans []plannedFault,
 	if workers > len(plans) {
 		workers = len(plans)
 	}
+	var done int64
+	report := func(n int) {
+		if c.Progress == nil || n == 0 {
+			return
+		}
+		c.Progress(int(atomic.AddInt64(&done, int64(n))))
+	}
 	if workers <= 1 {
 		w, err := newWorker()
 		if err != nil {
 			return counts, err
 		}
-		for _, p := range plans {
+		reported := 0
+		for i, p := range plans {
 			counts[w(p)]++
+			if (i+1)%16 == 0 || i+1 == len(plans) {
+				report(i + 1 - reported)
+				reported = i + 1
+			}
 		}
 		return counts, nil
 	}
@@ -347,6 +388,7 @@ func runParallel(c Campaign, plans []plannedFault,
 				for _, p := range batch {
 					local[w(p)]++
 				}
+				report(len(batch))
 			}
 			mu.Lock()
 			for o, n := range local {

@@ -2,6 +2,7 @@ package fi
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"ferrum/internal/machine"
@@ -154,6 +155,73 @@ func TestIRCampaign(t *testing.T) {
 	}
 	if res.DynSites == 0 {
 		t.Error("no IR sites")
+	}
+}
+
+// TestResultCyclesShape pins the documented Result.Cycles contract: only
+// assembly-level campaigns carry the golden-run cycle count; the IR
+// interpreter has no cycle model, so IR campaigns leave the field zero.
+func TestResultCyclesShape(t *testing.T) {
+	asmRes, err := RunAsmCampaign(asmTarget(t, false), Campaign{Samples: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asmRes.Cycles <= 0 {
+		t.Errorf("asm campaign Cycles = %v, want positive golden-run cycles", asmRes.Cycles)
+	}
+	mod, err := ir.Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irRes, err := RunIRCampaign(IRTarget{Mod: mod, MemSize: memSize, Args: []uint64{8, 8192}, Setup: loadArray},
+		Campaign{Samples: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irRes.Cycles != 0 {
+		t.Errorf("IR campaign Cycles = %v, want 0 (no cycle model)", irRes.Cycles)
+	}
+}
+
+// TestCampaignProgress: the Progress hook reports monotonically increasing
+// cumulative counts ending exactly at Samples, in serial and parallel runs.
+func TestCampaignProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var seen []int
+		_, err := RunAsmCampaign(asmTarget(t, false), Campaign{
+			Samples: 100, Seed: 5, Workers: workers,
+			Progress: func(done int) {
+				mu.Lock()
+				seen = append(seen, done)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) == 0 {
+			t.Fatalf("workers=%d: progress never called", workers)
+		}
+		max := 0
+		for _, n := range seen {
+			if n > max {
+				max = n
+			}
+		}
+		if max != 100 {
+			t.Errorf("workers=%d: max progress = %d, want 100", workers, max)
+		}
+		if workers == 1 {
+			// Serial campaigns report in order; parallel callbacks may
+			// deliver cumulative counts out of order.
+			for i := 1; i < len(seen); i++ {
+				if seen[i] <= seen[i-1] {
+					t.Errorf("progress not increasing: %v", seen)
+					break
+				}
+			}
+		}
 	}
 }
 

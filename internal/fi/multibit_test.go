@@ -71,18 +71,35 @@ func TestMultiBitRaisesRawSeverity(t *testing.T) {
 	}
 }
 
-// TestMultiBitDistinctBits: planned extra bits never duplicate the primary
-// bit (a duplicate would cancel the flip).
+// TestMultiBitDistinctBits: every planned bit — primary and extras — is
+// pairwise distinct. Extras that merely avoided the primary could still
+// collide with each other, XOR-cancel, and silently degrade a planned
+// 3-bit upset to a 1-bit fault (the regression this guards against).
 func TestMultiBitDistinctBits(t *testing.T) {
-	plans := makePlans(Campaign{Samples: 500, Seed: 3, BitsPerFault: 3}, 100)
-	for _, p := range plans {
-		if len(p.extra) != 2 {
-			t.Fatalf("extra bits = %d, want 2", len(p.extra))
-		}
-		for _, b := range p.extra {
-			if b == p.bit {
-				t.Fatalf("extra bit duplicates primary bit %d", p.bit)
+	for _, bits := range []int{2, 3, 8, 32} {
+		plans := makePlans(Campaign{Samples: 500, Seed: 3, BitsPerFault: bits}, 100)
+		for _, p := range plans {
+			if len(p.extra) != bits-1 {
+				t.Fatalf("bits=%d: extra bits = %d, want %d", bits, len(p.extra), bits-1)
 			}
+			seen := map[uint]bool{p.bit: true}
+			for _, b := range p.extra {
+				if seen[b] {
+					t.Fatalf("bits=%d: bit %d planned twice in %+v", bits, b, p)
+				}
+				seen[b] = true
+			}
+		}
+	}
+}
+
+// TestMultiBitCappedAt64: more than 64 requested bits cannot be distinct in
+// a 64-bit destination; the planner caps instead of spinning forever.
+func TestMultiBitCappedAt64(t *testing.T) {
+	plans := makePlans(Campaign{Samples: 10, Seed: 4, BitsPerFault: 100}, 50)
+	for _, p := range plans {
+		if len(p.extra) != 63 {
+			t.Fatalf("extra bits = %d, want 63", len(p.extra))
 		}
 	}
 }

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ferrum/internal/rodinia"
+)
+
+// buildKey identifies one memoisable build: the benchmark inputs are fully
+// determined by (benchmark, scale, seed) and the binary by the technique
+// and optimisation level on top of that.
+type buildKey struct {
+	bench    string
+	scale    int
+	seed     int64
+	tech     Technique
+	optimize bool
+}
+
+type instKey struct {
+	bench string
+	scale int
+	seed  int64
+}
+
+// BuildCache memoises benchmark instantiation, per-technique builds, and
+// golden runs across experiment functions. Sharing one cache across a whole
+// `reprod -exp all` invocation (Options.Cache) makes each (benchmark,
+// technique, optimize) build happen exactly once no matter how many
+// experiments need it; the hit/miss counters prove it in the suite summary.
+//
+// A BuildCache is safe for concurrent use: concurrent cells asking for the
+// same key block on a single computation (sync.Once per entry) instead of
+// duplicating work. Cached values — instances, builds, golden outputs — are
+// treated as immutable by every consumer.
+type BuildCache struct {
+	mu      sync.Mutex
+	insts   map[instKey]*instEntry
+	builds  map[buildKey]*buildEntry
+	goldens map[buildKey]*goldenEntry
+
+	buildHits    atomic.Int64
+	buildMisses  atomic.Int64
+	goldenHits   atomic.Int64
+	goldenMisses atomic.Int64
+}
+
+type instEntry struct {
+	once sync.Once
+	inst *rodinia.Instance
+	err  error
+}
+
+type buildEntry struct {
+	once  sync.Once
+	build *Build
+	err   error
+}
+
+type goldenEntry struct {
+	once sync.Once
+	g    golden
+	err  error
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{
+		insts:   map[instKey]*instEntry{},
+		builds:  map[buildKey]*buildEntry{},
+		goldens: map[buildKey]*goldenEntry{},
+	}
+}
+
+// CacheStats is a snapshot of the cache's hit/miss counters. Misses count
+// distinct computations performed; hits count computations avoided.
+type CacheStats struct {
+	BuildHits    int
+	BuildMisses  int
+	GoldenHits   int
+	GoldenMisses int
+}
+
+// Stats snapshots the counters.
+func (c *BuildCache) Stats() CacheStats {
+	return CacheStats{
+		BuildHits:    int(c.buildHits.Load()),
+		BuildMisses:  int(c.buildMisses.Load()),
+		GoldenHits:   int(c.goldenHits.Load()),
+		GoldenMisses: int(c.goldenMisses.Load()),
+	}
+}
+
+// instance returns the memoised benchmark instance for (bench, scale, seed).
+func (c *BuildCache) instance(bench *rodinia.Benchmark, scale int, seed int64) (*rodinia.Instance, error) {
+	key := instKey{bench.Name, scale, seed}
+	c.mu.Lock()
+	e, ok := c.insts[key]
+	if !ok {
+		e = &instEntry{}
+		c.insts[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.inst, e.err = bench.Instantiate(scale, seed)
+	})
+	return e.inst, e.err
+}
+
+// build returns the memoised BuildTechniqueOpts result for the instance's
+// key under the given technique and options.
+func (c *BuildCache) build(inst *rodinia.Instance, scale int, seed int64, tech Technique, bo BuildOptions) (*Build, error) {
+	key := buildKey{inst.Bench.Name, scale, seed, tech, bo.Optimize}
+	c.mu.Lock()
+	e, ok := c.builds[key]
+	if !ok {
+		e = &buildEntry{}
+		c.builds[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.buildHits.Add(1)
+	} else {
+		c.buildMisses.Add(1)
+	}
+	e.once.Do(func() {
+		e.build, e.err = BuildTechniqueOpts(inst.Mod, tech, bo)
+	})
+	return e.build, e.err
+}
+
+// golden returns the memoised golden run (cycles, dynamic instructions,
+// output) of the instance's build under the given technique and options.
+func (c *BuildCache) golden(inst *rodinia.Instance, scale int, seed int64, tech Technique, bo BuildOptions) (golden, error) {
+	key := buildKey{inst.Bench.Name, scale, seed, tech, bo.Optimize}
+	c.mu.Lock()
+	e, ok := c.goldens[key]
+	if !ok {
+		e = &goldenEntry{}
+		c.goldens[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.goldenHits.Add(1)
+	} else {
+		c.goldenMisses.Add(1)
+	}
+	e.once.Do(func() {
+		var build *Build
+		build, e.err = c.build(inst, scale, seed, tech, bo)
+		if e.err != nil {
+			return
+		}
+		e.g, e.err = runBuild(inst, build)
+	})
+	return e.g, e.err
+}

@@ -22,43 +22,58 @@ type Fig10Row struct {
 	Counts     map[Technique]fi.Result
 }
 
-// Fig10 reproduces the SDC-coverage experiment.
+// Fig10 reproduces the SDC-coverage experiment. Each (benchmark × technique)
+// campaign is an independent scheduler cell; builds are memoised through
+// Options.Cache.
 func Fig10(opts Options) ([]Fig10Row, error) {
 	opts = opts.withDefaults()
 	insts, err := opts.instances()
 	if err != nil {
 		return nil, err
 	}
+	s := newScheduler("fig10", opts)
+	techs := append([]Technique{Raw}, Techniques...)
+	results := make([]fi.Result, len(insts)*len(techs))
+	var cells []cellSpec
+	for bi, inst := range insts {
+		for ti, tech := range techs {
+			idx := bi*len(techs) + ti
+			cells = append(cells, cellSpec{
+				name: inst.Bench.Name + "/" + string(tech),
+				inj:  opts.Samples,
+				run: func() error {
+					build, err := s.build(instanceAt{inst, opts.Seed}, tech)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+					}
+					res, err := fi.RunAsmCampaign(asmTarget(inst, build), s.campaign())
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+					}
+					results[idx] = res
+					return nil
+				},
+			})
+		}
+	}
+	if err := s.run(cells); err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
-	for _, inst := range insts {
+	for bi, inst := range insts {
+		rawRes := results[bi*len(techs)]
 		row := Fig10Row{
 			Benchmark: inst.Bench.Name,
 			Coverage:  map[Technique]float64{},
 			SDCRate:   map[Technique]float64{},
 			Counts:    map[Technique]fi.Result{},
 		}
-		rawBuild, err := BuildTechniqueOpts(inst.Mod, Raw, BuildOptions{Optimize: opts.Optimize})
-		if err != nil {
-			return nil, fmt.Errorf("%s/raw: %w", inst.Bench.Name, err)
-		}
-		campaign := fi.Campaign{Samples: opts.Samples, Seed: opts.Seed, Workers: opts.Workers}
-		rawRes, err := fi.RunAsmCampaign(asmTarget(inst, rawBuild), campaign)
-		if err != nil {
-			return nil, fmt.Errorf("%s/raw: %w", inst.Bench.Name, err)
-		}
 		row.RawSDCRate = rawRes.SDCRate()
 		lo, hi := rawRes.CI95()
 		row.RawCI = [2]float64{lo, hi}
 		row.Counts[Raw] = rawRes
-		for _, tech := range Techniques {
-			build, err := BuildTechniqueOpts(inst.Mod, tech, BuildOptions{Optimize: opts.Optimize})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
-			}
-			res, err := fi.RunAsmCampaign(asmTarget(inst, build), campaign)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
-			}
+		for ti, tech := range Techniques {
+			res := results[bi*len(techs)+ti+1]
 			row.Coverage[tech] = fi.Coverage(rawRes, res)
 			row.SDCRate[tech] = res.SDCRate()
 			row.Counts[tech] = res
@@ -87,33 +102,52 @@ type Fig11Row struct {
 	DynInsts  map[Technique]uint64
 }
 
-// Fig11 reproduces the runtime-overhead experiment.
+// Fig11 reproduces the runtime-overhead experiment. Golden runs are
+// memoised through Options.Cache, so a suite that already measured a
+// build's golden run never repeats it.
 func Fig11(opts Options) ([]Fig11Row, error) {
 	opts = opts.withDefaults()
 	insts, err := opts.instances()
 	if err != nil {
 		return nil, err
 	}
+	s := newScheduler("fig11", opts)
+	techs := append([]Technique{Raw}, Techniques...)
+	goldens := make([]golden, len(insts)*len(techs))
+	var cells []cellSpec
+	for bi, inst := range insts {
+		for ti, tech := range techs {
+			idx := bi*len(techs) + ti
+			cells = append(cells, cellSpec{
+				name: inst.Bench.Name + "/" + string(tech),
+				run: func() error {
+					g, err := s.golden(instanceAt{inst, opts.Seed}, tech)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+					}
+					goldens[idx] = g
+					return nil
+				},
+			})
+		}
+	}
+	if err := s.run(cells); err != nil {
+		return nil, err
+	}
 	var rows []Fig11Row
-	for _, inst := range insts {
+	for bi, inst := range insts {
+		raw := goldens[bi*len(techs)]
 		row := Fig11Row{
 			Benchmark: inst.Bench.Name,
 			Overhead:  map[Technique]float64{},
 			Cycles:    map[Technique]float64{},
 			DynInsts:  map[Technique]uint64{},
 		}
-		raw, err := goldenRun(inst, Raw, BuildOptions{Optimize: opts.Optimize})
-		if err != nil {
-			return nil, err
-		}
 		row.RawCycles = raw.cycles
 		row.Cycles[Raw] = raw.cycles
 		row.DynInsts[Raw] = raw.dyn
-		for _, tech := range Techniques {
-			g, err := goldenRun(inst, tech, BuildOptions{Optimize: opts.Optimize})
-			if err != nil {
-				return nil, err
-			}
+		for ti, tech := range Techniques {
+			g := goldens[bi*len(techs)+ti+1]
 			row.Overhead[tech] = fi.Overhead(raw.cycles, g.cycles)
 			row.Cycles[tech] = g.cycles
 			row.DynInsts[tech] = g.dyn
@@ -127,18 +161,6 @@ type golden struct {
 	cycles float64
 	dyn    uint64
 	output []uint64
-}
-
-func goldenRun(inst *rodinia.Instance, tech Technique, bo BuildOptions) (golden, error) {
-	build, err := BuildTechniqueOpts(inst.Mod, tech, bo)
-	if err != nil {
-		return golden{}, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
-	}
-	res, err := runBuild(inst, build)
-	if err != nil {
-		return golden{}, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
-	}
-	return res, nil
 }
 
 // ExecTimeRow is one benchmark's FERRUM transform-time measurement
@@ -155,36 +177,51 @@ type ExecTimeRow struct {
 
 // ExecTime reproduces the §IV-B3 measurement: the FERRUM transform is run
 // repeatedly and the fastest time is reported (wall-clock, per the paper).
+// The timing reps deliberately bypass the build cache (a memoised transform
+// has no duration) and the cells run serially so concurrent cells don't
+// inflate the wall-clock being measured.
 func ExecTime(opts Options) ([]ExecTimeRow, error) {
 	opts = opts.withDefaults()
 	insts, err := opts.instances()
 	if err != nil {
 		return nil, err
 	}
+	s := newScheduler("exectime", opts)
+	s.cellWorkers = 1
 	const reps = 5
-	var rows []ExecTimeRow
-	for _, inst := range insts {
-		var best *ExecTimeRow
-		for r := 0; r < reps; r++ {
-			build, err := BuildTechniqueOpts(inst.Mod, Ferrum, BuildOptions{Optimize: opts.Optimize})
-			if err != nil {
-				return nil, err
-			}
-			rep := build.FerrumStats
-			row := ExecTimeRow{
-				Benchmark:   inst.Bench.Name,
-				StaticInsts: rep.StaticInsts,
-				Duration:    rep.Duration,
-				SIMDEnabled: rep.SIMDEnabled,
-				General:     rep.General,
-				Comparisons: rep.Comparisons,
-				Batches:     rep.Batches,
-			}
-			if best == nil || row.Duration < best.Duration {
-				best = &row
-			}
-		}
-		rows = append(rows, *best)
+	rows := make([]ExecTimeRow, len(insts))
+	var cells []cellSpec
+	for bi, inst := range insts {
+		cells = append(cells, cellSpec{
+			name: inst.Bench.Name + "/transform",
+			run: func() error {
+				var best *ExecTimeRow
+				for r := 0; r < reps; r++ {
+					build, err := BuildTechniqueOpts(inst.Mod, Ferrum, BuildOptions{Optimize: opts.Optimize})
+					if err != nil {
+						return err
+					}
+					rep := build.FerrumStats
+					row := ExecTimeRow{
+						Benchmark:   inst.Bench.Name,
+						StaticInsts: rep.StaticInsts,
+						Duration:    rep.Duration,
+						SIMDEnabled: rep.SIMDEnabled,
+						General:     rep.General,
+						Comparisons: rep.Comparisons,
+						Batches:     rep.Batches,
+					}
+					if best == nil || row.Duration < best.Duration {
+						best = &row
+					}
+				}
+				rows[bi] = *best
+				return nil
+			},
+		})
+	}
+	if err := s.run(cells); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -201,45 +238,68 @@ type GapRow struct {
 	Gap         float64
 }
 
-// Gap reproduces the cross-layer coverage-gap experiment.
+// Gap reproduces the cross-layer coverage-gap experiment. The four
+// campaigns per benchmark (IR raw/protected, assembly raw/protected) are
+// independent scheduler cells; both protected campaigns share one memoised
+// IR-EDDI build.
 func Gap(opts Options) ([]GapRow, error) {
 	opts = opts.withDefaults()
 	insts, err := opts.instances()
 	if err != nil {
 		return nil, err
 	}
-	campaign := fi.Campaign{Samples: opts.Samples, Seed: opts.Seed, Workers: opts.Workers}
+	s := newScheduler("gap", opts)
+	kinds := []string{"ir-raw", "ir-prot", "asm-raw", "asm-prot"}
+	results := make([]fi.Result, len(insts)*len(kinds))
+	var cells []cellSpec
+	for bi, inst := range insts {
+		for ki, kind := range kinds {
+			idx := bi*len(kinds) + ki
+			cells = append(cells, cellSpec{
+				name: inst.Bench.Name + "/" + kind,
+				inj:  opts.Samples,
+				run: func() error {
+					var res fi.Result
+					var err error
+					switch kind {
+					case "ir-raw":
+						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), s.campaign())
+					case "ir-prot":
+						var build *Build
+						build, err = s.build(instanceAt{inst, opts.Seed}, IREDDI)
+						if err == nil {
+							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), s.campaign())
+						}
+					case "asm-raw":
+						var build *Build
+						build, err = s.build(instanceAt{inst, opts.Seed}, Raw)
+						if err == nil {
+							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign())
+						}
+					case "asm-prot":
+						var build *Build
+						build, err = s.build(instanceAt{inst, opts.Seed}, IREDDI)
+						if err == nil {
+							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign())
+						}
+					}
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, kind, err)
+					}
+					results[idx] = res
+					return nil
+				},
+			})
+		}
+	}
+	if err := s.run(cells); err != nil {
+		return nil, err
+	}
 	var rows []GapRow
-	for _, inst := range insts {
-		// Anticipated: IR-level campaigns on raw and protected IR.
-		rawIR, err := fi.RunIRCampaign(irTarget(inst, inst.Mod), campaign)
-		if err != nil {
-			return nil, fmt.Errorf("%s/ir-raw: %w", inst.Bench.Name, err)
-		}
-		build, err := BuildTechniqueOpts(inst.Mod, IREDDI, BuildOptions{Optimize: opts.Optimize})
-		if err != nil {
-			return nil, err
-		}
-		protIR, err := fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), campaign)
-		if err != nil {
-			return nil, fmt.Errorf("%s/ir-prot: %w", inst.Bench.Name, err)
-		}
-		anticipated := fi.Coverage(rawIR, protIR)
-
-		// Measured: assembly-level campaigns on the compiled binaries.
-		rawBuild, err := BuildTechniqueOpts(inst.Mod, Raw, BuildOptions{Optimize: opts.Optimize})
-		if err != nil {
-			return nil, err
-		}
-		rawAsm, err := fi.RunAsmCampaign(asmTarget(inst, rawBuild), campaign)
-		if err != nil {
-			return nil, fmt.Errorf("%s/asm-raw: %w", inst.Bench.Name, err)
-		}
-		protAsm, err := fi.RunAsmCampaign(asmTarget(inst, build), campaign)
-		if err != nil {
-			return nil, fmt.Errorf("%s/asm-prot: %w", inst.Bench.Name, err)
-		}
-		measured := fi.Coverage(rawAsm, protAsm)
+	for bi, inst := range insts {
+		base := bi * len(kinds)
+		anticipated := fi.Coverage(results[base], results[base+1])
+		measured := fi.Coverage(results[base+2], results[base+3])
 		rows = append(rows, GapRow{
 			Benchmark:   inst.Bench.Name,
 			Anticipated: anticipated,

@@ -138,17 +138,37 @@ func BuildTechniqueOpts(mod *ir.Module, tech Technique, bo BuildOptions) (*Build
 	return b, nil
 }
 
+// DefaultSeed is the seed the paper-scale reproduction uses. It is applied
+// at the flag layer (cmd/reprod defaults -seed to it); the harness itself
+// treats every seed — including zero — as an honest seed.
+const DefaultSeed int64 = 20240624
+
 // Options configures an experiment run.
 type Options struct {
-	Samples    int      // fault injections per campaign cell (paper: 1000)
-	Seed       int64    // base RNG seed
+	Samples int // fault injections per campaign cell (paper: 1000)
+	// Seed is the base RNG seed. Zero is a real seed, not "use default";
+	// callers wanting the paper's seed pass DefaultSeed explicitly.
+	Seed       int64
 	Scale      int      // benchmark scale factor (1 = default)
 	MemSize    int      // machine/interpreter memory (0 = 1 MiB)
-	Workers    int      // campaign parallelism (0 = GOMAXPROCS)
+	Workers    int      // intra-campaign parallelism (0 = GOMAXPROCS/CellWorkers)
 	Benchmarks []string // nil = all eight
 	// Optimize runs every build through the -O1-style peephole optimizer
 	// before protection, modelling production compilation.
 	Optimize bool
+	// CellWorkers bounds how many independent (benchmark × technique)
+	// campaign cells run concurrently (0 = GOMAXPROCS). Rendered tables
+	// are byte-identical for any value: fault plans are pre-generated per
+	// cell from the seed and results land in per-cell slots.
+	CellWorkers int
+	// Cache memoises benchmark instances, technique builds and golden runs.
+	// Pass one cache to several experiment calls to share builds across a
+	// whole suite (cmd/reprod does); nil gives each call a private cache.
+	Cache *BuildCache
+	// Progress, if non-nil, receives live cell status events. Callbacks
+	// are serialised by the scheduler, so implementations need no locking
+	// of their own.
+	Progress func(CellEvent)
 }
 
 func (o Options) withDefaults() Options {
@@ -161,25 +181,37 @@ func (o Options) withDefaults() Options {
 	if o.MemSize == 0 {
 		o.MemSize = 1 << 20
 	}
-	if o.Seed == 0 {
-		o.Seed = 20240624
-	}
 	if o.Benchmarks == nil {
 		for _, b := range rodinia.All() {
 			o.Benchmarks = append(o.Benchmarks, b.Name)
 		}
 	}
+	if o.Cache == nil {
+		o.Cache = NewBuildCache()
+	}
 	return o
 }
 
 func (o Options) instances() ([]*rodinia.Instance, error) {
+	return o.instancesAt(o.Seed)
+}
+
+// instancesAt instantiates the selected benchmarks at an explicit seed
+// (Variation shifts the base seed per cell), memoised through the cache.
+func (o Options) instancesAt(seed int64) ([]*rodinia.Instance, error) {
 	var out []*rodinia.Instance
 	for _, name := range o.Benchmarks {
 		b, ok := rodinia.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("harness: unknown benchmark %q", name)
 		}
-		inst, err := b.Instantiate(o.Scale, o.Seed)
+		var inst *rodinia.Instance
+		var err error
+		if o.Cache != nil {
+			inst, err = o.Cache.instance(b, o.Scale, seed)
+		} else {
+			inst, err = b.Instantiate(o.Scale, seed)
+		}
 		if err != nil {
 			return nil, err
 		}

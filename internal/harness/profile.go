@@ -23,46 +23,60 @@ type ProfileRow struct {
 }
 
 // Profile runs every benchmark under every technique with dynamic
-// attribution enabled.
+// attribution enabled. Each (benchmark × technique) profiled run is an
+// independent scheduler cell; builds are memoised through Options.Cache.
 func Profile(opts Options) ([]ProfileRow, error) {
 	opts = opts.withDefaults()
 	insts, err := opts.instances()
 	if err != nil {
 		return nil, err
 	}
-	var rows []ProfileRow
-	for _, inst := range insts {
-		for _, tech := range append([]Technique{Raw}, Techniques...) {
-			build, err := BuildTechniqueOpts(inst.Mod, tech, BuildOptions{Optimize: opts.Optimize})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
-			}
-			m, err := machine.New(build.Prog, 1<<20)
-			if err != nil {
-				return nil, err
-			}
-			if err := inst.Setup(m); err != nil {
-				return nil, err
-			}
-			res := m.Run(machine.RunOpts{Args: inst.Args, Profile: true})
-			if res.Outcome != machine.OutcomeOK {
-				return nil, fmt.Errorf("%s/%s: %v (%s)", inst.Bench.Name, tech, res.Outcome, res.CrashMsg)
-			}
-			row := ProfileRow{
-				Benchmark:  inst.Bench.Name,
-				Technique:  tech,
-				DynInsts:   res.DynInsts,
-				Fractions:  map[asm.Tag]float64{},
-				ScalarWork: map[asm.Tag]float64{},
-				VectorWork: map[asm.Tag]float64{},
-			}
-			for t := asm.TagProgram; t <= asm.TagRuntime; t++ {
-				row.Fractions[t] = res.Profile.TagFraction(t)
-				row.ScalarWork[t] = res.Profile.TagScalar[t]
-				row.VectorWork[t] = res.Profile.TagVector[t]
-			}
-			rows = append(rows, row)
+	s := newScheduler("profile", opts)
+	techs := append([]Technique{Raw}, Techniques...)
+	rows := make([]ProfileRow, len(insts)*len(techs))
+	var cells []cellSpec
+	for bi, inst := range insts {
+		for ti, tech := range techs {
+			idx := bi*len(techs) + ti
+			cells = append(cells, cellSpec{
+				name: inst.Bench.Name + "/" + string(tech),
+				run: func() error {
+					build, err := s.build(instanceAt{inst, opts.Seed}, tech)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
+					}
+					m, err := machine.New(build.Prog, 1<<20)
+					if err != nil {
+						return err
+					}
+					if err := inst.Setup(m); err != nil {
+						return err
+					}
+					res := m.Run(machine.RunOpts{Args: inst.Args, Profile: true})
+					if res.Outcome != machine.OutcomeOK {
+						return fmt.Errorf("%s/%s: %v (%s)", inst.Bench.Name, tech, res.Outcome, res.CrashMsg)
+					}
+					row := ProfileRow{
+						Benchmark:  inst.Bench.Name,
+						Technique:  tech,
+						DynInsts:   res.DynInsts,
+						Fractions:  map[asm.Tag]float64{},
+						ScalarWork: map[asm.Tag]float64{},
+						VectorWork: map[asm.Tag]float64{},
+					}
+					for t := asm.TagProgram; t <= asm.TagRuntime; t++ {
+						row.Fractions[t] = res.Profile.TagFraction(t)
+						row.ScalarWork[t] = res.Profile.TagScalar[t]
+						row.VectorWork[t] = res.Profile.TagVector[t]
+					}
+					rows[idx] = row
+					return nil
+				},
+			})
 		}
+	}
+	if err := s.run(cells); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

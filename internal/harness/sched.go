@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ferrum/internal/fi"
+	"ferrum/internal/rodinia"
+)
+
+// CellEvent is one scheduler cell transition, delivered to Options.Progress.
+// Each independent (benchmark × technique) unit of an experiment is a cell;
+// every cell produces one start event (Done=false) and one completion event
+// (Done=true) carrying its wall-clock and injection count.
+type CellEvent struct {
+	Experiment string        // e.g. "fig10"
+	Cell       string        // e.g. "bfs/ferrum"
+	Index      int           // cell index within the experiment
+	Total      int           // number of cells in the experiment
+	Done       bool          // false on start, true on completion
+	Wall       time.Duration // cell wall-clock (completion events only)
+	Injections int           // fault injections executed by the cell
+	Err        error         // non-nil if the cell failed (completion events only)
+}
+
+// cellSpec is one schedulable unit: a named closure plus the number of
+// fault injections it will execute (for rate reporting; 0 for build-only
+// cells).
+type cellSpec struct {
+	name string
+	inj  int
+	run  func() error
+}
+
+// scheduler runs an experiment's independent cells on a bounded worker
+// pool, layered on top of the intra-campaign parallelism in package fi.
+// Determinism: cells write results into caller-owned slots indexed by cell,
+// and every campaign's fault plan is pre-generated from the seed, so
+// rendered tables are byte-identical for any worker count.
+type scheduler struct {
+	exp         string
+	opts        Options
+	cache       *BuildCache
+	cellWorkers int
+	campWorkers int
+
+	progressMu sync.Mutex // serialises Options.Progress callbacks
+}
+
+func newScheduler(exp string, opts Options) *scheduler {
+	cw := opts.CellWorkers
+	if cw <= 0 {
+		cw = runtime.GOMAXPROCS(0)
+	}
+	camp := opts.Workers
+	if camp <= 0 {
+		// Split the CPU budget between the two parallelism layers so cell
+		// concurrency does not multiply into GOMAXPROCS² goroutines.
+		camp = runtime.GOMAXPROCS(0) / cw
+		if camp < 1 {
+			camp = 1
+		}
+	}
+	return &scheduler{exp: exp, opts: opts, cache: opts.Cache, cellWorkers: cw, campWorkers: camp}
+}
+
+// campaign builds the per-cell fi.Campaign. Fault plans derive only from
+// Samples and Seed, so worker counts never change campaign results.
+func (s *scheduler) campaign() fi.Campaign {
+	return fi.Campaign{Samples: s.opts.Samples, Seed: s.opts.Seed, Workers: s.campWorkers}
+}
+
+// build memoises the technique build for an instance at the scheduler's
+// scale/seed/optimize settings.
+func (s *scheduler) build(inst instanceAt, tech Technique) (*Build, error) {
+	return s.cache.build(inst.inst, s.opts.Scale, inst.seed, tech, BuildOptions{Optimize: s.opts.Optimize})
+}
+
+// golden memoises the golden run for an instance at the scheduler's
+// settings.
+func (s *scheduler) golden(inst instanceAt, tech Technique) (golden, error) {
+	return s.cache.golden(inst.inst, s.opts.Scale, inst.seed, tech, BuildOptions{Optimize: s.opts.Optimize})
+}
+
+// instanceAt pairs an instance with the seed it was generated from, which
+// is part of every cache key (Variation runs cells at shifted seeds).
+type instanceAt struct {
+	inst *rodinia.Instance
+	seed int64
+}
+
+func (s *scheduler) emit(ev CellEvent) {
+	if s.opts.Progress == nil {
+		return
+	}
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	s.opts.Progress(ev)
+}
+
+// run executes the cells on min(cellWorkers, len(cells)) goroutines and
+// returns the lowest-index error, matching what a serial sweep would have
+// reported first.
+func (s *scheduler) run(cells []cellSpec) error {
+	n := len(cells)
+	workers := s.cellWorkers
+	if workers > n {
+		workers = n
+	}
+	runCell := func(i int) error {
+		c := cells[i]
+		s.emit(CellEvent{Experiment: s.exp, Cell: c.name, Index: i, Total: n})
+		start := time.Now()
+		err := c.run()
+		s.emit(CellEvent{
+			Experiment: s.exp, Cell: c.name, Index: i, Total: n,
+			Done: true, Wall: time.Since(start), Injections: c.inj, Err: err,
+		})
+		return err
+	}
+	if workers <= 1 {
+		for i := range cells {
+			if err := runCell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = runCell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,9 +1,5 @@
 package harness
 
-import (
-	"ferrum/internal/backend"
-)
-
 // InstClass is an assembly instruction class from Table I of the paper.
 type InstClass string
 
@@ -71,7 +67,9 @@ type Table2Row struct {
 	StaticInsts int
 }
 
-// Table2 returns the benchmark details table.
+// Table2 returns the benchmark details table. The unoptimised raw build it
+// reports static counts from is memoised through Options.Cache, so a suite
+// run shares it with the raw campaign cells.
 func Table2(opts Options) ([]Table2Row, error) {
 	opts = opts.withDefaults()
 	insts, err := opts.instances()
@@ -80,10 +78,13 @@ func Table2(opts Options) ([]Table2Row, error) {
 	}
 	var rows []Table2Row
 	for _, inst := range insts {
-		prog, err := backend.Compile(inst.Mod)
+		// Table II reports the backend's unoptimised output regardless of
+		// Options.Optimize, as the seed evaluation always has.
+		build, err := opts.Cache.build(inst, opts.Scale, opts.Seed, Raw, BuildOptions{})
 		if err != nil {
 			return nil, err
 		}
+		prog := build.Prog
 		rows = append(rows, Table2Row{
 			Benchmark:   inst.Bench.Name,
 			Suite:       inst.Bench.Suite,

@@ -24,37 +24,60 @@ type VariationRow struct {
 }
 
 // Variation measures per-technique overhead across several input seeds.
+// Each (benchmark × seed) measurement is an independent scheduler cell;
+// golden runs are memoised per seed, so the base-seed cell shares builds
+// with the other experiments in a suite.
 func Variation(opts Options, seeds int) ([]VariationRow, error) {
 	opts = opts.withDefaults()
 	if seeds < 2 {
 		seeds = 5
 	}
-	var rows []VariationRow
-	for _, name := range opts.Benchmarks {
-		samples := map[Technique][]float64{}
+	sched := newScheduler("variation", opts)
+	// overheads[bench][seed][tech]
+	overheads := make([][][]float64, len(opts.Benchmarks))
+	var cells []cellSpec
+	for bi, name := range opts.Benchmarks {
+		overheads[bi] = make([][]float64, seeds)
 		for s := 0; s < seeds; s++ {
-			seedOpts := opts
-			seedOpts.Seed = opts.Seed + int64(s)
-			seedOpts.Benchmarks = []string{name}
-			insts, err := seedOpts.instances()
-			if err != nil {
-				return nil, err
-			}
-			inst := insts[0]
-			raw, err := goldenRun(inst, Raw, BuildOptions{Optimize: opts.Optimize})
-			if err != nil {
-				return nil, err
-			}
-			for _, tech := range Techniques {
-				g, err := goldenRun(inst, tech, BuildOptions{Optimize: opts.Optimize})
-				if err != nil {
-					return nil, err
-				}
-				samples[tech] = append(samples[tech], fi.Overhead(raw.cycles, g.cycles))
-			}
+			seed := opts.Seed + int64(s)
+			cells = append(cells, cellSpec{
+				name: fmt.Sprintf("%s/seed+%d", name, s),
+				run: func() error {
+					seedOpts := opts
+					seedOpts.Benchmarks = []string{opts.Benchmarks[bi]}
+					insts, err := seedOpts.instancesAt(seed)
+					if err != nil {
+						return err
+					}
+					inst := instanceAt{insts[0], seed}
+					raw, err := sched.golden(inst, Raw)
+					if err != nil {
+						return fmt.Errorf("%s/raw: %w", insts[0].Bench.Name, err)
+					}
+					ovs := make([]float64, len(Techniques))
+					for ti, tech := range Techniques {
+						g, err := sched.golden(inst, tech)
+						if err != nil {
+							return fmt.Errorf("%s/%s: %w", insts[0].Bench.Name, tech, err)
+						}
+						ovs[ti] = fi.Overhead(raw.cycles, g.cycles)
+					}
+					overheads[bi][s] = ovs
+					return nil
+				},
+			})
 		}
-		for _, tech := range Techniques {
-			xs := samples[tech]
+	}
+	if err := sched.run(cells); err != nil {
+		return nil, err
+	}
+	var rows []VariationRow
+	for bi, name := range opts.Benchmarks {
+		for ti, tech := range Techniques {
+			xs := make([]float64, seeds)
+			for s := 0; s < seeds; s++ {
+				xs[s] = overheads[bi][s][ti]
+			}
 			rows = append(rows, VariationRow{
 				Benchmark: name,
 				Technique: tech,

@@ -327,8 +327,10 @@ func (m *Machine) reset() {
 	m.dyn, m.sites = 0, 0
 	m.injected = false
 	m.scalarSpan, m.vectorSpan, m.cycles = 0, 0, 0
-	// Stack at top of memory; push a sentinel return address so a stray
-	// top-level RET crashes instead of wrapping.
+	// Stack grows down from the top of memory and starts empty — no
+	// sentinel is pushed. A stray top-level RET pops from the address one
+	// past the end of memory, which fails the load bounds check and yields
+	// OutcomeCrash instead of wrapping into program data.
 	m.gpr[asm.RSP] = uint64(len(m.mem))
 }
 

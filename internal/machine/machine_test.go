@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -169,6 +170,26 @@ double:
 	res := run(t, src, RunOpts{})
 	if res.Outcome != OutcomeOK || len(res.Output) != 1 || res.Output[0] != 10 {
 		t.Fatalf("res = %+v (%s)", res, res.CrashMsg)
+	}
+}
+
+// TestStrayTopLevelRetCrashes: the stack starts empty (reset pushes no
+// sentinel), so a RET with no matching CALL pops past the top of memory
+// and must crash rather than wrap into program data.
+func TestStrayTopLevelRetCrashes(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$1, %rax
+	out	%rax
+	retq
+`
+	res := run(t, src, RunOpts{})
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("outcome = %v (%s), want crash", res.Outcome, res.CrashMsg)
+	}
+	if !strings.Contains(res.CrashMsg, "pop") {
+		t.Errorf("crash message %q does not mention the failing pop", res.CrashMsg)
 	}
 }
 
