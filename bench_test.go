@@ -18,6 +18,7 @@ import (
 	"ferrum/internal/ferrumpass"
 	"ferrum/internal/fi"
 	"ferrum/internal/harness"
+	"ferrum/internal/irpass"
 	"ferrum/internal/machine"
 	"ferrum/internal/rodinia"
 )
@@ -274,6 +275,98 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		if _, err := fi.RunAsmCampaign(tgt, fi.Campaign{Samples: 100, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAsmCampaign compares the direct and checkpointed campaign paths
+// on the FERRUM-protected cell (the suite's dominant cost: protected runs
+// detect soon after injection, so fast-forwarding skips most of each run).
+// plans/s is the headline metric; BENCH_campaign.json snapshots it.
+func BenchmarkAsmCampaign(b *testing.B) {
+	inst, err := rodinia.BFS.Instantiate(1, harness.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := backend.Compile(inst.Mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prot, _, err := ferrumpass.Protect(prog, ferrumpass.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := fi.AsmTarget{
+		Prog:    prot,
+		MemSize: 1 << 20,
+		Args:    inst.Args,
+		Setup:   func(w fi.MemWriter) error { return inst.Setup(w) },
+	}
+	for _, mode := range []struct {
+		name string
+		c    fi.Campaign
+	}{
+		{"direct", fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed, NoCheckpoint: true}},
+		{"checkpointed", fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var res fi.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = fi.RunAsmCampaign(tgt, mode.c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(benchSamples)*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+			if cp := res.Checkpoint; cp.Enabled {
+				b.ReportMetric(float64(cp.Interval), "K")
+				b.ReportMetric(float64(cp.SkippedInsts), "skipped-insts")
+			}
+		})
+	}
+}
+
+// BenchmarkIRCampaign is the IR-level counterpart of BenchmarkAsmCampaign
+// (EDDI-protected module, the gap experiment's expensive half).
+func BenchmarkIRCampaign(b *testing.B) {
+	inst, err := rodinia.BFS.Instantiate(1, harness.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := irpass.EDDI(inst.Mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := fi.IRTarget{
+		Mod:     mod,
+		MemSize: 1 << 20,
+		Args:    inst.Args,
+		Setup:   func(w fi.MemWriter) error { return inst.Setup(w) },
+	}
+	for _, mode := range []struct {
+		name string
+		c    fi.Campaign
+	}{
+		{"direct", fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed, NoCheckpoint: true}},
+		{"checkpointed", fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var res fi.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = fi.RunIRCampaign(tgt, mode.c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(benchSamples)*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+			if cp := res.Checkpoint; cp.Enabled {
+				b.ReportMetric(float64(cp.Interval), "K")
+				b.ReportMetric(float64(cp.SkippedInsts), "skipped-insts")
+			}
+		})
 	}
 }
 

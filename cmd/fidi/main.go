@@ -47,6 +47,8 @@ func run(argv []string, out io.Writer) error {
 		bits      = fs.Int("bits", 1, "bits flipped per fault (multi-bit upsets)")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
 		trace     = fs.Int("trace", 0, "replay one sampled fault of each non-benign outcome and print the last N executed instructions")
+		noCkpt    = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical results, slower)")
+		ckptEvery = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -100,7 +102,10 @@ func run(argv []string, out io.Writer) error {
 		return fmt.Errorf("one of -bench or -in is required")
 	}
 
-	campaign := fi.Campaign{Samples: *samples, Seed: *seed, BitsPerFault: *bits}
+	campaign := fi.Campaign{
+		Samples: *samples, Seed: *seed, BitsPerFault: *bits,
+		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
+	}
 	var res fi.Result
 	var err error
 
@@ -137,6 +142,12 @@ func run(argv []string, out io.Writer) error {
 	}
 	lo, hi := res.CI95()
 	fmt.Fprintf(out, "SDC rate: %.3f  (95%% CI [%.3f, %.3f])\n", res.SDCRate(), lo, hi)
+	if cp := res.Checkpoint; cp.Enabled {
+		fmt.Fprintf(os.Stderr,
+			"checkpointing: K=%d, %d snapshots (%d KiB), %d restores, %d cold starts, %d insts skipped\n",
+			cp.Interval, cp.Snapshots, cp.SnapshotBytes>>10,
+			cp.Restores, cp.ColdStarts, cp.SkippedInsts)
+	}
 
 	if *trace > 0 && *level != "ir" {
 		build, berr := harness.BuildTechnique(mod, harness.Technique(*technique))

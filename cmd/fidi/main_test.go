@@ -43,6 +43,22 @@ func TestRunRawWithTrace(t *testing.T) {
 	}
 }
 
+// TestRunNoCheckpointIdentical pins the -no-checkpoint escape hatch:
+// stdout must be byte-identical with checkpointing on and off.
+func TestRunNoCheckpointIdentical(t *testing.T) {
+	var ck, direct strings.Builder
+	args := []string{"-bench", "bfs", "-technique", "raw", "-samples", "80"}
+	if err := run(args, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-no-checkpoint"), &direct); err != nil {
+		t.Fatal(err)
+	}
+	if ck.String() != direct.String() {
+		t.Errorf("outputs differ:\n%s\n---\n%s", ck.String(), direct.String())
+	}
+}
+
 func TestRunIRLevel(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-bench", "knn", "-technique", "ir-level-eddi", "-level", "ir", "-samples", "60"}, &out); err != nil {

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"ferrum/internal/fi"
 	"ferrum/internal/harness"
 )
 
@@ -63,6 +64,8 @@ func run(argv []string, out io.Writer) error {
 		cellWorkers = fs.Int("cell-workers", 0, "concurrent campaign cells (0 = GOMAXPROCS); any value yields identical tables")
 		progress    = fs.Bool("progress", false, "stream live cell status to stderr")
 		o1          = fs.Bool("O1", false, "run builds through the peephole optimizer before protection")
+		noCkpt      = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical tables, slower campaigns)")
+		ckptEvery   = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune per cell)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -70,9 +73,11 @@ func run(argv []string, out io.Writer) error {
 
 	cache := harness.NewBuildCache()
 	stats := &suiteStats{}
+	ckptStats := &fi.CampaignStats{}
 	opts := harness.Options{
 		Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers,
 		Optimize: *o1, CellWorkers: *cellWorkers, Cache: cache,
+		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery, CampaignStats: ckptStats,
 		Progress: func(ev harness.CellEvent) {
 			// The scheduler serialises callbacks within one experiment and
 			// experiments run sequentially, but keep the accounting locked
@@ -188,5 +193,13 @@ func run(argv []string, out io.Writer) error {
 		stats.campaign.Round(time.Millisecond),
 		cs.BuildMisses, cs.BuildHits, cs.GoldenMisses, cs.GoldenHits)
 	stats.mu.Unlock()
+	if n := ckptStats.Campaigns.Load(); n > 0 {
+		fmt.Fprintf(errw,
+			"checkpointing: %d campaigns, %d snapshots (%d KiB), "+
+				"%d restores, %d cold starts, %d insts skipped\n",
+			n, ckptStats.Snapshots.Load(), ckptStats.SnapshotBytes.Load()>>10,
+			ckptStats.Restores.Load(), ckptStats.ColdStarts.Load(),
+			ckptStats.SkippedInsts.Load())
+	}
 	return nil
 }

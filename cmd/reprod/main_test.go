@@ -127,6 +127,44 @@ func TestCellWorkersIdenticalOutput(t *testing.T) {
 	}
 }
 
+// TestNoCheckpointIdenticalOutput is the CLI-level equivalence guarantee:
+// checkpointed fast-forwarding must not change a single stdout byte.
+func TestNoCheckpointIdenticalOutput(t *testing.T) {
+	stderr := captureStderr(t)
+	var ck, direct strings.Builder
+	if err := run([]string{"-exp", "fig10", "-bench", "bfs,knn", "-samples", "60"}, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "checkpointing:") {
+		t.Errorf("stderr summary missing checkpointing counters:\n%s", stderr.String())
+	}
+	if err := run([]string{"-exp", "fig10", "-bench", "bfs,knn", "-samples", "60", "-no-checkpoint"}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if ck.String() != direct.String() {
+		t.Errorf("outputs differ:\n%s\n---\n%s", ck.String(), direct.String())
+	}
+	if strings.Contains(ck.String(), "checkpointing:") {
+		t.Error("checkpointing counters leaked into stdout")
+	}
+}
+
+// TestCheckpointEveryOverride pins the -checkpoint-every flag: a forced
+// interval still yields identical tables.
+func TestCheckpointEveryOverride(t *testing.T) {
+	captureStderr(t)
+	var forced, auto strings.Builder
+	if err := run([]string{"-exp", "fig11", "-bench", "bfs", "-checkpoint-every", "17"}, &forced); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig11", "-bench", "bfs"}, &auto); err != nil {
+		t.Fatal(err)
+	}
+	if forced.String() != auto.String() {
+		t.Errorf("outputs differ:\n%s\n---\n%s", forced.String(), auto.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-exp", "bogus"}, &out); err == nil {

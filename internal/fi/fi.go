@@ -66,6 +66,17 @@ type Campaign struct {
 	// called concurrently from campaign worker goroutines; implementations
 	// must be safe for concurrent use.
 	Progress func(done int)
+	// NoCheckpoint disables checkpointed fast-forwarding: every injected
+	// run re-executes its unfaulted prefix from instruction zero. The two
+	// paths produce byte-identical Result.Counts; this is the escape hatch
+	// for debugging and for the equivalence tests.
+	NoCheckpoint bool
+	// CheckpointEvery overrides the snapshot spacing K (dynamic sites
+	// between checkpoints). 0 auto-tunes via DefaultCheckpointInterval.
+	CheckpointEvery uint64
+	// Stats, if non-nil, accumulates checkpointing counters across
+	// campaigns (shared, concurrency-safe sink).
+	Stats *CampaignStats
 }
 
 // Result aggregates campaign outcomes.
@@ -78,6 +89,9 @@ type Result struct {
 	// Only assembly-level campaigns set it; the IR interpreter has no
 	// cycle model, so IR campaigns leave it zero.
 	Cycles float64
+	// Checkpoint reports the campaign's fast-forwarding activity; zero
+	// when checkpointing was disabled.
+	Checkpoint CheckpointSummary
 }
 
 // Count returns the number of runs with the given outcome.
@@ -193,13 +207,38 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 		Cycles:   golden.Cycles,
 	}
 	plans := makePlans(c, golden.DynSites)
+
+	var (
+		cps                           *asmCheckpoints
+		restores, coldStarts, skipped atomic.Int64
+	)
+	if !c.NoCheckpoint && len(plans) > 0 {
+		k := c.checkpointInterval(golden.DynSites)
+		cps = recordAsmCheckpoints(m0, tgt, c, k, golden.DynSites)
+		sortPlansBySite(plans)
+		res.Checkpoint = CheckpointSummary{
+			Enabled:       true,
+			Interval:      k,
+			Snapshots:     len(cps.snaps),
+			SnapshotBytes: cps.bytes(),
+		}
+	}
 	run := func(m *machine.Machine, p plannedFault) Outcome {
-		r := m.Run(machine.RunOpts{
+		opts := machine.RunOpts{
 			Args:     tgt.Args,
 			MaxSteps: c.MaxSteps,
 			Fault:    &machine.Fault{Site: p.site, Bit: p.bit, Extra: p.extra},
-		})
-		return classifyAsm(r, golden.Output)
+		}
+		if cps != nil {
+			if i := nearestSnapshot(cps.sites, p.site); i >= 0 {
+				opts.Resume = cps.snaps[i]
+				restores.Add(1)
+				skipped.Add(int64(cps.snaps[i].DynInsts()))
+			} else {
+				coldStarts.Add(1)
+			}
+		}
+		return classifyAsm(m.Run(opts), golden.Output)
 	}
 	counts, err := runParallel(c, plans, func() (func(plannedFault) Outcome, error) {
 		m, err := build()
@@ -212,6 +251,10 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 		return Result{}, err
 	}
 	res.Counts = counts
+	res.Checkpoint.Restores = restores.Load()
+	res.Checkpoint.ColdStarts = coldStarts.Load()
+	res.Checkpoint.SkippedInsts = skipped.Load()
+	c.Stats.add(res.Checkpoint)
 	return res, nil
 }
 
@@ -253,24 +296,53 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	}
 	res := Result{Samples: c.Samples, DynSites: golden.Sites, Golden: golden.Output}
 	plans := makePlans(c, golden.Sites)
+
+	var (
+		cps                           *irCheckpoints
+		restores, coldStarts, skipped atomic.Int64
+	)
+	if !c.NoCheckpoint && len(plans) > 0 {
+		k := c.checkpointInterval(golden.Sites)
+		cps = recordIRCheckpoints(ip0, tgt, c, k)
+		sortPlansBySite(plans)
+		res.Checkpoint = CheckpointSummary{
+			Enabled:       true,
+			Interval:      k,
+			Snapshots:     len(cps.snaps),
+			SnapshotBytes: cps.bytes(),
+		}
+	}
 	counts, err := runParallel(c, plans, func() (func(plannedFault) Outcome, error) {
 		ip, err := build()
 		if err != nil {
 			return nil, err
 		}
 		return func(p plannedFault) Outcome {
-			r := ip.Run(ir.RunOpts{
+			opts := ir.RunOpts{
 				Args:     tgt.Args,
 				MaxSteps: c.MaxSteps,
 				Fault:    &ir.Fault{Site: p.site, Bit: p.bit},
-			})
-			return classifyIR(r, golden.Output)
+			}
+			if cps != nil {
+				if i := nearestSnapshot(cps.sites, p.site); i >= 0 {
+					opts.Resume = cps.snaps[i]
+					restores.Add(1)
+					skipped.Add(int64(cps.snaps[i].Steps()))
+				} else {
+					coldStarts.Add(1)
+				}
+			}
+			return classifyIR(ip.Run(opts), golden.Output)
 		}, nil
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	res.Counts = counts
+	res.Checkpoint.Restores = restores.Load()
+	res.Checkpoint.ColdStarts = coldStarts.Load()
+	res.Checkpoint.SkippedInsts = skipped.Load()
+	c.Stats.add(res.Checkpoint)
 	return res, nil
 }
 

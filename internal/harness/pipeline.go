@@ -14,6 +14,7 @@ import (
 	"ferrum/internal/backend"
 	"ferrum/internal/eddi"
 	"ferrum/internal/ferrumpass"
+	"ferrum/internal/fi"
 	"ferrum/internal/ir"
 	"ferrum/internal/irpass"
 	"ferrum/internal/opt"
@@ -169,6 +170,15 @@ type Options struct {
 	// are serialised by the scheduler, so implementations need no locking
 	// of their own.
 	Progress func(CellEvent)
+	// NoCheckpoint disables checkpointed fast-forwarding in every campaign
+	// (see fi.Campaign.NoCheckpoint); results are byte-identical either way.
+	NoCheckpoint bool
+	// CheckpointEvery overrides the per-campaign snapshot spacing K
+	// (0 = auto-tune per cell from DynSites/√Samples).
+	CheckpointEvery uint64
+	// CampaignStats, if non-nil, accumulates checkpointing counters across
+	// every campaign the experiments run (shared, concurrency-safe).
+	CampaignStats *fi.CampaignStats
 }
 
 func (o Options) withDefaults() Options {

@@ -69,7 +69,14 @@ func newScheduler(exp string, opts Options) *scheduler {
 // campaign builds the per-cell fi.Campaign. Fault plans derive only from
 // Samples and Seed, so worker counts never change campaign results.
 func (s *scheduler) campaign() fi.Campaign {
-	return fi.Campaign{Samples: s.opts.Samples, Seed: s.opts.Seed, Workers: s.campWorkers}
+	return fi.Campaign{
+		Samples:         s.opts.Samples,
+		Seed:            s.opts.Seed,
+		Workers:         s.campWorkers,
+		NoCheckpoint:    s.opts.NoCheckpoint,
+		CheckpointEvery: s.opts.CheckpointEvery,
+		Stats:           s.opts.CampaignStats,
+	}
 }
 
 // build memoises the technique build for an instance at the scheduler's

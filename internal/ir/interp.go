@@ -40,8 +40,7 @@ const DefaultMaxSteps = 50_000_000
 
 // MaxCallDepth bounds recursion so that fault-corrupted base cases crash
 // the interpreted program (matching the machine model, where runaway
-// recursion exhausts the simulated stack) instead of exhausting the host
-// stack.
+// recursion exhausts the simulated stack).
 const MaxCallDepth = 10_000
 
 // Fault is an IR-level single-bit fault plan (the LLFI-style injector the
@@ -58,6 +57,15 @@ type RunOpts struct {
 	Args     []uint64
 	MaxSteps uint64
 	Fault    *Fault
+	// CheckpointEvery captures a Snapshot after every CheckpointEvery-th
+	// dynamic site and passes it to OnCheckpoint. 0 disables.
+	CheckpointEvery uint64
+	OnCheckpoint    func(*Snapshot)
+	// Resume starts execution from a snapshot instead of the entry
+	// function; Args are ignored and all counters continue from the
+	// snapshot's values, so a resumed run's RunResult is bit-identical to
+	// a from-scratch run that passed through the snapshot point.
+	Resume *Snapshot
 }
 
 // RunResult summarises one interpreted execution.
@@ -70,21 +78,44 @@ type RunResult struct {
 	Injected bool
 }
 
+// frame is one activation record of the explicit call stack. The
+// interpreter keeps frames on a slice instead of the Go stack so a mid-run
+// Snapshot can capture — and Restore rebuild — the whole call state.
+type frame struct {
+	fn      *Func
+	block   *Block
+	idx     int // index of the next instruction within block
+	env     map[string]uint64
+	savedSP uint64
+}
+
 // Interp executes IR modules against the same flat memory model the
 // machine uses, so benchmark data loaders work identically at both levels.
 type Interp struct {
 	mod      *Module
 	memImage []byte
 
-	mem      []byte
+	blocks map[*Func]map[string]*Block // branch-target index
+
+	mem []byte
+	// Dirty-page tracking mirrors the machine's: mem deviates from
+	// memImage only inside pages listed in dirtyPages, so per-run resets,
+	// Snapshot and Restore copy only what the run touched.
+	dirty      []bool
+	dirtyPages []int32
+	memSynced  bool
+
+	frames   []*frame
 	sp       uint64
 	output   []uint64
 	steps    uint64
 	maxSteps uint64
-	depth    int
 	sites    uint64
 	fault    *Fault
 	injected bool
+
+	checkpointEvery uint64
+	onCheckpoint    func(*Snapshot)
 }
 
 // NewInterp builds an interpreter for a verified module.
@@ -98,7 +129,21 @@ func NewInterp(mod *Module, memSize int) (*Interp, error) {
 	if memSize < GuardSize*2 {
 		return nil, fmt.Errorf("ir: memory size %d too small", memSize)
 	}
-	return &Interp{mod: mod, memImage: make([]byte, memSize), mem: make([]byte, memSize)}, nil
+	ip := &Interp{
+		mod:      mod,
+		memImage: make([]byte, memSize),
+		mem:      make([]byte, memSize),
+		dirty:    make([]bool, (memSize+pageSize-1)>>pageShift),
+		blocks:   make(map[*Func]map[string]*Block, len(mod.Funcs)),
+	}
+	for _, f := range mod.Funcs {
+		bs := make(map[string]*Block, len(f.Blocks))
+		for _, b := range f.Blocks {
+			bs[b.Name] = b
+		}
+		ip.blocks[f] = bs
+	}
+	return ip, nil
 }
 
 // SetMemImage copies data into the pristine memory image at addr.
@@ -107,6 +152,7 @@ func (ip *Interp) SetMemImage(addr uint64, data []byte) error {
 		return fmt.Errorf("ir: image write [%d,%d) out of range", addr, addr+uint64(len(data)))
 	}
 	copy(ip.memImage[addr:], data)
+	ip.memSynced = false // force a full re-sync on the next run
 	return nil
 }
 
@@ -126,24 +172,38 @@ var (
 	errHang     = fmt.Errorf("ir: step budget exceeded")
 )
 
-// Run executes the module's entry function.
+// Run executes the module's entry function (or resumes from a snapshot).
 func (ip *Interp) Run(opts RunOpts) RunResult {
-	copy(ip.mem, ip.memImage)
-	ip.sp = uint64(len(ip.mem))
-	ip.output = ip.output[:0]
-	ip.steps, ip.sites = 0, 0
-	ip.depth = 0
-	ip.injected = false
+	if opts.Resume != nil {
+		if err := ip.Restore(opts.Resume); err != nil {
+			return RunResult{Outcome: OutcomeCrash, CrashMsg: err.Error()}
+		}
+	} else {
+		ip.restoreMem()
+		ip.sp = uint64(len(ip.mem))
+		ip.output = ip.output[:0]
+		ip.steps, ip.sites = 0, 0
+		ip.injected = false
+		entry := ip.mod.Func(ip.mod.Entry)
+		env := make(map[string]uint64, len(entry.Params)+entry.InstCount())
+		for i, p := range entry.Params {
+			if i < len(opts.Args) {
+				env[p.Name] = opts.Args[i]
+			}
+		}
+		ip.frames = append(ip.frames[:0], &frame{
+			fn: entry, block: entry.Blocks[0], env: env, savedSP: ip.sp,
+		})
+	}
 	ip.fault = opts.Fault
 	ip.maxSteps = opts.MaxSteps
 	if ip.maxSteps == 0 {
 		ip.maxSteps = DefaultMaxSteps
 	}
+	ip.checkpointEvery = opts.CheckpointEvery
+	ip.onCheckpoint = opts.OnCheckpoint
 
-	entry := ip.mod.Func(ip.mod.Entry)
-	args := make([]uint64, len(entry.Params))
-	copy(args, opts.Args)
-	_, err := ip.call(entry, args)
+	err := ip.run()
 
 	res := RunResult{
 		Output:   append([]uint64(nil), ip.output...),
@@ -184,55 +244,77 @@ func isSite(in *Inst) bool {
 	return true
 }
 
-func (ip *Interp) call(f *Func, args []uint64) (uint64, error) {
-	ip.depth++
-	defer func() { ip.depth-- }()
-	if ip.depth > MaxCallDepth {
-		return 0, irCrash{"call depth exceeded"}
-	}
-	env := make(map[string]uint64, len(f.Params)+f.InstCount())
-	for i, p := range f.Params {
-		if i < len(args) {
-			env[p.Name] = args[i]
-		}
-	}
-	savedSP := ip.sp
-	defer func() { ip.sp = savedSP }()
-
-	block := f.Blocks[0]
+// run drives the explicit-frame interpreter loop until the entry function
+// returns or the run terminates abnormally.
+func (ip *Interp) run() error {
 	for {
-		for _, in := range block.Insts {
-			ip.steps++
-			if ip.steps > ip.maxSteps {
-				return 0, errHang
-			}
-			switch in.Op {
-			case OpBr:
-				block = f.Block(in.Targets[0])
-				goto nextBlock
-			case OpCondBr:
-				if ip.eval(in.Args[0], env) != 0 {
-					block = f.Block(in.Targets[0])
-				} else {
-					block = f.Block(in.Targets[1])
-				}
-				goto nextBlock
-			case OpRet:
-				if len(in.Args) == 1 {
-					return ip.eval(in.Args[0], env), nil
-				}
-				return 0, nil
-			}
-			if err := ip.exec(f, in, env); err != nil {
-				return 0, err
-			}
+		fr := ip.frames[len(ip.frames)-1]
+		if fr.idx >= len(fr.block.Insts) {
+			return irCrash{fmt.Sprintf("@%s/%s: fell off block end", fr.fn.Name, fr.block.Name)}
 		}
-		return 0, irCrash{fmt.Sprintf("@%s/%s: fell off block end", f.Name, block.Name)}
-	nextBlock:
+		in := fr.block.Insts[fr.idx]
+		ip.steps++
+		if ip.steps > ip.maxSteps {
+			return errHang
+		}
+		switch in.Op {
+		case OpBr:
+			fr.block, fr.idx = ip.blocks[fr.fn][in.Targets[0]], 0
+			continue
+		case OpCondBr:
+			t := in.Targets[1]
+			if ip.eval(in.Args[0], fr.env) != 0 {
+				t = in.Targets[0]
+			}
+			fr.block, fr.idx = ip.blocks[fr.fn][t], 0
+			continue
+		case OpRet:
+			var r uint64
+			if len(in.Args) == 1 {
+				r = ip.eval(in.Args[0], fr.env)
+			}
+			ip.sp = fr.savedSP
+			ip.frames = ip.frames[:len(ip.frames)-1]
+			if len(ip.frames) == 0 {
+				return nil
+			}
+			// The caller's frame still points at its call instruction;
+			// bind the return value there and step past it.
+			caller := ip.frames[len(ip.frames)-1]
+			if call := caller.block.Insts[caller.idx]; call.Name != "" {
+				caller.env[call.Name] = r
+			}
+			caller.idx++
+			continue
+		case OpCall:
+			if len(ip.frames) >= MaxCallDepth {
+				return irCrash{"call depth exceeded"}
+			}
+			callee := ip.mod.Func(in.Callee)
+			env := make(map[string]uint64, len(callee.Params)+callee.InstCount())
+			for i, p := range callee.Params {
+				if i < len(in.Args) {
+					env[p.Name] = ip.eval(in.Args[i], fr.env)
+				}
+			}
+			ip.frames = append(ip.frames, &frame{
+				fn: callee, block: callee.Blocks[0], env: env, savedSP: ip.sp,
+			})
+			continue
+		}
+		sitesBefore := ip.sites
+		if err := ip.exec(in, fr.env); err != nil {
+			return err
+		}
+		fr.idx++
+		if ip.checkpointEvery > 0 && ip.sites != sitesBefore &&
+			ip.sites%ip.checkpointEvery == 0 && ip.onCheckpoint != nil {
+			ip.onCheckpoint(ip.Snapshot())
+		}
 	}
 }
 
-func (ip *Interp) exec(f *Func, in *Inst, env map[string]uint64) error {
+func (ip *Interp) exec(in *Inst, env map[string]uint64) error {
 	var result uint64
 	switch in.Op {
 	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
@@ -269,20 +351,6 @@ func (ip *Interp) exec(f *Func, in *Inst, env map[string]uint64) error {
 		return ip.store(addr, v)
 	case OpGEP:
 		result = ip.eval(in.Args[0], env) + 8*ip.eval(in.Args[1], env)
-	case OpCall:
-		callee := ip.mod.Func(in.Callee)
-		args := make([]uint64, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = ip.eval(a, env)
-		}
-		r, err := ip.call(callee, args)
-		if err != nil {
-			return err
-		}
-		if in.Name != "" {
-			env[in.Name] = r
-		}
-		return nil
 	case OpOut:
 		ip.output = append(ip.output, ip.eval(in.Args[0], env))
 		return nil
@@ -359,6 +427,7 @@ func (ip *Interp) store(addr, v uint64) error {
 	if addr < GuardSize || addr+8 > uint64(len(ip.mem)) || addr+8 < addr {
 		return irCrash{fmt.Sprintf("store at %#x out of range", addr)}
 	}
+	ip.markDirty(addr, 8)
 	binary.LittleEndian.PutUint64(ip.mem[addr:], v)
 	return nil
 }

@@ -1,0 +1,178 @@
+package ir
+
+import (
+	"fmt"
+	"maps"
+)
+
+// Dirty-page tracking granularity, matching internal/machine so the two
+// levels have comparable snapshot costs.
+const (
+	pageShift = 9 // 512-byte pages
+	pageSize  = 1 << pageShift
+)
+
+// markDirty records that [addr, addr+size) has been written. Callers have
+// already bounds-checked the access.
+func (ip *Interp) markDirty(addr, size uint64) {
+	for p := addr >> pageShift; p <= (addr+size-1)>>pageShift; p++ {
+		if !ip.dirty[p] {
+			ip.dirty[p] = true
+			ip.dirtyPages = append(ip.dirtyPages, int32(p))
+		}
+	}
+}
+
+// restoreMem brings working memory back to the pristine image. When the
+// image is unchanged since the last sync only the dirtied pages are copied;
+// after SetMemImage the whole image is re-synced once.
+func (ip *Interp) restoreMem() {
+	if !ip.memSynced {
+		copy(ip.mem, ip.memImage)
+		for _, p := range ip.dirtyPages {
+			ip.dirty[p] = false
+		}
+		ip.dirtyPages = ip.dirtyPages[:0]
+		ip.memSynced = true
+		return
+	}
+	for _, p := range ip.dirtyPages {
+		lo := int(p) << pageShift
+		hi := lo + pageSize
+		if hi > len(ip.mem) {
+			hi = len(ip.mem)
+		}
+		copy(ip.mem[lo:hi], ip.memImage[lo:hi])
+		ip.dirty[p] = false
+	}
+	ip.dirtyPages = ip.dirtyPages[:0]
+}
+
+// snapFrame is one serialised activation record: function and block are
+// stored by name so a snapshot can be restored into any interpreter built
+// from an equal module.
+type snapFrame struct {
+	fn      string
+	block   string
+	idx     int
+	env     map[string]uint64
+	savedSP uint64
+}
+
+// Snapshot is a self-contained copy of an Interp's mid-run state: the call
+// stack (with per-frame environments), sp, counters, output, and the memory
+// pages dirtied since the run began (a delta against the pristine image).
+// It is immutable after capture and safe to restore concurrently into
+// different interpreters sharing the same module and image.
+type Snapshot struct {
+	frames []snapFrame
+	sp     uint64
+
+	output   []uint64
+	steps    uint64
+	sites    uint64
+	injected bool
+
+	pages   []snapPage
+	memSize int
+}
+
+type snapPage struct {
+	idx  int32
+	data []byte
+}
+
+// Sites reports the number of dynamic fault-injection sites executed before
+// the snapshot was taken; a resumed run can only reach fault sites >= this.
+func (s *Snapshot) Sites() uint64 { return s.sites }
+
+// Steps reports the dynamic instructions executed before the snapshot —
+// the work a resumed run skips.
+func (s *Snapshot) Steps() uint64 { return s.steps }
+
+// MemBytes reports the bytes of dirtied memory the snapshot carries, the
+// dominant cost of a restore.
+func (s *Snapshot) MemBytes() int {
+	n := 0
+	for _, pg := range s.pages {
+		n += len(pg.data)
+	}
+	return n
+}
+
+// Snapshot captures the interpreter's current state. Meaningful mid-run
+// (via RunOpts.OnCheckpoint); the capture is relative to the current
+// pristine image, so mutating the image afterwards invalidates it.
+func (ip *Interp) Snapshot() *Snapshot {
+	s := &Snapshot{
+		frames:   make([]snapFrame, len(ip.frames)),
+		sp:       ip.sp,
+		output:   append([]uint64(nil), ip.output...),
+		steps:    ip.steps,
+		sites:    ip.sites,
+		injected: ip.injected,
+		pages:    make([]snapPage, 0, len(ip.dirtyPages)),
+		memSize:  len(ip.mem),
+	}
+	for i, fr := range ip.frames {
+		s.frames[i] = snapFrame{
+			fn:      fr.fn.Name,
+			block:   fr.block.Name,
+			idx:     fr.idx,
+			env:     maps.Clone(fr.env),
+			savedSP: fr.savedSP,
+		}
+	}
+	for _, p := range ip.dirtyPages {
+		lo := int(p) << pageShift
+		hi := lo + pageSize
+		if hi > len(ip.mem) {
+			hi = len(ip.mem)
+		}
+		s.pages = append(s.pages, snapPage{idx: p, data: append([]byte(nil), ip.mem[lo:hi]...)})
+	}
+	return s
+}
+
+// Restore replaces the interpreter's state with a previously captured
+// snapshot. Frame environments are re-cloned so the snapshot stays
+// immutable, and function/block names are resolved against this
+// interpreter's module; after Restore a resumed Run matches a from-scratch
+// run that reached the same point.
+func (ip *Interp) Restore(s *Snapshot) error {
+	if s.memSize != len(ip.mem) {
+		return fmt.Errorf("ir: snapshot mismatch (mem %d vs %d)", s.memSize, len(ip.mem))
+	}
+	frames := make([]*frame, len(s.frames))
+	for i, sf := range s.frames {
+		fn := ip.mod.Func(sf.fn)
+		if fn == nil {
+			return fmt.Errorf("ir: snapshot frame %d: function %q not found", i, sf.fn)
+		}
+		blk := ip.blocks[fn][sf.block]
+		if blk == nil {
+			return fmt.Errorf("ir: snapshot frame %d: block %q not found in @%s", i, sf.block, sf.fn)
+		}
+		frames[i] = &frame{
+			fn:      fn,
+			block:   blk,
+			idx:     sf.idx,
+			env:     maps.Clone(sf.env),
+			savedSP: sf.savedSP,
+		}
+	}
+	ip.restoreMem()
+	for _, pg := range s.pages {
+		lo := int(pg.idx) << pageShift
+		copy(ip.mem[lo:lo+len(pg.data)], pg.data)
+		if !ip.dirty[pg.idx] {
+			ip.dirty[pg.idx] = true
+			ip.dirtyPages = append(ip.dirtyPages, pg.idx)
+		}
+	}
+	ip.frames = frames
+	ip.sp = s.sp
+	ip.output = append(ip.output[:0], s.output...)
+	ip.steps, ip.sites, ip.injected = s.steps, s.sites, s.injected
+	return nil
+}

@@ -475,6 +475,7 @@ func (m *Machine) storeMem(ea uint64, w asm.Width, v uint64) error {
 	if ea < GuardSize || ea+size > uint64(len(m.mem)) || ea+size < ea {
 		return crashf("store of %d bytes at %#x out of range", size, ea)
 	}
+	m.markDirty(ea, size)
 	switch w {
 	case asm.W64:
 		binary.LittleEndian.PutUint64(m.mem[ea:], v)

@@ -90,6 +90,23 @@ type RunOpts struct {
 	// provenance tags) in Result.Trace — a flight recorder for debugging
 	// fault outcomes. 0 disables tracing.
 	Trace int
+	// SitesHint preallocates the RecordSites/RecordSiteLocs slices when the
+	// dynamic site count is known in advance (e.g. from a golden run). When
+	// zero, the machine falls back to the previous run's site count.
+	SitesHint uint64
+	// CheckpointEvery captures a Snapshot after every CheckpointEvery-th
+	// dynamic site and passes it to OnCheckpoint, recording a checkpoint
+	// schedule for later fast-forward resumes. 0 disables checkpointing.
+	CheckpointEvery uint64
+	OnCheckpoint    func(*Snapshot)
+	// Resume starts execution from a snapshot instead of the entry
+	// scaffolding. Args are ignored (register state comes from the
+	// snapshot) and all counters continue from the snapshot's values, so a
+	// resumed run's Result is bit-identical to a from-scratch run that
+	// passed through the snapshot point — including MaxSteps/hang
+	// semantics. RecordSites/RecordSiteLocs/Profile/Trace observe only the
+	// resumed suffix.
+	Resume *Snapshot
 }
 
 // DefaultMaxSteps bounds executions that lost control of their loop
@@ -120,6 +137,15 @@ type Machine struct {
 	start  int
 
 	memImage []byte // pristine memory restored before each run
+
+	// Dirty-page tracking: mem deviates from memImage only inside the
+	// pages listed in dirtyPages (see snapshot.go), so reset and Restore
+	// copy back only what the last run touched.
+	dirty      []bool
+	dirtyPages []int32
+	memSynced  bool // mem matches memImage outside the dirty pages
+
+	lastSites uint64 // previous run's site count (RecordSites capacity hint)
 
 	// Architectural state (reset per run).
 	gpr   [asm.NumReg]uint64
@@ -181,6 +207,7 @@ func New(p *asm.Program, memSize int) (*Machine, error) {
 	m.start = start
 	m.entry = m.labels[entry]
 	m.mem = make([]byte, memSize)
+	m.dirty = make([]bool, (memSize+pageSize-1)>>pageShift)
 	return m, nil
 }
 
@@ -202,6 +229,7 @@ func (m *Machine) SetMemImage(addr uint64, data []byte) error {
 		return fmt.Errorf("machine: image write [%d,%d) out of range", addr, addr+uint64(len(data)))
 	}
 	copy(m.memImage[addr:], data)
+	m.memSynced = false // force a full re-sync on the next reset
 	return nil
 }
 
@@ -232,12 +260,22 @@ func crashf(format string, args ...any) error {
 // result. Run never returns a Go error for in-program failures; those are
 // reported through the Outcome.
 func (m *Machine) Run(opts RunOpts) Result {
-	m.reset()
-	for i, a := range opts.Args {
-		if i >= len(asm.ArgRegs) {
-			break
+	sitesHint := opts.SitesHint
+	if sitesHint == 0 {
+		sitesHint = m.lastSites
+	}
+	if opts.Resume != nil {
+		if err := m.Restore(opts.Resume); err != nil {
+			return Result{Outcome: OutcomeCrash, CrashMsg: err.Error()}
 		}
-		m.gpr[asm.ArgRegs[i]] = a
+	} else {
+		m.reset()
+		for i, a := range opts.Args {
+			if i >= len(asm.ArgRegs) {
+				break
+			}
+			m.gpr[asm.ArgRegs[i]] = a
+		}
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
@@ -248,6 +286,12 @@ func (m *Machine) Run(opts RunOpts) Result {
 	var crashMsg string
 	var siteDests []asm.DestKind
 	var siteLocs []SiteLoc
+	if opts.RecordSites && sitesHint > 0 {
+		siteDests = make([]asm.DestKind, 0, sitesHint)
+	}
+	if opts.RecordSiteLocs && sitesHint > 0 {
+		siteLocs = make([]SiteLoc, 0, sitesHint)
+	}
 	var prof *Profile
 	if opts.Profile {
 		prof = newProfile()
@@ -291,6 +335,9 @@ loop:
 				siteLocs = append(siteLocs, SiteLoc{Fn: fi.fn, Idx: fi.idx})
 			}
 			m.sites++
+			if opts.CheckpointEvery > 0 && m.sites%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
+				opts.OnCheckpoint(m.Snapshot())
+			}
 		}
 		switch next {
 		case nextHalt:
@@ -302,6 +349,7 @@ loop:
 		}
 	}
 	m.flushSpan()
+	m.lastSites = m.sites
 	return Result{
 		Outcome:   outcome,
 		Output:    append([]uint64(nil), m.output...),
@@ -321,7 +369,7 @@ func (m *Machine) reset() {
 	m.gpr = [asm.NumReg]uint64{}
 	m.x = [asm.NumXReg][8]uint64{}
 	m.flags = [asm.NumFlag]bool{}
-	copy(m.mem, m.memImage)
+	m.restoreMem()
 	m.output = m.output[:0]
 	m.pc = m.start
 	m.dyn, m.sites = 0, 0

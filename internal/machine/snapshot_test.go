@@ -1,0 +1,237 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// snapSrc writes to memory inside the loop so snapshots carry dirty pages,
+// and reads the values back so corrupted stores surface in the output.
+const snapSrc = `
+	.globl	main
+main:
+	movq	$8192, %rbp
+	movq	$0, %rax
+	movq	$1, %rcx
+.Lloop:
+	cmpq	$20, %rcx
+	jg	.Ldone
+	leaq	(%rbp,%rcx,8), %rdx
+	movq	%rcx, (%rdx)
+	addq	(%rdx), %rax
+	addq	$1, %rcx
+	jmp	.Lloop
+.Ldone:
+	out	%rax
+	movq	8(%rbp), %rbx
+	out	%rbx
+	hlt
+`
+
+func sameResult(t *testing.T, got, want Result, ctx string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: resumed result differs\ngot  %+v\nwant %+v", ctx, got, want)
+	}
+}
+
+// TestSnapshotResumeEquivalence pins the tentpole invariant at machine
+// level: for every fault site and a schedule of snapshots, a run resumed
+// from the latest snapshot at or before the fault site must be
+// bit-identical (full Result struct) to the same faulted run from scratch.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	prog := mustParse(t, snapSrc)
+	m, err := New(prog, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := m.Run(RunOpts{})
+	if golden.Outcome != OutcomeOK || golden.DynSites == 0 {
+		t.Fatalf("golden = %+v", golden)
+	}
+
+	for _, every := range []uint64{1, 7, golden.DynSites} {
+		var snaps []*Snapshot
+		m.Run(RunOpts{CheckpointEvery: every, OnCheckpoint: func(s *Snapshot) {
+			snaps = append(snaps, s)
+		}})
+		if len(snaps) == 0 {
+			t.Fatalf("K=%d: no snapshots", every)
+		}
+		for site := uint64(0); site < golden.DynSites; site++ {
+			f := &Fault{Site: site, Bit: 4}
+			direct := m.Run(RunOpts{Fault: f})
+			var snap *Snapshot
+			for _, s := range snaps {
+				if s.Sites() <= site {
+					snap = s
+				}
+			}
+			if snap == nil {
+				continue // site precedes the first snapshot
+			}
+			resumed := m.Run(RunOpts{Fault: f, Resume: snap})
+			sameResult(t, resumed, direct, "K="+itoa(every)+" site="+itoa(site))
+		}
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestSnapshotResumeAfterAbnormalRuns checks a worker-machine lifecycle:
+// resumed runs that crash or detect must not poison the next resume on the
+// same machine instance.
+func TestSnapshotResumeAfterAbnormalRuns(t *testing.T) {
+	prog := mustParse(t, snapSrc)
+	m, err := New(prog, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*Snapshot
+	m.Run(RunOpts{CheckpointEvery: 5, OnCheckpoint: func(s *Snapshot) {
+		snaps = append(snaps, s)
+	}})
+	golden := m.Run(RunOpts{})
+
+	snap := snaps[0]
+	// Hunt a crashing fault among high bits of the loaded pointer sites.
+	var crashed bool
+	for site := snap.Sites(); site < golden.DynSites && !crashed; site++ {
+		for _, bit := range []uint{40, 50, 62} {
+			f := &Fault{Site: site, Bit: bit}
+			direct := m.Run(RunOpts{Fault: f})
+			resumed := m.Run(RunOpts{Fault: f, Resume: snap})
+			sameResult(t, resumed, direct, "abnormal")
+			if direct.Outcome == OutcomeCrash {
+				crashed = true
+			}
+			// A clean run resumed right after must still be golden.
+			clean := m.Run(RunOpts{Resume: snap})
+			if clean.Outcome != OutcomeOK || !reflect.DeepEqual(clean.Output, golden.Output) {
+				t.Fatalf("clean resume after faulted run = %+v", clean)
+			}
+		}
+	}
+	if !crashed {
+		t.Log("no crashing fault found; equivalence still checked")
+	}
+}
+
+// TestSnapshotMultiBitResume runs multi-bit (Extra) faults through the
+// resume path.
+func TestSnapshotMultiBitResume(t *testing.T) {
+	prog := mustParse(t, snapSrc)
+	m, err := New(prog, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*Snapshot
+	m.Run(RunOpts{CheckpointEvery: 3, OnCheckpoint: func(s *Snapshot) {
+		snaps = append(snaps, s)
+	}})
+	snap := snaps[1]
+	for site := snap.Sites(); site < snap.Sites()+6; site++ {
+		f := &Fault{Site: site, Bit: 2, Extra: []uint{17, 33}}
+		direct := m.Run(RunOpts{Fault: f})
+		resumed := m.Run(RunOpts{Fault: f, Resume: snap})
+		sameResult(t, resumed, direct, "multi-bit")
+	}
+}
+
+// TestRestoreMismatch rejects snapshots from a different configuration.
+func TestRestoreMismatch(t *testing.T) {
+	prog := mustParse(t, snapSrc)
+	m1, _ := New(prog, memSize)
+	m2, _ := New(prog, memSize*2)
+	var snaps []*Snapshot
+	m1.Run(RunOpts{CheckpointEvery: 1, OnCheckpoint: func(s *Snapshot) {
+		snaps = append(snaps, s)
+	}})
+	if err := m2.Restore(snaps[0]); err == nil {
+		t.Fatal("restore across memory sizes accepted")
+	}
+	r := m2.Run(RunOpts{Resume: snaps[0]})
+	if r.Outcome != OutcomeCrash {
+		t.Fatalf("resume with mismatched snapshot = %v", r.Outcome)
+	}
+}
+
+// TestDirtyPageReset pins the satellite optimisation: repeated runs must
+// stay correct with dirty-page (not full-image) resets, including after
+// SetMemImage invalidates the sync.
+func TestDirtyPageReset(t *testing.T) {
+	prog := mustParse(t, snapSrc)
+	m, err := New(prog, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Run(RunOpts{})
+	for i := 0; i < 3; i++ {
+		again := m.Run(RunOpts{})
+		sameResult(t, again, first, "repeat run")
+	}
+	// Mutating the image must both invalidate the sync and change results:
+	// slot 1 of the array at 8192 is re-stored by the program, but the sum
+	// is unchanged... so poke a word the program reads but never writes.
+	if err := m.WriteWordImage(8192+8, 99); err != nil {
+		t.Fatal(err)
+	}
+	// The program overwrites slot 1 before reading it, so results must be
+	// *identical* — the poke is clobbered iff the reset actually reapplied
+	// the program's stores on a fresh image rather than leaking state.
+	again := m.Run(RunOpts{})
+	sameResult(t, again, first, "after SetMemImage")
+}
+
+// TestSnapshotSharedAcrossMachines restores one snapshot into a second
+// machine instance built from the same program and image, the campaign
+// worker-pool pattern.
+func TestSnapshotSharedAcrossMachines(t *testing.T) {
+	prog := mustParse(t, snapSrc)
+	m1, _ := New(prog, memSize)
+	m2, _ := New(prog, memSize)
+	var snaps []*Snapshot
+	m1.Run(RunOpts{CheckpointEvery: 4, OnCheckpoint: func(s *Snapshot) {
+		snaps = append(snaps, s)
+	}})
+	golden := m1.Run(RunOpts{})
+	for _, snap := range snaps {
+		direct := m1.Run(RunOpts{Fault: &Fault{Site: snap.Sites(), Bit: 9}})
+		resumed := m2.Run(RunOpts{Fault: &Fault{Site: snap.Sites(), Bit: 9}, Resume: snap})
+		sameResult(t, resumed, direct, "cross-machine, fault on checkpoint site")
+	}
+	clean := m2.Run(RunOpts{})
+	if !reflect.DeepEqual(clean, golden) {
+		t.Fatalf("fresh run on m2 after resumes = %+v, want %+v", clean, golden)
+	}
+}
+
+// TestSitesHintPrealloc checks that recording runs preallocate the site
+// slices at the hinted capacity.
+func TestSitesHintPrealloc(t *testing.T) {
+	prog := mustParse(t, snapSrc)
+	m, _ := New(prog, memSize)
+	golden := m.Run(RunOpts{})
+	res := m.Run(RunOpts{RecordSites: true, RecordSiteLocs: true, SitesHint: golden.DynSites})
+	if uint64(cap(res.SiteDests)) != golden.DynSites || uint64(cap(res.SiteLocs)) != golden.DynSites {
+		t.Errorf("caps = %d/%d, want %d", cap(res.SiteDests), cap(res.SiteLocs), golden.DynSites)
+	}
+	// Second recording run without a hint uses the machine's own memory of
+	// the previous run's site count.
+	res = m.Run(RunOpts{RecordSites: true})
+	if uint64(cap(res.SiteDests)) != golden.DynSites {
+		t.Errorf("lastSites prealloc cap = %d, want %d", cap(res.SiteDests), golden.DynSites)
+	}
+}
