@@ -20,6 +20,7 @@ import (
 	"ferrum/internal/harness"
 	"ferrum/internal/irpass"
 	"ferrum/internal/machine"
+	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
 
@@ -323,6 +324,51 @@ func BenchmarkAsmCampaign(b *testing.B) {
 				b.ReportMetric(float64(cp.Interval), "K")
 				b.ReportMetric(float64(cp.SkippedInsts), "skipped-insts")
 			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead proves the observability layer is off-path: the same
+// checkpointed FERRUM campaign with instrumentation disabled (nil Obs — the
+// default), and with a live observer collecting spans and counters. The two
+// must stay within a few percent: spans wrap campaign phases, never the
+// per-plan inner loop. BENCH_obs.json snapshots the disabled mode against
+// BENCH_campaign.json's checkpointed baseline.
+func BenchmarkObsOverhead(b *testing.B) {
+	inst, err := rodinia.BFS.Instantiate(1, harness.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := backend.Compile(inst.Mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prot, _, err := ferrumpass.Protect(prog, ferrumpass.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := fi.AsmTarget{
+		Prog:    prot,
+		MemSize: 1 << 20,
+		Args:    inst.Args,
+		Setup:   func(w fi.MemWriter) error { return inst.Setup(w) },
+	}
+	for _, mode := range []struct {
+		name string
+		cx   func() *obs.Ctx
+	}{
+		{"disabled", func() *obs.Ctx { return nil }},
+		{"enabled", func() *obs.Ctx { return obs.New().Cell("bfs/ferrum", 1) }},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed, Obs: mode.cx()}
+				if _, err := fi.RunAsmCampaign(tgt, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(benchSamples)*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
 		})
 	}
 }

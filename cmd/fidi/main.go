@@ -8,6 +8,12 @@
 //	fidi -in prog.ll -args 100 -technique raw
 //	fidi -bench knn -technique ir-level-eddi -level ir
 //	fidi -bench bfs -technique raw -trace 8     # flight-record one fault
+//	fidi -bench bfs -progress -events-out run.ndjson -trace-out t.json
+//
+// fidi shares reprod's observability layer (internal/obs): -progress
+// streams throttled injection progress to stderr, -events-out writes the
+// NDJSON span/metrics stream, -trace-out writes a Perfetto-loadable Chrome
+// trace, and -cpuprofile/-memprofile capture stdlib pprof profiles.
 package main
 
 import (
@@ -15,16 +21,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ferrum/internal/fi"
 	"ferrum/internal/harness"
 	"ferrum/internal/ir"
 	"ferrum/internal/irpass"
 	"ferrum/internal/machine"
+	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
+
+// errw carries progress and the checkpoint summary; tests swap it for a
+// buffer.
+var errw io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -49,9 +64,28 @@ func run(argv []string, out io.Writer) error {
 		trace     = fs.Int("trace", 0, "replay one sampled fault of each non-benign outcome and print the last N executed instructions")
 		noCkpt    = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical results, slower)")
 		ckptEvery = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune)")
+		progress  = fs.Bool("progress", false, "stream throttled injection progress to stderr")
+		eventsOut = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
+		traceOut  = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	if *list {
 		for _, b := range rodinia.All() {
@@ -102,9 +136,52 @@ func run(argv []string, out io.Writer) error {
 		return fmt.Errorf("one of -bench or -in is required")
 	}
 
+	// One observer for the whole invocation: the single campaign runs on
+	// the main goroutine, so every span lands on lane 0.
+	ob := obs.New()
+	var events *obs.NDJSON
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = obs.NewNDJSON(f, time.Time{})
+		events.Attach(ob.Trace)
+		events.Meta("fidi", argv)
+	}
+	cellName := *benchName
+	if cellName == "" {
+		cellName = *inPath
+	}
+	cx := ob.Cell(cellName+"/"+*technique, 0)
+
 	campaign := fi.Campaign{
 		Samples: *samples, Seed: *seed, BitsPerFault: *bits,
 		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
+		Obs: cx,
+	}
+	if *progress && *samples > 0 {
+		// Throttle to ~10% steps: the hook fires from concurrent campaign
+		// workers, so the high-water mark is advanced with a CAS.
+		step := *samples / 10
+		if step < 1 {
+			step = 1
+		}
+		var next atomic.Int64
+		next.Store(int64(step))
+		campaign.Progress = func(done int) {
+			for {
+				n := next.Load()
+				if int64(done) < n {
+					return
+				}
+				if next.CompareAndSwap(n, n+int64(step)) {
+					fmt.Fprintf(errw, "injected %d/%d\n", done, *samples)
+					return
+				}
+			}
+		}
 	}
 	var res fi.Result
 	var err error
@@ -123,7 +200,10 @@ func run(argv []string, out io.Writer) error {
 			Mod: target, MemSize: 1 << 20, Args: args, Setup: load,
 		}, campaign)
 	} else {
+		bsp := cx.Span("build")
+		bsp.SetAttr("tech", *technique)
 		build, berr := harness.BuildTechnique(mod, harness.Technique(*technique))
+		bsp.End()
 		if berr != nil {
 			return berr
 		}
@@ -143,13 +223,14 @@ func run(argv []string, out io.Writer) error {
 	lo, hi := res.CI95()
 	fmt.Fprintf(out, "SDC rate: %.3f  (95%% CI [%.3f, %.3f])\n", res.SDCRate(), lo, hi)
 	if cp := res.Checkpoint; cp.Enabled {
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(errw,
 			"checkpointing: K=%d, %d snapshots (%d KiB), %d restores, %d cold starts, %d insts skipped\n",
 			cp.Interval, cp.Snapshots, cp.SnapshotBytes>>10,
 			cp.Restores, cp.ColdStarts, cp.SkippedInsts)
 	}
 
 	if *trace > 0 && *level != "ir" {
+		tsp := cx.Span("trace.replay")
 		build, berr := harness.BuildTechnique(mod, harness.Technique(*technique))
 		if berr != nil {
 			return berr
@@ -179,6 +260,43 @@ func run(argv []string, out io.Writer) error {
 			for _, line := range r.Trace {
 				fmt.Fprintln(out, "  "+line)
 			}
+		}
+		tsp.End()
+	}
+
+	// One snapshot feeds the NDJSON metrics record; the Perfetto export
+	// shares the tracer's span list and epoch.
+	if events != nil {
+		events.Metrics(ob.Reg.Snapshot())
+		if err := events.Err(); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f, ob.Trace.Spans(), ob.Trace.Epoch()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -102,6 +103,80 @@ func TestRunMultiBit(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "SDC rate: 0.000") {
 		t.Errorf("multi-bit ferrum run:\n%s", out.String())
+	}
+}
+
+// TestRunProgressAndSinks: -progress streams throttled counts to stderr,
+// -events-out yields a parseable NDJSON stream whose final metrics record
+// reconciles with the printed outcome table, and -trace-out is valid JSON.
+func TestRunProgressAndSinks(t *testing.T) {
+	old := errw
+	var stderr strings.Builder
+	errw = &stderr
+	t.Cleanup(func() { errw = old })
+
+	dir := t.TempDir()
+	events := filepath.Join(dir, "e.ndjson")
+	trace := filepath.Join(dir, "t.json")
+	var out strings.Builder
+	err := run([]string{"-bench", "bfs", "-technique", "raw", "-samples", "80",
+		"-progress", "-events-out", events, "-trace-out", trace}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "injected ") ||
+		!strings.Contains(stderr.String(), "/80") {
+		t.Errorf("stderr missing throttled progress:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "checkpointing: K=") {
+		t.Errorf("stderr missing checkpoint summary:\n%s", stderr.String())
+	}
+	if strings.Contains(out.String(), "injected ") {
+		t.Error("progress leaked into stdout")
+	}
+
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMeta, sawInject, sawMetrics bool
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch rec["type"] {
+		case "meta":
+			sawMeta = true
+		case "span":
+			if rec["name"] == "inject" {
+				sawInject = true
+			}
+		case "metrics":
+			sawMetrics = true
+			counters := rec["counters"].(map[string]any)
+			if counters["fi.plans"].(float64) != 80 {
+				t.Errorf("metrics fi.plans = %v, want 80", counters["fi.plans"])
+			}
+		}
+	}
+	if !sawMeta || !sawInject || !sawMetrics {
+		t.Errorf("NDJSON stream missing records: meta=%v inject=%v metrics=%v",
+			sawMeta, sawInject, sawMetrics)
+	}
+
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tdata, &tf); err != nil {
+		t.Fatalf("trace-out is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Error("trace-out has no events")
 	}
 }
 

@@ -8,8 +8,16 @@
 // (benchmark, technique, optimize) build and golden run happens exactly
 // once; independent campaign cells run concurrently (bounded by
 // -cell-workers) without changing any table byte. -progress streams live
-// cell status to stderr; a suite summary with cache counters always goes
-// to stderr at the end.
+// cell status to stderr; a suite summary rendered from the observability
+// registry always goes to stderr at the end.
+//
+// The whole pipeline is instrumented through internal/obs: every phase
+// (builds, golden runs, snapshot recording, injection loops, table renders)
+// is a span attributed to the scheduler cell and worker lane that ran it.
+// -events-out streams spans and final counters as NDJSON; -trace-out writes
+// a Chrome trace_event JSON that loads directly in Perfetto
+// (ui.perfetto.dev) with one timeline row per cell-worker lane;
+// -cpuprofile/-memprofile capture stdlib pprof profiles.
 //
 // Usage:
 //
@@ -18,6 +26,7 @@
 //	reprod -exp fig11 -bench bfs,knn
 //	reprod -exp profile          # where does the overhead go
 //	reprod -progress             # live per-cell status on stderr
+//	reprod -events-out run.ndjson -trace-out run.trace.json
 package main
 
 import (
@@ -25,12 +34,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
-	"sync"
 	"time"
 
-	"ferrum/internal/fi"
 	"ferrum/internal/harness"
+	"ferrum/internal/obs"
 )
 
 // errw carries progress and the suite summary; tests swap it for a buffer.
@@ -41,15 +51,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reprod:", err)
 		os.Exit(1)
 	}
-}
-
-// suiteStats accumulates scheduler events across all experiments of one
-// invocation for the closing summary.
-type suiteStats struct {
-	mu         sync.Mutex
-	cells      int
-	injections int64
-	campaign   time.Duration // summed cell wall-clock
 }
 
 func run(argv []string, out io.Writer) error {
@@ -66,52 +67,82 @@ func run(argv []string, out io.Writer) error {
 		o1          = fs.Bool("O1", false, "run builds through the peephole optimizer before protection")
 		noCkpt      = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical tables, slower campaigns)")
 		ckptEvery   = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune per cell)")
+		eventsOut   = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
+		traceOut    = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
+		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 
-	cache := harness.NewBuildCache()
-	stats := &suiteStats{}
-	ckptStats := &fi.CampaignStats{}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	ob := obs.New()
+	var events *obs.NDJSON
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = obs.NewNDJSON(f, time.Time{})
+		events.Attach(ob.Trace)
+		events.Meta("reprod", argv)
+	}
+
 	opts := harness.Options{
 		Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers,
-		Optimize: *o1, CellWorkers: *cellWorkers, Cache: cache,
-		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery, CampaignStats: ckptStats,
-		Progress: func(ev harness.CellEvent) {
-			// The scheduler serialises callbacks within one experiment and
-			// experiments run sequentially, but keep the accounting locked
-			// so the invariant doesn't depend on that.
-			stats.mu.Lock()
-			defer stats.mu.Unlock()
+		Optimize: *o1, CellWorkers: *cellWorkers, Cache: harness.NewBuildCache(),
+		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
+		Obs: ob,
+	}
+	if *progress {
+		opts.Progress = func(ev harness.CellEvent) {
 			if !ev.Done {
-				if *progress {
-					fmt.Fprintf(errw, "[%s] %s ...\n", ev.Experiment, ev.Cell)
-				}
+				fmt.Fprintf(errw, "[%s] %s ...\n", ev.Experiment, ev.Cell)
 				return
 			}
-			stats.cells++
-			stats.injections += int64(ev.Injections)
-			stats.campaign += ev.Wall
-			if *progress {
-				rate := ""
-				if ev.Injections > 0 && ev.Wall > 0 {
-					rate = fmt.Sprintf(", %.0f inj/s", float64(ev.Injections)/ev.Wall.Seconds())
-				}
-				status := "done"
-				if ev.Err != nil {
-					status = "FAILED: " + ev.Err.Error()
-				}
-				fmt.Fprintf(errw, "[%s] %s %s in %v (%d inj%s) [%d/%d]\n",
-					ev.Experiment, ev.Cell, status, ev.Wall.Round(time.Millisecond),
-					ev.Injections, rate, ev.Index+1, ev.Total)
+			rate := ""
+			if ev.Injections > 0 && ev.Wall > 0 {
+				rate = fmt.Sprintf(", %.0f inj/s", float64(ev.Injections)/ev.Wall.Seconds())
 			}
-		},
+			status := "done"
+			if ev.Err != nil {
+				status = "FAILED: " + ev.Err.Error()
+			}
+			fmt.Fprintf(errw, "[%s] %s %s in %v (%d inj%s) [%d/%d]\n",
+				ev.Experiment, ev.Cell, status, ev.Wall.Round(time.Millisecond),
+				ev.Injections, rate, ev.Index+1, ev.Total)
+		}
 	}
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {
 			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
 		}
+	}
+
+	// render wraps a table render in a main-lane span, so the trace shows
+	// where the wall-clock between experiments went.
+	mainCx := ob.Cell("", 0)
+	render := func(table, text string) {
+		sp := mainCx.Span("render")
+		sp.SetAttr("table", table)
+		fmt.Fprintln(out, text)
+		sp.End()
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -120,7 +151,7 @@ func run(argv []string, out io.Writer) error {
 
 	if want("table1") {
 		ran = true
-		fmt.Fprintln(out, harness.RenderTable1())
+		render("table1", harness.RenderTable1())
 	}
 	if want("table2") {
 		ran = true
@@ -128,7 +159,7 @@ func run(argv []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, harness.RenderTable2(rows))
+		render("table2", harness.RenderTable2(rows))
 	}
 	if want("fig10") {
 		ran = true
@@ -137,7 +168,7 @@ func run(argv []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, harness.RenderFig10(rows))
+		render("fig10", harness.RenderFig10(rows))
 	}
 	if want("fig11") {
 		ran = true
@@ -145,7 +176,7 @@ func run(argv []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, harness.RenderFig11(rows))
+		render("fig11", harness.RenderFig11(rows))
 	}
 	if want("exectime") {
 		ran = true
@@ -153,7 +184,7 @@ func run(argv []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, harness.RenderExecTime(rows))
+		render("exectime", harness.RenderExecTime(rows))
 	}
 	if want("profile") {
 		ran = true
@@ -161,7 +192,7 @@ func run(argv []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, harness.RenderProfile(rows))
+		render("profile", harness.RenderProfile(rows))
 	}
 	if want("variation") {
 		ran = true
@@ -169,7 +200,7 @@ func run(argv []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, harness.RenderVariation(rows))
+		render("variation", harness.RenderVariation(rows))
 	}
 	if want("gap") {
 		ran = true
@@ -178,28 +209,49 @@ func run(argv []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, harness.RenderGap(rows))
+		render("gap", harness.RenderGap(rows))
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
-	cs := cache.Stats()
-	stats.mu.Lock()
-	fmt.Fprintf(errw,
-		"suite: %d cells, %d injections, %v wall (%v summed cell time); "+
-			"builds: %d unique, %d cache hits; goldens: %d unique, %d cache hits\n",
-		stats.cells, stats.injections, time.Since(start).Round(time.Millisecond),
-		stats.campaign.Round(time.Millisecond),
-		cs.BuildMisses, cs.BuildHits, cs.GoldenMisses, cs.GoldenHits)
-	stats.mu.Unlock()
-	if n := ckptStats.Campaigns.Load(); n > 0 {
-		fmt.Fprintf(errw,
-			"checkpointing: %d campaigns, %d snapshots (%d KiB), "+
-				"%d restores, %d cold starts, %d insts skipped\n",
-			n, ckptStats.Snapshots.Load(), ckptStats.SnapshotBytes.Load()>>10,
-			ckptStats.Restores.Load(), ckptStats.ColdStarts.Load(),
-			ckptStats.SkippedInsts.Load())
+	// One snapshot feeds both the human summary and the NDJSON metrics
+	// record, so the two always reconcile exactly.
+	snap := ob.Reg.Snapshot()
+	spans := ob.Trace.Spans()
+	obs.RenderSummary(errw, snap, time.Since(start), spans)
+	if events != nil {
+		events.Metrics(snap)
+		if err := events.Err(); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f, spans, ob.Trace.Epoch()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"ferrum/internal/asm"
 	"ferrum/internal/ir"
 	"ferrum/internal/machine"
+	"ferrum/internal/obs"
 )
 
 // Outcome classifies one injected execution against the golden run.
@@ -75,8 +76,41 @@ type Campaign struct {
 	// between checkpoints). 0 auto-tunes via DefaultCheckpointInterval.
 	CheckpointEvery uint64
 	// Stats, if non-nil, accumulates checkpointing counters across
-	// campaigns (shared, concurrency-safe sink).
+	// campaigns (shared, concurrency-safe sink). It predates Obs and is kept
+	// as a thin adapter for library callers; new code should prefer Obs,
+	// which captures the same counters plus spans in one registry.
 	Stats *CampaignStats
+	// Obs, if non-nil, attributes the campaign's phases — golden run,
+	// snapshot recording, the injection loop — to the owning scheduler cell
+	// as spans, and accumulates plan/outcome/checkpoint counters in the
+	// observability registry. Nil disables instrumentation at zero cost:
+	// nothing inside the per-plan inner loop ever touches it.
+	Obs *obs.Ctx
+}
+
+// observe publishes a finished campaign's totals to the observability
+// registry: plan/outcome counts plus the checkpointing counters that the
+// legacy Stats adapter also accumulates. Called once per campaign, after
+// the injection loop — never from inside it.
+func (c Campaign) observe(res Result) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Counter(obs.MCampaigns).Add(1)
+	c.Obs.Counter(obs.MPlans).Add(int64(res.Samples))
+	for o := Outcome(0); o < numOutcomes; o++ {
+		if n := res.Counts[o]; n > 0 {
+			c.Obs.Counter(obs.MOutcomePrefix + o.String()).Add(int64(n))
+		}
+	}
+	if ck := res.Checkpoint; ck.Enabled {
+		c.Obs.Counter(obs.MCkptCampaigns).Add(1)
+		c.Obs.Counter(obs.MCkptSnapshots).Add(int64(ck.Snapshots))
+		c.Obs.Counter(obs.MCkptBytes).Add(int64(ck.SnapshotBytes))
+		c.Obs.Counter(obs.MCkptRestores).Add(ck.Restores)
+		c.Obs.Counter(obs.MCkptColdStarts).Add(ck.ColdStarts)
+		c.Obs.Counter(obs.MCkptSkippedInsts).Add(ck.SkippedInsts)
+	}
 }
 
 // Result aggregates campaign outcomes.
@@ -193,7 +227,11 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("fi: %w", err)
 	}
+	gsp := c.Obs.Span("golden")
 	golden := m0.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps})
+	gsp.SetAttr("dyn_insts", golden.DynInsts)
+	gsp.SetAttr("dyn_sites", golden.DynSites)
+	gsp.End()
 	if golden.Outcome != machine.OutcomeOK {
 		return Result{}, fmt.Errorf("fi: golden run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
 	}
@@ -214,7 +252,12 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 	)
 	if !c.NoCheckpoint && len(plans) > 0 {
 		k := c.checkpointInterval(golden.DynSites)
+		csp := c.Obs.Span("checkpoint.record")
 		cps = recordAsmCheckpoints(m0, tgt, c, k, golden.DynSites)
+		csp.SetAttr("k", k)
+		csp.SetAttr("snapshots", len(cps.snaps))
+		csp.SetAttr("bytes", cps.bytes())
+		csp.End()
 		sortPlansBySite(plans)
 		res.Checkpoint = CheckpointSummary{
 			Enabled:       true,
@@ -240,6 +283,8 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 		}
 		return classifyAsm(m.Run(opts), golden.Output)
 	}
+	isp := c.Obs.Span("inject")
+	isp.SetAttr("plans", len(plans))
 	counts, err := runParallel(c, plans, func() (func(plannedFault) Outcome, error) {
 		m, err := build()
 		if err != nil {
@@ -247,6 +292,7 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 		}
 		return func(p plannedFault) Outcome { return run(m, p) }, nil
 	})
+	isp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -255,6 +301,7 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 	res.Checkpoint.ColdStarts = coldStarts.Load()
 	res.Checkpoint.SkippedInsts = skipped.Load()
 	c.Stats.add(res.Checkpoint)
+	c.observe(res)
 	return res, nil
 }
 
@@ -287,7 +334,10 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("fi: %w", err)
 	}
+	gsp := c.Obs.Span("golden")
 	golden := ip0.Run(ir.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps})
+	gsp.SetAttr("dyn_sites", golden.Sites)
+	gsp.End()
 	if golden.Outcome != ir.OutcomeOK {
 		return Result{}, fmt.Errorf("fi: golden IR run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
 	}
@@ -303,7 +353,12 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	)
 	if !c.NoCheckpoint && len(plans) > 0 {
 		k := c.checkpointInterval(golden.Sites)
+		csp := c.Obs.Span("checkpoint.record")
 		cps = recordIRCheckpoints(ip0, tgt, c, k)
+		csp.SetAttr("k", k)
+		csp.SetAttr("snapshots", len(cps.snaps))
+		csp.SetAttr("bytes", cps.bytes())
+		csp.End()
 		sortPlansBySite(plans)
 		res.Checkpoint = CheckpointSummary{
 			Enabled:       true,
@@ -312,6 +367,8 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 			SnapshotBytes: cps.bytes(),
 		}
 	}
+	isp := c.Obs.Span("inject")
+	isp.SetAttr("plans", len(plans))
 	counts, err := runParallel(c, plans, func() (func(plannedFault) Outcome, error) {
 		ip, err := build()
 		if err != nil {
@@ -335,6 +392,7 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 			return classifyIR(ip.Run(opts), golden.Output)
 		}, nil
 	})
+	isp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -343,6 +401,7 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	res.Checkpoint.ColdStarts = coldStarts.Load()
 	res.Checkpoint.SkippedInsts = skipped.Load()
 	c.Stats.add(res.Checkpoint)
+	c.observe(res)
 	return res, nil
 }
 

@@ -2,8 +2,8 @@ package harness
 
 import (
 	"sync"
-	"sync/atomic"
 
+	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
 
@@ -40,10 +40,15 @@ type BuildCache struct {
 	builds  map[buildKey]*buildEntry
 	goldens map[buildKey]*goldenEntry
 
-	buildHits    atomic.Int64
-	buildMisses  atomic.Int64
-	goldenHits   atomic.Int64
-	goldenMisses atomic.Int64
+	// Hit/miss counters. They start as standalone obs counters so an
+	// unobserved cache still counts; Observe rebinds them to a registry,
+	// which is where the suite summary and the NDJSON metrics record read
+	// them from. CacheStats remains as a thin read adapter.
+	instances    *obs.Counter
+	buildHits    *obs.Counter
+	buildMisses  *obs.Counter
+	goldenHits   *obs.Counter
+	goldenMisses *obs.Counter
 }
 
 type instEntry struct {
@@ -67,10 +72,41 @@ type goldenEntry struct {
 // NewBuildCache returns an empty cache.
 func NewBuildCache() *BuildCache {
 	return &BuildCache{
-		insts:   map[instKey]*instEntry{},
-		builds:  map[buildKey]*buildEntry{},
-		goldens: map[buildKey]*goldenEntry{},
+		insts:        map[instKey]*instEntry{},
+		builds:       map[buildKey]*buildEntry{},
+		goldens:      map[buildKey]*goldenEntry{},
+		instances:    &obs.Counter{},
+		buildHits:    &obs.Counter{},
+		buildMisses:  &obs.Counter{},
+		goldenHits:   &obs.Counter{},
+		goldenMisses: &obs.Counter{},
 	}
+}
+
+// Observe rebinds the cache's counters to the observer's registry under the
+// canonical cache.* names, carrying any counts accumulated so far across.
+// Idempotent for a given observer (the registry memoises by name); must not
+// be called concurrently with cache use — the harness wires it up in
+// Options.withDefaults, before any cells run.
+func (c *BuildCache) Observe(o *obs.Observer) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	rebind := func(dst **obs.Counter, name string) {
+		reg := o.Reg.Counter(name)
+		if *dst == reg {
+			return
+		}
+		reg.Add((*dst).Load())
+		*dst = reg
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rebind(&c.instances, obs.MInstances)
+	rebind(&c.buildHits, obs.MBuildHits)
+	rebind(&c.buildMisses, obs.MBuildMisses)
+	rebind(&c.goldenHits, obs.MGoldenHits)
+	rebind(&c.goldenMisses, obs.MGoldenMisses)
 }
 
 // CacheStats is a snapshot of the cache's hit/miss counters. Misses count
@@ -82,8 +118,12 @@ type CacheStats struct {
 	GoldenMisses int
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. It is the legacy read adapter kept for
+// callers that predate the obs registry; observed caches report the same
+// values under the cache.* names in Registry.Snapshot.
 func (c *BuildCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return CacheStats{
 		BuildHits:    int(c.buildHits.Load()),
 		BuildMisses:  int(c.buildMisses.Load()),
@@ -100,6 +140,9 @@ func (c *BuildCache) instance(bench *rodinia.Benchmark, scale int, seed int64) (
 	if !ok {
 		e = &instEntry{}
 		c.insts[key] = e
+	}
+	if !ok {
+		c.instances.Add(1)
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
@@ -118,12 +161,12 @@ func (c *BuildCache) build(inst *rodinia.Instance, scale int, seed int64, tech T
 		e = &buildEntry{}
 		c.builds[key] = e
 	}
-	c.mu.Unlock()
 	if ok {
 		c.buildHits.Add(1)
 	} else {
 		c.buildMisses.Add(1)
 	}
+	c.mu.Unlock()
 	e.once.Do(func() {
 		e.build, e.err = BuildTechniqueOpts(inst.Mod, tech, bo)
 	})
@@ -140,12 +183,12 @@ func (c *BuildCache) golden(inst *rodinia.Instance, scale int, seed int64, tech 
 		e = &goldenEntry{}
 		c.goldens[key] = e
 	}
-	c.mu.Unlock()
 	if ok {
 		c.goldenHits.Add(1)
 	} else {
 		c.goldenMisses.Add(1)
 	}
+	c.mu.Unlock()
 	e.once.Do(func() {
 		var build *Build
 		build, e.err = c.build(inst, scale, seed, tech, bo)

@@ -7,6 +7,7 @@ import (
 	"ferrum/internal/fi"
 	"ferrum/internal/ir"
 	"ferrum/internal/machine"
+	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
 
@@ -41,12 +42,12 @@ func Fig10(opts Options) ([]Fig10Row, error) {
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + string(tech),
 				inj:  opts.Samples,
-				run: func() error {
-					build, err := s.build(instanceAt{inst, opts.Seed}, tech)
+				run: func(cx *obs.Ctx) error {
+					build, err := s.build(cx, instanceAt{inst, opts.Seed}, tech)
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
-					res, err := fi.RunAsmCampaign(asmTarget(inst, build), s.campaign())
+					res, err := fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cx))
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
@@ -120,8 +121,8 @@ func Fig11(opts Options) ([]Fig11Row, error) {
 			idx := bi*len(techs) + ti
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + string(tech),
-				run: func() error {
-					g, err := s.golden(instanceAt{inst, opts.Seed}, tech)
+				run: func(cx *obs.Ctx) error {
+					g, err := s.golden(cx, instanceAt{inst, opts.Seed}, tech)
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
@@ -194,7 +195,9 @@ func ExecTime(opts Options) ([]ExecTimeRow, error) {
 	for bi, inst := range insts {
 		cells = append(cells, cellSpec{
 			name: inst.Bench.Name + "/transform",
-			run: func() error {
+			run: func(cx *obs.Ctx) error {
+				sp := cx.Span("transform.reps")
+				defer sp.End()
 				var best *ExecTimeRow
 				for r := 0; r < reps; r++ {
 					build, err := BuildTechniqueOpts(inst.Mod, Ferrum, BuildOptions{Optimize: opts.Optimize})
@@ -258,29 +261,29 @@ func Gap(opts Options) ([]GapRow, error) {
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + kind,
 				inj:  opts.Samples,
-				run: func() error {
+				run: func(cx *obs.Ctx) error {
 					var res fi.Result
 					var err error
 					switch kind {
 					case "ir-raw":
-						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), s.campaign())
+						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), s.campaign(cx))
 					case "ir-prot":
 						var build *Build
-						build, err = s.build(instanceAt{inst, opts.Seed}, IREDDI)
+						build, err = s.build(cx, instanceAt{inst, opts.Seed}, IREDDI)
 						if err == nil {
-							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), s.campaign())
+							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), s.campaign(cx))
 						}
 					case "asm-raw":
 						var build *Build
-						build, err = s.build(instanceAt{inst, opts.Seed}, Raw)
+						build, err = s.build(cx, instanceAt{inst, opts.Seed}, Raw)
 						if err == nil {
-							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign())
+							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cx))
 						}
 					case "asm-prot":
 						var build *Build
-						build, err = s.build(instanceAt{inst, opts.Seed}, IREDDI)
+						build, err = s.build(cx, instanceAt{inst, opts.Seed}, IREDDI)
 						if err == nil {
-							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign())
+							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cx))
 						}
 					}
 					if err != nil {

@@ -282,6 +282,58 @@ func TestProfileExperiment(t *testing.T) {
 	}
 }
 
+// TestProfileRowInvariants pins the contents of every Profile row: the tag
+// fractions partition the dynamic instruction count (sum to 1), protection
+// always costs instructions over raw, and FERRUM is the only technique
+// issuing vector work.
+func TestProfileRowInvariants(t *testing.T) {
+	rows, err := Profile(testOpts("bfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTech := map[Technique]ProfileRow{}
+	for _, r := range rows {
+		if r.Benchmark != "bfs" {
+			t.Errorf("row benchmark = %q", r.Benchmark)
+		}
+		if r.DynInsts == 0 {
+			t.Errorf("%s: zero dynamic instructions", r.Technique)
+		}
+		var sum float64
+		for tag, f := range r.Fractions {
+			if f < 0 || f > 1 {
+				t.Errorf("%s: fraction[%v] = %v out of [0,1]", r.Technique, tag, f)
+			}
+			sum += f
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: fractions sum to %v, want 1", r.Technique, sum)
+		}
+		byTech[r.Technique] = r
+	}
+	raw := byTech[Raw]
+	for _, tech := range Techniques {
+		if byTech[tech].DynInsts <= raw.DynInsts {
+			t.Errorf("%s: %d dyn insts, not above raw's %d",
+				tech, byTech[tech].DynInsts, raw.DynInsts)
+		}
+	}
+	var ferrumVector float64
+	for _, v := range byTech[Ferrum].VectorWork {
+		ferrumVector += v
+	}
+	if ferrumVector <= 0 {
+		t.Error("FERRUM issued no vector work")
+	}
+	var hybridVector float64
+	for _, v := range byTech[Hybrid].VectorWork {
+		hybridVector += v
+	}
+	if hybridVector != 0 {
+		t.Errorf("hybrid issued vector work %v; scalar-only technique", hybridVector)
+	}
+}
+
 func TestVariationExperiment(t *testing.T) {
 	rows, err := Variation(testOpts("bfs"), 3)
 	if err != nil {

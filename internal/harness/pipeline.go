@@ -17,6 +17,7 @@ import (
 	"ferrum/internal/fi"
 	"ferrum/internal/ir"
 	"ferrum/internal/irpass"
+	"ferrum/internal/obs"
 	"ferrum/internal/opt"
 	"ferrum/internal/rodinia"
 )
@@ -177,8 +178,16 @@ type Options struct {
 	// (0 = auto-tune per cell from DynSites/√Samples).
 	CheckpointEvery uint64
 	// CampaignStats, if non-nil, accumulates checkpointing counters across
-	// every campaign the experiments run (shared, concurrency-safe).
+	// every campaign the experiments run (shared, concurrency-safe). It
+	// predates Obs, which captures the same counters (and more) in one
+	// registry; kept as a thin adapter for library callers.
 	CampaignStats *fi.CampaignStats
+	// Obs, if non-nil, collects metrics and per-phase spans from the
+	// scheduler, the build cache and every campaign: cells become timeline
+	// slices on their worker's lane, and the suite summary, NDJSON event
+	// stream and Perfetto export all render from its registry. Nil disables
+	// all instrumentation (nil observer handles are no-ops throughout).
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -199,6 +208,9 @@ func (o Options) withDefaults() Options {
 	if o.Cache == nil {
 		o.Cache = NewBuildCache()
 	}
+	// Bind the cache's counters into the observer's registry so cache.*
+	// metrics appear alongside everything else (idempotent per observer).
+	o.Cache.Observe(o.Obs)
 	return o
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"ferrum/internal/asm"
 	"ferrum/internal/machine"
+	"ferrum/internal/obs"
 )
 
 // ProfileRow attributes one benchmark's dynamic execution under a
@@ -40,8 +41,8 @@ func Profile(opts Options) ([]ProfileRow, error) {
 			idx := bi*len(techs) + ti
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + string(tech),
-				run: func() error {
-					build, err := s.build(instanceAt{inst, opts.Seed}, tech)
+				run: func(cx *obs.Ctx) error {
+					build, err := s.build(cx, instanceAt{inst, opts.Seed}, tech)
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
@@ -52,7 +53,9 @@ func Profile(opts Options) ([]ProfileRow, error) {
 					if err := inst.Setup(m); err != nil {
 						return err
 					}
+					sp := cx.Span("profile.run")
 					res := m.Run(machine.RunOpts{Args: inst.Args, Profile: true})
+					sp.End()
 					if res.Outcome != machine.OutcomeOK {
 						return fmt.Errorf("%s/%s: %v (%s)", inst.Bench.Name, tech, res.Outcome, res.CrashMsg)
 					}

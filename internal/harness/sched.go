@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ferrum/internal/fi"
+	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
 
@@ -27,11 +28,13 @@ type CellEvent struct {
 
 // cellSpec is one schedulable unit: a named closure plus the number of
 // fault injections it will execute (for rate reporting; 0 for build-only
-// cells).
+// cells). The closure receives the cell's observability context — nil when
+// observability is off — so campaign phases attribute their spans to the
+// cell and the worker lane that ran it.
 type cellSpec struct {
 	name string
 	inj  int
-	run  func() error
+	run  func(cx *obs.Ctx) error
 }
 
 // scheduler runs an experiment's independent cells on a bounded worker
@@ -67,8 +70,9 @@ func newScheduler(exp string, opts Options) *scheduler {
 }
 
 // campaign builds the per-cell fi.Campaign. Fault plans derive only from
-// Samples and Seed, so worker counts never change campaign results.
-func (s *scheduler) campaign() fi.Campaign {
+// Samples and Seed, so worker counts never change campaign results. cx ties
+// the campaign's spans and counters to the cell being run (nil: off).
+func (s *scheduler) campaign(cx *obs.Ctx) fi.Campaign {
 	return fi.Campaign{
 		Samples:         s.opts.Samples,
 		Seed:            s.opts.Seed,
@@ -76,19 +80,29 @@ func (s *scheduler) campaign() fi.Campaign {
 		NoCheckpoint:    s.opts.NoCheckpoint,
 		CheckpointEvery: s.opts.CheckpointEvery,
 		Stats:           s.opts.CampaignStats,
+		Obs:             cx,
 	}
 }
 
 // build memoises the technique build for an instance at the scheduler's
-// scale/seed/optimize settings.
-func (s *scheduler) build(inst instanceAt, tech Technique) (*Build, error) {
-	return s.cache.build(inst.inst, s.opts.Scale, inst.seed, tech, BuildOptions{Optimize: s.opts.Optimize})
+// scale/seed/optimize settings. The span shows what the cell actually paid:
+// cache hits collapse to microseconds on the timeline.
+func (s *scheduler) build(cx *obs.Ctx, inst instanceAt, tech Technique) (*Build, error) {
+	sp := cx.Span("build")
+	sp.SetAttr("tech", string(tech))
+	b, err := s.cache.build(inst.inst, s.opts.Scale, inst.seed, tech, BuildOptions{Optimize: s.opts.Optimize})
+	sp.End()
+	return b, err
 }
 
 // golden memoises the golden run for an instance at the scheduler's
 // settings.
-func (s *scheduler) golden(inst instanceAt, tech Technique) (golden, error) {
-	return s.cache.golden(inst.inst, s.opts.Scale, inst.seed, tech, BuildOptions{Optimize: s.opts.Optimize})
+func (s *scheduler) golden(cx *obs.Ctx, inst instanceAt, tech Technique) (golden, error) {
+	sp := cx.Span("golden.cached")
+	sp.SetAttr("tech", string(tech))
+	g, err := s.cache.golden(inst.inst, s.opts.Scale, inst.seed, tech, BuildOptions{Optimize: s.opts.Optimize})
+	sp.End()
+	return g, err
 }
 
 // instanceAt pairs an instance with the seed it was generated from, which
@@ -109,27 +123,39 @@ func (s *scheduler) emit(ev CellEvent) {
 
 // run executes the cells on min(cellWorkers, len(cells)) goroutines and
 // returns the lowest-index error, matching what a serial sweep would have
-// reported first.
+// reported first. Worker w runs its cells on observability lane w+1 (lane 0
+// is the main goroutine), so the Perfetto export shows one timeline row per
+// cell worker.
 func (s *scheduler) run(cells []cellSpec) error {
 	n := len(cells)
 	workers := s.cellWorkers
 	if workers > n {
 		workers = n
 	}
-	runCell := func(i int) error {
+	runCell := func(i, lane int) error {
 		c := cells[i]
+		cx := s.opts.Obs.Cell(c.name, lane)
 		s.emit(CellEvent{Experiment: s.exp, Cell: c.name, Index: i, Total: n})
+		sp := cx.Span("cell")
 		start := time.Now()
-		err := c.run()
+		err := c.run(cx)
+		wall := time.Since(start)
+		sp.SetAttr("experiment", s.exp)
+		sp.SetAttr("injections", c.inj)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		s.observeCell(c, wall, err)
 		s.emit(CellEvent{
 			Experiment: s.exp, Cell: c.name, Index: i, Total: n,
-			Done: true, Wall: time.Since(start), Injections: c.inj, Err: err,
+			Done: true, Wall: wall, Injections: c.inj, Err: err,
 		})
 		return err
 	}
 	if workers <= 1 {
 		for i := range cells {
-			if err := runCell(i); err != nil {
+			if err := runCell(i, 1); err != nil {
 				return err
 			}
 		}
@@ -141,16 +167,16 @@ func (s *scheduler) run(cells []cellSpec) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				errs[i] = runCell(i)
+				errs[i] = runCell(i, lane)
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -159,4 +185,23 @@ func (s *scheduler) run(cells []cellSpec) error {
 		}
 	}
 	return nil
+}
+
+// observeCell publishes one completed cell's totals to the registry. The
+// sched.* counters are the scheduler's own view (cells and their injection
+// budgets), deliberately distinct from the fi.* counters the campaigns
+// report from inside.
+func (s *scheduler) observeCell(c cellSpec, wall time.Duration, err error) {
+	o := s.opts.Obs
+	if o == nil {
+		return
+	}
+	o.Counter(obs.MCells).Add(1)
+	o.Counter(obs.MInjections).Add(int64(c.inj))
+	o.Counter(obs.MCellWallUS).Add(wall.Microseconds())
+	if err != nil {
+		o.Counter(obs.MCellErrs).Add(1)
+	}
+	o.Reg.Histogram(obs.HCellWallMS, obs.CellWallBuckets).
+		Observe(float64(wall.Milliseconds()))
 }

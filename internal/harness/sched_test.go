@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"ferrum/internal/obs"
 )
 
 // TestSchedulerDeterminism: rendered tables must be byte-identical whatever
@@ -154,6 +157,101 @@ func TestProgressEvents(t *testing.T) {
 	}
 }
 
+// TestProgressOrderingConcurrent: under concurrent cells, every cell's
+// start event arrives before its completion event, and callbacks are
+// serialised through the scheduler's progressMu — the callback body never
+// runs concurrently with itself, so implementations need no locking.
+func TestProgressOrderingConcurrent(t *testing.T) {
+	var inCallback atomic.Int32
+	started := map[string]int{}
+	finished := map[string]int{}
+	opts := Options{
+		Samples: 40, Seed: 3, Benchmarks: []string{"bfs", "knn"}, CellWorkers: 8,
+		Progress: func(ev CellEvent) {
+			if inCallback.Add(1) != 1 {
+				t.Error("Progress callback ran concurrently with itself")
+			}
+			defer inCallback.Add(-1)
+			if ev.Done {
+				if started[ev.Cell] != 1 {
+					t.Errorf("cell %q finished with %d start events", ev.Cell, started[ev.Cell])
+				}
+				finished[ev.Cell]++
+			} else {
+				if finished[ev.Cell] != 0 {
+					t.Errorf("cell %q started after finishing", ev.Cell)
+				}
+				started[ev.Cell]++
+			}
+		},
+	}
+	if _, err := Fig10(opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 8 || len(finished) != 8 {
+		t.Errorf("cells = %d started, %d finished; want 8, 8 (2 benches × 4 techniques)",
+			len(started), len(finished))
+	}
+	for cell, n := range finished {
+		if n != 1 || started[cell] != 1 {
+			t.Errorf("cell %q: %d starts, %d finishes; want exactly 1 each", cell, started[cell], n)
+		}
+	}
+}
+
+// TestObserverCounters: an injected observer ends a suite with a registry
+// whose sched.* and fi.* counters reconcile with each other and with the
+// legacy CacheStats adapter.
+func TestObserverCounters(t *testing.T) {
+	ob := obs.New()
+	opts := Options{
+		Samples: 50, Seed: 5, Benchmarks: []string{"bfs"}, CellWorkers: 4, Obs: ob,
+	}
+	if _, err := Fig10(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := ob.Reg.Snapshot()
+	if s.Counters[obs.MCells] != 4 {
+		t.Errorf("sched.cells = %d, want 4", s.Counters[obs.MCells])
+	}
+	if s.Counters[obs.MInjections] != 200 || s.Counters[obs.MPlans] != 200 {
+		t.Errorf("injections = %d, plans = %d; want 200, 200",
+			s.Counters[obs.MInjections], s.Counters[obs.MPlans])
+	}
+	if s.Counters[obs.MCampaigns] != 4 {
+		t.Errorf("fi.campaigns = %d, want 4", s.Counters[obs.MCampaigns])
+	}
+	var outcomes int64
+	for _, o := range []string{"benign", "sdc", "detected", "crash", "hang"} {
+		outcomes += s.Counters[obs.MOutcomePrefix+o]
+	}
+	if outcomes != 200 {
+		t.Errorf("outcome counters sum to %d, want 200", outcomes)
+	}
+	if got := s.Counters[obs.MBuildMisses]; got != 4 {
+		t.Errorf("cache.build_misses = %d, want 4", got)
+	}
+	// Spans exist for every phase the cells went through.
+	byName := map[string]int{}
+	for _, sp := range ob.Trace.Spans() {
+		byName[sp.Name]++
+	}
+	for _, name := range []string{"cell", "build", "golden", "inject"} {
+		if byName[name] != 4 {
+			t.Errorf("%d %q spans, want 4 (one per cell)", byName[name], name)
+		}
+	}
+	for _, sp := range ob.Trace.Spans() {
+		if sp.Name == "cell" && sp.Lane == 0 {
+			t.Errorf("cell %q ran on lane 0; cells belong to worker lanes >= 1", sp.Cell)
+		}
+	}
+	// Histogram sanity: one cell-wall observation per cell.
+	if h := s.Hists[obs.HCellWallMS]; h.Count != 4 {
+		t.Errorf("cell wall histogram count = %d, want 4", h.Count)
+	}
+}
+
 // TestSeedZeroHonest: seed 0 is a real seed, not an alias for the default —
 // the regression was Options.withDefaults silently replacing 0 with
 // DefaultSeed, so `reprod -seed 0` ran a different experiment than asked.
@@ -194,7 +292,7 @@ func TestSchedulerErrorLowestIndex(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			cells = append(cells, cellSpec{
 				name: "cell",
-				run: func() error {
+				run: func(*obs.Ctx) error {
 					if i >= 3 {
 						return fmt.Errorf("cell %d failed", i)
 					}

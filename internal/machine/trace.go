@@ -2,19 +2,24 @@ package machine
 
 import "fmt"
 
-// traceRing is a fixed-size flight recorder of executed instructions.
+// traceRing is a fixed-size flight recorder of executed instructions. It
+// stores *flatInst references and defers all string formatting to dump():
+// recording must stay O(pointer store) because it happens on every executed
+// instruction of a traced run, while dump runs once, on at most len(entries)
+// instructions. The machine's flattened instruction array outlives every
+// run, so the references stay valid until dump is called.
 type traceRing struct {
-	entries []string
+	entries []*flatInst
 	next    int
 	full    bool
 }
 
 func newTraceRing(n int) *traceRing {
-	return &traceRing{entries: make([]string, n)}
+	return &traceRing{entries: make([]*flatInst, n)}
 }
 
 func (t *traceRing) record(fi *flatInst) {
-	t.entries[t.next] = fmt.Sprintf("%s\t%s", fi.in.Tag, fi.in.String())
+	t.entries[t.next] = fi
 	t.next++
 	if t.next == len(t.entries) {
 		t.next = 0
@@ -22,16 +27,20 @@ func (t *traceRing) record(fi *flatInst) {
 	}
 }
 
-// dump returns the recorded entries oldest first; nil receiver yields nil.
+// dump formats the recorded entries oldest first; nil receiver yields nil.
 func (t *traceRing) dump() []string {
 	if t == nil {
 		return nil
 	}
-	if !t.full {
-		return append([]string(nil), t.entries[:t.next]...)
+	refs := t.entries[:t.next]
+	if t.full {
+		refs = make([]*flatInst, 0, len(t.entries))
+		refs = append(refs, t.entries[t.next:]...)
+		refs = append(refs, t.entries[:t.next]...)
 	}
-	out := make([]string, 0, len(t.entries))
-	out = append(out, t.entries[t.next:]...)
-	out = append(out, t.entries[:t.next]...)
+	out := make([]string, len(refs))
+	for i, fi := range refs {
+		out[i] = fmt.Sprintf("%s\t%s", fi.in.Tag, fi.in.String())
+	}
 	return out
 }

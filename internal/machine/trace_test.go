@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"ferrum/internal/asm"
+)
+
+// benchProg is a small spin loop: enough distinct instructions to make ring
+// recording realistic, long enough to amortise machine setup.
+const benchProg = `
+	.globl	main
+main:
+	movq	$0, %rax
+	movq	$20000, %rcx
+loop:
+	addq	$1, %rax
+	subq	$1, %rcx
+	cmpq	$0, %rcx
+	jne	loop
+	out	%rax
+	hlt
+`
+
+// BenchmarkTracedRun measures a full run with the flight recorder on. The
+// ring stores instruction references and defers formatting to dump(), so a
+// traced run should cost barely more than an untraced one — this benchmark
+// is the regression guard for that (recording used to fmt.Sprintf every
+// executed instruction, ~30x slower per step).
+func BenchmarkTracedRun(b *testing.B) {
+	prog, err := asm.Parse(benchProg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(prog, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Run(RunOpts{Trace: 32})
+		if res.Outcome != OutcomeOK {
+			b.Fatalf("run failed: %v", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkUntracedRun is the baseline for BenchmarkTracedRun.
+func BenchmarkUntracedRun(b *testing.B) {
+	prog, err := asm.Parse(benchProg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(prog, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Run(RunOpts{})
+		if res.Outcome != OutcomeOK {
+			b.Fatalf("run failed: %v", res.Outcome)
+		}
+	}
+}
+
+// TestTraceRingWrap pins the lazy ring's dump across the wrap boundary: the
+// ring holds references, and dump must format them oldest-first exactly
+// once, regardless of how many times the ring wrapped.
+func TestTraceRingWrap(t *testing.T) {
+	prog, err := asm.Parse(benchProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(prog, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(RunOpts{Trace: 3})
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	// The loop executes thousands of steps; the last three instructions are
+	// the failed branch, out, and hlt.
+	if !strings.Contains(res.Trace[0], "jne") ||
+		!strings.Contains(res.Trace[1], "out") ||
+		!strings.Contains(res.Trace[2], "hlt") {
+		t.Fatalf("wrapped trace = %q", res.Trace)
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// NDJSON streams observability records as newline-delimited JSON, one
+// object per line. Record types:
+//
+//	{"type":"meta",    "tool":..., "argv":[...], "start_unix_us":...}
+//	{"type":"span",    "name":..., "cell":..., "lane":N, "start_us":..., "dur_us":..., "attrs":{...}}
+//	{"type":"metrics", "counters":{...}, "gauges":{...}, "histograms":{...}}
+//
+// start_us is relative to the sink's epoch (the tracer's, when attached via
+// Attach), so a stream is self-contained and replayable. Writes are
+// serialised; any io error is remembered and reported by Err/Close.
+type NDJSON struct {
+	mu    sync.Mutex
+	w     io.Writer
+	epoch time.Time
+	err   error
+}
+
+// NewNDJSON returns a sink writing to w with the given epoch (zero time for
+// span start offsets). A zero epoch falls back to the first record's time.
+func NewNDJSON(w io.Writer, epoch time.Time) *NDJSON {
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
+	return &NDJSON{w: w, epoch: epoch}
+}
+
+// Attach subscribes the sink to every span the tracer completes and aligns
+// the sink's epoch with the tracer's.
+func (n *NDJSON) Attach(t *Tracer) {
+	if n == nil || t == nil {
+		return
+	}
+	n.mu.Lock()
+	n.epoch = t.Epoch()
+	n.mu.Unlock()
+	t.OnSpan(n.Span)
+}
+
+// Meta writes the stream-opening metadata record.
+func (n *NDJSON) Meta(tool string, argv []string) {
+	n.write(map[string]any{
+		"type":          "meta",
+		"tool":          tool,
+		"argv":          argv,
+		"start_unix_us": n.epoch.UnixMicro(),
+	})
+}
+
+// Span writes one completed span record.
+func (n *NDJSON) Span(s Span) {
+	rec := map[string]any{
+		"type":     "span",
+		"name":     s.Name,
+		"lane":     s.Lane,
+		"start_us": s.Start.Sub(n.epoch).Microseconds(),
+		"dur_us":   s.Dur.Microseconds(),
+	}
+	if s.Cell != "" {
+		rec["cell"] = s.Cell
+	}
+	if len(s.Attrs) > 0 {
+		rec["attrs"] = s.Attrs
+	}
+	n.write(rec)
+}
+
+// Metrics writes a registry snapshot record (conventionally the stream's
+// final line, so consumers can reconcile counters against the span stream).
+func (n *NDJSON) Metrics(s Snapshot) {
+	n.write(map[string]any{
+		"type":       "metrics",
+		"counters":   s.Counters,
+		"gauges":     s.Gauges,
+		"histograms": s.Hists,
+	})
+}
+
+func (n *NDJSON) write(rec map[string]any) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		n.err = err
+		return
+	}
+	if _, err := n.w.Write(append(b, '\n')); err != nil {
+		n.err = fmt.Errorf("obs: ndjson write: %w", err)
+	}
+}
+
+// Err reports the first write/marshal error, if any.
+func (n *NDJSON) Err() error {
+	if n == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}

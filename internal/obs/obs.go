@@ -1,0 +1,136 @@
+// Package obs is the runner's unified observability core: a metrics
+// registry (counters, gauges, fixed-bucket histograms), span-based tracing
+// of every pipeline phase, and pluggable sinks (NDJSON event stream,
+// Chrome trace_event/Perfetto timeline export, human end-of-run summary).
+//
+// One Observer is injected from the CLI down through the harness scheduler
+// into the fault-injection campaigns, superseding the bespoke telemetry the
+// layers grew separately (BuildCache hit/miss counters, fi.CampaignStats,
+// the hand-formatted stderr suite summary).
+//
+// Everything is provably off-path when disabled: nil Observer, Registry,
+// Tracer, Ctx, Counter, Gauge, Histogram and ActiveSpan are all valid
+// receivers whose methods are no-ops, so instrumented call sites never
+// branch on an "enabled" flag and the injection inner loop — which is never
+// instrumented per-instruction in the first place — pays nothing.
+package obs
+
+// Observer bundles the injectable observability state: one metrics
+// registry and one span tracer. A nil *Observer disables everything.
+type Observer struct {
+	Reg   *Registry
+	Trace *Tracer
+}
+
+// New returns an Observer with a fresh registry and tracer.
+func New() *Observer {
+	return &Observer{Reg: NewRegistry(), Trace: NewTracer()}
+}
+
+// Cell returns a per-cell handle carrying the cell name and worker lane, so
+// phases deep in the pipeline (campaign golden runs, snapshot recording,
+// the injection loop) can emit spans attributed to the scheduler cell that
+// ran them. Nil observers return nil handles.
+func (o *Observer) Cell(cell string, lane int) *Ctx {
+	if o == nil {
+		return nil
+	}
+	return &Ctx{obs: o, cell: cell, lane: lane}
+}
+
+// Counter resolves a registry counter; nil-safe.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Ctx is an Observer scoped to one scheduler cell (name + worker lane).
+// A nil *Ctx is valid and inert.
+type Ctx struct {
+	obs  *Observer
+	cell string
+	lane int
+}
+
+// Span opens a span named name on this cell's lane.
+func (c *Ctx) Span(name string) *ActiveSpan {
+	if c == nil {
+		return nil
+	}
+	return c.obs.Trace.Start(name, c.cell, c.lane)
+}
+
+// Counter resolves a registry counter.
+func (c *Ctx) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.obs.Reg.Counter(name)
+}
+
+// Gauge resolves a registry gauge.
+func (c *Ctx) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.obs.Reg.Gauge(name)
+}
+
+// Histogram resolves a registry histogram.
+func (c *Ctx) Histogram(name string, bounds []float64) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.obs.Reg.Histogram(name, bounds)
+}
+
+// Cell returns the cell name ("" on nil).
+func (c *Ctx) CellName() string {
+	if c == nil {
+		return ""
+	}
+	return c.cell
+}
+
+// Lane returns the worker lane (0 on nil).
+func (c *Ctx) Lane() int {
+	if c == nil {
+		return 0
+	}
+	return c.lane
+}
+
+// Canonical metric names shared by the layers that report and the sinks
+// that render, so the NDJSON stream, the Perfetto export and the human
+// summary all reconcile against one source of truth.
+const (
+	// Scheduler-level (one increment per completed cell).
+	MCells      = "sched.cells"        // completed cells
+	MCellErrs   = "sched.cell_errors"  // cells that returned an error
+	MInjections = "sched.injections"   // injections attributed to completed cells
+	MCellWallUS = "sched.cell_wall_us" // summed cell wall-clock, µs
+
+	// Build-cache adapters (supersede harness.CacheStats).
+	MInstances    = "cache.instances"     // benchmark instantiations performed
+	MBuildMisses  = "cache.build_misses"  // unique technique builds
+	MBuildHits    = "cache.build_hits"    // builds answered from cache
+	MGoldenMisses = "cache.golden_misses" // unique golden runs
+	MGoldenHits   = "cache.golden_hits"   // golden runs answered from cache
+
+	// Campaign-level, reported by internal/fi (supersede fi.CampaignStats).
+	MCampaigns        = "fi.campaigns"        // campaigns executed
+	MPlans            = "fi.plans"            // fault plans executed
+	MOutcomePrefix    = "fi.outcome."         // + benign|sdc|detected|crash|hang
+	MCkptCampaigns    = "ckpt.campaigns"      // campaigns with checkpointing on
+	MCkptSnapshots    = "ckpt.snapshots"      // snapshots recorded
+	MCkptBytes        = "ckpt.snapshot_bytes" // dirtied bytes captured
+	MCkptRestores     = "ckpt.restores"       // plans resumed from a snapshot
+	MCkptColdStarts   = "ckpt.cold_starts"    // plans run from scratch
+	MCkptSkippedInsts = "ckpt.skipped_insts"  // dynamic instructions fast-forwarded
+	HCellWallMS       = "sched.cell_wall_ms"  // histogram of cell wall-clock, ms
+)
+
+// CellWallBuckets are the HCellWallMS bucket bounds (milliseconds).
+var CellWallBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// traceEvent is one Chrome trace_event record. Complete events (ph "X")
+// carry a relative-microsecond timestamp and duration; metadata events
+// (ph "M") name the process and the per-lane threads so Perfetto and
+// chrome://tracing render one labelled timeline row per cell-worker lane.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports spans as a Chrome trace_event JSON document that loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing: every span
+// becomes a complete ("X") slice on the timeline row of the worker lane
+// that executed it, named after its cell when it has one, with phase and
+// attrs preserved under args. epoch is the zero timestamp; a zero epoch
+// uses the earliest span start.
+func WriteTrace(w io.Writer, spans []Span, epoch time.Time) error {
+	if epoch.IsZero() {
+		for _, s := range spans {
+			if epoch.IsZero() || s.Start.Before(epoch) {
+				epoch = s.Start
+			}
+		}
+	}
+	lanes := map[int]bool{}
+	for _, s := range spans {
+		lanes[s.Lane] = true
+	}
+	laneIDs := make([]int, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "injection pipeline"},
+	})
+	for _, l := range laneIDs {
+		name := fmt.Sprintf("cell-worker-%d", l)
+		if l == 0 {
+			name = "main"
+		}
+		tf.TraceEvents = append(tf.TraceEvents,
+			traceEvent{Name: "thread_name", Ph: "M", PID: 1, TID: l,
+				Args: map[string]any{"name": name}},
+			// sort_index keeps lanes in worker order top-to-bottom.
+			traceEvent{Name: "thread_sort_index", Ph: "M", PID: 1, TID: l,
+				Args: map[string]any{"sort_index": l}},
+		)
+	}
+	for _, s := range spans {
+		name := s.Name
+		if s.Cell != "" && s.Name == "cell" {
+			name = s.Cell
+		}
+		args := map[string]any{}
+		if s.Cell != "" {
+			args["cell"] = s.Cell
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		dur := s.Dur.Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-duration slices vanish in Perfetto
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: name,
+			Cat:  s.Name,
+			Ph:   "X",
+			TS:   s.Start.Sub(epoch).Microseconds(),
+			Dur:  dur,
+			PID:  1,
+			TID:  s.Lane,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one completed pipeline phase: benchmark instantiation, a
+// technique build, a golden run, snapshot recording, a campaign's injection
+// loop, a whole scheduler cell, a table render. Cell names the scheduler
+// cell the phase belongs to ("bfs/ferrum"); Lane is the cell-worker lane
+// that executed it (0 is the main goroutine), which the Perfetto exporter
+// maps to one timeline row per worker.
+type Span struct {
+	Name  string
+	Cell  string
+	Lane  int
+	Start time.Time
+	Dur   time.Duration
+	Attrs map[string]any
+}
+
+// Tracer collects spans and broadcasts each completed one to registered
+// sinks. A nil *Tracer starts nil *ActiveSpans, whose every method is a
+// no-op — tracing disabled costs one nil check per phase, never per
+// instruction.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+	onEnd []func(Span)
+}
+
+// NewTracer returns a tracer whose epoch (the zero point of exported
+// relative timestamps) is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Epoch returns the tracer's zero time.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// OnSpan registers a callback invoked (serialised under the tracer's lock)
+// for every completed span — the streaming-sink hook.
+func (t *Tracer) OnSpan(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onEnd = append(t.onEnd, fn)
+}
+
+// Spans returns a copy of every completed span, in completion order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Start opens a span. End completes it; an unfinished span is simply never
+// recorded.
+func (t *Tracer) Start(name, cell string, lane int) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, s: Span{Name: name, Cell: cell, Lane: lane, Start: time.Now()}}
+}
+
+// ActiveSpan is an open span; nil is valid and inert.
+type ActiveSpan struct {
+	t *Tracer
+	s Span
+}
+
+// SetAttr attaches a key/value to the span.
+func (a *ActiveSpan) SetAttr(key string, v any) {
+	if a == nil {
+		return
+	}
+	if a.s.Attrs == nil {
+		a.s.Attrs = map[string]any{}
+	}
+	a.s.Attrs[key] = v
+}
+
+// End closes the span, records it, and fans it out to the sinks.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.s.Dur = time.Since(a.s.Start)
+	a.t.mu.Lock()
+	a.t.spans = append(a.t.spans, a.s)
+	sinks := a.t.onEnd
+	for _, fn := range sinks {
+		fn(a.s)
+	}
+	a.t.mu.Unlock()
+}

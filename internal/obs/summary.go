@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderSummary writes the human end-of-run block from a registry snapshot
+// — the single replacement for the per-layer stderr lines the runner used
+// to hand-format. Lines appear only when their counters did: a run with no
+// campaigns prints no outcome line, one with checkpointing disabled prints
+// no checkpointing line. spans, when provided, adds the slowest cells.
+func RenderSummary(w io.Writer, s Snapshot, wall time.Duration, spans []Span) {
+	c := func(name string) int64 { return s.Counters[name] }
+
+	fmt.Fprintf(w,
+		"suite: %d cells, %d injections, %v wall (%v summed cell time); "+
+			"builds: %d unique, %d cache hits; goldens: %d unique, %d cache hits\n",
+		c(MCells), c(MInjections), wall.Round(time.Millisecond),
+		(time.Duration(c(MCellWallUS)) * time.Microsecond).Round(time.Millisecond),
+		c(MBuildMisses), c(MBuildHits), c(MGoldenMisses), c(MGoldenHits))
+
+	if n := c(MCkptCampaigns); n > 0 {
+		fmt.Fprintf(w,
+			"checkpointing: %d campaigns, %d snapshots (%d KiB), "+
+				"%d restores, %d cold starts, %d insts skipped\n",
+			n, c(MCkptSnapshots), c(MCkptBytes)>>10,
+			c(MCkptRestores), c(MCkptColdStarts), c(MCkptSkippedInsts))
+	}
+
+	if plans := c(MPlans); plans > 0 {
+		var parts []string
+		for _, o := range []string{"benign", "sdc", "detected", "crash", "hang"} {
+			if v := c(MOutcomePrefix + o); v > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", v, o))
+			}
+		}
+		fmt.Fprintf(w, "outcomes: %d plans across %d campaigns: %s\n",
+			plans, c(MCampaigns), strings.Join(parts, ", "))
+	}
+
+	if cells := slowestCells(spans, 3); len(cells) > 0 {
+		fmt.Fprintf(w, "slowest cells: %s\n", strings.Join(cells, ", "))
+	}
+}
+
+// slowestCells returns the top-n "cell" spans by duration as "name dur".
+func slowestCells(spans []Span, n int) []string {
+	var cells []Span
+	for _, s := range spans {
+		if s.Name == "cell" {
+			cells = append(cells, s)
+		}
+	}
+	sort.SliceStable(cells, func(i, j int) bool { return cells[i].Dur > cells[j].Dur })
+	if len(cells) > n {
+		cells = cells[:n]
+	}
+	out := make([]string, len(cells))
+	for i, s := range cells {
+		out[i] = fmt.Sprintf("%s %v", s.Cell, s.Dur.Round(time.Millisecond))
+	}
+	return out
+}
