@@ -62,6 +62,9 @@ func run(argv []string, out io.Writer) error {
 		bits      = fs.Int("bits", 1, "bits flipped per fault (multi-bit upsets)")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
 		trace     = fs.Int("trace", 0, "replay one sampled fault of each non-benign outcome and print the last N executed instructions")
+		journalP  = fs.String("journal", "", "write a crash-safe campaign journal (NDJSON) to this file; resume with -resume")
+		resume    = fs.Bool("resume", false, "resume from the -journal file of an interrupted campaign instead of starting fresh")
+		ciWidth   = fs.Float64("ci-width", 0, "stop the campaign early once the 95% CI of the SDC rate is no wider than this (0 = off)")
 		noCkpt    = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical results, slower)")
 		ckptEvery = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune)")
 		progress  = fs.Bool("progress", false, "stream throttled injection progress to stderr")
@@ -159,7 +162,45 @@ func run(argv []string, out io.Writer) error {
 	campaign := fi.Campaign{
 		Samples: *samples, Seed: *seed, BitsPerFault: *bits,
 		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
-		Obs: cx,
+		CIWidth: *ciWidth,
+		Obs:     cx,
+	}
+	if *resume && *journalP == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	if *journalP != "" {
+		key := cellName + "/" + *technique + "/" + *level
+		meta := fi.JournalMeta{
+			Tool: "fidi", Seed: *seed, Samples: *samples, Scale: *scale,
+			Benchmarks: []string{cellName}, Technique: *technique,
+			Level: *level, Bits: *bits, CIWidth: *ciWidth,
+		}
+		var journal *fi.Journal
+		if *resume {
+			st, j, jerr := fi.ResumeJournal(*journalP)
+			if jerr != nil {
+				return jerr
+			}
+			if err := st.Meta.Check(meta); err != nil {
+				j.Close()
+				return err
+			}
+			if st.TornDropped {
+				fmt.Fprintln(errw, "journal: dropped a torn trailing record; its plan will re-run")
+			}
+			campaign.Prior = st.Cell(key)
+			journal = j
+		} else {
+			j, jerr := fi.CreateJournal(*journalP, meta)
+			if jerr != nil {
+				return jerr
+			}
+			journal = j
+		}
+		journal.Observe(ob)
+		campaign.Journal = journal
+		campaign.Key = key
+		defer journal.Close()
 	}
 	if *progress && *samples > 0 {
 		// Throttle to ~10% steps: the hook fires from concurrent campaign
@@ -222,6 +263,10 @@ func run(argv []string, out io.Writer) error {
 	}
 	lo, hi := res.CI95()
 	fmt.Fprintf(out, "SDC rate: %.3f  (95%% CI [%.3f, %.3f])\n", res.SDCRate(), lo, hi)
+	if res.EarlyStopped {
+		fmt.Fprintf(errw, "early stop: SDC-rate CI width reached %.4f after %d samples\n",
+			hi-lo, res.Samples)
+	}
 	if cp := res.Checkpoint; cp.Enabled {
 		fmt.Fprintf(errw,
 			"checkpointing: K=%d, %d snapshots (%d KiB), %d restores, %d cold starts, %d insts skipped\n",

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"ferrum/internal/fi"
 	"ferrum/internal/harness"
 	"ferrum/internal/obs"
 )
@@ -67,6 +68,12 @@ func run(argv []string, out io.Writer) error {
 		o1          = fs.Bool("O1", false, "run builds through the peephole optimizer before protection")
 		noCkpt      = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical tables, slower campaigns)")
 		ckptEvery   = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune per cell)")
+		journalPath = fs.String("journal", "", "write a crash-safe campaign journal (NDJSON) to this file; resume an interrupted run with -resume")
+		resume      = fs.Bool("resume", false, "resume from the -journal file of an interrupted run: journaled plans and cells are not re-run, tables are byte-identical")
+		cellTimeout = fs.Duration("cell-timeout", 0, "per-cell watchdog: cancel and record any cell still running after this long (0 = off)")
+		maxRetries  = fs.Int("max-retries", 0, "re-attempt a transiently failing cell up to this many extra times")
+		retryBack   = fs.Duration("retry-backoff", 0, "sleep before the first cell retry, doubled each further attempt")
+		ciWidth     = fs.Float64("ci-width", 0, "stop each campaign early once the 95% CI of its SDC rate is no wider than this (0 = off)")
 		eventsOut   = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -108,7 +115,9 @@ func run(argv []string, out io.Writer) error {
 		Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers,
 		Optimize: *o1, CellWorkers: *cellWorkers, Cache: harness.NewBuildCache(),
 		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
-		Obs: ob,
+		CellTimeout: *cellTimeout, MaxRetries: *maxRetries, RetryBackoff: *retryBack,
+		CIWidth: *ciWidth,
+		Obs:     ob,
 	}
 	if *progress {
 		opts.Progress = func(ev harness.CellEvent) {
@@ -133,6 +142,47 @@ func run(argv []string, out io.Writer) error {
 		for _, b := range strings.Split(*benches, ",") {
 			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
 		}
+	}
+
+	// Durable campaigns: -journal makes every campaign cell crash-safe,
+	// -resume replays a prior journal so only unfinished work re-runs. The
+	// meta record fingerprints everything that shapes fault plans; resume
+	// refuses a journal recorded under a different configuration.
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	var journal *fi.Journal
+	if *journalPath != "" {
+		meta := fi.JournalMeta{
+			Tool: "reprod", Exp: *exp, Seed: *seed, Samples: *samples,
+			Scale: *scale, Optimize: *o1, Benchmarks: opts.Benchmarks,
+			CIWidth: *ciWidth,
+		}
+		if *resume {
+			st, j, err := fi.ResumeJournal(*journalPath)
+			if err != nil {
+				return err
+			}
+			if err := st.Meta.Check(meta); err != nil {
+				j.Close()
+				return err
+			}
+			if st.TornDropped {
+				fmt.Fprintln(errw, "journal: dropped a torn trailing record; its plan will re-run")
+			}
+			complete, partial := st.Cells()
+			fmt.Fprintf(errw, "journal: resuming %s (%d complete cells, %d partial)\n",
+				*journalPath, complete, partial)
+			opts.Resume, journal = st, j
+		} else {
+			j, err := fi.CreateJournal(*journalPath, meta)
+			if err != nil {
+				return err
+			}
+			journal = j
+		}
+		opts.Journal = journal
+		defer journal.Close()
 	}
 
 	// render wraps a table render in a main-lane span, so the trace shows
@@ -213,6 +263,9 @@ func run(argv []string, out io.Writer) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err := journal.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
 	}
 
 	// One snapshot feeds both the human summary and the NDJSON metrics

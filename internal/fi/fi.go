@@ -11,8 +11,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"ferrum/internal/asm"
@@ -59,13 +57,14 @@ type Campaign struct {
 	Workers  int    // parallel workers (0: GOMAXPROCS)
 	// BitsPerFault is the number of distinct bits flipped in the sampled
 	// destination (default 1, the paper's fault model; >1 models the
-	// multi-bit upsets §II-A defers to future work; capped at 64, the
-	// widest destination). Assembly-level campaigns only.
+	// multi-bit upsets §II-A defers to future work; capped per plan at the
+	// sampled destination's width). Assembly-level campaigns only.
 	BitsPerFault int
 	// Progress, if non-nil, receives the cumulative number of completed
 	// injections (out of Samples) as the campaign advances. It may be
 	// called concurrently from campaign worker goroutines; implementations
-	// must be safe for concurrent use.
+	// must be safe for concurrent use. Journal-replayed plans are reported
+	// upfront in one call.
 	Progress func(done int)
 	// NoCheckpoint disables checkpointed fast-forwarding: every injected
 	// run re-executes its unfaulted prefix from instruction zero. The two
@@ -75,6 +74,30 @@ type Campaign struct {
 	// CheckpointEvery overrides the snapshot spacing K (dynamic sites
 	// between checkpoints). 0 auto-tunes via DefaultCheckpointInterval.
 	CheckpointEvery uint64
+	// CIWidth, if > 0, enables Wilson-interval early stopping: the campaign
+	// ends once the 95% confidence interval of the SDC rate over the
+	// completed plan prefix is no wider than CIWidth. The decision is
+	// evaluated at fixed prefix lengths and the result truncated to the
+	// qualifying prefix, so stopped results are identical for any worker
+	// count. Result.Samples reports the effective (possibly truncated)
+	// sample count and Result.EarlyStopped is set.
+	CIWidth float64
+	// Cancel, if non-nil, cancels the campaign when closed: workers stop at
+	// the next batch boundary and the runner returns ErrCampaignCanceled.
+	// The harness per-cell watchdog drives this.
+	Cancel <-chan struct{}
+	// Journal, if non-nil (and Key set), receives one record per completed
+	// plan and one per completed campaign, making the campaign resumable
+	// after a crash. See CreateJournal/ResumeJournal.
+	Journal *Journal
+	// Key names this campaign in the journal (e.g. "fig10/bfs/raw/asm").
+	// Empty disables journaling even with Journal set.
+	Key string
+	// Prior, if non-nil, is this campaign's journaled state from a previous
+	// interrupted run: journaled plan outcomes are replayed without
+	// executing them, and a journaled complete Result short-circuits the
+	// whole campaign (golden run included).
+	Prior *CellState
 	// Stats, if non-nil, accumulates checkpointing counters across
 	// campaigns (shared, concurrency-safe sink). It predates Obs and is kept
 	// as a thin adapter for library callers; new code should prefer Obs,
@@ -93,15 +116,9 @@ type Campaign struct {
 // legacy Stats adapter also accumulates. Called once per campaign, after
 // the injection loop — never from inside it.
 func (c Campaign) observe(res Result) {
+	c.observeOutcomes(res)
 	if c.Obs == nil {
 		return
-	}
-	c.Obs.Counter(obs.MCampaigns).Add(1)
-	c.Obs.Counter(obs.MPlans).Add(int64(res.Samples))
-	for o := Outcome(0); o < numOutcomes; o++ {
-		if n := res.Counts[o]; n > 0 {
-			c.Obs.Counter(obs.MOutcomePrefix + o.String()).Add(int64(n))
-		}
 	}
 	if ck := res.Checkpoint; ck.Enabled {
 		c.Obs.Counter(obs.MCkptCampaigns).Add(1)
@@ -113,8 +130,62 @@ func (c Campaign) observe(res Result) {
 	}
 }
 
+// observeOutcomes publishes the campaign/plan/outcome counters only. This
+// is the portion replayed for journal-answered campaigns, so fi.* totals in
+// a resumed run reconcile with an uninterrupted one; ckpt.* counters are
+// deliberately not replayed — they account for work actually performed by
+// this process.
+func (c Campaign) observeOutcomes(res Result) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Counter(obs.MCampaigns).Add(1)
+	c.Obs.Counter(obs.MPlans).Add(int64(res.Samples))
+	for o := Outcome(0); o < numOutcomes; o++ {
+		if n := res.Counts[o]; n > 0 {
+			c.Obs.Counter(obs.MOutcomePrefix + o.String()).Add(int64(n))
+		}
+	}
+	if res.EarlyStopped {
+		c.Obs.Counter(obs.MEarlyStops).Add(1)
+	}
+}
+
+// priorResult answers the campaign from its journaled cell record, if one
+// exists: no golden run, no injections. Outcome counters are replayed so
+// suite totals reconcile; checkpoint counters are not (no work happened).
+func (c Campaign) priorResult() (Result, bool) {
+	if c.Prior == nil || c.Prior.Result == nil {
+		return Result{}, false
+	}
+	res := *c.Prior.Result
+	c.Obs.Counter(obs.MJournalSkippedCells).Add(1)
+	c.observeOutcomes(res)
+	if c.Progress != nil && res.Samples > 0 {
+		c.Progress(res.Samples)
+	}
+	return res, true
+}
+
+// pendingPlans counts plans not already answered by the journaled prior.
+func (c Campaign) pendingPlans(plans []plannedFault) int {
+	if c.Prior == nil || len(c.Prior.Plans) == 0 {
+		return len(plans)
+	}
+	n := 0
+	for _, p := range plans {
+		if _, ok := c.Prior.Plans[p.idx]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
 // Result aggregates campaign outcomes.
 type Result struct {
+	// Samples is the number of plans the result aggregates. It equals the
+	// configured Campaign.Samples unless CI-width early stopping truncated
+	// the campaign, in which case it is the qualifying prefix length.
 	Samples  int
 	Counts   [numOutcomes]int
 	DynSites uint64 // dynamic fault-injection sites in the golden run
@@ -123,6 +194,9 @@ type Result struct {
 	// Only assembly-level campaigns set it; the IR interpreter has no
 	// cycle model, so IR campaigns leave it zero.
 	Cycles float64
+	// EarlyStopped reports that the CI-width rule ended the campaign before
+	// the full sample budget.
+	EarlyStopped bool `json:",omitempty"`
 	// Checkpoint reports the campaign's fast-forwarding activity; zero
 	// when checkpointing was disabled.
 	Checkpoint CheckpointSummary
@@ -201,16 +275,40 @@ type MemWriter interface {
 	SetMemImage(addr uint64, data []byte) error
 }
 
+// plannedFault is one sampled fault. idx is its generation index in the
+// deterministic plan sequence: the identity used for journal records,
+// outcome bookkeeping and early-stop prefixes, stable under the site sort
+// the checkpointing path applies.
 type plannedFault struct {
+	idx   int
 	site  uint64
 	bit   uint
 	extra []uint
 }
 
-// RunAsmCampaign executes a fault-injection campaign against the machine
-// model. The fault plan is pre-generated from the seed, so results are
-// deterministic and independent of worker count.
-func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
+// asmCampaign is the shared assembly-level campaign engine behind
+// RunAsmCampaign and ProfileProneness: golden run, width-aware fault plan,
+// snapshot schedule, and the worker factory for runPlans.
+type asmCampaign struct {
+	c      Campaign
+	tgt    AsmTarget
+	build  func() (*machine.Machine, error)
+	golden machine.Result
+	// plans is execution-ordered (sorted by site when checkpointing);
+	// orig keeps generation order for per-plan attribution by index.
+	plans []plannedFault
+	orig  []plannedFault
+	cps   *asmCheckpoints
+	ckpt  CheckpointSummary
+
+	restores, coldStarts, skipped atomic.Int64
+}
+
+// newAsmCampaign builds the target, performs the golden run (recording
+// per-site destination widths, and site locations when recordLocs), samples
+// the fault plan, and records the snapshot schedule if any plan still needs
+// executing.
+func newAsmCampaign(tgt AsmTarget, c Campaign, recordLocs bool) (*asmCampaign, error) {
 	build := func() (*machine.Machine, error) {
 		m, err := machine.New(tgt.Prog, tgt.MemSize)
 		if err != nil {
@@ -225,83 +323,115 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 	}
 	m0, err := build()
 	if err != nil {
-		return Result{}, fmt.Errorf("fi: %w", err)
+		return nil, fmt.Errorf("fi: %w", err)
 	}
 	gsp := c.Obs.Span("golden")
-	golden := m0.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps})
+	golden := m0.Run(machine.RunOpts{
+		Args:           tgt.Args,
+		MaxSteps:       c.MaxSteps,
+		RecordSiteBits: true,
+		RecordSiteLocs: recordLocs,
+	})
 	gsp.SetAttr("dyn_insts", golden.DynInsts)
 	gsp.SetAttr("dyn_sites", golden.DynSites)
 	gsp.End()
 	if golden.Outcome != machine.OutcomeOK {
-		return Result{}, fmt.Errorf("fi: golden run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
+		return nil, fmt.Errorf("fi: golden run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
 	}
 	if golden.DynSites == 0 {
-		return Result{}, fmt.Errorf("fi: program has no fault-injection sites")
+		return nil, fmt.Errorf("fi: program has no fault-injection sites")
 	}
-	res := Result{
-		Samples:  c.Samples,
-		DynSites: golden.DynSites,
-		Golden:   golden.Output,
-		Cycles:   golden.Cycles,
-	}
-	plans := makePlans(c, golden.DynSites)
-
-	var (
-		cps                           *asmCheckpoints
-		restores, coldStarts, skipped atomic.Int64
-	)
-	if !c.NoCheckpoint && len(plans) > 0 {
+	a := &asmCampaign{c: c, tgt: tgt, build: build, golden: golden}
+	a.plans = makePlans(c, golden.DynSites, siteWidth(golden.SiteBits))
+	a.orig = append([]plannedFault(nil), a.plans...)
+	if !c.NoCheckpoint && c.pendingPlans(a.plans) > 0 {
 		k := c.checkpointInterval(golden.DynSites)
 		csp := c.Obs.Span("checkpoint.record")
-		cps = recordAsmCheckpoints(m0, tgt, c, k, golden.DynSites)
+		a.cps = recordAsmCheckpoints(m0, tgt, c, k, golden.DynSites)
 		csp.SetAttr("k", k)
-		csp.SetAttr("snapshots", len(cps.snaps))
-		csp.SetAttr("bytes", cps.bytes())
+		csp.SetAttr("snapshots", len(a.cps.snaps))
+		csp.SetAttr("bytes", a.cps.bytes())
 		csp.End()
-		sortPlansBySite(plans)
-		res.Checkpoint = CheckpointSummary{
+		sortPlansBySite(a.plans)
+		a.ckpt = CheckpointSummary{
 			Enabled:       true,
 			Interval:      k,
-			Snapshots:     len(cps.snaps),
-			SnapshotBytes: cps.bytes(),
+			Snapshots:     len(a.cps.snaps),
+			SnapshotBytes: a.cps.bytes(),
 		}
 	}
-	run := func(m *machine.Machine, p plannedFault) Outcome {
-		opts := machine.RunOpts{
-			Args:     tgt.Args,
-			MaxSteps: c.MaxSteps,
-			Fault:    &machine.Fault{Site: p.site, Bit: p.bit, Extra: p.extra},
-		}
-		if cps != nil {
-			if i := nearestSnapshot(cps.sites, p.site); i >= 0 {
-				opts.Resume = cps.snaps[i]
-				restores.Add(1)
-				skipped.Add(int64(cps.snaps[i].DynInsts()))
-			} else {
-				coldStarts.Add(1)
-			}
-		}
-		return classifyAsm(m.Run(opts), golden.Output)
+	return a, nil
+}
+
+func (a *asmCampaign) runOne(m *machine.Machine, p plannedFault) Outcome {
+	opts := machine.RunOpts{
+		Args:     a.tgt.Args,
+		MaxSteps: a.c.MaxSteps,
+		Fault:    &machine.Fault{Site: p.site, Bit: p.bit, Extra: p.extra},
 	}
-	isp := c.Obs.Span("inject")
-	isp.SetAttr("plans", len(plans))
-	counts, err := runParallel(c, plans, func() (func(plannedFault) Outcome, error) {
-		m, err := build()
+	if a.cps != nil {
+		if i := nearestSnapshot(a.cps.sites, p.site); i >= 0 {
+			opts.Resume = a.cps.snaps[i]
+			a.restores.Add(1)
+			a.skipped.Add(int64(a.cps.snaps[i].DynInsts()))
+		} else {
+			a.coldStarts.Add(1)
+		}
+	}
+	return classifyAsm(m.Run(opts), a.golden.Output)
+}
+
+// run executes the plan through runPlans with a per-worker machine.
+func (a *asmCampaign) run() (planOutcomes, error) {
+	isp := a.c.Obs.Span("inject")
+	isp.SetAttr("plans", len(a.plans))
+	po, err := runPlans(a.c, a.plans, func() (func(plannedFault) Outcome, error) {
+		m, err := a.build()
 		if err != nil {
 			return nil, err
 		}
-		return func(p plannedFault) Outcome { return run(m, p) }, nil
+		return func(p plannedFault) Outcome { return a.runOne(m, p) }, nil
 	})
 	isp.End()
+	return po, err
+}
+
+// result assembles the campaign Result from the plan outcomes.
+func (a *asmCampaign) result(po planOutcomes) Result {
+	res := Result{
+		Samples:      po.samples,
+		Counts:       po.counts,
+		DynSites:     a.golden.DynSites,
+		Golden:       a.golden.Output,
+		Cycles:       a.golden.Cycles,
+		EarlyStopped: po.early,
+		Checkpoint:   a.ckpt,
+	}
+	res.Checkpoint.Restores = a.restores.Load()
+	res.Checkpoint.ColdStarts = a.coldStarts.Load()
+	res.Checkpoint.SkippedInsts = a.skipped.Load()
+	return res
+}
+
+// RunAsmCampaign executes a fault-injection campaign against the machine
+// model. The fault plan is pre-generated from the seed, so results are
+// deterministic and independent of worker count.
+func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
+	if res, ok := c.priorResult(); ok {
+		return res, nil
+	}
+	a, err := newAsmCampaign(tgt, c, false)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Counts = counts
-	res.Checkpoint.Restores = restores.Load()
-	res.Checkpoint.ColdStarts = coldStarts.Load()
-	res.Checkpoint.SkippedInsts = skipped.Load()
+	po, err := a.run()
+	if err != nil {
+		return Result{}, err
+	}
+	res := a.result(po)
 	c.Stats.add(res.Checkpoint)
 	c.observe(res)
+	c.journalCell(res)
 	return res, nil
 }
 
@@ -318,6 +448,9 @@ type IRTarget struct {
 // results are excluded (they are sphere inputs for EDDI, matching how the
 // paper's IR-level coverage expectations are formed).
 func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
+	if res, ok := c.priorResult(); ok {
+		return res, nil
+	}
 	build := func() (*ir.Interp, error) {
 		ip, err := ir.NewInterp(tgt.Mod, tgt.MemSize)
 		if err != nil {
@@ -344,14 +477,16 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	if golden.Sites == 0 {
 		return Result{}, fmt.Errorf("fi: module has no IR fault-injection sites")
 	}
-	res := Result{Samples: c.Samples, DynSites: golden.Sites, Golden: golden.Output}
-	plans := makePlans(c, golden.Sites)
+	res := Result{DynSites: golden.Sites, Golden: golden.Output}
+	// Every IR site produces a 64-bit value, so the plan needs no per-site
+	// width map (nil samples bits uniformly in [0,64)).
+	plans := makePlans(c, golden.Sites, nil)
 
 	var (
 		cps                           *irCheckpoints
 		restores, coldStarts, skipped atomic.Int64
 	)
-	if !c.NoCheckpoint && len(plans) > 0 {
+	if !c.NoCheckpoint && c.pendingPlans(plans) > 0 {
 		k := c.checkpointInterval(golden.Sites)
 		csp := c.Obs.Span("checkpoint.record")
 		cps = recordIRCheckpoints(ip0, tgt, c, k)
@@ -369,7 +504,7 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	}
 	isp := c.Obs.Span("inject")
 	isp.SetAttr("plans", len(plans))
-	counts, err := runParallel(c, plans, func() (func(plannedFault) Outcome, error) {
+	po, err := runPlans(c, plans, func() (func(plannedFault) Outcome, error) {
 		ip, err := build()
 		if err != nil {
 			return nil, err
@@ -396,35 +531,71 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res.Counts = counts
+	res.Samples = po.samples
+	res.Counts = po.counts
+	res.EarlyStopped = po.early
 	res.Checkpoint.Restores = restores.Load()
 	res.Checkpoint.ColdStarts = coldStarts.Load()
 	res.Checkpoint.SkippedInsts = skipped.Load()
 	c.Stats.add(res.Checkpoint)
 	c.observe(res)
+	c.journalCell(res)
 	return res, nil
 }
 
-func makePlans(c Campaign, sites uint64) []plannedFault {
-	rng := rand.New(rand.NewSource(c.Seed))
-	bits := c.BitsPerFault
-	if bits > 64 {
-		bits = 64 // a destination has at most 64 distinct bits
+// siteWidth adapts a golden run's per-site destination widths (from
+// machine.RunOpts.RecordSiteBits) into makePlans' width lookup. Zero or
+// missing widths fall back to 64.
+func siteWidth(siteBits []uint16) func(uint64) uint {
+	if len(siteBits) == 0 {
+		return nil
 	}
+	return func(site uint64) uint {
+		if site < uint64(len(siteBits)) {
+			if b := siteBits[site]; b > 0 {
+				return uint(b)
+			}
+		}
+		return 64
+	}
+}
+
+// makePlans samples the campaign's deterministic fault plan: a uniformly
+// random site, then a uniformly random bit of that site's actual
+// destination width (width nil means every site is 64 bits wide, the IR
+// case). Sampling in [0, width) rather than a flat [0, 64) matters in both
+// directions: narrow destinations (8/16/32-bit moves, the 4 condition
+// flags) would otherwise draw bit numbers the injector must wrap or mask,
+// and SIMD destinations wider than 64 bits (multi-lane stores up to 512
+// bits) would never receive faults in their upper lanes at all.
+func makePlans(c Campaign, sites uint64, width func(uint64) uint) []plannedFault {
+	rng := rand.New(rand.NewSource(c.Seed))
 	plans := make([]plannedFault, c.Samples)
 	for i := range plans {
+		site := uint64(rng.Int63n(int64(sites)))
+		w := uint(64)
+		if width != nil {
+			w = width(site)
+		}
 		p := plannedFault{
-			site: uint64(rng.Int63n(int64(sites))),
-			bit:  uint(rng.Intn(64)),
+			idx:  i,
+			site: site,
+			bit:  uint(rng.Intn(int(w))),
+		}
+		bits := c.BitsPerFault
+		if bits > int(w) {
+			// A destination has only w distinct bits; flipping more is
+			// impossible and resampling for them would never terminate.
+			bits = int(w)
 		}
 		for extra := 1; extra < bits; extra++ {
 			// Resample until the bit is distinct from every bit already
 			// chosen for this fault, not just the primary one: two equal
 			// extras would XOR-cancel and silently weaken the planned
 			// multi-bit upset.
-			b := uint(rng.Intn(64))
+			b := uint(rng.Intn(int(w)))
 			for duplicateBit(p, b) {
-				b = uint(rng.Intn(64))
+				b = uint(rng.Intn(int(w)))
 			}
 			p.extra = append(p.extra, b)
 		}
@@ -443,93 +614,6 @@ func duplicateBit(p plannedFault, b uint) bool {
 		}
 	}
 	return false
-}
-
-func runParallel(c Campaign, plans []plannedFault,
-	newWorker func() (func(plannedFault) Outcome, error)) ([numOutcomes]int, error) {
-	var counts [numOutcomes]int
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(plans) {
-		workers = len(plans)
-	}
-	var done int64
-	report := func(n int) {
-		if c.Progress == nil || n == 0 {
-			return
-		}
-		c.Progress(int(atomic.AddInt64(&done, int64(n))))
-	}
-	if workers <= 1 {
-		w, err := newWorker()
-		if err != nil {
-			return counts, err
-		}
-		reported := 0
-		for i, p := range plans {
-			counts[w(p)]++
-			if (i+1)%16 == 0 || i+1 == len(plans) {
-				report(i + 1 - reported)
-				reported = i + 1
-			}
-		}
-		return counts, nil
-	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-		next     int
-	)
-	grab := func(n int) []plannedFault {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= len(plans) {
-			return nil
-		}
-		end := next + n
-		if end > len(plans) {
-			end = len(plans)
-		}
-		batch := plans[next:end]
-		next = end
-		return batch
-	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w, err := newWorker()
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			var local [numOutcomes]int
-			for {
-				batch := grab(16)
-				if batch == nil {
-					break
-				}
-				for _, p := range batch {
-					local[w(p)]++
-				}
-				report(len(batch))
-			}
-			mu.Lock()
-			for o, n := range local {
-				counts[o] += n
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	return counts, firstErr
 }
 
 func classifyAsm(r machine.Result, golden []uint64) Outcome {
@@ -588,14 +672,14 @@ func FindExample(tgt AsmTarget, c Campaign, want Outcome) (machine.Fault, bool, 
 			return machine.Fault{}, false, err
 		}
 	}
-	golden := m.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps})
+	golden := m.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps, RecordSiteBits: true})
 	if golden.Outcome != machine.OutcomeOK {
 		return machine.Fault{}, false, fmt.Errorf("fi: golden run failed: %v", golden.Outcome)
 	}
 	if golden.DynSites == 0 {
 		return machine.Fault{}, false, fmt.Errorf("fi: no fault-injection sites")
 	}
-	for _, p := range makePlans(c, golden.DynSites) {
+	for _, p := range makePlans(c, golden.DynSites, siteWidth(golden.SiteBits)) {
 		f := machine.Fault{Site: p.site, Bit: p.bit, Extra: p.extra}
 		r := m.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps, Fault: &f})
 		if classifyAsm(r, golden.Output) == want {

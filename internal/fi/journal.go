@@ -1,0 +1,391 @@
+package fi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"ferrum/internal/obs"
+)
+
+// The campaign journal makes long suites durable: one NDJSON record per
+// completed fault plan and one per completed campaign, fsync-batched, so a
+// killed process loses at most the last unsynced batch. A resumed run loads
+// the journal, skips every journaled plan and campaign, and produces
+// byte-identical final tables to an uninterrupted run — outcomes are
+// deterministic given the seed, so replayed work and re-run work agree.
+//
+// Record stream (one JSON object per line):
+//
+//	{"t":"meta","v":1,"meta":{...}}           — first line; config fingerprint
+//	{"t":"plan","c":"<key>","i":17,"o":1}     — plan i of campaign <key> had outcome o
+//	{"t":"cell","c":"<key>","res":{...}}      — campaign <key> completed with Result res
+//
+// A torn trailing record (the process died mid-write) is detected on load,
+// dropped, and truncated away before appending resumes; the plan it described
+// is simply re-run.
+
+// journalVersion is bumped when the record schema changes incompatibly.
+const journalVersion = 1
+
+// defaultSyncBatch is how many records may accumulate before the journal
+// flushes and fsyncs. Batching amortises fsync latency across plans; a crash
+// loses at most this many plan records, each of which is re-run on resume.
+const defaultSyncBatch = 64
+
+// JournalMeta fingerprints the configuration a journal was recorded under.
+// Resume refuses a journal whose meta does not match the current invocation:
+// journaled outcomes are only reusable when they came from the same plans.
+// Fields that cannot change results (worker counts, progress, sinks) are
+// deliberately absent.
+type JournalMeta struct {
+	Tool       string   `json:"tool"` // "reprod", "fidi", or a library caller's tag
+	Exp        string   `json:"exp,omitempty"`
+	Seed       int64    `json:"seed"`
+	Samples    int      `json:"samples"`
+	Scale      int      `json:"scale,omitempty"`
+	Optimize   bool     `json:"optimize,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Technique  string   `json:"technique,omitempty"`
+	Level      string   `json:"level,omitempty"`
+	Bits       int      `json:"bits,omitempty"`
+	CIWidth    float64  `json:"ci_width,omitempty"`
+}
+
+// Check reports an error naming the first field where the journal's meta
+// differs from the current invocation's.
+func (m JournalMeta) Check(want JournalMeta) error {
+	a, _ := json.Marshal(m)
+	b, _ := json.Marshal(want)
+	if bytes.Equal(a, b) {
+		return nil
+	}
+	return fmt.Errorf("fi: journal was recorded under a different configuration: journal %s, invocation %s", a, b)
+}
+
+type journalRecord struct {
+	T    string          `json:"t"`
+	V    int             `json:"v,omitempty"`
+	Meta *JournalMeta    `json:"meta,omitempty"`
+	C    string          `json:"c,omitempty"`
+	I    int             `json:"i,omitempty"`
+	O    Outcome         `json:"o,omitempty"`
+	Res  json.RawMessage `json:"res,omitempty"`
+}
+
+// Journal is the crash-safe campaign journal writer. All methods are safe
+// for concurrent use (campaign workers across scheduler cells share one
+// journal) and nil-safe, so un-journaled campaigns pay nothing.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	pending int
+	batch   int
+	closed  bool
+	err     error
+	ob      *obs.Observer
+}
+
+// CreateJournal creates (or truncates) a journal at path and writes the meta
+// record. The meta record is synced immediately: a journal file, if it
+// exists at all, always identifies its configuration.
+func CreateJournal(path string, meta JournalMeta) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("fi: create journal: %w", err)
+	}
+	j := &Journal{f: f, w: bufio.NewWriter(f), batch: defaultSyncBatch}
+	j.append(journalRecord{T: "meta", V: journalVersion, Meta: &meta})
+	j.mu.Lock()
+	j.syncLocked()
+	err = j.err
+	j.mu.Unlock()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Observe binds the journal's counters (journal.records, journal.syncs) to
+// an observability registry. Nil observers are fine.
+func (j *Journal) Observe(ob *obs.Observer) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.ob = ob
+	j.mu.Unlock()
+}
+
+func (j *Journal) append(r journalRecord) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil || j.closed {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+		return
+	}
+	j.ob.Counter(obs.MJournalRecords).Add(1)
+	j.pending++
+	if j.pending >= j.batch {
+		j.syncLocked()
+	}
+}
+
+// syncLocked flushes the buffer and fsyncs; callers hold j.mu.
+func (j *Journal) syncLocked() {
+	if j.err != nil || j.pending == 0 && j.w.Buffered() == 0 {
+		return
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = err
+		return
+	}
+	j.pending = 0
+	j.ob.Counter(obs.MJournalSyncs).Add(1)
+}
+
+// Plan records one completed fault plan: plan index i of campaign key had
+// outcome o.
+func (j *Journal) Plan(key string, i int, o Outcome) {
+	j.append(journalRecord{T: "plan", C: key, I: i, O: o})
+}
+
+// Cell records a completed campaign's full Result and syncs immediately —
+// cell boundaries are the records a resumed suite skips whole campaigns on,
+// so they are never left sitting in the batch buffer.
+func (j *Journal) Cell(key string, res Result) {
+	if j == nil {
+		return
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = err
+		}
+		j.mu.Unlock()
+		return
+	}
+	j.append(journalRecord{T: "cell", C: key, Res: b})
+	j.Sync()
+}
+
+// Sync flushes buffered records to disk and fsyncs.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.syncLocked()
+	return j.err
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close syncs and closes the journal. Idempotent; later appends are dropped.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.syncLocked()
+	j.closed = true
+	if err := j.f.Close(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// CellState is what a loaded journal knows about one campaign key.
+type CellState struct {
+	// Result is the completed campaign's journaled result; non-nil means the
+	// whole campaign can be answered without running anything.
+	Result *Result
+	// Plans maps plan index → journaled outcome for the plans that completed
+	// before the process died.
+	Plans map[int]Outcome
+}
+
+// JournalState is a loaded journal: everything a resumed run can skip.
+type JournalState struct {
+	Meta  JournalMeta
+	cells map[string]*CellState
+	// TornDropped reports that the journal ended in a partial record (the
+	// writing process died mid-append); the record was dropped and the file
+	// truncated back to the last complete record.
+	TornDropped bool
+	validLen    int64 // byte length of the parseable prefix
+}
+
+// Cell returns the journaled state for a campaign key, or nil. Nil states
+// (no resume) return nil for every key.
+func (s *JournalState) Cell(key string) *CellState {
+	if s == nil {
+		return nil
+	}
+	return s.cells[key]
+}
+
+// Cells reports how many campaign keys have a completed cell record.
+func (s *JournalState) Cells() (complete, partial int) {
+	if s == nil {
+		return 0, 0
+	}
+	for _, c := range s.cells {
+		if c.Result != nil {
+			complete++
+		} else {
+			partial++
+		}
+	}
+	return complete, partial
+}
+
+// LoadJournal parses a journal file. A torn trailing record — truncated
+// JSON, or a final line without its newline — is dropped and reported via
+// TornDropped; corruption anywhere else is an error, because records after
+// it cannot be trusted. Duplicate plan records (a cell retried within one
+// process) keep the last occurrence; outcomes are deterministic, so
+// duplicates agree anyway.
+func LoadJournal(path string) (*JournalState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fi: load journal: %w", err)
+	}
+	st := &JournalState{cells: map[string]*CellState{}}
+	sawMeta := false
+	off := int64(0)
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		nl := bytes.IndexByte(data, '\n')
+		var line []byte
+		complete := nl >= 0
+		if complete {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			line, data = data, nil
+		}
+		lineLen := int64(len(line))
+		if complete {
+			lineLen++
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			off += lineLen
+			continue
+		}
+		var r journalRecord
+		if err := json.Unmarshal(line, &r); err != nil || !validRecord(r) {
+			if len(data) == 0 {
+				// Torn tail: the process died mid-append. Drop it; the plan
+				// it described is re-run.
+				st.TornDropped = true
+				break
+			}
+			return nil, fmt.Errorf("fi: journal corrupt at line %d: %q", lineNo, line)
+		}
+		if !complete {
+			// Parsed, but the newline never made it to disk — treat the
+			// record as committed; the content is intact.
+			st.TornDropped = true
+		}
+		switch r.T {
+		case "meta":
+			if r.V != journalVersion {
+				return nil, fmt.Errorf("fi: journal version %d, want %d", r.V, journalVersion)
+			}
+			st.Meta = *r.Meta
+			sawMeta = true
+		case "plan":
+			c := st.cell(r.C)
+			c.Plans[r.I] = r.O
+		case "cell":
+			var res Result
+			if err := json.Unmarshal(r.Res, &res); err != nil {
+				return nil, fmt.Errorf("fi: journal cell record corrupt at line %d: %v", lineNo, err)
+			}
+			st.cell(r.C).Result = &res
+		}
+		off += lineLen
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("fi: journal %s has no meta record", path)
+	}
+	st.validLen = off
+	return st, nil
+}
+
+func (s *JournalState) cell(key string) *CellState {
+	c := s.cells[key]
+	if c == nil {
+		c = &CellState{Plans: map[int]Outcome{}}
+		s.cells[key] = c
+	}
+	return c
+}
+
+func validRecord(r journalRecord) bool {
+	switch r.T {
+	case "meta":
+		return r.Meta != nil
+	case "plan":
+		return r.C != "" && r.I >= 0 && r.O < numOutcomes
+	case "cell":
+		return r.C != "" && len(r.Res) > 0
+	}
+	return false
+}
+
+// ResumeJournal loads a journal and reopens it for appending. If the file
+// ended in a torn record, the tail is truncated away first so the appended
+// stream stays line-aligned.
+func ResumeJournal(path string) (*JournalState, *Journal, error) {
+	st, err := LoadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fi: resume journal: %w", err)
+	}
+	if err := f.Truncate(st.validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fi: resume journal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(st.validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fi: resume journal: %w", err)
+	}
+	return st, &Journal{f: f, w: bufio.NewWriter(f), batch: defaultSyncBatch}, nil
+}

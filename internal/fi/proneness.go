@@ -1,7 +1,6 @@
 package fi
 
 import (
-	"fmt"
 	"sort"
 
 	"ferrum/internal/machine"
@@ -11,12 +10,16 @@ import (
 // profiling campaign: how often faults at that instruction's dynamic
 // instances became silent corruptions. This is the empirical
 // SDC-proneness signal SDCTune-style selective protection (ref. [9] of the
-// paper) ranks instructions by.
+// paper) ranks instructions by. Every outcome class is counted, so
+// Faults == Benigns + SDCs + Detected + Hangs + Crashes always holds.
 type SiteStats struct {
-	Loc     machine.SiteLoc
-	Faults  int
-	SDCs    int
-	Crashes int
+	Loc      machine.SiteLoc
+	Faults   int
+	Benigns  int
+	SDCs     int
+	Detected int
+	Crashes  int
+	Hangs    int
 }
 
 // Proneness is the fraction of sampled faults at this location that became
@@ -30,44 +33,54 @@ func (s SiteStats) Proneness() float64 {
 
 // ProfileProneness runs a fault-injection campaign against the (raw)
 // target, attributing every sampled fault to the static instruction it hit
-// and aggregating SDC counts per instruction. The result is sorted by
+// and aggregating outcome counts per instruction. The result is sorted by
 // descending proneness (ties broken by fault count, then location).
+//
+// It runs through the same engine as RunAsmCampaign — per-worker machines
+// (Campaign.Workers), checkpointed fast-forwarding, Progress, Stats and Obs
+// all behave identically — and aggregates from the per-plan outcome record,
+// so the profile is deterministic and independent of worker count.
 func ProfileProneness(tgt AsmTarget, c Campaign) ([]SiteStats, error) {
-	m, err := machine.New(tgt.Prog, tgt.MemSize)
+	// The journaled cell record carries only campaign totals, not the
+	// per-site attribution a profile needs, so a complete-cell shortcut
+	// would lose data; journaled per-plan outcomes replay fine through
+	// runPlans, and the profile writes no cell record of its own.
+	if c.Prior != nil && c.Prior.Result != nil {
+		c.Prior = &CellState{Plans: c.Prior.Plans}
+	}
+	a, err := newAsmCampaign(tgt, c, true)
 	if err != nil {
-		return nil, fmt.Errorf("fi: %w", err)
+		return nil, err
 	}
-	if tgt.Setup != nil {
-		if err := tgt.Setup(m); err != nil {
-			return nil, err
-		}
+	po, err := a.run()
+	if err != nil {
+		return nil, err
 	}
-	golden := m.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps, RecordSiteLocs: true})
-	if golden.Outcome != machine.OutcomeOK {
-		return nil, fmt.Errorf("fi: golden run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
-	}
-	if golden.DynSites == 0 {
-		return nil, fmt.Errorf("fi: no fault-injection sites")
-	}
+	res := a.result(po)
+	c.Stats.add(res.Checkpoint)
+	c.observe(res)
+
 	agg := map[machine.SiteLoc]*SiteStats{}
-	for _, p := range makePlans(c, golden.DynSites) {
-		loc := golden.SiteLocs[p.site]
+	for i := 0; i < po.samples; i++ {
+		p := a.orig[i]
+		loc := a.golden.SiteLocs[p.site]
 		st := agg[loc]
 		if st == nil {
 			st = &SiteStats{Loc: loc}
 			agg[loc] = st
 		}
 		st.Faults++
-		r := m.Run(machine.RunOpts{
-			Args:     tgt.Args,
-			MaxSteps: c.MaxSteps,
-			Fault:    &machine.Fault{Site: p.site, Bit: p.bit, Extra: p.extra},
-		})
-		switch classifyAsm(r, golden.Output) {
+		switch po.outcomes[i] {
+		case Benign:
+			st.Benigns++
 		case SDC:
 			st.SDCs++
+		case Detected:
+			st.Detected++
 		case Crash:
 			st.Crashes++
+		case Hang:
+			st.Hangs++
 		}
 	}
 	out := make([]SiteStats, 0, len(agg))

@@ -1,0 +1,261 @@
+package fi
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ferrum/internal/obs"
+)
+
+// ErrCampaignCanceled is returned by campaign runners when Campaign.Cancel
+// fires before the fault plan completes. Cancellation is cooperative:
+// workers finish the batch in hand and stop at the next batch boundary, so
+// a canceled campaign returns promptly but never mid-plan.
+var ErrCampaignCanceled = errors.New("fi: campaign canceled")
+
+// earlyStopStride is how often (in completed-plan-prefix length) the
+// CI-width early-stopping rule is evaluated. Evaluating at fixed prefix
+// lengths — rather than "whenever a worker finishes" — is what makes early
+// stopping deterministic: the completed prefix passes through the same
+// lengths in the same order no matter how many workers raced to fill it.
+const earlyStopStride = 64
+
+// planRun tracks one campaign's plan execution: which plans are done, their
+// outcomes by original plan index, the longest contiguous completed prefix,
+// and the early-stop decision derived from it.
+//
+// Early stopping works on the completed prefix only. Outcomes are recorded
+// by generation index; each time the prefix extends across a multiple of
+// earlyStopStride, the Wilson interval of the prefix SDC rate is tested
+// against the requested width. The first qualifying length wins and the
+// result is truncated there — later-finishing plans beyond it are discarded
+// — so the stopped Result is a pure function of the plan sequence, not of
+// worker scheduling.
+type planRun struct {
+	mu           sync.Mutex
+	todo         []plannedFault
+	next         int
+	n            int
+	ciWidth      float64
+	cancel       <-chan struct{}
+	canceled     bool
+	firstErr     error
+	done         []bool
+	outcomes     []Outcome
+	prefixLen    int
+	prefixCounts [numOutcomes]int
+	stopped      bool
+	stopAt       int
+	stopCounts   [numOutcomes]int
+}
+
+// planOutcomes is what runPlans hands back: the effective sample count
+// (truncated on early stop), its outcome counts, and the raw per-index
+// outcome slice for callers that attribute outcomes to plans (profiling).
+// Only outcomes[:samples] is guaranteed fully populated.
+type planOutcomes struct {
+	samples  int
+	counts   [numOutcomes]int
+	early    bool
+	outcomes []Outcome
+}
+
+// grab hands out the next batch of pending plans, or nil when the run is
+// exhausted, early-stopped, or canceled.
+func (pr *planRun) grab(nb int) []plannedFault {
+	if pr.cancel != nil {
+		select {
+		case <-pr.cancel:
+			pr.mu.Lock()
+			pr.canceled = true
+			pr.mu.Unlock()
+			return nil
+		default:
+		}
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.stopped || pr.canceled || pr.next >= len(pr.todo) {
+		return nil
+	}
+	end := pr.next + nb
+	if end > len(pr.todo) {
+		end = len(pr.todo)
+	}
+	batch := pr.todo[pr.next:end]
+	pr.next = end
+	return batch
+}
+
+func (pr *planRun) record(idx int, o Outcome) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.done[idx] {
+		return
+	}
+	pr.done[idx] = true
+	pr.outcomes[idx] = o
+	pr.advanceLocked()
+}
+
+// advanceLocked extends the completed prefix one plan at a time, testing
+// the early-stop rule at every stride boundary the prefix crosses so the
+// smallest qualifying length is found regardless of how far one record()
+// call advanced it.
+func (pr *planRun) advanceLocked() {
+	if pr.stopped {
+		return
+	}
+	for pr.prefixLen < pr.n && pr.done[pr.prefixLen] {
+		pr.prefixCounts[pr.outcomes[pr.prefixLen]]++
+		pr.prefixLen++
+		if pr.ciWidth > 0 && pr.prefixLen < pr.n && pr.prefixLen%earlyStopStride == 0 {
+			lo, hi := wilson(float64(pr.prefixCounts[SDC]), float64(pr.prefixLen))
+			if hi-lo <= pr.ciWidth {
+				pr.stopped = true
+				pr.stopAt = pr.prefixLen
+				pr.stopCounts = pr.prefixCounts
+				return
+			}
+		}
+	}
+}
+
+func (pr *planRun) fail(err error) {
+	pr.mu.Lock()
+	if pr.firstErr == nil {
+		pr.firstErr = err
+	}
+	pr.mu.Unlock()
+}
+
+func (pr *planRun) finish() (planOutcomes, error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	po := planOutcomes{outcomes: pr.outcomes}
+	switch {
+	case pr.firstErr != nil:
+		return po, pr.firstErr
+	case pr.stopped:
+		po.samples, po.counts, po.early = pr.stopAt, pr.stopCounts, true
+	case pr.prefixLen == pr.n:
+		po.samples, po.counts = pr.n, pr.prefixCounts
+	default:
+		return po, ErrCampaignCanceled
+	}
+	return po, nil
+}
+
+// journalPlan appends one completed plan to the campaign's journal, if any.
+func (c Campaign) journalPlan(idx int, o Outcome) {
+	if c.Journal != nil && c.Key != "" {
+		c.Journal.Plan(c.Key, idx, o)
+	}
+}
+
+// journalCell appends the completed campaign's cell record, if journaling.
+func (c Campaign) journalCell(res Result) {
+	if c.Journal != nil && c.Key != "" {
+		c.Journal.Cell(c.Key, res)
+	}
+}
+
+// runPlans executes the fault plan with the campaign's worker pool: prior
+// (journal-replayed) outcomes are prefilled without running anything, each
+// freshly executed plan is journaled, cancellation is honoured at batch
+// boundaries, and the CI-width early-stop rule is applied to the completed
+// prefix. plans may be in any order (the checkpointing path sorts them by
+// site); outcome bookkeeping is always by the plan's generation index, so
+// results are independent of both ordering and worker count.
+func runPlans(c Campaign, plans []plannedFault,
+	newWorker func() (func(plannedFault) Outcome, error)) (planOutcomes, error) {
+	n := len(plans)
+	pr := &planRun{
+		n:        n,
+		ciWidth:  c.CIWidth,
+		cancel:   c.Cancel,
+		done:     make([]bool, n),
+		outcomes: make([]Outcome, n),
+	}
+	prefilled := 0
+	if prior := c.Prior; prior != nil && len(prior.Plans) > 0 {
+		for _, p := range plans {
+			if o, ok := prior.Plans[p.idx]; ok && p.idx < n {
+				pr.done[p.idx] = true
+				pr.outcomes[p.idx] = o
+				prefilled++
+			} else {
+				pr.todo = append(pr.todo, p)
+			}
+		}
+		pr.advanceLocked()
+	} else {
+		pr.todo = plans
+	}
+	if prefilled > 0 {
+		c.Obs.Counter(obs.MJournalSkippedPlans).Add(int64(prefilled))
+	}
+	var done int64
+	report := func(k int) {
+		if c.Progress != nil && k > 0 {
+			c.Progress(int(atomic.AddInt64(&done, int64(k))))
+		}
+	}
+	report(prefilled)
+
+	runBatch := func(w func(plannedFault) Outcome, batch []plannedFault) {
+		for _, p := range batch {
+			o := w(p)
+			pr.record(p.idx, o)
+			c.journalPlan(p.idx, o)
+		}
+		report(len(batch))
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pr.todo) {
+		workers = len(pr.todo)
+	}
+	if workers <= 1 {
+		if len(pr.todo) > 0 {
+			w, err := newWorker()
+			if err != nil {
+				return planOutcomes{}, err
+			}
+			for {
+				batch := pr.grab(16)
+				if batch == nil {
+					break
+				}
+				runBatch(w, batch)
+			}
+		}
+		return pr.finish()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := newWorker()
+			if err != nil {
+				pr.fail(err)
+				return
+			}
+			for {
+				batch := pr.grab(16)
+				if batch == nil {
+					return
+				}
+				runBatch(w, batch)
+			}
+		}()
+	}
+	wg.Wait()
+	return pr.finish()
+}

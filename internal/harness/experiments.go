@@ -7,7 +7,6 @@ import (
 	"ferrum/internal/fi"
 	"ferrum/internal/ir"
 	"ferrum/internal/machine"
-	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
 
@@ -42,12 +41,12 @@ func Fig10(opts Options) ([]Fig10Row, error) {
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + string(tech),
 				inj:  opts.Samples,
-				run: func(cx *obs.Ctx) error {
-					build, err := s.build(cx, instanceAt{inst, opts.Seed}, tech)
+				run: func(cc *cellCtx) error {
+					build, err := s.build(cc.cx, instanceAt{inst, opts.Seed}, tech)
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
-					res, err := fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cx))
+					res, err := fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cc))
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
@@ -121,8 +120,8 @@ func Fig11(opts Options) ([]Fig11Row, error) {
 			idx := bi*len(techs) + ti
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + string(tech),
-				run: func(cx *obs.Ctx) error {
-					g, err := s.golden(cx, instanceAt{inst, opts.Seed}, tech)
+				run: func(cc *cellCtx) error {
+					g, err := s.golden(cc.cx, instanceAt{inst, opts.Seed}, tech)
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
@@ -195,8 +194,8 @@ func ExecTime(opts Options) ([]ExecTimeRow, error) {
 	for bi, inst := range insts {
 		cells = append(cells, cellSpec{
 			name: inst.Bench.Name + "/transform",
-			run: func(cx *obs.Ctx) error {
-				sp := cx.Span("transform.reps")
+			run: func(cc *cellCtx) error {
+				sp := cc.cx.Span("transform.reps")
 				defer sp.End()
 				var best *ExecTimeRow
 				for r := 0; r < reps; r++ {
@@ -261,29 +260,29 @@ func Gap(opts Options) ([]GapRow, error) {
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + kind,
 				inj:  opts.Samples,
-				run: func(cx *obs.Ctx) error {
+				run: func(cc *cellCtx) error {
 					var res fi.Result
 					var err error
 					switch kind {
 					case "ir-raw":
-						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), s.campaign(cx))
+						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), s.campaign(cc))
 					case "ir-prot":
 						var build *Build
-						build, err = s.build(cx, instanceAt{inst, opts.Seed}, IREDDI)
+						build, err = s.build(cc.cx, instanceAt{inst, opts.Seed}, IREDDI)
 						if err == nil {
-							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), s.campaign(cx))
+							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), s.campaign(cc))
 						}
 					case "asm-raw":
 						var build *Build
-						build, err = s.build(cx, instanceAt{inst, opts.Seed}, Raw)
+						build, err = s.build(cc.cx, instanceAt{inst, opts.Seed}, Raw)
 						if err == nil {
-							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cx))
+							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cc))
 						}
 					case "asm-prot":
 						var build *Build
-						build, err = s.build(cx, instanceAt{inst, opts.Seed}, IREDDI)
+						build, err = s.build(cc.cx, instanceAt{inst, opts.Seed}, IREDDI)
 						if err == nil {
-							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cx))
+							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cc))
 						}
 					}
 					if err != nil {

@@ -177,6 +177,34 @@ type Options struct {
 	// CheckpointEvery overrides the per-campaign snapshot spacing K
 	// (0 = auto-tune per cell from DynSites/√Samples).
 	CheckpointEvery uint64
+	// CellTimeout, if > 0, arms a per-cell watchdog: a cell still running
+	// after this long is cooperatively canceled (its campaign stops at the
+	// next batch boundary), recorded as ErrCellTimeout and counted in
+	// sched.timeouts, while sibling cells keep running. Journaled plans the
+	// cell completed before the deadline remain resumable.
+	CellTimeout time.Duration
+	// MaxRetries re-attempts a transiently failing cell up to this many
+	// extra times (sched.retries counts them). Watchdog timeouts are never
+	// retried. Retries are deterministic re-runs: results and journal
+	// records are identical, so no double counting occurs.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubled each
+	// further attempt. Zero retries immediately.
+	RetryBackoff time.Duration
+	// CIWidth, if > 0, enables Wilson-interval early stopping in every
+	// campaign cell (see fi.Campaign.CIWidth): a campaign ends once the 95%
+	// CI of its SDC rate over the completed plan prefix is no wider than
+	// this, deterministically for any worker count.
+	CIWidth float64
+	// Journal, if non-nil, makes every campaign cell durable: one record
+	// per completed plan and per completed campaign, keyed by
+	// "<experiment>/<cell>", fsync-batched (see fi.CreateJournal).
+	Journal *fi.Journal
+	// Resume, if non-nil, is a loaded journal from an interrupted run:
+	// journaled campaigns are answered from their cell records and
+	// partially-journaled campaigns re-run only their missing plans,
+	// producing byte-identical tables to an uninterrupted run.
+	Resume *fi.JournalState
 	// CampaignStats, if non-nil, accumulates checkpointing counters across
 	// every campaign the experiments run (shared, concurrency-safe). It
 	// predates Obs, which captures the same counters (and more) in one
@@ -211,6 +239,7 @@ func (o Options) withDefaults() Options {
 	// Bind the cache's counters into the observer's registry so cache.*
 	// metrics appear alongside everything else (idempotent per observer).
 	o.Cache.Observe(o.Obs)
+	o.Journal.Observe(o.Obs)
 	return o
 }
 

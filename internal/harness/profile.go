@@ -6,7 +6,6 @@ import (
 
 	"ferrum/internal/asm"
 	"ferrum/internal/machine"
-	"ferrum/internal/obs"
 )
 
 // ProfileRow attributes one benchmark's dynamic execution under a
@@ -41,8 +40,8 @@ func Profile(opts Options) ([]ProfileRow, error) {
 			idx := bi*len(techs) + ti
 			cells = append(cells, cellSpec{
 				name: inst.Bench.Name + "/" + string(tech),
-				run: func(cx *obs.Ctx) error {
-					build, err := s.build(cx, instanceAt{inst, opts.Seed}, tech)
+				run: func(cc *cellCtx) error {
+					build, err := s.build(cc.cx, instanceAt{inst, opts.Seed}, tech)
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
@@ -53,7 +52,7 @@ func Profile(opts Options) ([]ProfileRow, error) {
 					if err := inst.Setup(m); err != nil {
 						return err
 					}
-					sp := cx.Span("profile.run")
+					sp := cc.cx.Span("profile.run")
 					res := m.Run(machine.RunOpts{Args: inst.Args, Profile: true})
 					sp.End()
 					if res.Outcome != machine.OutcomeOK {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,6 +12,10 @@ import (
 	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
+
+// ErrCellTimeout marks a cell that the per-cell watchdog canceled after
+// Options.CellTimeout elapsed. Wrapped errors satisfy errors.Is.
+var ErrCellTimeout = errors.New("harness: cell timed out")
 
 // CellEvent is one scheduler cell transition, delivered to Options.Progress.
 // Each independent (benchmark × technique) unit of an experiment is a cell;
@@ -28,13 +34,27 @@ type CellEvent struct {
 
 // cellSpec is one schedulable unit: a named closure plus the number of
 // fault injections it will execute (for rate reporting; 0 for build-only
-// cells). The closure receives the cell's observability context — nil when
-// observability is off — so campaign phases attribute their spans to the
-// cell and the worker lane that ran it.
+// cells). The closure receives the cell's context — observability handle,
+// journal key, watchdog cancellation — so campaign phases attribute their
+// spans to the cell and campaigns participate in durable resume.
 type cellSpec struct {
 	name string
 	inj  int
-	run  func(cx *obs.Ctx) error
+	run  func(cc *cellCtx) error
+}
+
+// cellCtx is what a cell closure receives for one attempt: the cell's
+// observability context (cx, nil when observability is off), its journal
+// key (experiment-qualified, stable across runs, so resumed suites match
+// records to cells), and the watchdog's cancellation channel (nil when no
+// CellTimeout is set). Campaign-running cells thread all three into
+// fi.Campaign via scheduler.campaign; cancellation is cooperative, so a
+// cell that never checks cancel (pure build/golden cells) simply runs to
+// completion.
+type cellCtx struct {
+	cx     *obs.Ctx
+	key    string
+	cancel <-chan struct{}
 }
 
 // scheduler runs an experiment's independent cells on a bounded worker
@@ -70,17 +90,69 @@ func newScheduler(exp string, opts Options) *scheduler {
 }
 
 // campaign builds the per-cell fi.Campaign. Fault plans derive only from
-// Samples and Seed, so worker counts never change campaign results. cx ties
-// the campaign's spans and counters to the cell being run (nil: off).
-func (s *scheduler) campaign(cx *obs.Ctx) fi.Campaign {
+// Samples and Seed, so worker counts never change campaign results. cc ties
+// the campaign's spans and counters to the cell being run, keys its journal
+// records, replays its journaled prior, and wires the watchdog's
+// cancellation into the campaign's batch loop.
+func (s *scheduler) campaign(cc *cellCtx) fi.Campaign {
 	return fi.Campaign{
 		Samples:         s.opts.Samples,
 		Seed:            s.opts.Seed,
 		Workers:         s.campWorkers,
 		NoCheckpoint:    s.opts.NoCheckpoint,
 		CheckpointEvery: s.opts.CheckpointEvery,
+		CIWidth:         s.opts.CIWidth,
+		Cancel:          cc.cancel,
+		Journal:         s.opts.Journal,
+		Key:             cc.key,
+		Prior:           s.opts.Resume.Cell(cc.key),
 		Stats:           s.opts.CampaignStats,
-		Obs:             cx,
+		Obs:             cc.cx,
+	}
+}
+
+// attempt runs the cell once, arming the watchdog when CellTimeout is set.
+// A watchdog-canceled attempt is reported as ErrCellTimeout (and counted);
+// if the cell won the race and completed anyway, success stands.
+func (s *scheduler) attempt(cx *obs.Ctx, c cellSpec) error {
+	cc := &cellCtx{cx: cx, key: s.exp + "/" + c.name}
+	var fired atomic.Bool
+	if s.opts.CellTimeout > 0 {
+		cancel := make(chan struct{})
+		cc.cancel = cancel
+		t := time.AfterFunc(s.opts.CellTimeout, func() {
+			fired.Store(true)
+			close(cancel)
+		})
+		defer t.Stop()
+	}
+	err := c.run(cc)
+	if err != nil && fired.Load() {
+		s.opts.Obs.Counter(obs.MSchedTimeouts).Add(1)
+		return fmt.Errorf("%s: %w after %v (%v)", c.name, ErrCellTimeout, s.opts.CellTimeout, err)
+	}
+	return err
+}
+
+// attempts runs the cell with bounded retry: a transiently failing cell is
+// re-attempted up to MaxRetries times (with exponentially doubling
+// RetryBackoff between attempts). Watchdog timeouts are not retried — a
+// wedged cell would wedge again and hold its worker for another full
+// timeout. Retries are invisible to Progress (one start, one done event per
+// cell); the sched.retries counter records them. Re-running a cell is safe:
+// campaigns are deterministic and results land in caller-owned slots, so a
+// retry overwrites equal values, and duplicate journal records resolve to
+// the identical last occurrence on load.
+func (s *scheduler) attempts(cx *obs.Ctx, c cellSpec) error {
+	for try := 0; ; try++ {
+		err := s.attempt(cx, c)
+		if err == nil || errors.Is(err, ErrCellTimeout) || try >= s.opts.MaxRetries {
+			return err
+		}
+		s.opts.Obs.Counter(obs.MSchedRetries).Add(1)
+		if s.opts.RetryBackoff > 0 {
+			time.Sleep(s.opts.RetryBackoff << try)
+		}
 	}
 }
 
@@ -138,7 +210,7 @@ func (s *scheduler) run(cells []cellSpec) error {
 		s.emit(CellEvent{Experiment: s.exp, Cell: c.name, Index: i, Total: n})
 		sp := cx.Span("cell")
 		start := time.Now()
-		err := c.run(cx)
+		err := s.attempts(cx, c)
 		wall := time.Since(start)
 		sp.SetAttr("experiment", s.exp)
 		sp.SetAttr("injections", c.inj)

@@ -292,7 +292,7 @@ func TestSchedulerErrorLowestIndex(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			cells = append(cells, cellSpec{
 				name: "cell",
-				run: func(*obs.Ctx) error {
+				run: func(*cellCtx) error {
 					if i >= 3 {
 						return fmt.Errorf("cell %d failed", i)
 					}

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"ferrum/internal/fi"
-	"ferrum/internal/obs"
 )
 
 // VariationRow summarises how a technique's runtime overhead varies across
@@ -43,7 +42,7 @@ func Variation(opts Options, seeds int) ([]VariationRow, error) {
 			seed := opts.Seed + int64(s)
 			cells = append(cells, cellSpec{
 				name: fmt.Sprintf("%s/seed+%d", name, s),
-				run: func(cx *obs.Ctx) error {
+				run: func(cc *cellCtx) error {
 					seedOpts := opts
 					seedOpts.Benchmarks = []string{opts.Benchmarks[bi]}
 					insts, err := seedOpts.instancesAt(seed)
@@ -51,13 +50,13 @@ func Variation(opts Options, seeds int) ([]VariationRow, error) {
 						return err
 					}
 					inst := instanceAt{insts[0], seed}
-					raw, err := sched.golden(cx, inst, Raw)
+					raw, err := sched.golden(cc.cx, inst, Raw)
 					if err != nil {
 						return fmt.Errorf("%s/raw: %w", insts[0].Bench.Name, err)
 					}
 					ovs := make([]float64, len(Techniques))
 					for ti, tech := range Techniques {
-						g, err := sched.golden(cx, inst, tech)
+						g, err := sched.golden(cc.cx, inst, tech)
 						if err != nil {
 							return fmt.Errorf("%s/%s: %w", insts[0].Bench.Name, tech, err)
 						}

@@ -69,6 +69,13 @@ type Result struct {
 	// SiteLocs holds each dynamic site's static location when
 	// RunOpts.RecordSiteLocs was set.
 	SiteLocs []SiteLoc
+	// SiteBits holds each dynamic site's destination width in bits when
+	// RunOpts.RecordSiteBits was set: the number of distinct bit positions a
+	// fault at that site can flip (8/16/32/64 for GPR writes, 64 per lane
+	// for SIMD writes — up to 512 for full-width vector destinations — and
+	// NumFlag for flag-only writers). Fault planners sample bits inside this
+	// width so narrow and wide destinations are stressed uniformly.
+	SiteBits []uint16
 	// Profile holds the dynamic attribution when RunOpts.Profile was set.
 	Profile *Profile
 	// Trace holds the last RunOpts.Trace executed instructions, oldest
@@ -85,6 +92,10 @@ type RunOpts struct {
 	// RecordSiteLocs records each dynamic site's static location
 	// (function, index) in Result.SiteLocs, for proneness profiling.
 	RecordSiteLocs bool
+	// RecordSiteBits records each dynamic site's destination width in bits
+	// in Result.SiteBits, so fault planners can clamp bit sampling to what
+	// the destination can actually hold.
+	RecordSiteBits bool
 	Profile        bool // attribute dynamic instructions/cycles by opcode and tag
 	// Trace keeps the last N executed instructions (rendered with their
 	// provenance tags) in Result.Trace — a flight recorder for debugging
@@ -286,12 +297,19 @@ func (m *Machine) Run(opts RunOpts) Result {
 	var crashMsg string
 	var siteDests []asm.DestKind
 	var siteLocs []SiteLoc
+	var siteBits []uint16
 	if opts.RecordSites && sitesHint > 0 {
 		siteDests = make([]asm.DestKind, 0, sitesHint)
 	}
 	if opts.RecordSiteLocs && sitesHint > 0 {
 		siteLocs = make([]SiteLoc, 0, sitesHint)
 	}
+	if opts.RecordSiteBits && sitesHint > 0 {
+		siteBits = make([]uint16, 0, sitesHint)
+	}
+	// One register-resident bool keeps the per-site hot path to a single
+	// predicted branch on injection runs, where no recording is active.
+	record := opts.RecordSites || opts.RecordSiteLocs || opts.RecordSiteBits
 	var prof *Profile
 	if opts.Profile {
 		prof = newProfile()
@@ -328,11 +346,16 @@ loop:
 				}
 				m.injected = true
 			}
-			if opts.RecordSites {
-				siteDests = append(siteDests, fi.dest.Kind)
-			}
-			if opts.RecordSiteLocs {
-				siteLocs = append(siteLocs, SiteLoc{Fn: fi.fn, Idx: fi.idx})
+			if record {
+				if opts.RecordSites {
+					siteDests = append(siteDests, fi.dest.Kind)
+				}
+				if opts.RecordSiteLocs {
+					siteLocs = append(siteLocs, SiteLoc{Fn: fi.fn, Idx: fi.idx})
+				}
+				if opts.RecordSiteBits {
+					siteBits = append(siteBits, DestBits(fi.dest))
+				}
 			}
 			m.sites++
 			if opts.CheckpointEvery > 0 && m.sites%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
@@ -360,6 +383,7 @@ loop:
 		Injected:  m.injected,
 		SiteDests: siteDests,
 		SiteLocs:  siteLocs,
+		SiteBits:  siteBits,
 		Profile:   prof,
 		Trace:     trace.dump(),
 	}
@@ -380,6 +404,24 @@ func (m *Machine) reset() {
 	// past the end of memory, which fails the load bounds check and yields
 	// OutcomeCrash instead of wrapping into program data.
 	m.gpr[asm.RSP] = uint64(len(m.mem))
+}
+
+// DestBits reports how many distinct bit positions a fault at a destination
+// can flip: the writable width for GPR writes, 64 per touched lane for SIMD
+// writes, and NumFlag for flag-only writers. Zero only for DestNone.
+func DestBits(d asm.Dest) uint16 {
+	switch d.Kind {
+	case asm.DestGPR:
+		if b := d.W.Bits(); b > 0 {
+			return uint16(b)
+		}
+		return 64
+	case asm.DestXMM:
+		return uint16((d.LaneHi - d.LaneLo + 1) * 64)
+	case asm.DestFlags:
+		return uint16(asm.NumFlag)
+	}
+	return 0
 }
 
 func (m *Machine) applyFault(d asm.Dest, bit uint) {

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"ferrum/internal/asm"
+)
+
+// TestDestBits pins the destination-width table fault planners sample bit
+// numbers from: GPR writes expose their writable width, SIMD writes 64 bits
+// per touched lane, flag writers the NumFlag condition flags.
+func TestDestBits(t *testing.T) {
+	cases := []struct {
+		name string
+		d    asm.Dest
+		want uint16
+	}{
+		{"gpr8", asm.Dest{Kind: asm.DestGPR, Reg: asm.RAX, W: asm.W8}, 8},
+		{"gpr16", asm.Dest{Kind: asm.DestGPR, Reg: asm.RAX, W: asm.W16}, 16},
+		{"gpr32", asm.Dest{Kind: asm.DestGPR, Reg: asm.RAX, W: asm.W32}, 32},
+		{"gpr64", asm.Dest{Kind: asm.DestGPR, Reg: asm.RAX, W: asm.W64}, 64},
+		{"gpr-unspecified-width", asm.Dest{Kind: asm.DestGPR, Reg: asm.RAX}, 64},
+		{"xmm-one-lane", asm.Dest{Kind: asm.DestXMM, X: 1}, 64},
+		{"ymm-lane-span", asm.Dest{Kind: asm.DestXMM, X: 0, LaneLo: 0, LaneHi: 3}, 256},
+		{"zmm-lane-span", asm.Dest{Kind: asm.DestXMM, X: 0, LaneLo: 0, LaneHi: 7}, 512},
+		{"upper-lane", asm.Dest{Kind: asm.DestXMM, X: 3, LaneLo: 1, LaneHi: 1}, 64},
+		{"flags", asm.Dest{Kind: asm.DestFlags}, uint16(asm.NumFlag)},
+		{"none", asm.Dest{}, 0},
+	}
+	for _, c := range cases {
+		if got := DestBits(c.d); got != c.want {
+			t.Errorf("DestBits(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRecordSiteBits: a golden run with RecordSiteBits reports one width per
+// dynamic injection site, in execution order, matching each site's actual
+// destination — so a fault planner can sample bits inside the destination
+// instead of a flat [0, 64).
+func TestRecordSiteBits(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$6, %rax
+	cmpq	$5, %rax
+	addq	$1, %rax
+	out	%rax
+	hlt
+`
+	res := run(t, src, RunOpts{RecordSiteBits: true})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	want := []uint16{64, uint16(asm.NumFlag), 64}
+	if len(res.SiteBits) != int(res.DynSites) {
+		t.Fatalf("SiteBits has %d entries for %d sites", len(res.SiteBits), res.DynSites)
+	}
+	if len(res.SiteBits) != len(want) {
+		t.Fatalf("SiteBits = %v, want %v", res.SiteBits, want)
+	}
+	for i, w := range want {
+		if res.SiteBits[i] != w {
+			t.Errorf("site %d width = %d, want %d", i, res.SiteBits[i], w)
+		}
+	}
+
+	// Without the flag the run records nothing: the per-plan hot path must
+	// not pay for width recording it didn't ask for.
+	if plain := run(t, src, RunOpts{}); plain.SiteBits != nil {
+		t.Errorf("SiteBits recorded without RecordSiteBits: %v", plain.SiteBits)
+	}
+}

@@ -107,10 +107,12 @@ func (c *Ctx) Lane() int {
 // summary all reconcile against one source of truth.
 const (
 	// Scheduler-level (one increment per completed cell).
-	MCells      = "sched.cells"        // completed cells
-	MCellErrs   = "sched.cell_errors"  // cells that returned an error
-	MInjections = "sched.injections"   // injections attributed to completed cells
-	MCellWallUS = "sched.cell_wall_us" // summed cell wall-clock, µs
+	MCells         = "sched.cells"        // completed cells
+	MCellErrs      = "sched.cell_errors"  // cells that returned an error
+	MInjections    = "sched.injections"   // injections attributed to completed cells
+	MCellWallUS    = "sched.cell_wall_us" // summed cell wall-clock, µs
+	MSchedRetries  = "sched.retries"      // cell attempts repeated after a transient failure
+	MSchedTimeouts = "sched.timeouts"     // cells canceled by the per-cell watchdog
 
 	// Build-cache adapters (supersede harness.CacheStats).
 	MInstances    = "cache.instances"     // benchmark instantiations performed
@@ -123,6 +125,7 @@ const (
 	MCampaigns        = "fi.campaigns"        // campaigns executed
 	MPlans            = "fi.plans"            // fault plans executed
 	MOutcomePrefix    = "fi.outcome."         // + benign|sdc|detected|crash|hang
+	MEarlyStops       = "fi.early_stops"      // campaigns ended early by the CI-width rule
 	MCkptCampaigns    = "ckpt.campaigns"      // campaigns with checkpointing on
 	MCkptSnapshots    = "ckpt.snapshots"      // snapshots recorded
 	MCkptBytes        = "ckpt.snapshot_bytes" // dirtied bytes captured
@@ -130,6 +133,12 @@ const (
 	MCkptColdStarts   = "ckpt.cold_starts"    // plans run from scratch
 	MCkptSkippedInsts = "ckpt.skipped_insts"  // dynamic instructions fast-forwarded
 	HCellWallMS       = "sched.cell_wall_ms"  // histogram of cell wall-clock, ms
+
+	// Durable-campaign journal (written by internal/fi and the CLIs).
+	MJournalRecords      = "journal.records"       // records appended this process
+	MJournalSyncs        = "journal.syncs"         // fsync batches flushed
+	MJournalSkippedPlans = "journal.skipped_plans" // plans answered from a resumed journal
+	MJournalSkippedCells = "journal.skipped_cells" // whole campaigns answered from a cell record
 )
 
 // CellWallBuckets are the HCellWallMS bucket bounds (milliseconds).
