@@ -18,6 +18,7 @@ import (
 	"ferrum/internal/ferrumpass"
 	"ferrum/internal/fi"
 	"ferrum/internal/harness"
+	"ferrum/internal/ir"
 	"ferrum/internal/irpass"
 	"ferrum/internal/machine"
 	"ferrum/internal/obs"
@@ -252,6 +253,105 @@ func BenchmarkMachineExecution(b *testing.B) {
 		dyn = res.DynInsts
 	}
 	b.ReportMetric(float64(dyn), "dyn-insts")
+}
+
+// BenchmarkMachineRun measures one uninstrumented asm-machine execution per
+// iteration — the inner-loop cost every campaign and experiment pays per
+// plan. BENCH_interp.json snapshots ns/op before and after the pre-decoded
+// execution engine.
+func BenchmarkMachineRun(b *testing.B) {
+	for _, v := range []struct {
+		bench   *rodinia.Benchmark
+		protect bool
+		name    string
+	}{
+		{rodinia.BFS, false, "bfs/raw"},
+		{rodinia.BFS, true, "bfs/ferrum"},
+		{rodinia.Particlefilter, false, "particlefilter/raw"},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			inst, err := v.bench.Instantiate(1, harness.DefaultSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := backend.Compile(inst.Mod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v.protect {
+				prog, _, err = ferrumpass.Protect(prog, ferrumpass.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			m, err := machine.New(prog, 1<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := inst.Setup(m); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var dyn uint64
+			for i := 0; i < b.N; i++ {
+				res := m.Run(machine.RunOpts{Args: inst.Args})
+				if res.Outcome != machine.OutcomeOK {
+					b.Fatalf("%v (%s)", res.Outcome, res.CrashMsg)
+				}
+				dyn = res.DynInsts
+			}
+			b.ReportMetric(float64(dyn), "dyn-insts")
+			b.ReportMetric(float64(dyn)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsts/s")
+		})
+	}
+}
+
+// BenchmarkIRRun is the IR-interpreter counterpart of BenchmarkMachineRun:
+// one interpreted execution per iteration, raw and EDDI-protected.
+func BenchmarkIRRun(b *testing.B) {
+	for _, v := range []struct {
+		bench   *rodinia.Benchmark
+		protect bool
+		name    string
+	}{
+		{rodinia.BFS, false, "bfs/raw"},
+		{rodinia.BFS, true, "bfs/eddi"},
+		{rodinia.Particlefilter, false, "particlefilter/raw"},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			inst, err := v.bench.Instantiate(1, harness.DefaultSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mod := inst.Mod
+			if v.protect {
+				mod, err = irpass.EDDI(mod)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			ip, err := ir.NewInterp(mod, 1<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := inst.Setup(ip); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var steps uint64
+			for i := 0; i < b.N; i++ {
+				res := ip.Run(ir.RunOpts{Args: inst.Args})
+				if res.Outcome != ir.OutcomeOK {
+					b.Fatalf("%v (%s)", res.Outcome, res.CrashMsg)
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps")
+			b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msteps/s")
+		})
+	}
 }
 
 // BenchmarkCampaignThroughput measures fault-injection throughput, the

@@ -18,6 +18,10 @@ const (
 	TagStage              // staging move into a SIMD/spare register
 	TagSpill              // register requisition push/pop (fig. 7)
 	TagRuntime            // runtime scaffolding (_start, detect block)
+
+	// NumTags is the number of provenance tags; it sizes dense per-tag
+	// counter arrays.
+	NumTags = int(TagRuntime) + 1
 )
 
 // String names the tag.

@@ -79,6 +79,10 @@ const (
 	numOps
 )
 
+// NumOps is one past the largest valid Op; it sizes dense per-opcode
+// counter arrays (e.g. the machine's execution profile).
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	NOP:         "nop",
 	MOVQ:        "movq",

@@ -126,9 +126,12 @@ func TestCellRetry(t *testing.T) {
 // fi.Campaign batch loop through scheduler.campaign, so a real experiment
 // cell whose budget expires is cut short and reported as a timeout.
 func TestWatchdogCancelsCampaign(t *testing.T) {
+	// Enough samples (and no checkpoint fast-forwarding) that every cell
+	// outlives the armed watchdog by orders of magnitude, whatever the
+	// interpreter's speed; the 1µs timeout then always cancels mid-campaign.
 	opts := Options{
-		Samples: 40, Seed: 7, Benchmarks: []string{"bfs"},
-		CellWorkers: 2, CellTimeout: time.Microsecond,
+		Samples: 4000, Seed: 7, Benchmarks: []string{"bfs"},
+		CellWorkers: 2, CellTimeout: time.Microsecond, NoCheckpoint: true,
 	}
 	_, err := Fig10(opts)
 	if !errors.Is(err, ErrCellTimeout) {

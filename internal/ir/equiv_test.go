@@ -1,0 +1,348 @@
+package ir_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ferrum/internal/ir"
+	"ferrum/internal/irpass"
+	"ferrum/internal/rodinia"
+)
+
+// The decode stage (slot numbering, block/func indices, pooled frames) is
+// pure representation. This file keeps a small name-keyed reference
+// interpreter — the pre-decode execution model, written against the
+// exported IR API — and runs every Rodinia cell × {raw, eddi} on both
+// engines, requiring identical results for golden and fault-injected runs.
+// Part of the PR equivalence gate (go test -run 'Equiv|Snapshot').
+
+const equivMemSize = 1 << 20
+const equivMaxSteps = 1 << 20
+
+// refInterp is the name-keyed reference engine: env maps per frame, branch
+// targets resolved through name lookups per dynamic instruction.
+type refInterp struct {
+	mod      *ir.Module
+	memImage []byte
+	mem      []byte
+	blocks   map[*ir.Func]map[string]*ir.Block
+
+	frames   []*refFrame
+	sp       uint64
+	output   []uint64
+	steps    uint64
+	maxSteps uint64
+	sites    uint64
+	fault    *ir.Fault
+	injected bool
+}
+
+type refFrame struct {
+	fn      *ir.Func
+	block   *ir.Block
+	idx     int
+	env     map[string]uint64
+	savedSP uint64
+}
+
+func newRefInterp(mod *ir.Module, memSize int) *refInterp {
+	r := &refInterp{
+		mod:      mod,
+		memImage: make([]byte, memSize),
+		mem:      make([]byte, memSize),
+		blocks:   make(map[*ir.Func]map[string]*ir.Block, len(mod.Funcs)),
+	}
+	for _, f := range mod.Funcs {
+		bs := make(map[string]*ir.Block, len(f.Blocks))
+		for _, b := range f.Blocks {
+			bs[b.Name] = b
+		}
+		r.blocks[f] = bs
+	}
+	return r
+}
+
+func (r *refInterp) SetMemImage(addr uint64, data []byte) error {
+	copy(r.memImage[addr:], data)
+	return nil
+}
+
+func (r *refInterp) WriteWordImage(addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return r.SetMemImage(addr, b[:])
+}
+
+type refCrash struct{ msg string }
+
+func (e refCrash) Error() string { return e.msg }
+
+var errRefDetected = fmt.Errorf("ref: detected")
+var errRefHang = fmt.Errorf("ref: hang")
+
+func (r *refInterp) run(opts ir.RunOpts) ir.RunResult {
+	copy(r.mem, r.memImage)
+	r.sp = uint64(len(r.mem))
+	r.output = r.output[:0]
+	r.steps, r.sites = 0, 0
+	r.injected = false
+	r.fault = opts.Fault
+	r.maxSteps = opts.MaxSteps
+	if r.maxSteps == 0 {
+		r.maxSteps = ir.DefaultMaxSteps
+	}
+	entry := r.mod.Func(r.mod.Entry)
+	env := map[string]uint64{}
+	for i, p := range entry.Params {
+		if i < len(opts.Args) {
+			env[p.Name] = opts.Args[i]
+		}
+	}
+	r.frames = []*refFrame{{fn: entry, block: entry.Blocks[0], env: env, savedSP: r.sp}}
+
+	err := r.loop()
+	res := ir.RunResult{
+		Output:   append([]uint64(nil), r.output...),
+		Steps:    r.steps,
+		Sites:    r.sites,
+		Injected: r.injected,
+	}
+	switch e := err.(type) {
+	case nil:
+		res.Outcome = ir.OutcomeOK
+	case refCrash:
+		res.Outcome = ir.OutcomeCrash
+		res.CrashMsg = e.msg
+	default:
+		switch err {
+		case errRefDetected:
+			res.Outcome = ir.OutcomeDetected
+		default:
+			res.Outcome = ir.OutcomeHang
+		}
+	}
+	return res
+}
+
+func (r *refInterp) loop() error {
+	for {
+		fr := r.frames[len(r.frames)-1]
+		if fr.idx >= len(fr.block.Insts) {
+			return refCrash{fmt.Sprintf("@%s/%s: fell off block end", fr.fn.Name, fr.block.Name)}
+		}
+		in := fr.block.Insts[fr.idx]
+		r.steps++
+		if r.steps > r.maxSteps {
+			return errRefHang
+		}
+		switch in.Op {
+		case ir.OpBr:
+			fr.block, fr.idx = r.blocks[fr.fn][in.Targets[0]], 0
+			continue
+		case ir.OpCondBr:
+			t := in.Targets[1]
+			if r.eval(in.Args[0], fr.env) != 0 {
+				t = in.Targets[0]
+			}
+			fr.block, fr.idx = r.blocks[fr.fn][t], 0
+			continue
+		case ir.OpRet:
+			var ret uint64
+			if len(in.Args) == 1 {
+				ret = r.eval(in.Args[0], fr.env)
+			}
+			r.sp = fr.savedSP
+			r.frames = r.frames[:len(r.frames)-1]
+			if len(r.frames) == 0 {
+				return nil
+			}
+			caller := r.frames[len(r.frames)-1]
+			if call := caller.block.Insts[caller.idx]; call.Name != "" {
+				caller.env[call.Name] = ret
+			}
+			caller.idx++
+			continue
+		case ir.OpCall:
+			if len(r.frames) >= ir.MaxCallDepth {
+				return refCrash{"call depth exceeded"}
+			}
+			callee := r.mod.Func(in.Callee)
+			env := map[string]uint64{}
+			for i, p := range callee.Params {
+				if i < len(in.Args) {
+					env[p.Name] = r.eval(in.Args[i], fr.env)
+				}
+			}
+			r.frames = append(r.frames, &refFrame{
+				fn: callee, block: callee.Blocks[0], env: env, savedSP: r.sp,
+			})
+			continue
+		}
+		if err := r.exec(in, fr.env); err != nil {
+			return err
+		}
+		fr.idx++
+	}
+}
+
+func (r *refInterp) exec(in *ir.Inst, env map[string]uint64) error {
+	var result uint64
+	switch in.Op {
+	case ir.OpAdd:
+		result = r.eval(in.Args[0], env) + r.eval(in.Args[1], env)
+	case ir.OpSub:
+		result = r.eval(in.Args[0], env) - r.eval(in.Args[1], env)
+	case ir.OpMul:
+		result = r.eval(in.Args[0], env) * r.eval(in.Args[1], env)
+	case ir.OpSDiv, ir.OpSRem:
+		a, b := int64(r.eval(in.Args[0], env)), int64(r.eval(in.Args[1], env))
+		if b == 0 {
+			return refCrash{"divide by zero"}
+		}
+		if a == -1<<63 && b == -1 {
+			return refCrash{"divide overflow"}
+		}
+		if in.Op == ir.OpSDiv {
+			result = uint64(a / b)
+		} else {
+			result = uint64(a % b)
+		}
+	case ir.OpAnd:
+		result = r.eval(in.Args[0], env) & r.eval(in.Args[1], env)
+	case ir.OpOr:
+		result = r.eval(in.Args[0], env) | r.eval(in.Args[1], env)
+	case ir.OpXor:
+		result = r.eval(in.Args[0], env) ^ r.eval(in.Args[1], env)
+	case ir.OpShl:
+		result = r.eval(in.Args[0], env) << (r.eval(in.Args[1], env) & 63)
+	case ir.OpLShr:
+		result = r.eval(in.Args[0], env) >> (r.eval(in.Args[1], env) & 63)
+	case ir.OpAShr:
+		result = uint64(int64(r.eval(in.Args[0], env)) >> (r.eval(in.Args[1], env) & 63))
+	case ir.OpICmp:
+		if in.Pred.Eval(int64(r.eval(in.Args[0], env)), int64(r.eval(in.Args[1], env))) {
+			result = 1
+		}
+	case ir.OpAlloca:
+		size := uint64(in.NSlots) * 8
+		if size > r.sp || r.sp-size < ir.GuardSize {
+			return refCrash{"stack overflow in alloca"}
+		}
+		r.sp -= size
+		result = r.sp
+	case ir.OpLoad:
+		addr := r.eval(in.Args[0], env)
+		if addr < ir.GuardSize || addr+8 > uint64(len(r.mem)) || addr+8 < addr {
+			return refCrash{fmt.Sprintf("load at %#x out of range", addr)}
+		}
+		result = binary.LittleEndian.Uint64(r.mem[addr:])
+	case ir.OpStore:
+		v := r.eval(in.Args[0], env)
+		addr := r.eval(in.Args[1], env)
+		if addr < ir.GuardSize || addr+8 > uint64(len(r.mem)) || addr+8 < addr {
+			return refCrash{fmt.Sprintf("store at %#x out of range", addr)}
+		}
+		binary.LittleEndian.PutUint64(r.mem[addr:], v)
+		return nil
+	case ir.OpGEP:
+		result = r.eval(in.Args[0], env) + 8*r.eval(in.Args[1], env)
+	case ir.OpOut:
+		r.output = append(r.output, r.eval(in.Args[0], env))
+		return nil
+	case ir.OpCheck:
+		if r.eval(in.Args[0], env) != r.eval(in.Args[1], env) {
+			return errRefDetected
+		}
+		return nil
+	default:
+		return refCrash{fmt.Sprintf("unimplemented op %s", in.Op)}
+	}
+
+	if in.Name != "" {
+		switch in.Op {
+		case ir.OpAlloca, ir.OpCall:
+		default:
+			if r.fault != nil && r.sites == r.fault.Site {
+				result ^= 1 << (r.fault.Bit % 64)
+				r.injected = true
+			}
+			r.sites++
+		}
+		env[in.Name] = result
+	}
+	return nil
+}
+
+func (r *refInterp) eval(v ir.Value, env map[string]uint64) uint64 {
+	switch x := v.(type) {
+	case ir.Const:
+		return uint64(int64(x))
+	case *ir.Param:
+		return env[x.Name]
+	case *ir.Inst:
+		return env[x.Name]
+	}
+	return 0
+}
+
+// TestEquivDecodeVsReferenceIR runs every Rodinia cell × {raw, eddi} on the
+// decoded interpreter and on the name-keyed reference engine, asserting an
+// identical RunResult for the golden run and a spread of fault injections.
+func TestEquivDecodeVsReferenceIR(t *testing.T) {
+	for _, name := range rodinia.Names() {
+		b, ok := rodinia.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		inst, err := b.Instantiate(1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods := map[string]*ir.Module{"raw": inst.Mod}
+		if mods["eddi"], err = irpass.EDDI(inst.Mod); err != nil {
+			t.Fatal(err)
+		}
+		for tech, mod := range mods {
+			ip, err := ir.NewInterp(mod, equivMemSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRefInterp(mod, equivMemSize)
+			if err := inst.Setup(ip); err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Setup(ref); err != nil {
+				t.Fatal(err)
+			}
+
+			golden := ir.RunOpts{Args: inst.Args, MaxSteps: equivMaxSteps}
+			want := ref.run(golden)
+			got := ip.Run(golden)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: golden RunResult differs:\ndecoded: %+v\nref:     %+v",
+					name, tech, got, want)
+			}
+			if want.Outcome != ir.OutcomeOK {
+				t.Fatalf("%s/%s: golden outcome = %v (%s)", name, tech, want.Outcome, want.CrashMsg)
+			}
+
+			sites := want.Sites
+			for _, site := range []uint64{0, sites / 3, sites / 2, sites - 1} {
+				for _, bit := range []uint{0, 13, 63} {
+					opts := ir.RunOpts{
+						Args: inst.Args, MaxSteps: equivMaxSteps,
+						Fault: &ir.Fault{Site: site, Bit: bit},
+					}
+					fw := ref.run(opts)
+					fg := ip.Run(opts)
+					if !reflect.DeepEqual(fg, fw) {
+						t.Errorf("%s/%s site=%d bit=%d: fault RunResult differs:\ndecoded: %+v\nref:     %+v",
+							name, tech, site, bit, fg, fw)
+					}
+				}
+			}
+		}
+	}
+}

@@ -80,12 +80,14 @@ type RunResult struct {
 
 // frame is one activation record of the explicit call stack. The
 // interpreter keeps frames on a slice instead of the Go stack so a mid-run
-// Snapshot can capture — and Restore rebuild — the whole call state.
+// Snapshot can capture — and Restore rebuild — the whole call state. regs
+// is the dense register file the decode stage numbered the function's
+// values into; it comes from (and returns to) the interpreter's frame pool.
 type frame struct {
-	fn      *Func
-	block   *Block
-	idx     int // index of the next instruction within block
-	env     map[string]uint64
+	df      *dfunc
+	block   int32 // index into df.blocks
+	idx     int32 // index of the next instruction within the block
+	regs    []uint64
 	savedSP uint64
 }
 
@@ -95,7 +97,10 @@ type Interp struct {
 	mod      *Module
 	memImage []byte
 
-	blocks map[*Func]map[string]*Block // branch-target index
+	dfuncs  []*dfunc         // decoded functions, parallel to mod.Funcs
+	funcIdx map[string]int32 // function name -> dfuncs index
+	entry   int32            // dfuncs index of the entry function
+	regPool [][]uint64       // retired register frames for reuse
 
 	mem []byte
 	// Dirty-page tracking mirrors the machine's: mem deviates from
@@ -105,7 +110,7 @@ type Interp struct {
 	dirtyPages []int32
 	memSynced  bool
 
-	frames   []*frame
+	frames   []frame
 	sp       uint64
 	output   []uint64
 	steps    uint64
@@ -134,15 +139,20 @@ func NewInterp(mod *Module, memSize int) (*Interp, error) {
 		memImage: make([]byte, memSize),
 		mem:      make([]byte, memSize),
 		dirty:    make([]bool, (memSize+pageSize-1)>>pageShift),
-		blocks:   make(map[*Func]map[string]*Block, len(mod.Funcs)),
+		dfuncs:   make([]*dfunc, len(mod.Funcs)),
+		funcIdx:  make(map[string]int32, len(mod.Funcs)),
 	}
-	for _, f := range mod.Funcs {
-		bs := make(map[string]*Block, len(f.Blocks))
-		for _, b := range f.Blocks {
-			bs[b.Name] = b
+	for i, f := range mod.Funcs {
+		ip.funcIdx[f.Name] = int32(i)
+	}
+	for i, f := range mod.Funcs {
+		df, err := decodeFunc(f, ip.funcIdx)
+		if err != nil {
+			return nil, err
 		}
-		ip.blocks[f] = bs
+		ip.dfuncs[i] = df
 	}
+	ip.entry = ip.funcIdx[mod.Entry]
 	return ip, nil
 }
 
@@ -184,16 +194,15 @@ func (ip *Interp) Run(opts RunOpts) RunResult {
 		ip.output = ip.output[:0]
 		ip.steps, ip.sites = 0, 0
 		ip.injected = false
-		entry := ip.mod.Func(ip.mod.Entry)
-		env := make(map[string]uint64, len(entry.Params)+entry.InstCount())
-		for i, p := range entry.Params {
+		ip.recycleFrames()
+		entry := ip.dfuncs[ip.entry]
+		regs := ip.acquireRegs(entry.nregs)
+		for i := range entry.fn.Params {
 			if i < len(opts.Args) {
-				env[p.Name] = opts.Args[i]
+				regs[i] = opts.Args[i]
 			}
 		}
-		ip.frames = append(ip.frames[:0], &frame{
-			fn: entry, block: entry.Blocks[0], env: env, savedSP: ip.sp,
-		})
+		ip.frames = append(ip.frames, frame{df: entry, regs: regs, savedSP: ip.sp})
 	}
 	ip.fault = opts.Fault
 	ip.maxSteps = opts.MaxSteps
@@ -245,44 +254,48 @@ func isSite(in *Inst) bool {
 }
 
 // run drives the explicit-frame interpreter loop until the entry function
-// returns or the run terminates abnormally.
+// returns or the run terminates abnormally. Everything it touches per
+// dynamic instruction is decoded: block and function targets are indices,
+// operands are frame slots or inline constants.
 func (ip *Interp) run() error {
 	for {
-		fr := ip.frames[len(ip.frames)-1]
-		if fr.idx >= len(fr.block.Insts) {
-			return irCrash{fmt.Sprintf("@%s/%s: fell off block end", fr.fn.Name, fr.block.Name)}
+		fr := &ip.frames[len(ip.frames)-1]
+		bl := &fr.df.blocks[fr.block]
+		if int(fr.idx) >= len(bl.insts) {
+			return irCrash{fmt.Sprintf("@%s/%s: fell off block end", fr.df.fn.Name, bl.name)}
 		}
-		in := fr.block.Insts[fr.idx]
+		in := &bl.insts[fr.idx]
 		ip.steps++
 		if ip.steps > ip.maxSteps {
 			return errHang
 		}
-		switch in.Op {
+		switch in.op {
 		case OpBr:
-			fr.block, fr.idx = ip.blocks[fr.fn][in.Targets[0]], 0
+			fr.block, fr.idx = in.t0, 0
 			continue
 		case OpCondBr:
-			t := in.Targets[1]
-			if ip.eval(in.Args[0], fr.env) != 0 {
-				t = in.Targets[0]
+			t := in.t1
+			if in.args[0].get(fr.regs) != 0 {
+				t = in.t0
 			}
-			fr.block, fr.idx = ip.blocks[fr.fn][t], 0
+			fr.block, fr.idx = t, 0
 			continue
 		case OpRet:
 			var r uint64
-			if len(in.Args) == 1 {
-				r = ip.eval(in.Args[0], fr.env)
+			if len(in.args) == 1 {
+				r = in.args[0].get(fr.regs)
 			}
 			ip.sp = fr.savedSP
+			ip.releaseRegs(fr.regs)
 			ip.frames = ip.frames[:len(ip.frames)-1]
 			if len(ip.frames) == 0 {
 				return nil
 			}
 			// The caller's frame still points at its call instruction;
 			// bind the return value there and step past it.
-			caller := ip.frames[len(ip.frames)-1]
-			if call := caller.block.Insts[caller.idx]; call.Name != "" {
-				caller.env[call.Name] = r
+			caller := &ip.frames[len(ip.frames)-1]
+			if call := &caller.df.blocks[caller.block].insts[caller.idx]; call.dst >= 0 {
+				caller.regs[call.dst] = r
 			}
 			caller.idx++
 			continue
@@ -290,20 +303,19 @@ func (ip *Interp) run() error {
 			if len(ip.frames) >= MaxCallDepth {
 				return irCrash{"call depth exceeded"}
 			}
-			callee := ip.mod.Func(in.Callee)
-			env := make(map[string]uint64, len(callee.Params)+callee.InstCount())
-			for i, p := range callee.Params {
-				if i < len(in.Args) {
-					env[p.Name] = ip.eval(in.Args[i], fr.env)
+			callee := ip.dfuncs[in.callee]
+			regs := ip.acquireRegs(callee.nregs)
+			for i, a := range in.args {
+				if i >= callee.nparams {
+					break
 				}
+				regs[i] = a.get(fr.regs)
 			}
-			ip.frames = append(ip.frames, &frame{
-				fn: callee, block: callee.Blocks[0], env: env, savedSP: ip.sp,
-			})
+			ip.frames = append(ip.frames, frame{df: callee, regs: regs, savedSP: ip.sp})
 			continue
 		}
 		sitesBefore := ip.sites
-		if err := ip.exec(in, fr.env); err != nil {
+		if err := ip.exec(in, fr.regs); err != nil {
 			return err
 		}
 		fr.idx++
@@ -314,64 +326,64 @@ func (ip *Interp) run() error {
 	}
 }
 
-func (ip *Interp) exec(in *Inst, env map[string]uint64) error {
+func (ip *Interp) exec(in *dinst, regs []uint64) error {
 	var result uint64
-	switch in.Op {
+	switch in.op {
 	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
-		a := ip.eval(in.Args[0], env)
-		b := ip.eval(in.Args[1], env)
-		r, err := evalBinary(in.Op, a, b)
+		a := in.args[0].get(regs)
+		b := in.args[1].get(regs)
+		r, err := evalBinary(in.op, a, b)
 		if err != nil {
 			return err
 		}
 		result = r
 	case OpICmp:
-		a := int64(ip.eval(in.Args[0], env))
-		b := int64(ip.eval(in.Args[1], env))
-		if in.Pred.Eval(a, b) {
+		a := int64(in.args[0].get(regs))
+		b := int64(in.args[1].get(regs))
+		if in.pred.Eval(a, b) {
 			result = 1
 		}
 	case OpAlloca:
-		size := uint64(in.NSlots) * 8
+		size := uint64(in.nslots) * 8
 		if size > ip.sp || ip.sp-size < GuardSize {
 			return irCrash{"stack overflow in alloca"}
 		}
 		ip.sp -= size
 		result = ip.sp
 	case OpLoad:
-		addr := ip.eval(in.Args[0], env)
+		addr := in.args[0].get(regs)
 		v, err := ip.load(addr)
 		if err != nil {
 			return err
 		}
 		result = v
 	case OpStore:
-		v := ip.eval(in.Args[0], env)
-		addr := ip.eval(in.Args[1], env)
+		v := in.args[0].get(regs)
+		addr := in.args[1].get(regs)
 		return ip.store(addr, v)
 	case OpGEP:
-		result = ip.eval(in.Args[0], env) + 8*ip.eval(in.Args[1], env)
+		result = in.args[0].get(regs) + 8*in.args[1].get(regs)
 	case OpOut:
-		ip.output = append(ip.output, ip.eval(in.Args[0], env))
+		ip.output = append(ip.output, in.args[0].get(regs))
 		return nil
 	case OpCheck:
-		if ip.eval(in.Args[0], env) != ip.eval(in.Args[1], env) {
+		if in.args[0].get(regs) != in.args[1].get(regs) {
 			return errDetected
 		}
 		return nil
 	default:
-		return irCrash{fmt.Sprintf("unimplemented op %s", in.Op)}
+		return irCrash{fmt.Sprintf("unimplemented op %s", in.op)}
 	}
 
-	if isSite(in) {
+	if in.site {
 		if ip.fault != nil && ip.sites == ip.fault.Site {
 			result ^= 1 << (ip.fault.Bit % 64)
 			ip.injected = true
 		}
 		ip.sites++
 	}
-	if in.Name != "" {
-		env[in.Name] = result
+	if in.dst >= 0 {
+		regs[in.dst] = result
 	}
 	return nil
 }
@@ -430,16 +442,4 @@ func (ip *Interp) store(addr, v uint64) error {
 	ip.markDirty(addr, 8)
 	binary.LittleEndian.PutUint64(ip.mem[addr:], v)
 	return nil
-}
-
-func (ip *Interp) eval(v Value, env map[string]uint64) uint64 {
-	switch x := v.(type) {
-	case Const:
-		return uint64(int64(x))
-	case *Param:
-		return env[x.Name]
-	case *Inst:
-		return env[x.Name]
-	}
-	return 0
 }

@@ -1,9 +1,6 @@
 package ir
 
-import (
-	"fmt"
-	"maps"
-)
+import "fmt"
 
 // Dirty-page tracking granularity, matching internal/machine so the two
 // levels have comparable snapshot costs.
@@ -49,8 +46,10 @@ func (ip *Interp) restoreMem() {
 }
 
 // snapFrame is one serialised activation record: function and block are
-// stored by name so a snapshot can be restored into any interpreter built
-// from an equal module.
+// stored by name, and the register file is stored as a name-keyed value
+// map, so a snapshot is independent of the decode stage's slot numbering
+// and can be restored into any interpreter built from an equal module —
+// including one whose engine version assigns slots differently.
 type snapFrame struct {
 	fn      string
 	block   string
@@ -114,12 +113,17 @@ func (ip *Interp) Snapshot() *Snapshot {
 		pages:    make([]snapPage, 0, len(ip.dirtyPages)),
 		memSize:  len(ip.mem),
 	}
-	for i, fr := range ip.frames {
+	for i := range ip.frames {
+		fr := &ip.frames[i]
+		env := make(map[string]uint64, len(fr.regs))
+		for slot, name := range fr.df.names {
+			env[name] = fr.regs[slot]
+		}
 		s.frames[i] = snapFrame{
-			fn:      fr.fn.Name,
-			block:   fr.block.Name,
-			idx:     fr.idx,
-			env:     maps.Clone(fr.env),
+			fn:      fr.df.fn.Name,
+			block:   fr.df.blocks[fr.block].name,
+			idx:     int(fr.idx),
+			env:     env,
 			savedSP: fr.savedSP,
 		}
 	}
@@ -135,33 +139,41 @@ func (ip *Interp) Snapshot() *Snapshot {
 }
 
 // Restore replaces the interpreter's state with a previously captured
-// snapshot. Frame environments are re-cloned so the snapshot stays
-// immutable, and function/block names are resolved against this
-// interpreter's module; after Restore a resumed Run matches a from-scratch
-// run that reached the same point.
+// snapshot. Frame value maps are decoded back into dense register files so
+// the snapshot stays immutable, and function/block names are resolved
+// against this interpreter's module; after Restore a resumed Run matches a
+// from-scratch run that reached the same point.
 func (ip *Interp) Restore(s *Snapshot) error {
 	if s.memSize != len(ip.mem) {
 		return fmt.Errorf("ir: snapshot mismatch (mem %d vs %d)", s.memSize, len(ip.mem))
 	}
-	frames := make([]*frame, len(s.frames))
+	frames := make([]frame, len(s.frames))
 	for i, sf := range s.frames {
-		fn := ip.mod.Func(sf.fn)
-		if fn == nil {
+		fi, ok := ip.funcIdx[sf.fn]
+		if !ok {
 			return fmt.Errorf("ir: snapshot frame %d: function %q not found", i, sf.fn)
 		}
-		blk := ip.blocks[fn][sf.block]
-		if blk == nil {
+		df := ip.dfuncs[fi]
+		bi, ok := df.blockIdx[sf.block]
+		if !ok {
 			return fmt.Errorf("ir: snapshot frame %d: block %q not found in @%s", i, sf.block, sf.fn)
 		}
-		frames[i] = &frame{
-			fn:      fn,
-			block:   blk,
-			idx:     sf.idx,
-			env:     maps.Clone(sf.env),
+		regs := make([]uint64, df.nregs)
+		for name, v := range sf.env {
+			if slot, ok := df.slotOf[name]; ok {
+				regs[slot] = v
+			}
+		}
+		frames[i] = frame{
+			df:      df,
+			block:   bi,
+			idx:     int32(sf.idx),
+			regs:    regs,
 			savedSP: sf.savedSP,
 		}
 	}
 	ip.restoreMem()
+	ip.recycleFrames()
 	for _, pg := range s.pages {
 		lo := int(pg.idx) << pageShift
 		copy(ip.mem[lo:lo+len(pg.data)], pg.data)
@@ -170,7 +182,7 @@ func (ip *Interp) Restore(s *Snapshot) error {
 			ip.dirtyPages = append(ip.dirtyPages, pg.idx)
 		}
 	}
-	ip.frames = frames
+	ip.frames = append(ip.frames, frames...)
 	ip.sp = s.sp
 	ip.output = append(ip.output[:0], s.output...)
 	ip.steps, ip.sites, ip.injected = s.steps, s.sites, s.injected

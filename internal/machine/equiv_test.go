@@ -1,0 +1,172 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/eddi"
+	"ferrum/internal/ferrumpass"
+	"ferrum/internal/rodinia"
+)
+
+// The decode stage is pure representation: the fused uop dispatch must be
+// observationally identical to the generic slow-path interpreter it
+// accelerates. These tests run every Rodinia benchmark under every
+// protection technique on both engines and require bit-identical Results;
+// they are part of the PR equivalence gate (go test -run 'Equiv|Snapshot').
+
+const equivMemSize = 1 << 20
+const equivMaxSteps = 1 << 20
+
+// forceSlow reroutes every decoded uop through the generic interpreter,
+// recovering the pre-decode execution engine. Cost, destination kind and
+// destination width stay as decoded, so only the dispatch path changes.
+func forceSlow(m *Machine) {
+	for i := range m.uops {
+		m.uops[i].code = uSlow
+	}
+}
+
+func equivPrograms(t *testing.T, bench string) map[string]*asm.Program {
+	t.Helper()
+	b, ok := rodinia.ByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	inst, err := b.Instantiate(1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := backend.Compile(inst.Mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eddiProg, _, err := eddi.Protect(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferrumProg, _, err := ferrumpass.Protect(raw, ferrumpass.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*asm.Program{"raw": raw, "eddi": eddiProg, "ferrum": ferrumProg}
+}
+
+func equivMachine(t *testing.T, bench string, prog *asm.Program) (*Machine, []uint64) {
+	t.Helper()
+	b, _ := rodinia.ByName(bench)
+	inst, err := b.Instantiate(1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(prog, equivMemSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, inst.Args
+}
+
+// TestEquivDecodeVsSlowAsm runs every Rodinia cell × {raw, eddi, ferrum} on
+// the fused dispatch and on the forced slow path, asserting an identical
+// Result — outcome, output, cycles, dynamic counts, per-site records and
+// profile — for the golden run and for a spread of fault injections. It
+// also pins decode coverage: compiled Rodinia programs must decode with no
+// residual slow-path uops.
+func TestEquivDecodeVsSlowAsm(t *testing.T) {
+	for _, bench := range rodinia.Names() {
+		for tech, prog := range equivPrograms(t, bench) {
+			fast, args := equivMachine(t, bench, prog)
+			slow, _ := equivMachine(t, bench, prog)
+			forceSlow(slow)
+
+			for i := range fast.uops {
+				if fast.uops[i].code == uSlow {
+					t.Errorf("%s/%s: instruction %d (%s) left on the slow path",
+						bench, tech, i, fast.insts[i].in.String())
+				}
+			}
+
+			golden := RunOpts{
+				Args: args, MaxSteps: equivMaxSteps,
+				RecordSites: true, RecordSiteLocs: true, RecordSiteBits: true,
+				Profile: true, Trace: 16,
+			}
+			want := slow.Run(golden)
+			got := fast.Run(golden)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: golden Result differs:\nfused: %+v\nslow:  %+v",
+					bench, tech, got, want)
+			}
+			if want.Outcome != OutcomeOK {
+				t.Fatalf("%s/%s: golden outcome = %v (%s)", bench, tech, want.Outcome, want.CrashMsg)
+			}
+
+			sites := want.DynSites
+			for _, site := range []uint64{0, sites / 3, sites / 2, sites - 1} {
+				for _, bit := range []uint{0, 13, 63} {
+					opts := RunOpts{
+						Args: args, MaxSteps: equivMaxSteps,
+						Fault: &Fault{Site: site, Bit: bit},
+					}
+					fw := slow.Run(opts)
+					fg := fast.Run(opts)
+					if !reflect.DeepEqual(fg, fw) {
+						t.Errorf("%s/%s site=%d bit=%d: fault Result differs:\nfused: %+v\nslow:  %+v",
+							bench, tech, site, bit, fg, fw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEquivSnapshotAcrossDecode checks that snapshots are engine-version
+// independent: a snapshot captured mid-run by the slow-path engine restores
+// into a decoded machine (and vice versa), and every resumed run reproduces
+// the uninterrupted run's terminal Result.
+func TestEquivSnapshotAcrossDecode(t *testing.T) {
+	for _, bench := range []string{"bfs", "lud"} {
+		prog := equivPrograms(t, bench)["ferrum"]
+		fast, args := equivMachine(t, bench, prog)
+		slow, _ := equivMachine(t, bench, prog)
+		forceSlow(slow)
+
+		want := fast.Run(RunOpts{Args: args, MaxSteps: equivMaxSteps})
+		if want.Outcome != OutcomeOK {
+			t.Fatalf("%s: golden outcome = %v (%s)", bench, want.Outcome, want.CrashMsg)
+		}
+
+		pairs := []struct {
+			name     string
+			from, to *Machine
+		}{
+			{"slow->fused", slow, fast},
+			{"fused->slow", fast, slow},
+		}
+		for _, p := range pairs {
+			var snaps []*Snapshot
+			p.from.Run(RunOpts{
+				Args: args, MaxSteps: equivMaxSteps,
+				CheckpointEvery: want.DynSites / 3,
+				OnCheckpoint:    func(s *Snapshot) { snaps = append(snaps, s) },
+			})
+			if len(snaps) == 0 {
+				t.Fatalf("%s %s: no snapshots captured", bench, p.name)
+			}
+			for i, s := range snaps {
+				got := p.to.Run(RunOpts{Resume: s, MaxSteps: equivMaxSteps})
+				if got.Outcome != want.Outcome || !reflect.DeepEqual(got.Output, want.Output) ||
+					got.Cycles != want.Cycles || got.DynInsts != want.DynInsts ||
+					got.DynSites != want.DynSites {
+					t.Errorf("%s %s snapshot %d: resumed Result differs: %+v != %+v",
+						bench, p.name, i, got, want)
+				}
+			}
+		}
+	}
+}

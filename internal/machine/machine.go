@@ -131,6 +131,11 @@ type SiteLoc struct {
 	Idx int
 }
 
+// flatInst is the cold side of a loaded instruction: the original asm form
+// plus provenance, used by profiling, tracing, fault application and the
+// generic slow path. The hot interpreter loop reads only the parallel
+// decoded uop array (Machine.uops; see decode.go), which is kept small so
+// the working set of a run fits closer to L1.
 type flatInst struct {
 	in   asm.Inst
 	dest asm.Dest
@@ -143,6 +148,7 @@ type flatInst struct {
 // resets architectural state but keeps the loaded program and memory image.
 type Machine struct {
 	insts  []flatInst
+	uops   []uop // decoded hot array, parallel to insts
 	labels map[string]int
 	entry  int
 	start  int
@@ -184,6 +190,13 @@ func New(p *asm.Program, memSize int) (*Machine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	return newMachine(p, memSize)
+}
+
+// newMachine loads a program without validating it first. Decode still
+// rejects undefined control-flow labels at load time; tests use this entry
+// to exercise that guard directly.
+func newMachine(p *asm.Program, memSize int) (*Machine, error) {
 	if memSize < GuardSize*2 {
 		return nil, fmt.Errorf("machine: memory size %d too small", memSize)
 	}
@@ -203,8 +216,13 @@ func New(p *asm.Program, memSize int) (*Machine, error) {
 			})
 		}
 	}
+	m.uops = make([]uop, len(m.insts))
 	for i := range m.insts {
 		m.insts[i].cost = m.costs.staticCost(m.insts[i].in)
+		m.uops[i].cost = m.insts[i].cost
+		if err := m.decode(&m.uops[i], &m.insts[i]); err != nil {
+			return nil, err
+		}
 	}
 	entry := p.Entry
 	if entry == "" {
@@ -227,6 +245,7 @@ func (m *Machine) SetCostModel(c *CostModel) {
 	m.costs = c
 	for i := range m.insts {
 		m.insts[i].cost = c.staticCost(m.insts[i].in)
+		m.uops[i].cost = m.insts[i].cost
 	}
 }
 
@@ -310,9 +329,9 @@ func (m *Machine) Run(opts RunOpts) Result {
 	// One register-resident bool keeps the per-site hot path to a single
 	// predicted branch on injection runs, where no recording is active.
 	record := opts.RecordSites || opts.RecordSiteLocs || opts.RecordSiteBits
-	var prof *Profile
+	var prof *profile
 	if opts.Profile {
-		prof = newProfile()
+		prof = &profile{}
 	}
 	var trace *traceRing
 	if opts.Trace > 0 {
@@ -320,41 +339,45 @@ func (m *Machine) Run(opts RunOpts) Result {
 	}
 loop:
 	for m.dyn < maxSteps {
-		if m.pc < 0 || m.pc >= len(m.insts) {
+		if m.pc < 0 || m.pc >= len(m.uops) {
 			outcome, crashMsg = OutcomeCrash, fmt.Sprintf("pc %d out of range", m.pc)
 			break
 		}
-		fi := &m.insts[m.pc]
+		// pc is captured before step advances it: the cold flatInst at this
+		// index backs profiling, tracing and fault application.
+		pc := m.pc
+		u := &m.uops[pc]
 		m.dyn++
 		if prof != nil {
-			prof.record(fi)
+			prof.record(&m.insts[pc])
 		}
 		if trace != nil {
-			trace.record(fi)
+			trace.record(&m.insts[pc])
 		}
-		next, err := m.step(fi)
+		next, err := m.step(u)
 		if err != nil {
 			outcome, crashMsg = OutcomeCrash, err.Error()
 			break
 		}
 		// Fault injection: flip one bit of the destination after retire.
-		if fi.dest.Kind != asm.DestNone {
+		if u.destKind != asm.DestNone {
 			if opts.Fault != nil && m.sites == opts.Fault.Site {
-				m.applyFault(fi.dest, opts.Fault.Bit)
+				dest := m.insts[pc].dest
+				m.applyFault(dest, opts.Fault.Bit)
 				for _, b := range opts.Fault.Extra {
-					m.applyFault(fi.dest, b)
+					m.applyFault(dest, b)
 				}
 				m.injected = true
 			}
 			if record {
 				if opts.RecordSites {
-					siteDests = append(siteDests, fi.dest.Kind)
+					siteDests = append(siteDests, u.destKind)
 				}
 				if opts.RecordSiteLocs {
-					siteLocs = append(siteLocs, SiteLoc{Fn: fi.fn, Idx: fi.idx})
+					siteLocs = append(siteLocs, SiteLoc{Fn: m.insts[pc].fn, Idx: m.insts[pc].idx})
 				}
 				if opts.RecordSiteBits {
-					siteBits = append(siteBits, DestBits(fi.dest))
+					siteBits = append(siteBits, u.destBits)
 				}
 			}
 			m.sites++
@@ -384,7 +407,7 @@ loop:
 		SiteDests: siteDests,
 		SiteLocs:  siteLocs,
 		SiteBits:  siteBits,
-		Profile:   prof,
+		Profile:   prof.export(),
 		Trace:     trace.dump(),
 	}
 }
