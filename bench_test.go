@@ -379,10 +379,14 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkAsmCampaign compares the direct and checkpointed campaign paths
-// on the FERRUM-protected cell (the suite's dominant cost: protected runs
-// detect soon after injection, so fast-forwarding skips most of each run).
-// plans/s is the headline metric; BENCH_campaign.json snapshots it.
+// BenchmarkAsmCampaign compares the direct, checkpointed and pruned
+// campaign paths on the FERRUM-protected cell (the suite's dominant cost:
+// protected runs detect soon after injection, so fast-forwarding skips most
+// of each run; pruning answers provably-Benign plans without executing and
+// dedups value-identical ones). plans/s counts planned samples, so the
+// pruned mode's rate includes statically-answered plans; the executed
+// metric shows how many plans actually ran. BENCH_campaign.json snapshots
+// both.
 func BenchmarkAsmCampaign(b *testing.B) {
 	inst, err := rodinia.BFS.Instantiate(1, harness.DefaultSeed)
 	if err != nil {
@@ -408,6 +412,7 @@ func BenchmarkAsmCampaign(b *testing.B) {
 	}{
 		{"direct", fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed, NoCheckpoint: true}},
 		{"checkpointed", fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed}},
+		{"pruned", fi.Campaign{Samples: benchSamples, Seed: harness.DefaultSeed, Prune: fi.PruneFull}},
 	} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
@@ -423,6 +428,9 @@ func BenchmarkAsmCampaign(b *testing.B) {
 			if cp := res.Checkpoint; cp.Enabled {
 				b.ReportMetric(float64(cp.Interval), "K")
 				b.ReportMetric(float64(cp.SkippedInsts), "skipped-insts")
+			}
+			if pr := res.Pruned; pr.Enabled {
+				b.ReportMetric(float64(pr.Executed), "executed")
 			}
 		})
 	}

@@ -65,6 +65,7 @@ func run(argv []string, out io.Writer) error {
 		journalP  = fs.String("journal", "", "write a crash-safe campaign journal (NDJSON) to this file; resume with -resume")
 		resume    = fs.Bool("resume", false, "resume from the -journal file of an interrupted campaign instead of starting fresh")
 		ciWidth   = fs.Float64("ci-width", 0, "stop the campaign early once the 95% CI of the SDC rate is no wider than this (0 = off)")
+		pruneStr  = fs.String("prune", "off", "static fault-site pruning (asm level only): off, dead (exact), exact (dead+masked), full (adds class dedup, statistical)")
 		noCkpt    = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical results, slower)")
 		ckptEvery = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune)")
 		progress  = fs.Bool("progress", false, "stream throttled injection progress to stderr")
@@ -159,11 +160,24 @@ func run(argv []string, out io.Writer) error {
 	}
 	cx := ob.Cell(cellName+"/"+*technique, 0)
 
+	prune, perr := fi.ParsePruneMode(*pruneStr)
+	if perr != nil {
+		return perr
+	}
+	if prune != fi.PruneOff {
+		if *level == "ir" {
+			return fmt.Errorf("-prune requires -level asm (the analysis is assembly-level)")
+		}
+		if *ciWidth > 0 {
+			return fmt.Errorf("-prune is incompatible with -ci-width (pruned campaigns have no uniform plan prefix)")
+		}
+	}
+
 	campaign := fi.Campaign{
 		Samples: *samples, Seed: *seed, BitsPerFault: *bits,
 		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
-		CIWidth: *ciWidth,
-		Obs:     cx,
+		CIWidth: *ciWidth, Prune: prune,
+		Obs: cx,
 	}
 	if *resume && *journalP == "" {
 		return fmt.Errorf("-resume requires -journal")
@@ -174,6 +188,9 @@ func run(argv []string, out io.Writer) error {
 			Tool: "fidi", Seed: *seed, Samples: *samples, Scale: *scale,
 			Benchmarks: []string{cellName}, Technique: *technique,
 			Level: *level, Bits: *bits, CIWidth: *ciWidth,
+		}
+		if prune != fi.PruneOff {
+			meta.Prune = prune.String()
 		}
 		var journal *fi.Journal
 		if *resume {
@@ -272,6 +289,12 @@ func run(argv []string, out io.Writer) error {
 			"checkpointing: K=%d, %d snapshots (%d KiB), %d restores, %d cold starts, %d insts skipped\n",
 			cp.Interval, cp.Snapshots, cp.SnapshotBytes>>10,
 			cp.Restores, cp.ColdStarts, cp.SkippedInsts)
+	}
+	if pr := res.Pruned; pr.Enabled {
+		fmt.Fprintf(errw,
+			"pruning (%s): %d of %d plans answered statically (%d dead, %d masked, %d deduped), %d executed across %d classes\n",
+			pr.Mode, pr.Planned-pr.Executed, pr.Planned,
+			pr.Dead, pr.Masked, pr.Deduped, pr.Executed, pr.Classes)
 	}
 
 	if *trace > 0 && *level != "ir" {

@@ -74,6 +74,7 @@ func run(argv []string, out io.Writer) error {
 		maxRetries  = fs.Int("max-retries", 0, "re-attempt a transiently failing cell up to this many extra times")
 		retryBack   = fs.Duration("retry-backoff", 0, "sleep before the first cell retry, doubled each further attempt")
 		ciWidth     = fs.Float64("ci-width", 0, "stop each campaign early once the 95% CI of its SDC rate is no wider than this (0 = off)")
+		pruneMode   = fs.String("prune", "off", "static fault-site pruning for asm campaigns: off, dead (exact), exact (dead+masked), full (adds class dedup, statistical)")
 		eventsOut   = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -111,13 +112,21 @@ func run(argv []string, out io.Writer) error {
 		events.Meta("reprod", argv)
 	}
 
+	prune, err := fi.ParsePruneMode(*pruneMode)
+	if err != nil {
+		return err
+	}
+	if prune != fi.PruneOff && *ciWidth > 0 {
+		return fmt.Errorf("-prune is incompatible with -ci-width (pruned campaigns have no uniform plan prefix)")
+	}
+
 	opts := harness.Options{
 		Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers,
 		Optimize: *o1, CellWorkers: *cellWorkers, Cache: harness.NewBuildCache(),
 		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
 		CellTimeout: *cellTimeout, MaxRetries: *maxRetries, RetryBackoff: *retryBack,
-		CIWidth: *ciWidth,
-		Obs:     ob,
+		CIWidth: *ciWidth, Prune: prune,
+		Obs: ob,
 	}
 	if *progress {
 		opts.Progress = func(ev harness.CellEvent) {
@@ -157,6 +166,9 @@ func run(argv []string, out io.Writer) error {
 			Tool: "reprod", Exp: *exp, Seed: *seed, Samples: *samples,
 			Scale: *scale, Optimize: *o1, Benchmarks: opts.Benchmarks,
 			CIWidth: *ciWidth,
+		}
+		if prune != fi.PruneOff {
+			meta.Prune = prune.String()
 		}
 		if *resume {
 			st, j, err := fi.ResumeJournal(*journalPath)

@@ -240,6 +240,12 @@ func GPRUses(in Inst, buf []Reg) []Reg {
 	case POPQ:
 		add(RSP)
 		return buf
+	case OUT:
+		// out reads the value register; without this the generic path below
+		// sees a zero-source instruction and drops the read, which would let
+		// liveness pronounce pending output values dead.
+		addOperandReads(in.A[0])
+		return buf
 	case PUSHQ:
 		add(RSP)
 		addOperandReads(in.A[0])

@@ -402,7 +402,7 @@ func TestEarlyStopJournalReplay(t *testing.T) {
 func TestMakePlansRespectsWidth(t *testing.T) {
 	widths := []uint{4, 8, 16, 32, 64, 256, 512}
 	width := func(site uint64) uint { return widths[site%uint64(len(widths))] }
-	plans := makePlans(Campaign{Samples: 4000, Seed: 42}, uint64(len(widths)), width)
+	plans := mustPlans(t, Campaign{Samples: 4000, Seed: 42}, uint64(len(widths)), width)
 	if len(plans) != 4000 {
 		t.Fatalf("planned %d faults, want 4000", len(plans))
 	}
@@ -432,7 +432,7 @@ func TestMakePlansRespectsWidth(t *testing.T) {
 		}
 	}
 	// A nil width map is the IR case: every site is 64 bits wide.
-	for _, p := range makePlans(Campaign{Samples: 2000, Seed: 1}, 10, nil) {
+	for _, p := range mustPlans(t, Campaign{Samples: 2000, Seed: 1}, 10, nil) {
 		if p.bit >= 64 {
 			t.Fatalf("nil-width plan sampled bit %d", p.bit)
 		}
@@ -444,7 +444,7 @@ func TestMakePlansRespectsWidth(t *testing.T) {
 // bits, and resampling for more would never terminate.
 func TestMakePlansMultiBitNarrowDest(t *testing.T) {
 	width := func(uint64) uint { return 4 }
-	plans := makePlans(Campaign{Samples: 50, Seed: 7, BitsPerFault: 8}, 3, width)
+	plans := mustPlans(t, Campaign{Samples: 50, Seed: 7, BitsPerFault: 8}, 3, width)
 	for i, p := range plans {
 		if len(p.extra) != 3 {
 			t.Fatalf("plan %d: %d extra bits for a 4-bit destination, want 3 (cap minus primary)", i, len(p.extra))

@@ -8,6 +8,7 @@
 package fi
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,7 +18,12 @@ import (
 	"ferrum/internal/ir"
 	"ferrum/internal/machine"
 	"ferrum/internal/obs"
+	"ferrum/internal/prune"
 )
+
+// ErrNoSites reports a campaign whose golden run exposed no fault-injection
+// sites: there is nothing to sample a plan from.
+var ErrNoSites = errors.New("fi: program has no fault-injection sites")
 
 // Outcome classifies one injected execution against the golden run.
 type Outcome uint8
@@ -60,6 +66,16 @@ type Campaign struct {
 	// multi-bit upsets §II-A defers to future work; capped per plan at the
 	// sampled destination's width). Assembly-level campaigns only.
 	BitsPerFault int
+	// Prune, if not PruneOff, classifies each sampled (site, bit) pair
+	// against the static liveness/masking analysis (internal/prune) and
+	// executes only the plans the analysis cannot answer: dead and masked
+	// plans are Benign by construction, and under PruneFull one
+	// representative stands in for every plan of the same
+	// (static instruction, bit) class. Result.Counts still aggregates all
+	// Samples plans. Assembly-level campaigns only; incompatible with
+	// CIWidth early stopping (the truncation prefix would no longer be a
+	// uniform sample).
+	Prune PruneMode
 	// Progress, if non-nil, receives the cumulative number of completed
 	// injections (out of Samples) as the campaign advances. It may be
 	// called concurrently from campaign worker goroutines; implementations
@@ -119,6 +135,13 @@ func (c Campaign) observe(res Result) {
 	c.observeOutcomes(res)
 	if c.Obs == nil {
 		return
+	}
+	if pr := res.Pruned; pr.Enabled {
+		c.Obs.Counter(obs.MPrunedCampaigns).Add(1)
+		c.Obs.Counter(obs.MPrunedPlans).Add(int64(pr.Planned - pr.Executed))
+		c.Obs.Counter(obs.MPrunedDead).Add(int64(pr.Dead))
+		c.Obs.Counter(obs.MPrunedMasked).Add(int64(pr.Masked))
+		c.Obs.Counter(obs.MPrunedDedup).Add(int64(pr.Deduped))
 	}
 	if ck := res.Checkpoint; ck.Enabled {
 		c.Obs.Counter(obs.MCkptCampaigns).Add(1)
@@ -200,6 +223,10 @@ type Result struct {
 	// Checkpoint reports the campaign's fast-forwarding activity; zero
 	// when checkpointing was disabled.
 	Checkpoint CheckpointSummary
+	// Pruned reports the static-pruning bookkeeping; zero when pruning was
+	// off. Counts answered statically are folded into Counts as Benign (dead,
+	// masked) or as their representative's outcome (deduped).
+	Pruned PruneSummary
 }
 
 // Count returns the number of runs with the given outcome.
@@ -295,9 +322,12 @@ type asmCampaign struct {
 	build  func() (*machine.Machine, error)
 	golden machine.Result
 	// plans is execution-ordered (sorted by site when checkpointing);
-	// orig keeps generation order for per-plan attribution by index.
+	// orig keeps generation order for per-plan attribution by index. Under
+	// pruning, plans holds only the dense-indexed class representatives and
+	// part maps generation indices back onto them.
 	plans []plannedFault
 	orig  []plannedFault
+	part  *planPartition
 	cps   *asmCheckpoints
 	ckpt  CheckpointSummary
 
@@ -327,10 +357,11 @@ func newAsmCampaign(tgt AsmTarget, c Campaign, recordLocs bool) (*asmCampaign, e
 	}
 	gsp := c.Obs.Span("golden")
 	golden := m0.Run(machine.RunOpts{
-		Args:           tgt.Args,
-		MaxSteps:       c.MaxSteps,
-		RecordSiteBits: true,
-		RecordSiteLocs: recordLocs,
+		Args:              tgt.Args,
+		MaxSteps:          c.MaxSteps,
+		RecordSiteBits:    true,
+		RecordSiteLocs:    recordLocs,
+		RecordSiteStatics: c.Prune != PruneOff,
 	})
 	gsp.SetAttr("dyn_insts", golden.DynInsts)
 	gsp.SetAttr("dyn_sites", golden.DynSites)
@@ -338,13 +369,46 @@ func newAsmCampaign(tgt AsmTarget, c Campaign, recordLocs bool) (*asmCampaign, e
 	if golden.Outcome != machine.OutcomeOK {
 		return nil, fmt.Errorf("fi: golden run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
 	}
-	if golden.DynSites == 0 {
-		return nil, fmt.Errorf("fi: program has no fault-injection sites")
-	}
 	a := &asmCampaign{c: c, tgt: tgt, build: build, golden: golden}
-	a.plans = makePlans(c, golden.DynSites, siteWidth(golden.SiteBits))
+	var fallbacks int
+	plans, err := makePlans(c, golden.DynSites, siteWidth(golden.SiteBits, &fallbacks))
+	if err != nil {
+		return nil, err
+	}
+	if fallbacks > 0 {
+		c.Obs.Counter(obs.MWidthFallbacks).Add(int64(fallbacks))
+		if c.Prune != PruneOff {
+			// A fallback width means the recorded destination metadata is
+			// incomplete; the static classification cannot be trusted for
+			// those sites, and an exact-mode campaign must not guess.
+			return nil, fmt.Errorf("fi: prune: %d plan draws hit sites with missing/zero recorded width", fallbacks)
+		}
+	}
+	a.plans = plans
 	a.orig = append([]plannedFault(nil), a.plans...)
-	if !c.NoCheckpoint && c.pendingPlans(a.plans) > 0 {
+	if c.Prune != PruneOff {
+		if c.CIWidth > 0 {
+			return nil, fmt.Errorf("fi: prune mode %v is incompatible with CI-width early stopping", c.Prune)
+		}
+		psp := c.Obs.Span("prune")
+		an := prune.Analyze(tgt.Prog)
+		part, err := partitionPlans(c.Prune, a.orig, golden.SiteStatics, an, m0.StaticInstrs())
+		psp.End()
+		if err != nil {
+			return nil, err
+		}
+		a.part = part
+		a.plans = append([]plannedFault(nil), part.exec...)
+		// Plans answered statically are complete before any execution:
+		// report them upfront and shift later worker progress past them, so
+		// the caller still observes a monotone count ending at Samples.
+		if answered := len(a.orig) - len(a.plans); answered > 0 && c.Progress != nil {
+			orig := c.Progress
+			a.c.Progress = func(done int) { orig(done + answered) }
+			orig(answered)
+		}
+	}
+	if !c.NoCheckpoint && a.c.pendingPlans(a.plans) > 0 {
 		k := c.checkpointInterval(golden.DynSites)
 		csp := c.Obs.Span("checkpoint.record")
 		a.cps = recordAsmCheckpoints(m0, tgt, c, k, golden.DynSites)
@@ -396,16 +460,31 @@ func (a *asmCampaign) run() (planOutcomes, error) {
 	return po, err
 }
 
-// result assembles the campaign Result from the plan outcomes.
+// result assembles the campaign Result from the plan outcomes. Under
+// pruning the dense executed outcomes are expanded back onto the full
+// generation-ordered plan space first, so Samples and Counts aggregate
+// every planned fault exactly as an unpruned campaign's would.
 func (a *asmCampaign) result(po planOutcomes) Result {
+	samples, counts, early := po.samples, po.counts, po.early
+	if a.part != nil {
+		n, outcomes := a.expandedOutcomes(po)
+		samples, early = n, false
+		counts = [numOutcomes]int{}
+		for _, o := range outcomes[:n] {
+			counts[o]++
+		}
+	}
 	res := Result{
-		Samples:      po.samples,
-		Counts:       po.counts,
+		Samples:      samples,
+		Counts:       counts,
 		DynSites:     a.golden.DynSites,
 		Golden:       a.golden.Output,
 		Cycles:       a.golden.Cycles,
-		EarlyStopped: po.early,
+		EarlyStopped: early,
 		Checkpoint:   a.ckpt,
+	}
+	if a.part != nil {
+		res.Pruned = a.part.summary
 	}
 	res.Checkpoint.Restores = a.restores.Load()
 	res.Checkpoint.ColdStarts = a.coldStarts.Load()
@@ -448,6 +527,12 @@ type IRTarget struct {
 // results are excluded (they are sphere inputs for EDDI, matching how the
 // paper's IR-level coverage expectations are formed).
 func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
+	if c.Prune != PruneOff {
+		// The static classification is an assembly-level analysis (register
+		// liveness, flag consumers, masking idioms); IR sites have no
+		// equivalent metadata.
+		return Result{}, fmt.Errorf("fi: prune mode %v is not supported for IR campaigns", c.Prune)
+	}
 	if res, ok := c.priorResult(); ok {
 		return res, nil
 	}
@@ -474,13 +559,13 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	if golden.Outcome != ir.OutcomeOK {
 		return Result{}, fmt.Errorf("fi: golden IR run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
 	}
-	if golden.Sites == 0 {
-		return Result{}, fmt.Errorf("fi: module has no IR fault-injection sites")
-	}
 	res := Result{DynSites: golden.Sites, Golden: golden.Output}
 	// Every IR site produces a 64-bit value, so the plan needs no per-site
 	// width map (nil samples bits uniformly in [0,64)).
-	plans := makePlans(c, golden.Sites, nil)
+	plans, err := makePlans(c, golden.Sites, nil)
+	if err != nil {
+		return Result{}, err
+	}
 
 	var (
 		cps                           *irCheckpoints
@@ -545,8 +630,10 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 
 // siteWidth adapts a golden run's per-site destination widths (from
 // machine.RunOpts.RecordSiteBits) into makePlans' width lookup. Zero or
-// missing widths fall back to 64.
-func siteWidth(siteBits []uint16) func(uint64) uint {
+// missing widths fall back to 64; when that happens the fallback is no
+// longer silent — each fallback draw increments *fallbacks (when non-nil)
+// so callers can surface it (fi.width_fallbacks) or refuse to proceed.
+func siteWidth(siteBits []uint16, fallbacks *int) func(uint64) uint {
 	if len(siteBits) == 0 {
 		return nil
 	}
@@ -555,6 +642,9 @@ func siteWidth(siteBits []uint16) func(uint64) uint {
 			if b := siteBits[site]; b > 0 {
 				return uint(b)
 			}
+		}
+		if fallbacks != nil {
+			*fallbacks++
 		}
 		return 64
 	}
@@ -568,7 +658,13 @@ func siteWidth(siteBits []uint16) func(uint64) uint {
 // flags) would otherwise draw bit numbers the injector must wrap or mask,
 // and SIMD destinations wider than 64 bits (multi-lane stores up to 512
 // bits) would never receive faults in their upper lanes at all.
-func makePlans(c Campaign, sites uint64, width func(uint64) uint) []plannedFault {
+//
+// A siteless golden run returns ErrNoSites rather than panicking inside
+// the RNG draw.
+func makePlans(c Campaign, sites uint64, width func(uint64) uint) ([]plannedFault, error) {
+	if sites == 0 {
+		return nil, ErrNoSites
+	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	plans := make([]plannedFault, c.Samples)
 	for i := range plans {
@@ -601,7 +697,7 @@ func makePlans(c Campaign, sites uint64, width func(uint64) uint) []plannedFault
 		}
 		plans[i] = p
 	}
-	return plans
+	return plans, nil
 }
 
 func duplicateBit(p plannedFault, b uint) bool {
@@ -676,10 +772,11 @@ func FindExample(tgt AsmTarget, c Campaign, want Outcome) (machine.Fault, bool, 
 	if golden.Outcome != machine.OutcomeOK {
 		return machine.Fault{}, false, fmt.Errorf("fi: golden run failed: %v", golden.Outcome)
 	}
-	if golden.DynSites == 0 {
-		return machine.Fault{}, false, fmt.Errorf("fi: no fault-injection sites")
+	plans, err := makePlans(c, golden.DynSites, siteWidth(golden.SiteBits, nil))
+	if err != nil {
+		return machine.Fault{}, false, err
 	}
-	for _, p := range makePlans(c, golden.DynSites, siteWidth(golden.SiteBits)) {
+	for _, p := range plans {
 		f := machine.Fault{Site: p.site, Bit: p.bit, Extra: p.extra}
 		r := m.Run(machine.RunOpts{Args: tgt.Args, MaxSteps: c.MaxSteps, Fault: &f})
 		if classifyAsm(r, golden.Output) == want {

@@ -53,6 +53,10 @@ type JournalMeta struct {
 	Level      string   `json:"level,omitempty"`
 	Bits       int      `json:"bits,omitempty"`
 	CIWidth    float64  `json:"ci_width,omitempty"`
+	// Prune is the PruneMode string ("" when off). It must guard resume:
+	// a pruned journal's plan indices are dense representative indices, a
+	// different partition of the same seed's plan space.
+	Prune string `json:"prune,omitempty"`
 }
 
 // Check reports an error naming the first field where the journal's meta

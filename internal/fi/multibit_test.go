@@ -77,7 +77,7 @@ func TestMultiBitRaisesRawSeverity(t *testing.T) {
 // 3-bit upset to a 1-bit fault (the regression this guards against).
 func TestMultiBitDistinctBits(t *testing.T) {
 	for _, bits := range []int{2, 3, 8, 32} {
-		plans := makePlans(Campaign{Samples: 500, Seed: 3, BitsPerFault: bits}, 100, nil)
+		plans := mustPlans(t, Campaign{Samples: 500, Seed: 3, BitsPerFault: bits}, 100, nil)
 		for _, p := range plans {
 			if len(p.extra) != bits-1 {
 				t.Fatalf("bits=%d: extra bits = %d, want %d", bits, len(p.extra), bits-1)
@@ -96,7 +96,7 @@ func TestMultiBitDistinctBits(t *testing.T) {
 // TestMultiBitCappedAt64: more than 64 requested bits cannot be distinct in
 // a 64-bit destination; the planner caps instead of spinning forever.
 func TestMultiBitCappedAt64(t *testing.T) {
-	plans := makePlans(Campaign{Samples: 10, Seed: 4, BitsPerFault: 100}, 50, nil)
+	plans := mustPlans(t, Campaign{Samples: 10, Seed: 4, BitsPerFault: 100}, 50, nil)
 	for _, p := range plans {
 		if len(p.extra) != 63 {
 			t.Fatalf("extra bits = %d, want 63", len(p.extra))

@@ -60,8 +60,13 @@ func ProfileProneness(tgt AsmTarget, c Campaign) ([]SiteStats, error) {
 	c.Stats.add(res.Checkpoint)
 	c.observe(res)
 
+	// Under pruning the dense outcomes expand back onto the full plan space
+	// (pruned plans Benign, deduped plans their representative's outcome);
+	// every member of a class shares a static instruction, so per-site
+	// attribution composes exactly.
+	samples, outcomes := a.expandedOutcomes(po)
 	agg := map[machine.SiteLoc]*SiteStats{}
-	for i := 0; i < po.samples; i++ {
+	for i := 0; i < samples; i++ {
 		p := a.orig[i]
 		loc := a.golden.SiteLocs[p.site]
 		st := agg[loc]
@@ -70,7 +75,7 @@ func ProfileProneness(tgt AsmTarget, c Campaign) ([]SiteStats, error) {
 			agg[loc] = st
 		}
 		st.Faults++
-		switch po.outcomes[i] {
+		switch outcomes[i] {
 		case Benign:
 			st.Benigns++
 		case SDC:

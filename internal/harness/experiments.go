@@ -263,14 +263,18 @@ func Gap(opts Options) ([]GapRow, error) {
 				run: func(cc *cellCtx) error {
 					var res fi.Result
 					var err error
+					// The prune analysis is assembly-level; IR cells run
+					// unpruned rather than erroring out of the whole suite.
+					irCamp := s.campaign(cc)
+					irCamp.Prune = fi.PruneOff
 					switch kind {
 					case "ir-raw":
-						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), s.campaign(cc))
+						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), irCamp)
 					case "ir-prot":
 						var build *Build
 						build, err = s.build(cc.cx, instanceAt{inst, opts.Seed}, IREDDI)
 						if err == nil {
-							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), s.campaign(cc))
+							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), irCamp)
 						}
 					case "asm-raw":
 						var build *Build

@@ -196,6 +196,14 @@ type Options struct {
 	// CI of its SDC rate over the completed plan prefix is no wider than
 	// this, deterministically for any worker count.
 	CIWidth float64
+	// Prune selects static bit-level fault-site pruning for every
+	// assembly-level campaign cell (see fi.Campaign.Prune): plans the
+	// liveness/masking analysis proves Benign are answered without
+	// executing, and under fi.PruneFull one representative per
+	// (static instruction, bit) class stands in for its whole class.
+	// IR-level cells ignore it (the analysis is assembly-only).
+	// Incompatible with CIWidth.
+	Prune fi.PruneMode
 	// Journal, if non-nil, makes every campaign cell durable: one record
 	// per completed plan and per completed campaign, keyed by
 	// "<experiment>/<cell>", fsync-batched (see fi.CreateJournal).

@@ -102,6 +102,7 @@ func (s *scheduler) campaign(cc *cellCtx) fi.Campaign {
 		NoCheckpoint:    s.opts.NoCheckpoint,
 		CheckpointEvery: s.opts.CheckpointEvery,
 		CIWidth:         s.opts.CIWidth,
+		Prune:           s.opts.Prune,
 		Cancel:          cc.cancel,
 		Journal:         s.opts.Journal,
 		Key:             cc.key,

@@ -49,6 +49,26 @@ func BuildCFG(f *asm.Func) *CFG {
 	return cfg
 }
 
+// CallEffect selects how the dataflow models a call instruction's register
+// effects. The two models bound the truth from opposite sides, and which
+// bound is sound depends on what the analysis result is used for.
+type CallEffect uint8
+
+const (
+	// CallClobbers models a call as defining the full caller-saved set:
+	// registers not explicitly saved may not survive the call. This
+	// over-approximates definitions, which is the safe direction for
+	// FERRUM's insertion-point validation (a register reported live really
+	// is needed).
+	CallClobbers CallEffect = iota
+	// CallPreserves models a call as defining nothing. This
+	// under-approximates definitions, so liveness propagates through calls
+	// untouched — the safe direction for deadness-based pruning: a register
+	// the caller reads after the call stays live across it even though the
+	// callee would architecturally be allowed to clobber it.
+	CallPreserves
+)
+
 // Liveness holds the result of the backward dataflow: registers live at
 // block entry and exit.
 type Liveness struct {
@@ -56,12 +76,20 @@ type Liveness struct {
 	LiveIn  []RegSet
 	LiveOut []RegSet
 	f       *asm.Func
+	ce      CallEffect
 }
 
-// Analyze runs the backward may-liveness dataflow to a fixed point. Calls
-// are modelled as using the argument registers and defining the
-// caller-saved set; ret uses RAX (the return value), RSP and RBP.
+// Analyze runs the backward may-liveness dataflow to a fixed point with the
+// CallClobbers model. Calls are modelled as using the argument registers
+// and defining the caller-saved set; ret uses RAX (the return value), RSP
+// and RBP.
 func Analyze(f *asm.Func) *Liveness {
+	return AnalyzeCalls(f, CallClobbers)
+}
+
+// AnalyzeCalls runs the backward may-liveness dataflow to a fixed point
+// under the given call-effect model.
+func AnalyzeCalls(f *asm.Func, ce CallEffect) *Liveness {
 	cfg := BuildCFG(f)
 	n := len(cfg.Blocks)
 	lv := &Liveness{
@@ -69,6 +97,7 @@ func Analyze(f *asm.Func) *Liveness {
 		LiveIn:  make([]RegSet, n),
 		LiveOut: make([]RegSet, n),
 		f:       f,
+		ce:      ce,
 	}
 	use := make([]RegSet, n)
 	def := make([]RegSet, n)
@@ -77,13 +106,13 @@ func Analyze(f *asm.Func) *Liveness {
 		var buf []asm.Reg
 		for idx := b.Start; idx < b.End; idx++ {
 			in := f.Insts[idx]
-			buf = instUses(in, buf[:0])
+			buf = InstUses(in, buf[:0])
 			for _, r := range buf {
 				if !d.Has(r) {
 					u.Add(r)
 				}
 			}
-			for _, r := range instDefs(in) {
+			for _, r := range InstDefs(in, ce) {
 				d.Add(r)
 			}
 		}
@@ -111,8 +140,11 @@ func Analyze(f *asm.Func) *Liveness {
 }
 
 // LiveAt returns the registers live immediately before instruction index
-// idx (which must lie inside a block of the analysed function).
-func (lv *Liveness) LiveAt(idx int) RegSet {
+// idx and whether idx lies inside a block of the analysed function. An
+// out-of-range index returns (0, false) rather than a silently-empty set:
+// callers that would read "nothing live" as "safe to prune" must be able
+// to tell the two apart.
+func (lv *Liveness) LiveAt(idx int) (RegSet, bool) {
 	for bi, b := range lv.CFG.Blocks {
 		if idx < b.Start || idx >= b.End {
 			continue
@@ -121,20 +153,23 @@ func (lv *Liveness) LiveAt(idx int) RegSet {
 		var buf []asm.Reg
 		for j := b.End - 1; j >= idx; j-- {
 			in := lv.f.Insts[j]
-			for _, r := range instDefs(in) {
+			for _, r := range InstDefs(in, lv.ce) {
 				live.Remove(r)
 			}
-			buf = instUses(in, buf[:0])
+			buf = InstUses(in, buf[:0])
 			for _, r := range buf {
 				live.Add(r)
 			}
 		}
-		return live
+		return live, true
 	}
-	return 0
+	return 0, false
 }
 
-func instUses(in asm.Inst, buf []asm.Reg) []asm.Reg {
+// InstUses appends the general-purpose registers the instruction reads
+// under the dataflow's model (GPRUses plus the implicit ret/call uses) and
+// returns the extended slice.
+func InstUses(in asm.Inst, buf []asm.Reg) []asm.Reg {
 	buf = asm.GPRUses(in, buf)
 	switch in.Op {
 	case asm.RET:
@@ -145,8 +180,13 @@ func instUses(in asm.Inst, buf []asm.Reg) []asm.Reg {
 	return buf
 }
 
-func instDefs(in asm.Inst) []asm.Reg {
+// InstDefs returns the general-purpose registers the instruction defines
+// under the given call-effect model.
+func InstDefs(in asm.Inst, ce CallEffect) []asm.Reg {
 	if in.Op == asm.CALL {
+		if ce == CallPreserves {
+			return nil
+		}
 		return asm.CallerSaved
 	}
 	if d := asm.GPRDef(in); d != asm.RNone {

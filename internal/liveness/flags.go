@@ -1,0 +1,136 @@
+// Flag-bit liveness: a backward may-liveness dataflow over the four
+// modelled status flags, mirroring the register dataflow in dataflow.go.
+// The pruning pass uses it to find dead flag bits at DestFlags fault
+// sites — e.g. a cmpq consumed only by je leaves SF, CF and OF dead, so
+// flipping them is Benign by construction.
+//
+// The transfer functions model the MACHINE's semantics, not the
+// architecture's: every flag-writing instruction in the machine writes all
+// four flags (the setFlags* helpers and the inline vptest path), and idivq
+// leaves the flags untouched, so it is deliberately absent from the writer
+// set even though x86 marks its flags undefined.
+package liveness
+
+import (
+	"ferrum/internal/asm"
+)
+
+// FlagSet is a bitset over asm.Flag values.
+type FlagSet uint8
+
+// AllFlags contains every modelled status flag.
+const AllFlags = FlagSet(1)<<asm.NumFlag - 1
+
+// Add inserts a flag.
+func (s *FlagSet) Add(f asm.Flag) { *s |= 1 << f }
+
+// Has reports membership.
+func (s FlagSet) Has(f asm.Flag) bool { return s&(1<<f) != 0 }
+
+// Union merges another set into this one.
+func (s *FlagSet) Union(o FlagSet) { *s |= o }
+
+// FlagsRead returns the flags whose values the instruction's execution
+// consults. Conditional jumps and setcc read the cond() inputs; notably no
+// condition in the machine ever reads CF. Calls and returns conservatively
+// read everything: flags could in principle flow across the function
+// boundary, which the per-function dataflow cannot see.
+func FlagsRead(in asm.Inst) FlagSet {
+	switch in.Op {
+	case asm.JE, asm.JNE, asm.SETE, asm.SETNE:
+		return 1 << asm.FlagZF
+	case asm.JL, asm.JGE, asm.SETL, asm.SETGE:
+		return 1<<asm.FlagSF | 1<<asm.FlagOF
+	case asm.JLE, asm.JG, asm.SETLE, asm.SETG:
+		return 1<<asm.FlagZF | 1<<asm.FlagSF | 1<<asm.FlagOF
+	case asm.CALL, asm.RET:
+		return AllFlags
+	}
+	return 0
+}
+
+// FlagsWritten reports whether the machine redefines all four status flags
+// when executing the instruction. There is no partial-write case: every
+// flag writer in the machine sets ZF, SF, CF and OF together.
+func FlagsWritten(in asm.Inst) bool {
+	switch in.Op {
+	case asm.ADDQ, asm.SUBQ, asm.IMULQ, asm.ANDQ, asm.ORQ, asm.XORQ, asm.XORB,
+		asm.SHLQ, asm.SHRQ, asm.SARQ, asm.NEGQ,
+		asm.CMPQ, asm.CMPL, asm.CMPB, asm.TESTQ, asm.VPTEST:
+		return true
+	}
+	return false
+}
+
+// FlagLiveness holds the result of the backward flag dataflow: flags live
+// at block entry and exit.
+type FlagLiveness struct {
+	CFG     *CFG
+	LiveIn  []FlagSet
+	LiveOut []FlagSet
+	f       *asm.Func
+}
+
+// AnalyzeFlags runs the backward flag-liveness dataflow to a fixed point.
+func AnalyzeFlags(f *asm.Func) *FlagLiveness {
+	cfg := BuildCFG(f)
+	n := len(cfg.Blocks)
+	fl := &FlagLiveness{
+		CFG:     cfg,
+		LiveIn:  make([]FlagSet, n),
+		LiveOut: make([]FlagSet, n),
+		f:       f,
+	}
+	use := make([]FlagSet, n)
+	def := make([]FlagSet, n)
+	for i, b := range cfg.Blocks {
+		var u, d FlagSet
+		for idx := b.Start; idx < b.End; idx++ {
+			in := f.Insts[idx]
+			u |= FlagsRead(in) &^ d
+			if FlagsWritten(in) {
+				d = AllFlags
+			}
+		}
+		use[i], def[i] = u, d
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var out FlagSet
+			for _, s := range cfg.Succs[i] {
+				out.Union(fl.LiveIn[s])
+			}
+			in := use[i] | (out &^ def[i])
+			if out != fl.LiveOut[i] {
+				fl.LiveOut[i] = out
+				changed = true
+			}
+			if in != fl.LiveIn[i] {
+				fl.LiveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return fl
+}
+
+// LiveAt returns the flags live immediately before instruction index idx
+// and whether idx lies inside a block of the analysed function.
+func (fl *FlagLiveness) LiveAt(idx int) (FlagSet, bool) {
+	for bi, b := range fl.CFG.Blocks {
+		if idx < b.Start || idx >= b.End {
+			continue
+		}
+		live := fl.LiveOut[bi]
+		for j := b.End - 1; j >= idx; j-- {
+			in := fl.f.Insts[j]
+			if FlagsWritten(in) {
+				live = 0
+			}
+			live |= FlagsRead(in)
+		}
+		return live, true
+	}
+	return 0, false
+}

@@ -191,16 +191,97 @@ f:
 `)
 	lv := Analyze(f)
 	// Before the addq (index 2), both rax and rcx are live.
-	live := lv.LiveAt(2)
+	live, ok := lv.LiveAt(2)
+	if !ok {
+		t.Fatal("index 2 should be in range")
+	}
 	if !live.Has(asm.RAX) || !live.Has(asm.RCX) {
 		t.Errorf("live at addq = %v", live.Regs())
 	}
 	// Before the first movq only the function-entry registers matter;
 	// rcx is not yet live (it is defined at index 1 before any use).
-	live = lv.LiveAt(0)
+	live, ok = lv.LiveAt(0)
+	if !ok {
+		t.Fatal("index 0 should be in range")
+	}
 	if live.Has(asm.RCX) {
 		t.Errorf("rcx live at entry: %v", live.Regs())
 	}
+}
+
+func TestLiveAtOutOfRange(t *testing.T) {
+	f := parseFunc(t, `
+	.globl	f
+f:
+	movq	$1, %rax
+	retq
+`)
+	lv := Analyze(f)
+	for _, idx := range []int{-1, len(f.Insts), len(f.Insts) + 7} {
+		if live, ok := lv.LiveAt(idx); ok {
+			t.Errorf("LiveAt(%d) = (%v, true), want ok=false", idx, live.Regs())
+		}
+	}
+	fl := AnalyzeFlags(f)
+	for _, idx := range []int{-1, len(f.Insts)} {
+		if _, ok := fl.LiveAt(idx); ok {
+			t.Errorf("flags LiveAt(%d) ok, want false", idx)
+		}
+	}
+}
+
+// TestLiveAtBlockBoundaries pins LiveAt at the first and last instruction
+// of each block, covering both fallthrough and branch successor edges.
+func TestLiveAtBlockBoundaries(t *testing.T) {
+	// Block 0: cmp/je (rax read). Block 1: fallthrough, defines rcx from
+	// rdx. Block 2 (.La): defines rcx from rbx. Block 3 (.Lb): uses rcx.
+	f := parseFunc(t, `
+	.globl	f
+f:
+	cmpq	$0, %rax
+	je	.La
+	movq	%rdx, %rcx
+	jmp	.Lb
+.La:
+	movq	%rbx, %rcx
+.Lb:
+	movq	%rcx, %rax
+	retq
+`)
+	lv := Analyze(f)
+	mustLive := func(idx int, want []asm.Reg, not []asm.Reg) {
+		t.Helper()
+		live, ok := lv.LiveAt(idx)
+		if !ok {
+			t.Fatalf("LiveAt(%d): out of range", idx)
+		}
+		for _, r := range want {
+			if !live.Has(r) {
+				t.Errorf("LiveAt(%d): %v should be live (got %v)", idx, r, live.Regs())
+			}
+		}
+		for _, r := range not {
+			if live.Has(r) {
+				t.Errorf("LiveAt(%d): %v should be dead (got %v)", idx, r, live.Regs())
+			}
+		}
+	}
+	// First instruction of block 0: both successor paths' uses (rdx via
+	// fallthrough, rbx via the branch) are live; rcx is not.
+	mustLive(0, []asm.Reg{asm.RAX, asm.RDX, asm.RBX}, []asm.Reg{asm.RCX})
+	// Last instruction of block 0 (the je): same set, rax's use retired.
+	mustLive(1, []asm.Reg{asm.RDX, asm.RBX}, []asm.Reg{asm.RCX})
+	// First instruction of block 1 (fallthrough target): rdx live, rbx not
+	// on this path.
+	mustLive(2, []asm.Reg{asm.RDX}, []asm.Reg{asm.RBX, asm.RCX})
+	// Last instruction of block 1 (the jmp): rcx carried to .Lb.
+	mustLive(3, []asm.Reg{asm.RCX}, []asm.Reg{asm.RDX})
+	// Branch target .La (block 2): rbx live.
+	mustLive(4, []asm.Reg{asm.RBX}, []asm.Reg{asm.RDX, asm.RCX})
+	// .Lb first instruction: rcx live from both predecessors.
+	mustLive(5, []asm.Reg{asm.RCX}, []asm.Reg{asm.RBX, asm.RDX})
+	// Final ret: rax (return value) live.
+	mustLive(6, []asm.Reg{asm.RAX}, []asm.Reg{asm.RCX})
 }
 
 func TestCallKillsCallerSaved(t *testing.T) {
@@ -217,12 +298,117 @@ f:
 	// r10 is caller-saved and redefined... actually killed by the call,
 	// so before the call it is NOT live (its pre-call value never
 	// reaches a use). rbx is callee-saved and survives to the addq.
-	live := lv.LiveAt(2) // before callq
+	live, ok := lv.LiveAt(2) // before callq
+	if !ok {
+		t.Fatal("index 2 should be in range")
+	}
 	if live.Has(asm.R10) {
 		t.Errorf("r10 should be killed by call: %v", live.Regs())
 	}
 	if !live.Has(asm.RBX) {
 		t.Errorf("rbx should be live across call: %v", live.Regs())
+	}
+	// Under CallPreserves the call defines nothing, so r10's pre-call
+	// value flows through to the addq and stays live — the conservative
+	// direction pruning needs.
+	pv := AnalyzeCalls(f, CallPreserves)
+	live, ok = pv.LiveAt(2)
+	if !ok {
+		t.Fatal("index 2 should be in range")
+	}
+	if !live.Has(asm.R10) || !live.Has(asm.RBX) {
+		t.Errorf("CallPreserves live before call = %v, want r10+rbx", live.Regs())
+	}
+}
+
+func TestFlagLiveness(t *testing.T) {
+	// cmp consumed by je: only ZF flows backward to the je; between a
+	// consumer and the next compare nothing is live; jl keeps SF|OF alive.
+	// The trailing cmp/jne isolates the jl region from ret's conservative
+	// read-everything model.
+	f := parseFunc(t, `
+	.globl	f
+f:
+	cmpq	$0, %rax
+	je	.La
+	movq	$1, %rcx
+.La:
+	cmpq	$2, %rcx
+	jl	.Lb
+	movq	$3, %rcx
+.Lb:
+	cmpq	$0, %rcx
+	jne	.Le
+	movq	$4, %rcx
+.Le:
+	retq
+`)
+	fl := AnalyzeFlags(f)
+	at := func(idx int) FlagSet {
+		t.Helper()
+		live, ok := fl.LiveAt(idx)
+		if !ok {
+			t.Fatalf("index %d out of range", idx)
+		}
+		return live
+	}
+	// Before the je (index 1): exactly ZF.
+	if live := at(1); live != 1<<asm.FlagZF {
+		t.Errorf("live before je = %04b, want ZF only", live)
+	}
+	// Before the first cmp (index 0): the compare kills everything before
+	// reading nothing, so no earlier flag value survives to a use.
+	if live := at(0); live != 0 {
+		t.Errorf("live before cmp = %04b, want none", live)
+	}
+	// Between the je and the next cmp (index 2): nothing live.
+	if live := at(2); live != 0 {
+		t.Errorf("flags live between consumers = %04b, want none", live)
+	}
+	// Before the jl (index 4): SF and OF live, ZF/CF dead — the following
+	// block's cmp kills the flags before the jne reads.
+	if live := at(4); live != 1<<asm.FlagSF|1<<asm.FlagOF {
+		t.Errorf("live before jl = %04b, want SF|OF", live)
+	}
+}
+
+// TestFlagLivenessCFNeverLive pins the property the pruning pass exploits:
+// no condition in the machine reads CF, so CF is dead at every flags site
+// in compiled code.
+func TestFlagLivenessCFNeverLive(t *testing.T) {
+	mod, err := ir.Parse(`
+func @main(%n) {
+entry:
+  %c = icmp slt %n, 10
+  br %c, yes, no
+yes:
+  out %n
+  ret
+no:
+  ret
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := backend.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range prog.Funcs {
+		fl := AnalyzeFlags(f)
+		for idx, in := range f.Insts {
+			if asm.DestOf(in).Kind != asm.DestFlags {
+				continue
+			}
+			live, ok := fl.LiveAt(idx)
+			if !ok {
+				t.Fatalf("%s[%d]: out of range", f.Name, idx)
+			}
+			if live.Has(asm.FlagCF) {
+				t.Errorf("%s[%d] %v: CF live at flags site", f.Name, idx, in)
+			}
+		}
 	}
 }
 

@@ -76,6 +76,10 @@ type Result struct {
 	// NumFlag for flag-only writers). Fault planners sample bits inside this
 	// width so narrow and wide destinations are stressed uniformly.
 	SiteBits []uint16
+	// SiteStatics holds each dynamic site's static instruction id (its index
+	// into StaticInstrs) when RunOpts.RecordSiteStatics was set. It maps
+	// dynamic sites back to the static analysis that classified them.
+	SiteStatics []int32
 	// Profile holds the dynamic attribution when RunOpts.Profile was set.
 	Profile *Profile
 	// Trace holds the last RunOpts.Trace executed instructions, oldest
@@ -96,7 +100,12 @@ type RunOpts struct {
 	// in Result.SiteBits, so fault planners can clamp bit sampling to what
 	// the destination can actually hold.
 	RecordSiteBits bool
-	Profile        bool // attribute dynamic instructions/cycles by opcode and tag
+	// RecordSiteStatics records each dynamic site's static instruction id
+	// (index into StaticInstrs) in Result.SiteStatics, so static per-site
+	// analyses — the pruning pass's equivalence classes — can be joined
+	// against the dynamic site sequence.
+	RecordSiteStatics bool
+	Profile           bool // attribute dynamic instructions/cycles by opcode and tag
 	// Trace keeps the last N executed instructions (rendered with their
 	// provenance tags) in Result.Trace — a flight recorder for debugging
 	// fault outcomes. 0 disables tracing.
@@ -317,6 +326,7 @@ func (m *Machine) Run(opts RunOpts) Result {
 	var siteDests []asm.DestKind
 	var siteLocs []SiteLoc
 	var siteBits []uint16
+	var siteStatics []int32
 	if opts.RecordSites && sitesHint > 0 {
 		siteDests = make([]asm.DestKind, 0, sitesHint)
 	}
@@ -326,9 +336,13 @@ func (m *Machine) Run(opts RunOpts) Result {
 	if opts.RecordSiteBits && sitesHint > 0 {
 		siteBits = make([]uint16, 0, sitesHint)
 	}
+	if opts.RecordSiteStatics && sitesHint > 0 {
+		siteStatics = make([]int32, 0, sitesHint)
+	}
 	// One register-resident bool keeps the per-site hot path to a single
 	// predicted branch on injection runs, where no recording is active.
-	record := opts.RecordSites || opts.RecordSiteLocs || opts.RecordSiteBits
+	record := opts.RecordSites || opts.RecordSiteLocs || opts.RecordSiteBits ||
+		opts.RecordSiteStatics
 	var prof *profile
 	if opts.Profile {
 		prof = &profile{}
@@ -379,6 +393,9 @@ loop:
 				if opts.RecordSiteBits {
 					siteBits = append(siteBits, u.destBits)
 				}
+				if opts.RecordSiteStatics {
+					siteStatics = append(siteStatics, int32(pc))
+				}
 			}
 			m.sites++
 			if opts.CheckpointEvery > 0 && m.sites%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
@@ -397,19 +414,39 @@ loop:
 	m.flushSpan()
 	m.lastSites = m.sites
 	return Result{
-		Outcome:   outcome,
-		Output:    append([]uint64(nil), m.output...),
-		Cycles:    m.cycles,
-		DynInsts:  m.dyn,
-		DynSites:  m.sites,
-		CrashMsg:  crashMsg,
-		Injected:  m.injected,
-		SiteDests: siteDests,
-		SiteLocs:  siteLocs,
-		SiteBits:  siteBits,
-		Profile:   prof.export(),
-		Trace:     trace.dump(),
+		Outcome:     outcome,
+		Output:      append([]uint64(nil), m.output...),
+		Cycles:      m.cycles,
+		DynInsts:    m.dyn,
+		DynSites:    m.sites,
+		CrashMsg:    crashMsg,
+		Injected:    m.injected,
+		SiteDests:   siteDests,
+		SiteLocs:    siteLocs,
+		SiteBits:    siteBits,
+		SiteStatics: siteStatics,
+		Profile:     prof.export(),
+		Trace:       trace.dump(),
 	}
+}
+
+// StaticInstr describes one loaded instruction for static per-site
+// analyses: its location and its fault-injection destination. The slice
+// index in StaticInstrs is the id Result.SiteStatics records.
+type StaticInstr struct {
+	Fn   string
+	Idx  int // index within the enclosing function
+	Dest asm.Dest
+}
+
+// StaticInstrs exports the loaded program's instructions in flat (load)
+// order, the coordinate system of Result.SiteStatics.
+func (m *Machine) StaticInstrs() []StaticInstr {
+	out := make([]StaticInstr, len(m.insts))
+	for i := range m.insts {
+		out[i] = StaticInstr{Fn: m.insts[i].fn, Idx: m.insts[i].idx, Dest: m.insts[i].dest}
+	}
+	return out
 }
 
 func (m *Machine) reset() {

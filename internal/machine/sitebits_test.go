@@ -71,3 +71,64 @@ main:
 		t.Errorf("SiteBits recorded without RecordSiteBits: %v", plain.SiteBits)
 	}
 }
+
+// TestRecordSiteStatics: the per-site static instruction ids index
+// StaticInstrs in load order, and the referenced instruction's destination
+// width agrees with the SiteBits recorded for the same dynamic site — the
+// alignment the prune partitioner depends on.
+func TestRecordSiteStatics(t *testing.T) {
+	src := `
+	.globl	main
+main:
+	movq	$3, %rcx
+	movq	$0, %rax
+.Lloop:
+	addq	%rcx, %rax
+	cmpq	$0, %rcx
+	subq	$1, %rcx
+	jne	.Lloop
+	out	%rax
+	hlt
+`
+	res := run(t, src, RunOpts{RecordSiteBits: true, RecordSiteStatics: true})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.CrashMsg)
+	}
+	if uint64(len(res.SiteStatics)) != res.DynSites || len(res.SiteStatics) != len(res.SiteBits) {
+		t.Fatalf("SiteStatics has %d entries for %d sites (%d widths)",
+			len(res.SiteStatics), res.DynSites, len(res.SiteBits))
+	}
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statics := m.StaticInstrs()
+	seen := map[int32]bool{}
+	for site, sid := range res.SiteStatics {
+		if sid < 0 || int(sid) >= len(statics) {
+			t.Fatalf("site %d: static id %d out of range [0,%d)", site, sid, len(statics))
+		}
+		st := statics[sid]
+		if st.Fn != "main" {
+			t.Errorf("site %d: static %d attributed to %q", site, sid, st.Fn)
+		}
+		if got := DestBits(st.Dest); got != res.SiteBits[site] {
+			t.Errorf("site %d: static %d dest width %d != recorded SiteBits %d",
+				site, sid, got, res.SiteBits[site])
+		}
+		seen[sid] = true
+	}
+	// The loop executes its sited instructions three times: distinct statics
+	// must be far fewer than dynamic sites, or the ids are not static at all.
+	if len(seen) >= len(res.SiteStatics) {
+		t.Errorf("%d distinct statics for %d dynamic sites; ids look dynamic", len(seen), len(res.SiteStatics))
+	}
+
+	if plain := run(t, src, RunOpts{}); plain.SiteStatics != nil {
+		t.Errorf("SiteStatics recorded without RecordSiteStatics: %v", plain.SiteStatics)
+	}
+}

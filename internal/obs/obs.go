@@ -134,6 +134,14 @@ const (
 	MCkptSkippedInsts = "ckpt.skipped_insts"  // dynamic instructions fast-forwarded
 	HCellWallMS       = "sched.cell_wall_ms"  // histogram of cell wall-clock, ms
 
+	// Static pruning (internal/prune driven by fi.Campaign.Prune).
+	MPrunedCampaigns = "fi.pruned_campaigns" // campaigns run in a prune mode
+	MPrunedPlans     = "fi.pruned_plans"     // plans answered statically, not executed
+	MPrunedDead      = "fi.pruned_dead"      // ... of which dead (liveness)
+	MPrunedMasked    = "fi.pruned_masked"    // ... of which masked (and/shift/partial write)
+	MPrunedDedup     = "fi.pruned_dedup"     // ... of which deduplicated onto a class representative
+	MWidthFallbacks  = "fi.width_fallbacks"  // sites whose recorded width was missing/zero
+
 	// Durable-campaign journal (written by internal/fi and the CLIs).
 	MJournalRecords      = "journal.records"       // records appended this process
 	MJournalSyncs        = "journal.syncs"         // fsync batches flushed

@@ -31,6 +31,13 @@ func RenderSummary(w io.Writer, s Snapshot, wall time.Duration, spans []Span) {
 			c(MCkptRestores), c(MCkptColdStarts), c(MCkptSkippedInsts))
 	}
 
+	if n := c(MPrunedCampaigns); n > 0 {
+		fmt.Fprintf(w,
+			"pruning: %d campaigns, %d plans answered statically "+
+				"(%d dead, %d masked, %d deduped)\n",
+			n, c(MPrunedPlans), c(MPrunedDead), c(MPrunedMasked), c(MPrunedDedup))
+	}
+
 	if plans := c(MPlans); plans > 0 {
 		var parts []string
 		for _, o := range []string{"benign", "sdc", "detected", "crash", "hang"} {

@@ -1,0 +1,259 @@
+// Package prune statically classifies fault-injection (site, bit) pairs
+// into equivalence classes before a campaign runs, in the spirit of BEC's
+// bit-level static analysis: a fault into a destination that is not live
+// after the write, or into a bit that a following mask or shift destroys
+// before any use, is provably equivalent to no fault at all. Campaigns can
+// then skip those plans (their outcome is Benign by construction) and
+// execute one representative per remaining class, reweighting counts by
+// class cardinality.
+//
+// The register analysis runs under liveness.CallPreserves: modelling calls
+// as clobbering caller-saved registers would declare their pre-call values
+// dead, but the machine's callees never actually write registers they
+// don't define — the pre-call value survives and may reach a later use, so
+// deadness must let liveness flow through calls untouched. The flag
+// analysis exploits that no condition in the machine reads CF and that
+// je/jne consumers need only ZF, so most bits of a compare's flag
+// destination are exactly dead.
+package prune
+
+import (
+	"ferrum/internal/asm"
+	"ferrum/internal/liveness"
+)
+
+// Kind classifies one (site, bit) pair.
+type Kind uint8
+
+const (
+	// Live: the flipped bit may reach an output, check or branch; the plan
+	// must execute (or be covered by a class representative).
+	Live Kind = iota
+	// Dead: the destination (or this bit of it) is not live after the
+	// write; the outcome is Benign by construction. Exact.
+	Dead
+	// Masked: a following AND/shift/partial overwrite destroys this bit
+	// before any instruction reads it; Benign by construction. Exact.
+	Masked
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Live:
+		return "live"
+	case Dead:
+		return "dead"
+	case Masked:
+		return "masked"
+	}
+	return "kind?"
+}
+
+// SiteInfo is the static classification of one instruction's destination.
+// The zero value classifies every bit Live, which is the safe default for
+// instructions the analysis does not cover (SIMD destinations, sites in
+// functions it could not resolve).
+type SiteInfo struct {
+	Kind asm.DestKind
+	// Dead marks the whole destination dead: the written register is not
+	// live after the instruction retires.
+	Dead bool
+	// DeadBits marks individual dead bits (bit i of the fault-bit space).
+	// Used for flag destinations, where bit i addresses asm.Flag(i).
+	DeadBits uint64
+	// Masked marks bits a following instruction destroys before any use.
+	Masked uint64
+}
+
+// Classify returns the kind of a single-bit fault at bit. Bits at or above
+// 64 (wide SIMD lanes) are always Live: Go shifts of ≥ 64 yield 0, so the
+// mask lookups below are safely false for them.
+func (s SiteInfo) Classify(bit uint) Kind {
+	if s.Dead {
+		return Dead
+	}
+	if bit < 64 {
+		if s.DeadBits&(1<<bit) != 0 {
+			return Dead
+		}
+		if s.Masked&(1<<bit) != 0 {
+			return Masked
+		}
+	}
+	return Live
+}
+
+// Analysis holds per-instruction site classifications for a whole program,
+// keyed by (function, instruction index).
+type Analysis struct {
+	funcs map[string][]SiteInfo
+}
+
+// Analyze classifies every destination-bearing instruction of the program.
+func Analyze(p *asm.Program) *Analysis {
+	a := &Analysis{funcs: make(map[string][]SiteInfo, len(p.Funcs))}
+	for _, f := range p.Funcs {
+		a.funcs[f.Name] = analyzeFunc(f)
+	}
+	return a
+}
+
+// At returns the classification of instruction idx of function fn. Unknown
+// locations return the zero SiteInfo (every bit Live).
+func (a *Analysis) At(fn string, idx int) SiteInfo {
+	infos, ok := a.funcs[fn]
+	if !ok || idx < 0 || idx >= len(infos) {
+		return SiteInfo{}
+	}
+	return infos[idx]
+}
+
+// analyzeFunc computes live-after register and flag sets at each
+// instruction with one backward sweep per block, then classifies each
+// destination against them.
+func analyzeFunc(f *asm.Func) []SiteInfo {
+	lv := liveness.AnalyzeCalls(f, liveness.CallPreserves)
+	fl := liveness.AnalyzeFlags(f)
+	infos := make([]SiteInfo, len(f.Insts))
+	var buf []asm.Reg
+	for bi, b := range lv.CFG.Blocks {
+		liveR := lv.LiveOut[bi]
+		liveF := fl.LiveOut[bi]
+		for idx := b.End - 1; idx >= b.Start; idx-- {
+			in := f.Insts[idx]
+			d := asm.DestOf(in)
+			// liveR/liveF currently hold the live sets immediately AFTER
+			// instruction idx — exactly what a post-retire fault sees.
+			switch d.Kind {
+			case asm.DestGPR:
+				si := SiteInfo{Kind: d.Kind}
+				if !liveR.Has(d.Reg) {
+					si.Dead = true
+				} else {
+					si.Masked = maskedBits(f, b, idx, d.Reg)
+				}
+				infos[idx] = si
+			case asm.DestFlags:
+				si := SiteInfo{Kind: d.Kind}
+				for fb := asm.Flag(0); fb < asm.NumFlag; fb++ {
+					if !liveF.Has(fb) {
+						si.DeadBits |= 1 << fb
+					}
+				}
+				infos[idx] = si
+			}
+			// Transfer to the live sets before idx.
+			for _, r := range liveness.InstDefs(in, liveness.CallPreserves) {
+				liveR.Remove(r)
+			}
+			buf = liveness.InstUses(in, buf[:0])
+			for _, r := range buf {
+				liveR.Add(r)
+			}
+			if liveness.FlagsWritten(in) {
+				liveF = 0
+			}
+			liveF.Union(liveness.FlagsRead(in))
+		}
+	}
+	return infos
+}
+
+// maskedBits finds bits of register r (just written at idx) that the first
+// following toucher inside the block destroys without reading: cleared by
+// an and-immediate, shifted out, or overwritten by a partial-width write.
+// Sound because the toucher is the only consumer of the old value on every
+// path (any other consumer would have to read r after the toucher's full
+// redefinition, or before it inside this block — and there is none).
+func maskedBits(f *asm.Func, b asm.Block, idx int, r asm.Reg) uint64 {
+	var buf []asm.Reg
+	for j := idx + 1; j < b.End; j++ {
+		in := f.Insts[j]
+		touches := false
+		buf = liveness.InstUses(in, buf[:0])
+		for _, u := range buf {
+			if u == r {
+				touches = true
+			}
+		}
+		for _, d := range liveness.InstDefs(in, liveness.CallPreserves) {
+			if d == r {
+				touches = true
+			}
+		}
+		if touches {
+			return maskOf(in, r)
+		}
+	}
+	return 0 // value escapes the block unmasked
+}
+
+// maskOf returns the bits of r's old value that instruction in destroys
+// without reading, given that in is the first toucher of r. Shapes the
+// machine's flag semantics keep exact: andq's flags come from the masked
+// result (CF/OF cleared), shifts set flags from the shifted result only
+// (no carry-out of shifted bits), and partial-width writes replace the low
+// byte without consulting it.
+func maskOf(in asm.Inst, r asm.Reg) uint64 {
+	dst := in.Dst()
+	if dst.Kind != asm.KReg || dst.Reg != r {
+		return 0
+	}
+	// The destination operand must be the ONLY operand involving r: a
+	// source or address read of r consumes the full value.
+	for i := 0; i < len(in.A)-1; i++ {
+		o := in.A[i]
+		switch o.Kind {
+		case asm.KReg:
+			if o.Reg == r {
+				return 0
+			}
+		case asm.KMem:
+			if o.M.Base == r || o.M.Index == r {
+				return 0
+			}
+		}
+	}
+	switch in.Op {
+	case asm.ANDQ:
+		if in.A[0].Kind == asm.KImm {
+			return ^uint64(in.A[0].Imm)
+		}
+	case asm.SHLQ:
+		if in.A[0].Kind == asm.KImm {
+			if k := uint(in.A[0].Imm) & 63; k > 0 {
+				return ((uint64(1) << k) - 1) << (64 - k)
+			}
+		}
+	case asm.SHRQ, asm.SARQ:
+		if in.A[0].Kind == asm.KImm {
+			if k := uint(in.A[0].Imm) & 63; k > 0 {
+				return (uint64(1) << k) - 1
+			}
+		}
+	case asm.MOVB, asm.SETE, asm.SETNE, asm.SETL, asm.SETLE, asm.SETG, asm.SETGE:
+		// Partial write: the low byte is replaced without being read; the
+		// preserved upper bits still carry the old value.
+		return 0xff
+	}
+	return 0
+}
+
+// ClassKey identifies an equivalence class of plans: every sampled fault
+// into the same static instruction at the same bit position lands in the
+// same class. Static is the machine's static instruction id.
+type ClassKey struct {
+	Static int32
+	Bit    uint16
+}
+
+// Class is one equivalence class of planned faults. Members lists plan
+// indices in generation order; Members[0] is the representative a pruned
+// campaign executes. The type is deliberately scheduler-shaped: a
+// plan-space partitioner can hand whole classes to workers.
+type Class struct {
+	Kind    Kind
+	Key     ClassKey
+	Members []int
+}

@@ -1,0 +1,190 @@
+package prune
+
+import (
+	"testing"
+
+	"ferrum/internal/asm"
+)
+
+func parseProg(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestClassifyZeroValueIsLive(t *testing.T) {
+	var s SiteInfo
+	for _, bit := range []uint{0, 3, 63, 64, 511} {
+		if k := s.Classify(bit); k != Live {
+			t.Errorf("zero SiteInfo bit %d = %v, want live", bit, k)
+		}
+	}
+}
+
+func TestClassifyKinds(t *testing.T) {
+	s := SiteInfo{DeadBits: 1 << 2, Masked: 1 << 5}
+	if s.Classify(2) != Dead || s.Classify(5) != Masked || s.Classify(0) != Live {
+		t.Errorf("per-bit classify wrong: %v %v %v", s.Classify(2), s.Classify(5), s.Classify(0))
+	}
+	s = SiteInfo{Dead: true, Masked: 1}
+	if s.Classify(0) != Dead {
+		t.Error("whole-site Dead should win")
+	}
+	// Wide SIMD bits never hit the 64-bit masks.
+	s = SiteInfo{DeadBits: ^uint64(0)}
+	if s.Classify(64) != Live || s.Classify(200) != Live {
+		t.Error("bits >= 64 must classify live")
+	}
+}
+
+func TestAnalyzeDeadMaskedAndFlags(t *testing.T) {
+	p := parseProg(t, `
+	.globl	f
+f:
+	movq	$1, %r10
+	movq	$2, %rax
+	cmpq	$0, %rax
+	je	.La
+	movq	$7, %rcx
+	andq	$15, %rcx
+	out	%rcx
+.La:
+	addq	$1, %rax
+	retq
+`)
+	a := Analyze(p)
+	// Site 0: r10 is never read — whole destination dead.
+	if si := a.At("f", 0); !si.Dead {
+		t.Errorf("movq $1, %%r10 should be dead, got %+v", si)
+	}
+	// Site 1: rax reaches the ret — live.
+	if si := a.At("f", 1); si.Dead || si.Classify(0) != Live {
+		t.Errorf("movq $2, %%rax should be live, got %+v", si)
+	}
+	// Site 2: cmp feeding je — only ZF live, so SF/CF/OF bits are dead.
+	si := a.At("f", 2)
+	want := uint64(1<<asm.FlagSF | 1<<asm.FlagCF | 1<<asm.FlagOF)
+	if si.DeadBits != want {
+		t.Errorf("cmp DeadBits = %04b, want %04b", si.DeadBits, want)
+	}
+	if si.Classify(uint(asm.FlagZF)) != Live || si.Classify(uint(asm.FlagCF)) != Dead {
+		t.Error("ZF must stay live, CF must be dead")
+	}
+	// Site 4: movq $7, %rcx with a following andq $15 — bits 4..63 masked.
+	si = a.At("f", 4)
+	if si.Dead {
+		t.Fatalf("rcx is read by the andq; site must not be dead: %+v", si)
+	}
+	if si.Masked != ^uint64(15) {
+		t.Errorf("masked = %#x, want %#x", si.Masked, ^uint64(15))
+	}
+	if si.Classify(3) != Live || si.Classify(4) != Masked || si.Classify(63) != Masked {
+		t.Error("and-immediate mask bits misclassified")
+	}
+	// Site 5: the andq result flows to out — fully live.
+	if si := a.At("f", 5); si.Dead || si.Masked != 0 {
+		t.Errorf("andq result should be live/unmasked, got %+v", si)
+	}
+}
+
+func TestAnalyzeShiftAndPartialWriteMasks(t *testing.T) {
+	p := parseProg(t, `
+	.globl	f
+f:
+	movq	$7, %rax
+	shrq	$8, %rax
+	movq	$9, %rcx
+	shlq	$4, %rcx
+	movq	$3, %rdx
+	movb	$1, %rdx
+	out	%rax
+	out	%rcx
+	out	%rdx
+	retq
+`)
+	a := Analyze(p)
+	if m := a.At("f", 0).Masked; m != 0xff {
+		t.Errorf("shrq mask = %#x, want 0xff", m)
+	}
+	if m := a.At("f", 2).Masked; m != uint64(0xf)<<60 {
+		t.Errorf("shlq mask = %#x, want %#x", m, uint64(0xf)<<60)
+	}
+	if m := a.At("f", 4).Masked; m != 0xff {
+		t.Errorf("movb overwrite mask = %#x, want 0xff", m)
+	}
+}
+
+func TestAnalyzeSourceReadBlocksMask(t *testing.T) {
+	// The andq reads r10 as a source: r10's value is fully consumed, no
+	// mask despite r10 being the first toucher's... only rcx is the dest.
+	p := parseProg(t, `
+	.globl	f
+f:
+	movq	$7, %r10
+	andq	%r10, %rcx
+	out	%rcx
+	retq
+`)
+	a := Analyze(p)
+	if si := a.At("f", 0); si.Dead || si.Masked != 0 {
+		t.Errorf("source-read register must stay fully live, got %+v", si)
+	}
+	// Register-source andq also gives its own dest no mask.
+	if si := a.At("f", 1); si.Masked != 0 {
+		t.Errorf("register andq should not mask, got %+v", si)
+	}
+}
+
+func TestAnalyzeValueEscapingBlockUnmasked(t *testing.T) {
+	// rax crosses a block boundary before its andq: no in-block toucher,
+	// so no mask even though every path leads to the same andq.
+	p := parseProg(t, `
+	.globl	f
+f:
+	movq	$7, %rax
+	jmp	.La
+.La:
+	andq	$1, %rax
+	out	%rax
+	retq
+`)
+	a := Analyze(p)
+	if m := a.At("f", 0).Masked; m != 0 {
+		t.Errorf("cross-block mask must not apply, got %#x", m)
+	}
+}
+
+func TestAnalyzeCallPreservesLiveness(t *testing.T) {
+	// r12 is callee-saved... irrelevant: under CallPreserves ANY register
+	// written before a call and read after it stays live across the call,
+	// including caller-saved r10.
+	p := parseProg(t, `
+	.globl	f
+f:
+	retq
+	.globl	g
+g:
+	movq	$1, %r10
+	callq	f
+	out	%r10
+	retq
+`)
+	a := Analyze(p)
+	if si := a.At("g", 0); si.Dead {
+		t.Error("r10 read after call must be live under CallPreserves")
+	}
+}
+
+func TestAtUnknownLocation(t *testing.T) {
+	p := parseProg(t, "\t.globl\tf\nf:\n\tretq\n")
+	a := Analyze(p)
+	if si := a.At("nosuch", 0); si.Dead || si.DeadBits != 0 {
+		t.Error("unknown function must classify live")
+	}
+	if si := a.At("f", 99); si.Dead {
+		t.Error("out-of-range index must classify live")
+	}
+}
