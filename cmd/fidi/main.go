@@ -69,6 +69,7 @@ func run(argv []string, out io.Writer) error {
 		noCkpt    = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical results, slower)")
 		ckptEvery = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune)")
 		progress  = fs.Bool("progress", false, "stream throttled injection progress to stderr")
+		dumpFus   = fs.Int("dump-fusion", 0, "print the top N fused superinstruction patterns by dynamic executions to stderr")
 		eventsOut = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -332,10 +333,14 @@ func run(argv []string, out io.Writer) error {
 		tsp.End()
 	}
 
-	// One snapshot feeds the NDJSON metrics record; the Perfetto export
-	// shares the tracer's span list and epoch.
+	// One snapshot feeds the fusion report and the NDJSON metrics record;
+	// the Perfetto export shares the tracer's span list and epoch.
+	snap := ob.Reg.Snapshot()
+	if *dumpFus > 0 {
+		obs.RenderFusion(errw, snap, *dumpFus)
+	}
 	if events != nil {
-		events.Metrics(ob.Reg.Snapshot())
+		events.Metrics(snap)
 		if err := events.Err(); err != nil {
 			return err
 		}

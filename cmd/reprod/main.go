@@ -75,6 +75,7 @@ func run(argv []string, out io.Writer) error {
 		retryBack   = fs.Duration("retry-backoff", 0, "sleep before the first cell retry, doubled each further attempt")
 		ciWidth     = fs.Float64("ci-width", 0, "stop each campaign early once the 95% CI of its SDC rate is no wider than this (0 = off)")
 		pruneMode   = fs.String("prune", "off", "static fault-site pruning for asm campaigns: off, dead (exact), exact (dead+masked), full (adds class dedup, statistical)")
+		dumpFusion  = fs.Int("dump-fusion", 0, "print the top N fused superinstruction patterns by dynamic executions to stderr")
 		eventsOut   = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -285,6 +286,9 @@ func run(argv []string, out io.Writer) error {
 	snap := ob.Reg.Snapshot()
 	spans := ob.Trace.Spans()
 	obs.RenderSummary(errw, snap, time.Since(start), spans)
+	if *dumpFusion > 0 {
+		obs.RenderFusion(errw, snap, *dumpFusion)
+	}
 	if events != nil {
 		events.Metrics(snap)
 		if err := events.Err(); err != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"ferrum/internal/asm"
@@ -321,6 +322,16 @@ type asmCampaign struct {
 	tgt    AsmTarget
 	build  func() (*machine.Machine, error)
 	golden machine.Result
+	// m0 is the fully-loaded template machine: program decoded, data image
+	// installed, fusion tables rebuilt from the golden run's profile.
+	// Workers are clones of it — they share the decoded program and image
+	// (no per-worker re-decode, re-fuse or image copy) and own all mutable
+	// run state. machines collects the clones (factories run inside worker
+	// goroutines, hence the mutex) so dispatch-tier counters and fusion-pair
+	// tables can be merged after the injection loop.
+	m0       *machine.Machine
+	mu       sync.Mutex
+	machines []*machine.Machine
 	// plans is execution-ordered (sorted by site when checkpointing);
 	// orig keeps generation order for per-plan attribution by index. Under
 	// pruning, plans holds only the dense-indexed class representatives and
@@ -359,6 +370,7 @@ func newAsmCampaign(tgt AsmTarget, c Campaign, recordLocs bool) (*asmCampaign, e
 	golden := m0.Run(machine.RunOpts{
 		Args:              tgt.Args,
 		MaxSteps:          c.MaxSteps,
+		Profile:           true,
 		RecordSiteBits:    true,
 		RecordSiteLocs:    recordLocs,
 		RecordSiteStatics: c.Prune != PruneOff,
@@ -369,7 +381,12 @@ func newAsmCampaign(tgt AsmTarget, c Campaign, recordLocs bool) (*asmCampaign, e
 	if golden.Outcome != machine.OutcomeOK {
 		return nil, fmt.Errorf("fi: golden run failed: %v (%s)", golden.Outcome, golden.CrashMsg)
 	}
-	a := &asmCampaign{c: c, tgt: tgt, build: build, golden: golden}
+	// The golden run doubles as the fusion profile: rebuild the template's
+	// fusion tables from it before any clone is taken, so every worker
+	// inherits the profile-guided superinstruction tier. Fused execution is
+	// bit-identical to unfused, so campaign results are unaffected.
+	m0.FuseProfile(golden.Profile)
+	a := &asmCampaign{c: c, tgt: tgt, build: build, golden: golden, m0: m0}
 	var fallbacks int
 	plans, err := makePlans(c, golden.DynSites, siteWidth(golden.SiteBits, &fallbacks))
 	if err != nil {
@@ -445,19 +462,49 @@ func (a *asmCampaign) runOne(m *machine.Machine, p plannedFault) Outcome {
 	return classifyAsm(m.Run(opts), a.golden.Output)
 }
 
-// run executes the plan through runPlans with a per-worker machine.
+// run executes the plan through runPlans with a per-worker machine. Each
+// worker is a clone of the fused template rather than a from-scratch
+// build: program decode, block formation, fusion and the data image are
+// paid once per campaign instead of once per worker.
 func (a *asmCampaign) run() (planOutcomes, error) {
 	isp := a.c.Obs.Span("inject")
 	isp.SetAttr("plans", len(a.plans))
 	po, err := runPlans(a.c, a.plans, func() (func(plannedFault) Outcome, error) {
-		m, err := a.build()
-		if err != nil {
-			return nil, err
-		}
+		m := a.m0.Clone()
+		a.mu.Lock()
+		a.machines = append(a.machines, m)
+		a.mu.Unlock()
 		return func(p plannedFault) Outcome { return a.runOne(m, p) }, nil
 	})
 	isp.End()
+	a.observeDispatch()
 	return po, err
+}
+
+// observeDispatch merges the dispatch-tier counters and fusion-pair tables
+// of every machine the campaign ran (template plus worker clones) into the
+// observability registry. Pair tables go under obs.MFusionPrefix so the
+// -dump-fusion report can rank patterns by dynamic executions.
+func (a *asmCampaign) observeDispatch() {
+	if a.c.Obs == nil {
+		return
+	}
+	a.mu.Lock()
+	machines := append([]*machine.Machine{a.m0}, a.machines...)
+	a.mu.Unlock()
+	var blocks, fused uint64
+	for _, m := range machines {
+		b, f := m.DispatchStats()
+		blocks += b
+		fused += f
+		for _, p := range m.FusionPairs() {
+			if p.Hits > 0 {
+				a.c.Obs.Counter(obs.MFusionPrefix + p.Pair).Add(int64(p.Hits))
+			}
+		}
+	}
+	a.c.Obs.Counter(obs.MBlocksEntered).Add(int64(blocks))
+	a.c.Obs.Counter(obs.MFusedUops).Add(int64(fused))
 }
 
 // result assembles the campaign Result from the plan outcomes. Under
@@ -590,10 +637,10 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	isp := c.Obs.Span("inject")
 	isp.SetAttr("plans", len(plans))
 	po, err := runPlans(c, plans, func() (func(plannedFault) Outcome, error) {
-		ip, err := build()
-		if err != nil {
-			return nil, err
-		}
+		// Workers clone the fully-loaded template: the decoded module and
+		// pristine memory image are shared, so per-worker setup skips the
+		// verify/decode passes and the data-image copy.
+		ip := ip0.Clone()
 		return func(p plannedFault) Outcome {
 			opts := ir.RunOpts{
 				Args:     tgt.Args,

@@ -42,6 +42,12 @@ type dinst struct {
 type dblock struct {
 	name  string
 	insts []dinst
+	// siteSuffix[i] is the number of fault-injection sites from instruction
+	// i to the end of the block. Block dispatch compares it against the
+	// planned fault's site index to prove the fault cannot land inside the
+	// remaining straight-line segment, letting the fast loop skip the
+	// per-instruction site comparison entirely.
+	siteSuffix []int32
 }
 
 // dfunc is a decoded function: its blocks, the frame size the numbering
@@ -158,6 +164,14 @@ func decodeFunc(f *Func, funcIdx map[string]int32) (*dfunc, error) {
 				}
 				di.callee = ci
 			}
+		}
+		dbl.siteSuffix = make([]int32, len(dbl.insts))
+		s := int32(0)
+		for i := len(dbl.insts) - 1; i >= 0; i-- {
+			if dbl.insts[i].site {
+				s++
+			}
+			dbl.siteSuffix[i] = s
 		}
 		df.blocks[bi] = dbl
 	}

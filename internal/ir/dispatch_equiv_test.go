@@ -1,0 +1,113 @@
+package ir_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ferrum/internal/ir"
+	"ferrum/internal/progen"
+)
+
+// The IR interpreter has two dispatch paths: the block-segment loop (the
+// default) and runLegacy (taken whenever a checkpoint callback is set).
+// This property test pins them bit-identical on randomly generated
+// branch-dense programs — golden runs, injected faults, and step budgets
+// chosen to expire at every interesting point, including inside a block
+// segment (the case the hoisted hang check must hand to the slow path).
+
+func newFuzzInterp(t *testing.T, mod *ir.Module) *ir.Interp {
+	t.Helper()
+	ip, err := ir.NewInterp(mod, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if err := ip.WriteWordImage(8192+8*uint64(s), uint64(s*5+3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ip
+}
+
+// legacyOpts forces the legacy one-instruction loop without observable side
+// effects: the callback is armed (which selects runLegacy) but the spacing
+// exceeds the run's site count, so no snapshot is ever taken.
+func legacyOpts(opts ir.RunOpts, sites uint64) ir.RunOpts {
+	opts.CheckpointEvery = sites + 1
+	opts.OnCheckpoint = func(*ir.Snapshot) {}
+	return opts
+}
+
+func TestEquivIRDispatchTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(77177))
+	iters := 15
+	if testing.Short() {
+		iters = 5
+	}
+	const maxSteps = 5_000_000
+	for i := 0; i < iters; i++ {
+		mod, err := progen.Generate(rng, progen.Options{
+			Stmts: 30, Calls: i%3 == 0, BranchDensity: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []uint64{8192, uint64(rng.Int63n(10000)), uint64(rng.Int63n(10000))}
+		block := newFuzzInterp(t, mod)
+		legacy := newFuzzInterp(t, mod)
+
+		base := ir.RunOpts{Args: args, MaxSteps: maxSteps}
+		want := legacy.Run(legacyOpts(base, maxSteps))
+		if want.Outcome != ir.OutcomeOK {
+			t.Fatalf("iter %d: golden outcome = %v (%s)\n%s", i, want.Outcome, want.CrashMsg, mod)
+		}
+		if got := block.Run(base); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: golden RunResult differs:\nblock:  %+v\nlegacy: %+v", i, got, want)
+		}
+
+		// Fault parity: the fast loop must hand every segment that could
+		// contain the planned site to the per-instruction path.
+		if s := want.Sites; s > 0 {
+			for _, site := range []uint64{0, s / 3, s / 2, s - 1} {
+				for _, bit := range []uint{0, 13, 63} {
+					opts := base
+					opts.Fault = &ir.Fault{Site: site, Bit: bit}
+					fw := legacy.Run(legacyOpts(opts, maxSteps))
+					fg := block.Run(opts)
+					if !reflect.DeepEqual(fg, fw) {
+						t.Errorf("iter %d site=%d bit=%d: fault RunResult differs:\nblock:  %+v\nlegacy: %+v",
+							i, site, bit, fg, fw)
+					}
+				}
+			}
+		}
+
+		// Budget parity: expire the watchdog at every boundary shape —
+		// first instruction, mid-run (usually mid-block), and exactly at
+		// the golden step count (which must NOT hang: the legacy check is
+		// increment-then-exceed, so steps == maxSteps completes).
+		for _, ms := range []uint64{1, 2, want.Steps / 2, want.Steps - 1, want.Steps} {
+			if ms == 0 {
+				continue
+			}
+			opts := base
+			opts.MaxSteps = ms
+			hw := legacy.Run(legacyOpts(opts, maxSteps))
+			hg := block.Run(opts)
+			if !reflect.DeepEqual(hg, hw) {
+				t.Errorf("iter %d maxsteps=%d: RunResult differs:\nblock:  %+v\nlegacy: %+v",
+					i, ms, hg, hw)
+			}
+			if ms == want.Steps && hw.Outcome != ir.OutcomeOK {
+				t.Errorf("iter %d: budget equal to golden steps must complete, got %v", i, hw.Outcome)
+			}
+		}
+
+		// Clone parity: a clone of a used template reproduces the golden
+		// run from its own pristine state.
+		if got := block.Clone().Run(base); !reflect.DeepEqual(got, want) {
+			t.Errorf("iter %d: cloned interpreter RunResult differs:\nclone:  %+v\nlegacy: %+v", i, got, want)
+		}
+	}
+}

@@ -156,6 +156,25 @@ func NewInterp(mod *Module, memSize int) (*Interp, error) {
 	return ip, nil
 }
 
+// Clone returns an interpreter that shares this one's immutable decoded
+// program (module, decoded functions, function index) and pristine memory
+// image, but owns all mutable run state — memory, dirty tracking, frames
+// and the register pool. Campaign workers clone one fully-loaded template
+// instead of re-verifying, re-decoding and re-copying the data image per
+// worker; clones may then Run concurrently. SetMemImage must not be called
+// on a clone: the image is shared with the template and every sibling.
+func (ip *Interp) Clone() *Interp {
+	return &Interp{
+		mod:      ip.mod,
+		memImage: ip.memImage,
+		dfuncs:   ip.dfuncs,
+		funcIdx:  ip.funcIdx,
+		entry:    ip.entry,
+		mem:      make([]byte, len(ip.memImage)),
+		dirty:    make([]bool, (len(ip.memImage)+pageSize-1)>>pageShift),
+	}
+}
+
 // SetMemImage copies data into the pristine memory image at addr.
 func (ip *Interp) SetMemImage(addr uint64, data []byte) error {
 	if addr < GuardSize || addr+uint64(len(data)) > uint64(len(ip.memImage)) {
@@ -253,11 +272,143 @@ func isSite(in *Inst) bool {
 	return true
 }
 
-// run drives the explicit-frame interpreter loop until the entry function
+// controlFlow executes a branch, return or call instruction against the
+// current top frame. It reports whether the entry function returned (done).
+// The caller must re-fetch its frame pointer afterwards: OpCall may grow —
+// and so reallocate — the frame slice, and OpRet pops it.
+func (ip *Interp) controlFlow(in *dinst, fr *frame) (done bool, err error) {
+	switch in.op {
+	case OpBr:
+		fr.block, fr.idx = in.t0, 0
+	case OpCondBr:
+		t := in.t1
+		if in.args[0].get(fr.regs) != 0 {
+			t = in.t0
+		}
+		fr.block, fr.idx = t, 0
+	case OpRet:
+		var r uint64
+		if len(in.args) == 1 {
+			r = in.args[0].get(fr.regs)
+		}
+		ip.sp = fr.savedSP
+		ip.releaseRegs(fr.regs)
+		ip.frames = ip.frames[:len(ip.frames)-1]
+		if len(ip.frames) == 0 {
+			return true, nil
+		}
+		// The caller's frame still points at its call instruction;
+		// bind the return value there and step past it.
+		caller := &ip.frames[len(ip.frames)-1]
+		if call := &caller.df.blocks[caller.block].insts[caller.idx]; call.dst >= 0 {
+			caller.regs[call.dst] = r
+		}
+		caller.idx++
+	case OpCall:
+		if len(ip.frames) >= MaxCallDepth {
+			return false, irCrash{"call depth exceeded"}
+		}
+		callee := ip.dfuncs[in.callee]
+		regs := ip.acquireRegs(callee.nregs)
+		for i, a := range in.args {
+			if i >= callee.nparams {
+				break
+			}
+			regs[i] = a.get(fr.regs)
+		}
+		ip.frames = append(ip.frames, frame{df: callee, regs: regs, savedSP: ip.sp})
+	}
+	return false, nil
+}
+
+// run drives the explicit-frame interpreter until the entry function
 // returns or the run terminates abnormally. Everything it touches per
 // dynamic instruction is decoded: block and function targets are indices,
 // operands are frame slots or inline constants.
+//
+// The default loop dispatches a basic-block segment at a time: one step-
+// budget check and one fault-proximity check at segment entry cover every
+// instruction up to the next control transfer, so the hot loop runs with no
+// per-instruction watchdog or site comparison. When either check cannot be
+// hoisted — the budget could expire inside the segment, or the planned
+// fault site could land on one of its remaining sites — the loop executes
+// exactly one instruction with the legacy per-instruction checks and
+// re-evaluates. Checkpointed runs need the per-site callback after every
+// instruction, so they take runLegacy, the verbatim original loop.
 func (ip *Interp) run() error {
+	if ip.checkpointEvery > 0 && ip.onCheckpoint != nil {
+		return ip.runLegacy()
+	}
+outer:
+	for {
+		fr := &ip.frames[len(ip.frames)-1]
+		bl := &fr.df.blocks[fr.block]
+		n := int32(len(bl.insts))
+		if fr.idx >= n {
+			return irCrash{fmt.Sprintf("@%s/%s: fell off block end", fr.df.fn.Name, bl.name)}
+		}
+		// The segment executes at most n-idx instructions before a control
+		// transfer returns to this header, so steps can never exceed the
+		// budget inside it; likewise the fault site cannot be reached if it
+		// lies beyond the block's remaining sites. (exec keeps its internal
+		// injection check, but it can never fire inside a fast segment.)
+		if ip.steps+uint64(n-fr.idx) > ip.maxSteps ||
+			(ip.fault != nil && !ip.injected &&
+				ip.fault.Site < ip.sites+uint64(bl.siteSuffix[fr.idx])) {
+			// Legacy-checked single step: budget before the instruction,
+			// fault applied by exec on the matching site.
+			in := &bl.insts[fr.idx]
+			ip.steps++
+			if ip.steps > ip.maxSteps {
+				return errHang
+			}
+			switch in.op {
+			case OpBr, OpCondBr, OpRet, OpCall:
+				done, err := ip.controlFlow(in, fr)
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+				continue
+			}
+			if err := ip.exec(in, fr.regs); err != nil {
+				return err
+			}
+			fr.idx++
+			continue
+		}
+		insts := bl.insts
+		regs := fr.regs
+		for fr.idx < n {
+			in := &insts[fr.idx]
+			ip.steps++
+			switch in.op {
+			case OpBr, OpCondBr, OpRet, OpCall:
+				done, err := ip.controlFlow(in, fr)
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+				continue outer
+			}
+			if err := ip.exec(in, regs); err != nil {
+				return err
+			}
+			fr.idx++
+		}
+	}
+}
+
+// runLegacy is the original one-instruction-at-a-time loop, retained
+// verbatim for checkpointed runs: the per-site snapshot callback must
+// observe the interpreter state after every instruction, which defeats
+// block-level hoisting. Its per-instruction semantics are the reference
+// the block loop is tested against.
+func (ip *Interp) runLegacy() error {
 	for {
 		fr := &ip.frames[len(ip.frames)-1]
 		bl := &fr.df.blocks[fr.block]
@@ -270,48 +421,14 @@ func (ip *Interp) run() error {
 			return errHang
 		}
 		switch in.op {
-		case OpBr:
-			fr.block, fr.idx = in.t0, 0
-			continue
-		case OpCondBr:
-			t := in.t1
-			if in.args[0].get(fr.regs) != 0 {
-				t = in.t0
+		case OpBr, OpCondBr, OpRet, OpCall:
+			done, err := ip.controlFlow(in, fr)
+			if err != nil {
+				return err
 			}
-			fr.block, fr.idx = t, 0
-			continue
-		case OpRet:
-			var r uint64
-			if len(in.args) == 1 {
-				r = in.args[0].get(fr.regs)
-			}
-			ip.sp = fr.savedSP
-			ip.releaseRegs(fr.regs)
-			ip.frames = ip.frames[:len(ip.frames)-1]
-			if len(ip.frames) == 0 {
+			if done {
 				return nil
 			}
-			// The caller's frame still points at its call instruction;
-			// bind the return value there and step past it.
-			caller := &ip.frames[len(ip.frames)-1]
-			if call := &caller.df.blocks[caller.block].insts[caller.idx]; call.dst >= 0 {
-				caller.regs[call.dst] = r
-			}
-			caller.idx++
-			continue
-		case OpCall:
-			if len(ip.frames) >= MaxCallDepth {
-				return irCrash{"call depth exceeded"}
-			}
-			callee := ip.dfuncs[in.callee]
-			regs := ip.acquireRegs(callee.nregs)
-			for i, a := range in.args {
-				if i >= callee.nparams {
-					break
-				}
-				regs[i] = a.get(fr.regs)
-			}
-			ip.frames = append(ip.frames, frame{df: callee, regs: regs, savedSP: ip.sp})
 			continue
 		}
 		sitesBefore := ip.sites
@@ -428,15 +545,21 @@ func evalBinary(op Op, a, b uint64) (uint64, error) {
 	return 0, irCrash{fmt.Sprintf("bad binary op %s", op)}
 }
 
+// The single-compare bounds check below is equivalent to the three-part
+// `addr < GuardSize || addr+8 > len || addr+8 < addr` form: NewInterp
+// guarantees len(mem) >= 2*GuardSize, so both subtractions are exact for
+// valid addresses, and any out-of-range or wrapping addr makes the left
+// side wrap to a huge value.
+
 func (ip *Interp) load(addr uint64) (uint64, error) {
-	if addr < GuardSize || addr+8 > uint64(len(ip.mem)) || addr+8 < addr {
+	if addr-GuardSize > uint64(len(ip.mem))-(GuardSize+8) {
 		return 0, irCrash{fmt.Sprintf("load at %#x out of range", addr)}
 	}
 	return binary.LittleEndian.Uint64(ip.mem[addr:]), nil
 }
 
 func (ip *Interp) store(addr, v uint64) error {
-	if addr < GuardSize || addr+8 > uint64(len(ip.mem)) || addr+8 < addr {
+	if addr-GuardSize > uint64(len(ip.mem))-(GuardSize+8) {
 		return irCrash{fmt.Sprintf("store at %#x out of range", addr)}
 	}
 	ip.markDirty(addr, 8)

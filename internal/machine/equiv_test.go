@@ -23,10 +23,22 @@ const equivMaxSteps = 1 << 20
 // forceSlow reroutes every decoded uop through the generic interpreter,
 // recovering the pre-decode execution engine. Cost, destination kind and
 // destination width stay as decoded, so only the dispatch path changes.
+// Block dispatch and fusion are disabled too: this machine is the legacy
+// per-instruction reference the faster tiers are measured against.
 func forceSlow(m *Machine) {
 	for i := range m.uops {
 		m.uops[i].code = uSlow
 	}
+	m.hotOps = nil
+	m.fuseAll()
+	m.noBlocks = true
+}
+
+// forceOneUop keeps the decoded uops but disables block dispatch, so the
+// machine runs the legacy one-uop loop over fast uops — the middle tier
+// between block dispatch and the generic slow path.
+func forceOneUop(m *Machine) {
+	m.noBlocks = true
 }
 
 func equivPrograms(t *testing.T, bench string) map[string]*asm.Program {
@@ -71,17 +83,22 @@ func equivMachine(t *testing.T, bench string, prog *asm.Program) (*Machine, []ui
 	return m, inst.Args
 }
 
-// TestEquivDecodeVsSlowAsm runs every Rodinia cell × {raw, eddi, ferrum} on
-// the fused dispatch and on the forced slow path, asserting an identical
-// Result — outcome, output, cycles, dynamic counts, per-site records and
-// profile — for the golden run and for a spread of fault injections. It
-// also pins decode coverage: compiled Rodinia programs must decode with no
-// residual slow-path uops.
+// TestEquivDecodeVsSlowAsm runs every Rodinia cell × {raw, eddi, ferrum}
+// on all four dispatch tiers — block dispatch with profile-guided fusion,
+// block dispatch with the static triad set, the one-uop legacy loop over
+// decoded uops, and the forced slow path — asserting an identical Result
+// (outcome, output, cycles, dynamic counts, per-site records and profile)
+// for the golden run and for a spread of fault injections. It also pins
+// decode coverage: compiled Rodinia programs must decode with no residual
+// slow-path uops.
 func TestEquivDecodeVsSlowAsm(t *testing.T) {
 	for _, bench := range rodinia.Names() {
 		for tech, prog := range equivPrograms(t, bench) {
 			fast, args := equivMachine(t, bench, prog)
+			fused, _ := equivMachine(t, bench, prog)
+			oneuop, _ := equivMachine(t, bench, prog)
 			slow, _ := equivMachine(t, bench, prog)
+			forceOneUop(oneuop)
 			forceSlow(slow)
 
 			for i := range fast.uops {
@@ -90,6 +107,9 @@ func TestEquivDecodeVsSlowAsm(t *testing.T) {
 						bench, tech, i, fast.insts[i].in.String())
 				}
 			}
+			if tech == "ferrum" && len(fast.fuops) == 0 {
+				t.Errorf("%s/%s: no static check triads fused", bench, tech)
+			}
 
 			golden := RunOpts{
 				Args: args, MaxSteps: equivMaxSteps,
@@ -97,13 +117,22 @@ func TestEquivDecodeVsSlowAsm(t *testing.T) {
 				Profile: true, Trace: 16,
 			}
 			want := slow.Run(golden)
-			got := fast.Run(golden)
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("%s/%s: golden Result differs:\nfused: %+v\nslow:  %+v",
-					bench, tech, got, want)
-			}
 			if want.Outcome != OutcomeOK {
 				t.Fatalf("%s/%s: golden outcome = %v (%s)", bench, tech, want.Outcome, want.CrashMsg)
+			}
+			fused.FuseProfile(want.Profile)
+			if len(fused.fuops) < len(fast.fuops) {
+				t.Errorf("%s/%s: profile-guided fusion dropped static triads: %d < %d",
+					bench, tech, len(fused.fuops), len(fast.fuops))
+			}
+
+			tiers := map[string]*Machine{"fast": fast, "fused": fused, "oneuop": oneuop}
+			for name, m := range tiers {
+				got := m.Run(golden)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s: golden Result differs:\n%s: %+v\nslow: %+v",
+						bench, tech, name, got, want)
+				}
 			}
 
 			sites := want.DynSites
@@ -114,10 +143,12 @@ func TestEquivDecodeVsSlowAsm(t *testing.T) {
 						Fault: &Fault{Site: site, Bit: bit},
 					}
 					fw := slow.Run(opts)
-					fg := fast.Run(opts)
-					if !reflect.DeepEqual(fg, fw) {
-						t.Errorf("%s/%s site=%d bit=%d: fault Result differs:\nfused: %+v\nslow:  %+v",
-							bench, tech, site, bit, fg, fw)
+					for name, m := range tiers {
+						fg := m.Run(opts)
+						if !reflect.DeepEqual(fg, fw) {
+							t.Errorf("%s/%s site=%d bit=%d: fault Result differs:\n%s: %+v\nslow: %+v",
+								bench, tech, site, bit, name, fg, fw)
+						}
 					}
 				}
 			}
@@ -133,8 +164,12 @@ func TestEquivSnapshotAcrossDecode(t *testing.T) {
 	for _, bench := range []string{"bfs", "lud"} {
 		prog := equivPrograms(t, bench)["ferrum"]
 		fast, args := equivMachine(t, bench, prog)
+		fused, _ := equivMachine(t, bench, prog)
 		slow, _ := equivMachine(t, bench, prog)
 		forceSlow(slow)
+
+		profiled := fast.Run(RunOpts{Args: args, MaxSteps: equivMaxSteps, Profile: true})
+		fused.FuseProfile(profiled.Profile)
 
 		want := fast.Run(RunOpts{Args: args, MaxSteps: equivMaxSteps})
 		if want.Outcome != OutcomeOK {
@@ -147,6 +182,8 @@ func TestEquivSnapshotAcrossDecode(t *testing.T) {
 		}{
 			{"slow->fused", slow, fast},
 			{"fused->slow", fast, slow},
+			{"slow->pfused", slow, fused},
+			{"pfused->slow", fused, slow},
 		}
 		for _, p := range pairs {
 			var snaps []*Snapshot

@@ -19,10 +19,12 @@ const (
 // the control action. Crash conditions come back as errors. It dispatches
 // once on the fused uop code decoded at load time (see decode.go); the
 // inner loop touches no maps, no strings and no per-operand kind switches.
-func (m *Machine) step(u *uop) (nextAction, error) {
+// The caller passes the instruction's own index so the sequential successor
+// is computed from a register instead of re-reading m.pc.
+func (m *Machine) step(u *uop, pc int) (nextAction, error) {
 	m.scalarSpan += u.cost.scalar
 	m.vectorSpan += u.cost.vector
-	pcNext := m.pc + 1
+	pcNext := pc + 1
 
 	switch u.code {
 	case uNop:
@@ -710,23 +712,30 @@ func (m *Machine) step(u *uop) (nextAction, error) {
 		}
 		m.x[u.x2][u.lane] = v
 	case uVinserti128:
-		src := m.x[u.x1]
-		base := m.x[u.x2]
-		base[u.lane*2] = src[0]
-		base[u.lane*2+1] = src[1]
-		m.x[u.x3] = base
-	case uVinserti644:
-		src := m.x[u.x1]
-		base := m.x[u.x2]
-		copy(base[u.lane*4:u.lane*4+4], src[0:4])
-		m.x[u.x3] = base
-	case uVpxor:
-		a, b := &m.x[u.x1], &m.x[u.x2]
-		r := m.x[u.x3]
-		for i := 0; i < int(u.lanes); i++ {
-			r[i] = a[i] ^ b[i]
+		// Source lanes are read out before the (possibly aliasing)
+		// destination is written; copying base into the destination first
+		// is skipped when they are the same register.
+		s0, s1 := m.x[u.x1][0], m.x[u.x1][1]
+		if u.x3 != u.x2 {
+			m.x[u.x3] = m.x[u.x2]
 		}
-		m.x[u.x3] = r
+		m.x[u.x3][u.lane*2] = s0
+		m.x[u.x3][u.lane*2+1] = s1
+	case uVinserti644:
+		var s [4]uint64
+		copy(s[:], m.x[u.x1][0:4])
+		if u.x3 != u.x2 {
+			m.x[u.x3] = m.x[u.x2]
+		}
+		copy(m.x[u.x3][u.lane*4:u.lane*4+4], s[:])
+	case uVpxor:
+		// Element-wise with matching indices, so writing the destination
+		// in place is safe even when it aliases a source; lanes above
+		// u.lanes keep their previous contents, as before.
+		a, b, d := &m.x[u.x1], &m.x[u.x2], &m.x[u.x3]
+		for i := 0; i < int(u.lanes); i++ {
+			d[i] = a[i] ^ b[i]
+		}
 	case uVptest:
 		a, b := &m.x[u.x1], &m.x[u.x2]
 		var andAcc, andnAcc uint64
@@ -750,7 +759,8 @@ func (m *Machine) step(u *uop) (nextAction, error) {
 		return nextDetect, nil
 
 	default: // uSlow: generic per-operand interpretation
-		return m.stepSlow(&m.insts[m.pc])
+		m.pc = pc // stepSlow computes its successor from m.pc
+		return m.stepSlow(&m.insts[pc])
 	}
 	m.pc = pcNext
 	return nextContinue, nil
@@ -764,30 +774,34 @@ func (m *Machine) uea(mm *asm.Mem) uint64 {
 }
 
 // Width-specialised memory accessors for the fused cases; same bounds
-// checks and crash messages as the generic loadMem/storeMem.
+// conditions and crash messages as the generic loadMem/storeMem, folded
+// into a single unsigned comparison: ea-GuardSize wraps for ea < GuardSize
+// and exceeds len(mem)-GuardSize-width for any access crossing the top of
+// memory (len(mem) >= 2*GuardSize is enforced at construction, so the
+// right-hand side never underflows).
 func (m *Machine) load64(ea uint64) (uint64, error) {
-	if ea < GuardSize || ea+8 > uint64(len(m.mem)) || ea+8 < ea {
+	if ea-GuardSize > uint64(len(m.mem))-(GuardSize+8) {
 		return 0, crashf("load of %d bytes at %#x out of range", 8, ea)
 	}
 	return binary.LittleEndian.Uint64(m.mem[ea:]), nil
 }
 
 func (m *Machine) load32(ea uint64) (uint64, error) {
-	if ea < GuardSize || ea+4 > uint64(len(m.mem)) || ea+4 < ea {
+	if ea-GuardSize > uint64(len(m.mem))-(GuardSize+4) {
 		return 0, crashf("load of %d bytes at %#x out of range", 4, ea)
 	}
 	return uint64(binary.LittleEndian.Uint32(m.mem[ea:])), nil
 }
 
 func (m *Machine) load8(ea uint64) (uint64, error) {
-	if ea < GuardSize || ea+1 > uint64(len(m.mem)) || ea+1 < ea {
+	if ea-GuardSize > uint64(len(m.mem))-(GuardSize+1) {
 		return 0, crashf("load of %d bytes at %#x out of range", 1, ea)
 	}
 	return uint64(m.mem[ea]), nil
 }
 
 func (m *Machine) store64(ea uint64, v uint64) error {
-	if ea < GuardSize || ea+8 > uint64(len(m.mem)) || ea+8 < ea {
+	if ea-GuardSize > uint64(len(m.mem))-(GuardSize+8) {
 		return crashf("store of %d bytes at %#x out of range", 8, ea)
 	}
 	m.markDirty(ea, 8)
@@ -796,7 +810,7 @@ func (m *Machine) store64(ea uint64, v uint64) error {
 }
 
 func (m *Machine) store32(ea uint64, v uint64) error {
-	if ea < GuardSize || ea+4 > uint64(len(m.mem)) || ea+4 < ea {
+	if ea-GuardSize > uint64(len(m.mem))-(GuardSize+4) {
 		return crashf("store of %d bytes at %#x out of range", 4, ea)
 	}
 	m.markDirty(ea, 4)
@@ -805,7 +819,7 @@ func (m *Machine) store32(ea uint64, v uint64) error {
 }
 
 func (m *Machine) store8(ea uint64, v uint64) error {
-	if ea < GuardSize || ea+1 > uint64(len(m.mem)) || ea+1 < ea {
+	if ea-GuardSize > uint64(len(m.mem))-(GuardSize+1) {
 		return crashf("store of %d bytes at %#x out of range", 1, ea)
 	}
 	m.markDirty(ea, 1)

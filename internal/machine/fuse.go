@@ -1,0 +1,637 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"ferrum/internal/asm"
+)
+
+// Superinstruction fusion.
+//
+// The fuser rewrites hot adjacent uop pairs/triples into single fused uops
+// (fuops) dispatched once per group by runBlocks. Fusion is expressed in
+// parallel tables — fuseAt maps a head instruction index to its fuop, tail
+// positions stay unfused — so the insts/uops arrays and every pre-fusion
+// index (fault sites, SiteStatics, snapshot pcs, journal identity) are
+// untouched. A run resumed at a fused tail simply executes plain uops.
+//
+// Every fused handler charges its constituents' cycle-span costs in the
+// original per-instruction order (float accumulation is not associative, so
+// costs are never pre-summed) and advances dyn/sites per constituent —
+// results are bit-identical to unfused execution, including mid-group crash
+// accounting. The generic fPair kind dispatches each constituent through
+// the ordinary step switch; the specialised kinds below it inline the exact
+// step bodies of the pairs that dominate dynamically (measured on the
+// FERRUM-protected Rodinia cells: the SIMD staging stream of loads, pinsrq
+// lane inserts, vinserti128 assembly and vpxor accumulation), collapsing
+// two switch dispatches into one.
+//
+// The FERRUM vpxor+vptest+jcc check triad is always fused so the
+// raw-vs-protected overhead comparison reflects the technique, not the
+// dispatcher. Pair fusion is profile-guided: FuseProfile enables pairs
+// whose opcodes are hot in a Profile from a previous run.
+
+type fuseKind uint8
+
+const (
+	// fPair executes both constituents through the generic step dispatch —
+	// correct for any plain-headed pair, used when no specialised handler
+	// matches. It saves the dispatch loop's per-instruction overhead
+	// (bounds, fusion lookup, block-exit test) for the second constituent.
+	fPair fuseKind = iota
+	// fCheckTriad is the FERRUM vpxor+vptest+jcc detection idiom.
+	fCheckTriad
+	// Specialised pairs, named head+tail. Each handler inlines both step
+	// bodies behind the single kind dispatch.
+	fVpxorVpxor         // vector accumulate chain
+	fVpxorMovMX         // accumulate, then load next operand into xmm
+	fMovMXMovMR64       // xmm load + scalar load
+	fMovMR64MovRX       // scalar load + gpr->xmm transfer
+	fMovMR64PinsrqR     // scalar load + lane insert from gpr
+	fPinsrqMMovMR64     // lane insert from memory + scalar load
+	fMovRXPinsrqM       // gpr->xmm transfer + lane insert from memory
+	fVinsVins           // ymm assembly chain
+	fVinsVpxor          // ymm assembly, then accumulate
+	fPinsrqRVins        // lane insert + ymm assembly
+	fMovRM64Vpxor       // scalar store + vector accumulate
+	fMovRM64MovMX       // scalar store + xmm load
+	fXorRRJcc           // flag-setting xor + conditional branch
+)
+
+// fuop is one fused superinstruction: the kind, the head's instruction
+// index, and copies of the constituent uops. Execution counters live in
+// the per-machine fuseHits array (parallel to fuops) so the fuop tables
+// are read-only and shareable across Clones.
+type fuop struct {
+	kind fuseKind
+	span uint8
+	head int32
+	u1   uop
+	u2   uop
+	u3   uop
+}
+
+// fuseAll rebuilds the fusion tables from the current uops, blocks and hot
+// set. Two passes: the always-on FERRUM check triads are claimed first so
+// greedy pair fusion can never split a detection idiom, then pairs fill
+// the remaining positions greedily left-to-right. Groups never cross block
+// boundaries, so a fused head always owns all its tail positions.
+func (m *Machine) fuseAll() {
+	n := len(m.uops)
+	m.fuseAt = make([]int32, n)
+	for i := range m.fuseAt {
+		m.fuseAt[i] = -1
+	}
+	m.fuops = nil
+	taken := make([]bool, n)
+	for i := 0; i+3 <= n; i++ {
+		end := int(m.blockEnd[i])
+		if m.uops[i].code == uVpxor && end == i+3 &&
+			m.uops[i+1].code == uVptest && m.uops[i+2].code == uJcc {
+			f := fuop{kind: fCheckTriad, span: 3, head: int32(i),
+				u1: m.uops[i], u2: m.uops[i+1], u3: m.uops[i+2]}
+			m.fuseAt[i] = int32(len(m.fuops))
+			m.fuops = append(m.fuops, f)
+			taken[i], taken[i+1], taken[i+2] = true, true, true
+		}
+	}
+	for i := 0; i+2 <= n; {
+		if taken[i] || taken[i+1] || !m.matchPair(i, int(m.blockEnd[i])) {
+			i++
+			continue
+		}
+		f := fuop{span: 2, head: int32(i), u1: m.uops[i], u2: m.uops[i+1]}
+		f.kind = pairKind(f.u1.code, f.u2.code)
+		m.fuseAt[i] = int32(len(m.fuops))
+		m.fuops = append(m.fuops, f)
+		taken[i], taken[i+1] = true, true
+		i += 2
+	}
+	m.fuseHits = make([]uint64, len(m.fuops))
+}
+
+// plainHead reports whether a uop may head a fused pair: it must fall
+// through to the next instruction on every non-crash path, so control flow,
+// halting codes and the generic slow path (whose interpretation may branch)
+// are excluded. Tails are unrestricted — step handles their control flow.
+func plainHead(c ucode) bool {
+	switch c {
+	case uSlow, uHalt, uDetect, uJmp, uJcc, uCall, uRet:
+		return false
+	}
+	return true
+}
+
+// pairKind picks the specialised handler for a fusable pair, falling back
+// to the generic fPair when no inlined body exists for the combination.
+func pairKind(c1, c2 ucode) fuseKind {
+	switch c1 {
+	case uVpxor:
+		switch c2 {
+		case uVpxor:
+			return fVpxorVpxor
+		case uMovMX:
+			return fVpxorMovMX
+		}
+	case uMovMX:
+		if c2 == uMovMR64 {
+			return fMovMXMovMR64
+		}
+	case uMovMR64:
+		switch c2 {
+		case uMovRX:
+			return fMovMR64MovRX
+		case uPinsrqR:
+			return fMovMR64PinsrqR
+		}
+	case uPinsrqM:
+		if c2 == uMovMR64 {
+			return fPinsrqMMovMR64
+		}
+	case uMovRX:
+		if c2 == uPinsrqM {
+			return fMovRXPinsrqM
+		}
+	case uVinserti128:
+		switch c2 {
+		case uVinserti128:
+			return fVinsVins
+		case uVpxor:
+			return fVinsVpxor
+		}
+	case uPinsrqR:
+		if c2 == uVinserti128 {
+			return fPinsrqRVins
+		}
+	case uMovRM64:
+		switch c2 {
+		case uVpxor:
+			return fMovRM64Vpxor
+		case uMovMX:
+			return fMovRM64MovMX
+		}
+	case uXorRR:
+		if c2 == uJcc {
+			return fXorRRJcc
+		}
+	}
+	return fPair
+}
+
+// matchPair reports whether positions i, i+1 form a fusable pair: both in
+// the same block, a plain head, and both opcodes profile-hot. (The FERRUM
+// check triad is matched in a separate, earlier pass — always on, not
+// profile-gated, so protected-run overhead stays honest.)
+func (m *Machine) matchPair(i, end int) bool {
+	return end >= i+2 && plainHead(m.uops[i].code) && m.pairHot(i)
+}
+
+// pairHot reports whether both asm opcodes at i, i+1 are in the hot set.
+func (m *Machine) pairHot(i int) bool {
+	if m.hotOps == nil {
+		return false
+	}
+	return m.hotOps[m.insts[i].in.Op] && m.hotOps[m.insts[i+1].in.Op]
+}
+
+// FuseProfile enables profile-guided pair fusion using a Profile from a
+// previous run (typically the golden run of a fault-injection campaign):
+// an opcode is hot when it accounts for at least 1% of dynamic
+// instructions, and a pair fuses when both its opcodes are hot. Call
+// before Run and before Clone; the rebuilt tables are shared by clones
+// made afterwards. Fused execution is bit-identical to unfused, so
+// enabling fusion never changes campaign results.
+func (m *Machine) FuseProfile(p *Profile) {
+	if p == nil {
+		return
+	}
+	total := p.DynInsts()
+	if total == 0 {
+		return
+	}
+	hot := make(map[asm.Op]bool)
+	for op, c := range p.OpCount {
+		if c*100 >= total {
+			hot[op] = true
+		}
+	}
+	m.hotOps = hot
+	m.fuseAll()
+}
+
+// stepFused executes one fused superinstruction. Every constituent charges
+// its own cost spans, increments dyn, and counts its fault site exactly as
+// the unfused path would — the caller guarantees the planned fault site is
+// not within this block, so no fault application is needed here.
+func (m *Machine) stepFused(f *fuop, pc int) (nextAction, error) {
+	switch f.kind {
+	case fPair:
+		// Generic pair: both constituents run through the ordinary step
+		// dispatch, so this kind is bit-identical to unfused execution by
+		// construction. The head is plain (falls through), so its action is
+		// always nextContinue and m.pc advances to the tail.
+		u1 := &f.u1
+		m.dyn++
+		if _, err := m.step(u1, pc); err != nil {
+			return 0, err
+		}
+		if u1.destKind != asm.DestNone {
+			m.sites++
+		}
+		u2 := &f.u2
+		m.dyn++
+		next, err := m.step(u2, pc+1)
+		if err != nil {
+			return 0, err
+		}
+		if u2.destKind != asm.DestNone {
+			m.sites++
+		}
+		return next, nil
+
+	case fCheckTriad:
+		u1, u2, u3 := &f.u1, &f.u2, &f.u3
+		// vpxor
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		a, b, d := &m.x[u1.x1], &m.x[u1.x2], &m.x[u1.x3]
+		for i := 0; i < int(u1.lanes); i++ {
+			d[i] = a[i] ^ b[i]
+		}
+		if u1.destKind != asm.DestNone {
+			m.sites++
+		}
+		// vptest
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		va, vb := &m.x[u2.x1], &m.x[u2.x2]
+		var andAcc, andnAcc uint64
+		for i := 0; i < int(u2.lanes); i++ {
+			andAcc |= va[i] & vb[i]
+			andnAcc |= ^va[i] & vb[i]
+		}
+		m.flags[asm.FlagZF] = andAcc == 0
+		m.flags[asm.FlagCF] = andnAcc == 0
+		m.flags[asm.FlagSF] = false
+		m.flags[asm.FlagOF] = false
+		if u2.destKind != asm.DestNone {
+			m.sites++
+		}
+		// jcc
+		m.dyn++
+		m.scalarSpan += u3.cost.scalar
+		m.vectorSpan += u3.cost.vector
+		taken, err := m.cond(u3.cc)
+		if err != nil {
+			return 0, err
+		}
+		m.flushSpan()
+		if taken {
+			m.scalarSpan += u3.cost.takenExtra
+			m.pc = int(u3.target)
+		} else {
+			m.pc = pc + 3
+		}
+		return nextContinue, nil
+
+	case fVpxorVpxor:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		a, b, d := &m.x[u1.x1], &m.x[u1.x2], &m.x[u1.x3]
+		for i := 0; i < int(u1.lanes); i++ {
+			d[i] = a[i] ^ b[i]
+		}
+		m.sites++ // vpxor writes an XMM destination
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		a, b, d = &m.x[u2.x1], &m.x[u2.x2], &m.x[u2.x3]
+		for i := 0; i < int(u2.lanes); i++ {
+			d[i] = a[i] ^ b[i]
+		}
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fVpxorMovMX:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		a, b, d := &m.x[u1.x1], &m.x[u1.x2], &m.x[u1.x3]
+		for i := 0; i < int(u1.lanes); i++ {
+			d[i] = a[i] ^ b[i]
+		}
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		v, err := m.load64(m.uea(&u2.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.x[u2.x2][0] = v
+		m.x[u2.x2][1] = 0
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fMovMXMovMR64:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		v, err := m.load64(m.uea(&u1.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.x[u1.x2][0] = v
+		m.x[u1.x2][1] = 0
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		v, err = m.load64(m.uea(&u2.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.gpr[u2.r2] = v
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fMovMR64MovRX:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		v, err := m.load64(m.uea(&u1.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.gpr[u1.r2] = v
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		m.x[u2.x2][0] = m.gpr[u2.r1]
+		m.x[u2.x2][1] = 0
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fMovMR64PinsrqR:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		v, err := m.load64(m.uea(&u1.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.gpr[u1.r2] = v
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		m.x[u2.x2][u2.lane] = m.gpr[u2.r1]
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fPinsrqMMovMR64:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		v, err := m.load64(m.uea(&u1.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.x[u1.x2][u1.lane] = v
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		v, err = m.load64(m.uea(&u2.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.gpr[u2.r2] = v
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fMovRXPinsrqM:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		m.x[u1.x2][0] = m.gpr[u1.r1]
+		m.x[u1.x2][1] = 0
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		v, err := m.load64(m.uea(&u2.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.x[u2.x2][u2.lane] = v
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fVinsVins:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		s0, s1 := m.x[u1.x1][0], m.x[u1.x1][1]
+		if u1.x3 != u1.x2 {
+			m.x[u1.x3] = m.x[u1.x2]
+		}
+		m.x[u1.x3][u1.lane*2] = s0
+		m.x[u1.x3][u1.lane*2+1] = s1
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		s0, s1 = m.x[u2.x1][0], m.x[u2.x1][1]
+		if u2.x3 != u2.x2 {
+			m.x[u2.x3] = m.x[u2.x2]
+		}
+		m.x[u2.x3][u2.lane*2] = s0
+		m.x[u2.x3][u2.lane*2+1] = s1
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fVinsVpxor:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		s0, s1 := m.x[u1.x1][0], m.x[u1.x1][1]
+		if u1.x3 != u1.x2 {
+			m.x[u1.x3] = m.x[u1.x2]
+		}
+		m.x[u1.x3][u1.lane*2] = s0
+		m.x[u1.x3][u1.lane*2+1] = s1
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		a, b, d := &m.x[u2.x1], &m.x[u2.x2], &m.x[u2.x3]
+		for i := 0; i < int(u2.lanes); i++ {
+			d[i] = a[i] ^ b[i]
+		}
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fPinsrqRVins:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		m.x[u1.x2][u1.lane] = m.gpr[u1.r1]
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		s0, s1 := m.x[u2.x1][0], m.x[u2.x1][1]
+		if u2.x3 != u2.x2 {
+			m.x[u2.x3] = m.x[u2.x2]
+		}
+		m.x[u2.x3][u2.lane*2] = s0
+		m.x[u2.x3][u2.lane*2+1] = s1
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fMovRM64Vpxor:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		if err := m.store64(m.uea(&u1.mem), m.gpr[u1.r1]); err != nil {
+			return 0, err
+		}
+		if u1.destKind != asm.DestNone {
+			m.sites++
+		}
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		a, b, d := &m.x[u2.x1], &m.x[u2.x2], &m.x[u2.x3]
+		for i := 0; i < int(u2.lanes); i++ {
+			d[i] = a[i] ^ b[i]
+		}
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fMovRM64MovMX:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		if err := m.store64(m.uea(&u1.mem), m.gpr[u1.r1]); err != nil {
+			return 0, err
+		}
+		if u1.destKind != asm.DestNone {
+			m.sites++
+		}
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		v, err := m.load64(m.uea(&u2.mem))
+		if err != nil {
+			return 0, err
+		}
+		m.x[u2.x2][0] = v
+		m.x[u2.x2][1] = 0
+		m.sites++
+		m.pc = pc + 2
+		return nextContinue, nil
+
+	case fXorRRJcc:
+		u1, u2 := &f.u1, &f.u2
+		m.dyn++
+		m.scalarSpan += u1.cost.scalar
+		m.vectorSpan += u1.cost.vector
+		r := m.gpr[u1.r2] ^ m.gpr[u1.r1]
+		m.setFlagsLogic(r, asm.W64)
+		m.gpr[u1.r2] = r
+		m.sites++
+		m.dyn++
+		m.scalarSpan += u2.cost.scalar
+		m.vectorSpan += u2.cost.vector
+		taken, err := m.cond(u2.cc)
+		if err != nil {
+			return 0, err
+		}
+		m.flushSpan()
+		if taken {
+			m.scalarSpan += u2.cost.takenExtra
+			m.pc = int(u2.target)
+		} else {
+			m.pc = pc + 2
+		}
+		return nextContinue, nil
+	}
+	return 0, crashf("unknown fused kind %d", f.kind)
+}
+
+// FusionPair describes one fused opcode pattern with its static occurrence
+// count and dynamic execution count on this machine.
+type FusionPair struct {
+	Pair  string // constituent opcodes joined by '+', e.g. "CMPQ+JNE"
+	Sites int    // static fused groups of this pattern
+	Hits  uint64 // dynamic fused executions
+}
+
+// FusionPairs aggregates the machine's fusion table by opcode pattern,
+// sorted by dynamic hits descending (ties by name). Campaign drivers merge
+// these across worker machines for the -dump-fusion report.
+func (m *Machine) FusionPairs() []FusionPair {
+	agg := map[string]*FusionPair{}
+	for i := range m.fuops {
+		f := &m.fuops[i]
+		pair := m.pairName(f)
+		p := agg[pair]
+		if p == nil {
+			p = &FusionPair{Pair: pair}
+			agg[pair] = p
+		}
+		p.Sites++
+		p.Hits += m.fuseHits[i]
+	}
+	out := make([]FusionPair, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Pair < out[j].Pair
+	})
+	return out
+}
+
+func (m *Machine) pairName(f *fuop) string {
+	h := int(f.head)
+	switch f.span {
+	case 3:
+		return fmt.Sprintf("%s+%s+%s", m.insts[h].in.Op, m.insts[h+1].in.Op, m.insts[h+2].in.Op)
+	default:
+		return fmt.Sprintf("%s+%s", m.insts[h].in.Op, m.insts[h+1].in.Op)
+	}
+}

@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/backend"
+	"ferrum/internal/ferrumpass"
+	"ferrum/internal/progen"
+)
+
+// archState is the machine's terminal architectural state: every general-
+// purpose register, every vector register, every flag, and a hash of the
+// full memory image. The dispatch-tier property below requires it to be
+// identical across tiers, not just the exported Result — a tier that
+// computed the right output through the wrong register or memory state
+// would pass a Result-only comparison.
+type archState struct {
+	gpr     [asm.NumReg]uint64
+	x       [asm.NumXReg][8]uint64
+	flags   [asm.NumFlag]bool
+	memHash uint64
+	pc      int
+}
+
+func fingerprint(m *Machine) archState {
+	h := fnv.New64a()
+	h.Write(m.mem)
+	return archState{gpr: m.gpr, x: m.x, flags: m.flags, memHash: h.Sum64(), pc: m.pc}
+}
+
+// TestEquivFuzzDispatchTiers is the property-based complement to the
+// Rodinia-cell equivalence suite: randomly generated branch-dense programs
+// (short basic blocks, nested diamonds and loops — the shapes that stress
+// block-formation boundaries and fusion-group claims) must produce a
+// bit-identical Result AND bit-identical terminal architectural state on
+// all four dispatch tiers, for the golden run and for injected faults.
+// Unlike the Rodinia suite's golden options, the comparison runs carry no
+// observers, so the block-dispatch fast path is what actually executes.
+func TestEquivFuzzDispatchTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	const maxSteps = 5_000_000
+	for i := 0; i < iters; i++ {
+		mod, err := progen.Generate(rng, progen.Options{
+			Stmts: 30, Calls: i%2 == 0, BranchDensity: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []uint64{8192, uint64(rng.Int63n(10000)), uint64(rng.Int63n(10000))}
+		raw, err := backend.Compile(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prot, _, err := ferrumpass.Protect(raw, ferrumpass.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tech, prog := range map[string]*asm.Program{"raw": raw, "ferrum": prot} {
+			build := func() *Machine {
+				m, err := New(prog, equivMemSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for s := 0; s < 8; s++ {
+					if err := m.WriteWordImage(8192+8*uint64(s), uint64(s*5+3)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return m
+			}
+			fast, fused, oneuop, slow := build(), build(), build(), build()
+			forceOneUop(oneuop)
+			forceSlow(slow)
+
+			// The fusion profile comes from a separate profiled run so the
+			// comparison runs themselves stay observer-free.
+			profiled := build().Run(RunOpts{Args: args, MaxSteps: maxSteps, Profile: true})
+			fused.FuseProfile(profiled.Profile)
+
+			want := slow.Run(RunOpts{Args: args, MaxSteps: maxSteps})
+			if want.Outcome != OutcomeOK {
+				t.Fatalf("iter %d/%s: golden outcome = %v (%s)\n%s",
+					i, tech, want.Outcome, want.CrashMsg, mod)
+			}
+			wantState := fingerprint(slow)
+
+			tiers := map[string]*Machine{"fast": fast, "fused": fused, "oneuop": oneuop}
+			for name, m := range tiers {
+				got := m.Run(RunOpts{Args: args, MaxSteps: maxSteps})
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("iter %d/%s %s: golden Result differs:\n%s: %+v\nslow: %+v",
+						i, tech, name, name, got, want)
+				}
+				if st := fingerprint(m); st != wantState {
+					t.Fatalf("iter %d/%s %s: terminal machine state differs from slow path",
+						i, tech, name)
+				}
+			}
+
+			if want.DynSites == 0 {
+				continue
+			}
+			for _, site := range []uint64{0, want.DynSites / 2, want.DynSites - 1} {
+				for _, bit := range []uint{0, 37} {
+					opts := RunOpts{
+						Args: args, MaxSteps: maxSteps,
+						Fault: &Fault{Site: site, Bit: bit},
+					}
+					fw := slow.Run(opts)
+					fwState := fingerprint(slow)
+					for name, m := range tiers {
+						fg := m.Run(opts)
+						if !reflect.DeepEqual(fg, fw) {
+							t.Errorf("iter %d/%s %s site=%d bit=%d: fault Result differs:\n%s: %+v\nslow: %+v",
+								i, tech, name, site, bit, name, fg, fw)
+						}
+						if st := fingerprint(m); st != fwState {
+							t.Errorf("iter %d/%s %s site=%d bit=%d: terminal machine state differs",
+								i, tech, name, site, bit)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -173,6 +173,19 @@ type Machine struct {
 
 	lastSites uint64 // previous run's site count (RecordSites capacity hint)
 
+	// Block-dispatch and fusion tables (built at load time, indexed by
+	// pre-fusion instruction position, shared read-only by Clones; see
+	// block.go and fuse.go).
+	blockEnd   []int32 // exclusive end of the enclosing basic block
+	siteSuffix []int32 // fault sites from this index to its block end
+	fuseAt     []int32 // head index -> fuop index, -1 when unfused
+	fuops      []fuop
+	hotOps     map[asm.Op]bool // profile-hot opcodes enabling pair fusion
+
+	fuseHits []uint64 // per-fuop dynamic execution counts (this machine)
+	noBlocks bool     // force the legacy one-uop loop (equivalence tests)
+	nBlocks  uint64   // basic blocks entered (lifetime)
+
 	// Architectural state (reset per run).
 	gpr   [asm.NumReg]uint64
 	x     [asm.NumXReg][8]uint64
@@ -246,7 +259,38 @@ func newMachine(p *asm.Program, memSize int) (*Machine, error) {
 	m.entry = m.labels[entry]
 	m.mem = make([]byte, memSize)
 	m.dirty = make([]bool, (memSize+pageSize-1)>>pageShift)
+	m.buildBlocks()
+	m.fuseAll()
 	return m, nil
+}
+
+// Clone returns a machine that shares this machine's loaded program — the
+// instruction, uop, block and fusion tables and the pristine memory image —
+// but owns its architectural state, memory and counters. Clones are how
+// campaigns pool the load-time decode across workers: clone once per
+// worker after SetMemImage/SetCostModel/FuseProfile, then Run concurrently.
+// Mutating the program (SetCostModel, SetMemImage, FuseProfile) on any
+// machine after cloning is not safe while its clones run.
+func (m *Machine) Clone() *Machine {
+	return &Machine{
+		insts:      m.insts,
+		uops:       m.uops,
+		labels:     m.labels,
+		entry:      m.entry,
+		start:      m.start,
+		memImage:   m.memImage,
+		blockEnd:   m.blockEnd,
+		siteSuffix: m.siteSuffix,
+		fuseAt:     m.fuseAt,
+		fuops:      m.fuops,
+		hotOps:     m.hotOps,
+		costs:      m.costs,
+		lastSites:  m.lastSites,
+		mem:        make([]byte, len(m.memImage)),
+		dirty:      make([]bool, len(m.dirty)),
+		fuseHits:   make([]uint64, len(m.fuops)),
+		// memSynced stays false: the first reset copies the full image.
+	}
 }
 
 // SetCostModel replaces the cycle cost model (before Run).
@@ -256,6 +300,8 @@ func (m *Machine) SetCostModel(c *CostModel) {
 		m.insts[i].cost = c.staticCost(m.insts[i].in)
 		m.uops[i].cost = m.insts[i].cost
 	}
+	// Fused uops hold copies of their constituents (including costs).
+	m.fuseAll()
 }
 
 // MemSize reports the size of the machine's memory.
@@ -351,6 +397,16 @@ func (m *Machine) Run(opts RunOpts) Result {
 	if opts.Trace > 0 {
 		trace = newTraceRing(opts.Trace)
 	}
+	// Block dispatch runs whole basic blocks with one bounds/watchdog/
+	// fault-proximity check each (see block.go). Any per-instruction
+	// observer — site recording, profiling, tracing, a checkpoint
+	// schedule — forces the legacy one-uop loop below, which preserves
+	// RunOpts semantics exactly; both paths produce bit-identical Results.
+	if !m.noBlocks && !record && prof == nil && trace == nil &&
+		(opts.CheckpointEvery == 0 || opts.OnCheckpoint == nil) {
+		outcome, crashMsg = m.runBlocks(opts.Fault, maxSteps)
+		goto done
+	}
 loop:
 	for m.dyn < maxSteps {
 		if m.pc < 0 || m.pc >= len(m.uops) {
@@ -368,7 +424,7 @@ loop:
 		if trace != nil {
 			trace.record(&m.insts[pc])
 		}
-		next, err := m.step(u)
+		next, err := m.step(u, pc)
 		if err != nil {
 			outcome, crashMsg = OutcomeCrash, err.Error()
 			break
@@ -411,6 +467,7 @@ loop:
 			break loop
 		}
 	}
+done:
 	m.flushSpan()
 	m.lastSites = m.sites
 	return Result{

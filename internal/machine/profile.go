@@ -79,11 +79,26 @@ func (p *profile) export() *Profile {
 	if p == nil {
 		return nil
 	}
+	// Size the maps exactly before filling them: export runs at the end of
+	// every profiled run (every campaign golden run, every overhead-profile
+	// iteration), and growing four maps from zero rehashed each one several
+	// times on that path.
+	nOps, nTags := len(p.opOver), len(p.tagOver)
+	for _, c := range p.opCount {
+		if c != 0 {
+			nOps++
+		}
+	}
+	for _, c := range p.tagCount {
+		if c != 0 {
+			nTags++
+		}
+	}
 	out := &Profile{
-		OpCount:   map[asm.Op]uint64{},
-		TagCount:  map[asm.Tag]uint64{},
-		TagScalar: map[asm.Tag]float64{},
-		TagVector: map[asm.Tag]float64{},
+		OpCount:   make(map[asm.Op]uint64, nOps),
+		TagCount:  make(map[asm.Tag]uint64, nTags),
+		TagScalar: make(map[asm.Tag]float64, nTags),
+		TagVector: make(map[asm.Tag]float64, nTags),
 	}
 	for op, c := range p.opCount {
 		if c != 0 {

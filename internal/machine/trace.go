@@ -28,18 +28,23 @@ func (t *traceRing) record(fi *flatInst) {
 }
 
 // dump formats the recorded entries oldest first; nil receiver yields nil.
+// A full ring is read in rotated order directly — no scratch slice of
+// references is materialised just to linearise it.
 func (t *traceRing) dump() []string {
 	if t == nil {
 		return nil
 	}
-	refs := t.entries[:t.next]
+	n, start := t.next, 0
 	if t.full {
-		refs = make([]*flatInst, 0, len(t.entries))
-		refs = append(refs, t.entries[t.next:]...)
-		refs = append(refs, t.entries[:t.next]...)
+		n, start = len(t.entries), t.next
 	}
-	out := make([]string, len(refs))
-	for i, fi := range refs {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		j := start + i
+		if j >= len(t.entries) {
+			j -= len(t.entries)
+		}
+		fi := t.entries[j]
 		out[i] = fmt.Sprintf("%s\t%s", fi.in.Tag, fi.in.String())
 	}
 	return out

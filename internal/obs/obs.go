@@ -142,6 +142,14 @@ const (
 	MPrunedDedup     = "fi.pruned_dedup"     // ... of which deduplicated onto a class representative
 	MWidthFallbacks  = "fi.width_fallbacks"  // sites whose recorded width was missing/zero
 
+	// Dispatch-tier counters, reported by internal/fi from the machines a
+	// campaign executed on (golden template plus per-worker clones).
+	MBlocksEntered = "machine.blocks_entered" // basic blocks dispatched by the block loop
+	MFusedUops     = "machine.fused_uops"     // fused superinstructions executed
+	// MFusionPrefix + a pair name (e.g. "vpxor+vptest+jcc") counts that
+	// fused pattern's dynamic executions; -dump-fusion renders the top N.
+	MFusionPrefix = "machine.fusion."
+
 	// Durable-campaign journal (written by internal/fi and the CLIs).
 	MJournalRecords      = "journal.records"       // records appended this process
 	MJournalSyncs        = "journal.syncs"         // fsync batches flushed

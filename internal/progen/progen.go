@@ -23,6 +23,14 @@ type Options struct {
 	MaxLoopTrip int
 	// Calls enables a generated helper function and calls to it.
 	Calls bool
+	// BranchDensity skews the top-level statement mix toward control flow:
+	// out of every 10 top-level statements, roughly this many are branch
+	// diamonds or bounded loops instead of straight-line statements.
+	// The default 2 is the historical mix; values are capped at 9. Dense
+	// settings generate programs made of many short basic blocks, which is
+	// what stresses block-formation boundaries and superinstruction fusion
+	// in the machine's dispatch tiers.
+	BranchDensity int
 }
 
 func (o Options) withDefaults() Options {
@@ -34,6 +42,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxLoopTrip <= 0 {
 		o.MaxLoopTrip = 6
+	}
+	if o.BranchDensity <= 0 {
+		o.BranchDensity = 2
+	}
+	if o.BranchDensity > 9 {
+		o.BranchDensity = 9
 	}
 	return o
 }
@@ -265,13 +279,17 @@ func (g *gen) buildMain() {
 	f.Blocks = []*ir.Block{g.block}
 	g.pool = []ir.Value{pa, pb}
 
+	// At the default density of 2 this draws loop on 0 and branch on 1 —
+	// the historical mix, consuming the identical RNG sequence — and denser
+	// settings widen the control-flow band without changing the draw shape.
 	for i := 0; i < g.opts.Stmts; i++ {
-		switch g.rng.Intn(10) {
-		case 0:
-			g.loop()
-		case 1:
-			g.branch(0)
-		default:
+		if k := g.rng.Intn(10); k < g.opts.BranchDensity {
+			if k%2 == 0 {
+				g.loop()
+			} else {
+				g.branch(0)
+			}
+		} else {
 			g.stmt(0)
 		}
 	}

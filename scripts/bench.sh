@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Rerun the canonical benchmarks at the pinned settings and rewrite
+# BENCH_interp.json + BENCH_campaign.json in place, printing one
+# machine-readable DELTA line per entry (file, benchmark, old ns, new ns,
+# old/new ratio). The previous numbers are kept inside the JSONs as prev_*
+# fields.
+#
+# By default the delta's before side is whatever the JSONs last recorded —
+# possibly from a different host. Set BASELINE_REF to a git ref (e.g. the
+# commit being compared against) to benchmark that checkout in a temporary
+# worktree on this host first, making the delta a same-host before/after.
+#
+# Usage: scripts/bench.sh [interp|campaign]     (default: both)
+# Env:   BENCHTIME (default 2s), COUNT (default 3),
+#        CAMPAIGN_BENCHTIME (10x), BASELINE_REF (off)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+what="${1:-all}"
+tmp="$(mktemp -d)"
+baseline_wt=""
+cleanup() {
+  [[ -n "$baseline_wt" ]] && git worktree remove --force "$baseline_wt" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+if [[ -n "${BASELINE_REF:-}" ]]; then
+  baseline_wt="$tmp/baseline"
+  git worktree add --quiet "$baseline_wt" "$BASELINE_REF" >&2
+fi
+
+# bench DIR PATTERN OUT EXTRA_ARGS... — one benchmark sweep into OUT.
+bench() {
+  local dir="$1" pattern="$2" out="$3"
+  shift 3
+  echo "== $out: go test -bench '$pattern' $*" >&2
+  (cd "$dir" && go test -run xxx -bench "$pattern" "$@" .) | tee "$out" >&2
+}
+
+interp_args=()
+campaign_args=()
+
+if [[ "$what" == all || "$what" == interp ]]; then
+  pat='Benchmark(MachineRun|IRRun)'
+  flags=(-benchtime "${BENCHTIME:-2s}" -count "${COUNT:-3}")
+  if [[ -n "$baseline_wt" ]]; then
+    bench "$baseline_wt" "$pat" "$tmp/interp_prev.txt" "${flags[@]}"
+    interp_args+=(-prev-interp "$tmp/interp_prev.txt")
+  fi
+  bench . "$pat" "$tmp/interp.txt" "${flags[@]}"
+  interp_args+=(-interp "$tmp/interp.txt")
+fi
+
+if [[ "$what" == all || "$what" == campaign ]]; then
+  pat='Benchmark(Asm|IR)Campaign'
+  flags=(-benchtime "${CAMPAIGN_BENCHTIME:-10x}")
+  if [[ -n "$baseline_wt" ]]; then
+    bench "$baseline_wt" "$pat" "$tmp/campaign_prev.txt" "${flags[@]}"
+    campaign_args+=(-prev-campaign "$tmp/campaign_prev.txt")
+  fi
+  bench . "$pat" "$tmp/campaign.txt" "${flags[@]}"
+  campaign_args+=(-campaign "$tmp/campaign.txt")
+fi
+
+go run ./scripts/benchjson "${interp_args[@]}" "${campaign_args[@]}" -dir .

@@ -1,0 +1,329 @@
+// Command benchjson regenerates BENCH_interp.json and BENCH_campaign.json
+// from raw `go test -bench` output. scripts/bench.sh runs the canonical
+// benchmarks at the pinned -benchtime/-count settings and pipes the output
+// here; this program takes the median across -count repetitions, rewrites
+// both JSON files in place, and prints a machine-readable before/after
+// delta line per rewritten entry (tab-separated: file, key, old ns, new
+// ns, ratio). The previous numbers are preserved inside the JSONs as
+// prev_* fields so the delta survives the rewrite.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchRuns maps benchmark name -> metric unit -> one value per -count
+// repetition, in output order.
+type benchRuns map[string]map[string][]float64
+
+// parseBench reads `go test -bench` output: one line per repetition of each
+// benchmark ("BenchmarkFoo/sub-8  100  12345 ns/op  67 plans/s ..."), plus
+// the "cpu:" header line.
+func parseBench(path string) (benchRuns, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	runs := benchRuns{}
+	cpu := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip -GOMAXPROCS suffix
+		}
+		if runs[name] == nil {
+			runs[name] = map[string][]float64{}
+		}
+		// fields[1] is the iteration count; the rest alternate value, unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s: bad value %q in %q", path, fields[i], line)
+			}
+			unit := fields[i+1]
+			runs[name][unit] = append(runs[name][unit], v)
+		}
+	}
+	return runs, cpu, sc.Err()
+}
+
+func (r benchRuns) median(name, unit string) (float64, error) {
+	vs := append([]float64(nil), r[name][unit]...)
+	if len(vs) == 0 {
+		return 0, fmt.Errorf("benchmark %q has no %q metric in the output", name, unit)
+	}
+	sort.Float64s(vs)
+	return vs[len(vs)/2], nil
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+// --- BENCH_interp.json ---
+
+type interpCell struct {
+	SeedNS    int64   `json:"seed_ns_per_run"`
+	DecodedNS int64   `json:"decoded_ns_per_run"`
+	Speedup   float64 `json:"speedup"`
+	PrevNS    int64   `json:"prev_ns_per_run,omitempty"`
+	Delta     float64 `json:"delta_vs_prev,omitempty"`
+}
+
+type interpFile struct {
+	Description string                 `json:"description"`
+	Date        string                 `json:"date"`
+	CPU         string                 `json:"cpu"`
+	Asm         map[string]*interpCell `json:"asm"`
+	IR          map[string]*interpCell `json:"ir"`
+}
+
+const interpDesc = "Single-run interpreter throughput across engine generations (BenchmarkMachineRun / BenchmarkIRRun, bench_test.go). 'seed' is the original name-keyed engines; 'decoded' is the current tier: pre-decoded uops with basic-block threaded dispatch and profile-guided superinstruction fusion (asm) / slot-numbered registers with block-segment dispatch (IR). prev_ns_per_run is the before side of the delta (the same-host baseline ref when regenerated with BASELINE_REF, otherwise the previous regeneration) and delta_vs_prev the ratio against it. Median of -count runs. Regenerate with scripts/bench.sh, or: go test -run xxx -bench 'Benchmark(MachineRun|IRRun)' -benchtime 2s -count 3 ."
+
+// rewriteInterp rewrites BENCH_interp.json from the parsed runs. When prev
+// is non-nil (bench output from a baseline checkout on the same host), the
+// prev_* fields come from it; otherwise they roll forward from the numbers
+// already in the file — which may have been measured on a different host,
+// so same-host baselines are preferred when the delta matters.
+func rewriteInterp(path string, runs, prev benchRuns, cpu string) error {
+	var f interpFile
+	if err := readJSON(path, &f); err != nil {
+		return err
+	}
+	for group, prefix := range map[string]map[string]*interpCell{
+		"BenchmarkMachineRun/": f.Asm,
+		"BenchmarkIRRun/":      f.IR,
+	} {
+		for key, cell := range prefix {
+			ns, err := runs.median(group+key, "ns/op")
+			if err != nil {
+				return err
+			}
+			cell.PrevNS = cell.DecodedNS
+			if prev != nil {
+				pns, err := prev.median(group+key, "ns/op")
+				if err != nil {
+					return err
+				}
+				cell.PrevNS = int64(pns)
+			}
+			cell.DecodedNS = int64(ns)
+			cell.Speedup = round2(float64(cell.SeedNS) / ns)
+			cell.Delta = round2(float64(cell.PrevNS) / ns)
+			deltaLine(path, group+key, cell.PrevNS, cell.DecodedNS)
+		}
+	}
+	f.Description = interpDesc
+	f.Date = time.Now().Format("2006-01-02")
+	if cpu != "" {
+		f.CPU = cpu
+	}
+	return writeJSON(path, &f)
+}
+
+// --- BENCH_campaign.json ---
+
+type campPath struct {
+	NS        int64   `json:"ns_per_campaign"`
+	Plans     int64   `json:"plans_per_sec"`
+	Executed  int64   `json:"executed_per_campaign,omitempty"`
+	IntervalK int64   `json:"interval_k,omitempty"`
+	Skipped   int64   `json:"skipped_insts_per_campaign,omitempty"`
+	PrevNS    int64   `json:"prev_ns_per_campaign,omitempty"`
+	PrevPlans int64   `json:"prev_plans_per_sec,omitempty"`
+	Delta     float64 `json:"delta_vs_prev,omitempty"`
+}
+
+type campSide struct {
+	Cell         string    `json:"cell"`
+	Direct       *campPath `json:"direct"`
+	Checkpointed *campPath `json:"checkpointed"`
+	Pruned       *campPath `json:"pruned,omitempty"`
+	SpeedupCkpt  float64   `json:"speedup_checkpointed,omitempty"`
+	SpeedupPrune float64   `json:"speedup_pruned,omitempty"`
+	Speedup      float64   `json:"speedup,omitempty"`
+}
+
+type campFile struct {
+	Description string    `json:"description"`
+	Date        string    `json:"date"`
+	CPU         string    `json:"cpu"`
+	Samples     int       `json:"samples_per_campaign"`
+	Asm         *campSide `json:"asm"`
+	IR          *campSide `json:"ir"`
+}
+
+const campDesc = "Campaign throughput for checkpointed fast-forward fault injection (BenchmarkAsmCampaign / BenchmarkIRCampaign, bench_test.go). Cell: bfs scale 1, seed 20240624, 250 samples, FERRUM-protected (asm) / EDDI-protected (IR). Workers are Clone()s of a fused template machine/interpreter; the asm paths run with profile-guided superinstruction fusion from the golden run. The pruned row runs the asm cell with Prune: full — plans/s counts planned samples (statically-answered plans included), executed counts plans that actually ran. prev_* fields are the before side of the delta (the same-host baseline ref when regenerated with BASELINE_REF, otherwise the previous regeneration) and delta_vs_prev the ns ratio against them. Regenerate with scripts/bench.sh, or: go test -run xxx -bench 'Benchmark(Asm|IR)Campaign' -benchtime 10x ."
+
+func rewriteCampaign(path string, runs, prev benchRuns, cpu string) error {
+	var f campFile
+	if err := readJSON(path, &f); err != nil {
+		return err
+	}
+	update := func(name string, p *campPath) error {
+		if p == nil {
+			return nil
+		}
+		ns, err := runs.median(name, "ns/op")
+		if err != nil {
+			return err
+		}
+		plans, err := runs.median(name, "plans/s")
+		if err != nil {
+			return err
+		}
+		p.PrevNS, p.PrevPlans = p.NS, p.Plans
+		if prev != nil {
+			pns, err := prev.median(name, "ns/op")
+			if err != nil {
+				return err
+			}
+			pplans, err := prev.median(name, "plans/s")
+			if err != nil {
+				return err
+			}
+			p.PrevNS, p.PrevPlans = int64(pns), int64(pplans)
+		}
+		p.NS, p.Plans = int64(ns), int64(plans)
+		p.Delta = round2(float64(p.PrevNS) / ns)
+		if v, err := runs.median(name, "K"); err == nil {
+			p.IntervalK = int64(v)
+		}
+		if v, err := runs.median(name, "skipped-insts"); err == nil {
+			p.Skipped = int64(v)
+		}
+		if v, err := runs.median(name, "executed"); err == nil {
+			p.Executed = int64(v)
+		}
+		deltaLine(path, name, p.PrevNS, p.NS)
+		return nil
+	}
+	for prefix, side := range map[string]*campSide{
+		"BenchmarkAsmCampaign/": f.Asm,
+		"BenchmarkIRCampaign/":  f.IR,
+	} {
+		if side == nil {
+			continue
+		}
+		for name, p := range map[string]*campPath{
+			prefix + "direct":       side.Direct,
+			prefix + "checkpointed": side.Checkpointed,
+			prefix + "pruned":       side.Pruned,
+		} {
+			if err := update(name, p); err != nil {
+				return err
+			}
+		}
+		if side.Direct != nil && side.Checkpointed != nil {
+			ratio := round2(float64(side.Direct.NS) / float64(side.Checkpointed.NS))
+			if side.Speedup != 0 {
+				side.Speedup = ratio
+			} else {
+				side.SpeedupCkpt = ratio
+			}
+		}
+		if side.Direct != nil && side.Pruned != nil {
+			side.SpeedupPrune = round2(float64(side.Direct.NS) / float64(side.Pruned.NS))
+		}
+	}
+	f.Description = campDesc
+	f.Date = time.Now().Format("2006-01-02")
+	if cpu != "" {
+		f.CPU = cpu
+	}
+	return writeJSON(path, &f)
+}
+
+// --- plumbing ---
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// deltaLine prints one machine-readable before/after record:
+// DELTA <file> <benchmark> <old ns> <new ns> <old/new ratio>.
+func deltaLine(path, key string, oldNS, newNS int64) {
+	ratio := 0.0
+	if newNS != 0 {
+		ratio = round2(float64(oldNS) / float64(newNS))
+	}
+	fmt.Printf("DELTA\t%s\t%s\t%d\t%d\t%.2f\n", filepath.Base(path), key, oldNS, newNS, ratio)
+}
+
+func main() {
+	interp := flag.String("interp", "", "file with Benchmark(MachineRun|IRRun) output")
+	campaign := flag.String("campaign", "", "file with Benchmark(Asm|IR)Campaign output")
+	prevInterp := flag.String("prev-interp", "", "optional baseline-checkout output for the interp before/after")
+	prevCampaign := flag.String("prev-campaign", "", "optional baseline-checkout output for the campaign before/after")
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json files")
+	flag.Parse()
+	if *interp == "" && *campaign == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: need -interp and/or -campaign output files")
+		os.Exit(2)
+	}
+	loadPrev := func(path string) benchRuns {
+		if path == "" {
+			return nil
+		}
+		runs, _, err := parseBench(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return runs
+	}
+	if *interp != "" {
+		runs, cpu, err := parseBench(*interp)
+		if err == nil {
+			err = rewriteInterp(filepath.Join(*dir, "BENCH_interp.json"), runs, loadPrev(*prevInterp), cpu)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *campaign != "" {
+		runs, cpu, err := parseBench(*campaign)
+		if err == nil {
+			err = rewriteCampaign(filepath.Join(*dir, "BENCH_campaign.json"), runs, loadPrev(*prevCampaign), cpu)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
