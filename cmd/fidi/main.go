@@ -70,6 +70,8 @@ func run(argv []string, out io.Writer) error {
 		ckptEvery = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune)")
 		progress  = fs.Bool("progress", false, "stream throttled injection progress to stderr")
 		dumpFus   = fs.Int("dump-fusion", 0, "print the top N fused superinstruction patterns by dynamic executions to stderr")
+		serveAddr = fs.String("serve", "", "serve live observability over HTTP on this address (host:port; :0 picks a port): /metrics, /progress, /debug/pprof")
+		serveDr   = fs.Duration("serve-drain", 0, "with -serve: after the campaign completes, keep serving until one more /metrics scrape lands or this much time passes (0 = exit immediately)")
 		eventsOut = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -144,14 +146,39 @@ func run(argv []string, out io.Writer) error {
 	// One observer for the whole invocation: the single campaign runs on
 	// the main goroutine, so every span lands on lane 0.
 	ob := obs.New()
+
+	// -serve: live observatory, same endpoints as reprod. /metrics snapshots
+	// the registry on demand; /progress streams the NDJSON events through a
+	// broadcast hub.
+	var hub *obs.Hub
+	var server *obs.Server
+	if *serveAddr != "" {
+		hub = obs.NewHub()
+		srv, serr := obs.StartServer(*serveAddr, ob.Reg.Snapshot, hub)
+		if serr != nil {
+			return serr
+		}
+		server = srv
+		defer server.Close()
+		fmt.Fprintf(errw, "serving http://%s (/metrics, /progress, /debug/pprof)\n", server.Addr())
+	}
 	var events *obs.NDJSON
+	var sink io.Writer
 	if *eventsOut != "" {
 		f, err := os.Create(*eventsOut)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		events = obs.NewNDJSON(f, time.Time{})
+		sink = f
+		if hub != nil {
+			sink = io.MultiWriter(f, hub)
+		}
+	} else if hub != nil {
+		sink = hub
+	}
+	if sink != nil {
+		events = obs.NewNDJSON(sink, time.Time{})
 		events.Attach(ob.Trace)
 		events.Meta("fidi", argv)
 	}
@@ -273,6 +300,11 @@ func run(argv []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The campaign counters are frozen from here on. Scrapes answered before
+	// this point may predate them; the drain window at the end waits for one
+	// that doesn't — a watcher that reacts to the output below always gets
+	// the final counters.
+	scrapesBeforeReport := server.Scrapes()
 
 	fmt.Fprintf(out, "technique: %s, level: %s, samples: %d, dynamic sites: %d\n",
 		*technique, *level, res.Samples, res.DynSites)
@@ -281,6 +313,17 @@ func run(argv []string, out io.Writer) error {
 	}
 	lo, hi := res.CI95()
 	fmt.Fprintf(out, "SDC rate: %.3f  (95%% CI [%.3f, %.3f])\n", res.SDCRate(), lo, hi)
+	if res.Latency.N() > 0 {
+		fmt.Fprintf(out, "detection latency (%s):\n", res.Latency.Unit)
+		for _, o := range []fi.Outcome{fi.Benign, fi.SDC, fi.Detected, fi.Crash, fi.Hang} {
+			h := res.Latency.Hist(o)
+			if h.N == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  %-9s n=%-5d mean=%-8.0f p50<=%-8.0f p90<=%-8.0f max=%.0f\n",
+				o, h.N, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)
+		}
+	}
 	if res.EarlyStopped {
 		fmt.Fprintf(errw, "early stop: SDC-rate CI width reached %.4f after %d samples\n",
 			hi-lo, res.Samples)
@@ -371,6 +414,11 @@ func run(argv []string, out io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+	}
+	// Drain window: hold the endpoint open until a post-report scrape reads
+	// the frozen counters — CI reconciles against it.
+	if server != nil && *serveDr > 0 {
+		server.AwaitScrape(scrapesBeforeReport, *serveDr)
 	}
 	return nil
 }

@@ -2,10 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"ferrum/internal/fi"
+	"ferrum/internal/obs"
 )
 
 func TestRunList(t *testing.T) {
@@ -177,6 +184,124 @@ func TestRunProgressAndSinks(t *testing.T) {
 	}
 	if len(tf.TraceEvents) == 0 {
 		t.Error("trace-out has no events")
+	}
+}
+
+// syncBuf is a concurrency-safe stderr stand-in: TestRunServeScrape reads
+// it while run() is still writing.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunServeScrape: the -serve endpoint answers a live /metrics scrape
+// whose counters and detection-latency histograms reconcile exactly with
+// the campaign the process just ran, and -serve-drain holds the process
+// until that post-completion scrape lands.
+func TestRunServeScrape(t *testing.T) {
+	old := errw
+	stderr := &syncBuf{}
+	errw = stderr
+	t.Cleanup(func() { errw = old })
+
+	journal := filepath.Join(t.TempDir(), "j.ndjson")
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{"-bench", "bfs", "-technique", "ferrum", "-samples", "100",
+			"-journal", journal, "-serve", "127.0.0.1:0", "-serve-drain", "30s"}, &out)
+	}()
+
+	// The listen address is announced on stderr ("serving http://ADDR (...").
+	var addr string
+	for i := 0; i < 500 && addr == ""; i++ {
+		if m := regexp.MustCompile(`serving http://(\S+) `).FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("serve address never announced:\n%s", stderr.String())
+	}
+
+	// Poll /metrics until the campaign's counters land (they publish once,
+	// at campaign end); early scrapes must not end the drain window.
+	var snap obs.Snapshot
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err = obs.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep scraping until the process exits: the drain window only ends
+		// on a scrape that arrives after the run froze its counters.
+		if snap.Counters["fi_plans"] == 100 {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(100 * time.Millisecond):
+				continue
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fi_plans never reached 100: %v", snap.Counters)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if snap.Counters["fi_campaigns"] != 1 {
+		t.Errorf("fi_campaigns = %d, want 1", snap.Counters["fi_campaigns"])
+	}
+	// Latency histograms from the scrape must reconcile with the journal's
+	// frozen cell record, bucket for bucket.
+	st, err := fi.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := st.Cell("bfs/ferrum/asm").Result
+	if res == nil {
+		t.Fatal("journal has no complete cell record")
+	}
+	var totalLat int64
+	for _, o := range []fi.Outcome{fi.Benign, fi.SDC, fi.Detected, fi.Crash, fi.Hang} {
+		jh := res.Latency.Hist(o)
+		sh := snap.Hists["fi_detect_latency_cycles_"+o.String()]
+		if sh.Count != jh.N {
+			t.Errorf("latency %s: scrape %d samples, journal %d", o, sh.Count, jh.N)
+		}
+		for b, c := range jh.Counts {
+			if b < len(sh.Counts) && sh.Counts[b] != c {
+				t.Errorf("latency %s bucket %d: scrape %d, journal %d", o, b, sh.Counts[b], c)
+			}
+		}
+		if int64(res.Counts[o]) != 0 && o != fi.Benign && jh.N == 0 {
+			t.Errorf("outcome %s has %d faults but no latency samples", o, res.Counts[o])
+		}
+		totalLat += jh.N
+	}
+	if totalLat == 0 {
+		t.Error("no latency samples recorded at all")
 	}
 }
 

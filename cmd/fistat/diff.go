@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ferrum/internal/fi"
+)
+
+// runDiff compares two campaign journals cell by cell: outcome shifts,
+// SDC-rate deltas, and detected-latency movement. The intended use is
+// before/after comparison across a technique or engine change — same
+// benchmarks, same seed, did detection get better or faster?
+func runDiff(out io.Writer, pathA, pathB string) error {
+	stA, err := fi.LoadJournal(pathA)
+	if err != nil {
+		return fmt.Errorf("%s: %w", pathA, err)
+	}
+	stB, err := fi.LoadJournal(pathB)
+	if err != nil {
+		return fmt.Errorf("%s: %w", pathB, err)
+	}
+	fmt.Fprintf(out, "diff: a=%s b=%s\n", pathA, pathB)
+	if stA.Meta.Seed != stB.Meta.Seed || stA.Meta.Samples != stB.Meta.Samples {
+		fmt.Fprintf(out, "note: configs differ (a: seed=%d samples=%d, b: seed=%d samples=%d) — deltas compare different plan sets\n",
+			stA.Meta.Seed, stA.Meta.Samples, stB.Meta.Seed, stB.Meta.Samples)
+	}
+	fmt.Fprintln(out)
+
+	aggA := byKey(aggregate(stA))
+	aggB := byKey(aggregate(stB))
+	keys := map[string]bool{}
+	for k := range aggA {
+		keys[k] = true
+	}
+	for k := range aggB {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	t := newTable("campaign", "plans", "sdc", "detected", "crash", "hang", "Δsdc-rate", "Δp50-detect")
+	for _, k := range sorted {
+		a, b := aggA[k], aggB[k]
+		switch {
+		case a == nil:
+			t.add(k, "(b only)", "", "", "", "", "", "")
+			continue
+		case b == nil:
+			t.add(k, "(a only)", "", "", "", "", "", "")
+			continue
+		}
+		t.add(k,
+			shift(a.samples, b.samples),
+			shift(a.counts[fi.SDC], b.counts[fi.SDC]),
+			shift(a.counts[fi.Detected], b.counts[fi.Detected]),
+			shift(a.counts[fi.Crash], b.counts[fi.Crash]),
+			shift(a.counts[fi.Hang], b.counts[fi.Hang]),
+			fmt.Sprintf("%+.3f", rate(b)-rate(a)),
+			latShift(a, b))
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func byKey(aggs []*cellAgg) map[string]*cellAgg {
+	m := make(map[string]*cellAgg, len(aggs))
+	for _, a := range aggs {
+		m[a.key] = a
+	}
+	return m
+}
+
+func shift(a, b int) string {
+	if a == b {
+		return fmt.Sprintf("%d", a)
+	}
+	return fmt.Sprintf("%d→%d", a, b)
+}
+
+func rate(a *cellAgg) float64 {
+	if a.samples == 0 {
+		return 0
+	}
+	return float64(a.counts[fi.SDC]) / float64(a.samples)
+}
+
+// latShift reports the movement of the detected-outcome median latency.
+func latShift(a, b *cellAgg) string {
+	ha, hb := a.lat.Hist(fi.Detected), b.lat.Hist(fi.Detected)
+	switch {
+	case ha.N == 0 && hb.N == 0:
+		return "-"
+	case ha.N == 0 || hb.N == 0:
+		return fmt.Sprintf("n %d→%d", ha.N, hb.N)
+	}
+	pa, pb := ha.Quantile(0.5), hb.Quantile(0.5)
+	if pa == pb {
+		return fmt.Sprintf("%.0f", pa)
+	}
+	return fmt.Sprintf("%.0f→%.0f", pa, pb)
+}

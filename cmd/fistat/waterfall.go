@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// spanRec mirrors the NDJSON span record written by obs.NDJSON.
+type spanRec struct {
+	Type    string `json:"type"`
+	Name    string `json:"name"`
+	Cell    string `json:"cell"`
+	Lane    int    `json:"lane"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// waterfall renders a per-cell span waterfall from an -events-out NDJSON
+// stream: one row per cell, positioned and scaled on the run's wall-clock,
+// so overlap (and scheduling gaps) are visible at a glance.
+func waterfall(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	type cellSpan struct {
+		cell       string
+		lane       int
+		start, end int64 // µs, envelope over the cell's spans
+		busy       int64 // summed span durations
+		spans      int
+	}
+	cells := map[string]*cellSpan{}
+	var order []string
+	var minStart, maxEnd int64
+	first := true
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec spanRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("events: bad NDJSON line: %w", err)
+		}
+		if rec.Type != "span" {
+			continue
+		}
+		key := rec.Cell
+		if key == "" {
+			key = "(main)"
+		}
+		cs := cells[key]
+		if cs == nil {
+			cs = &cellSpan{cell: key, lane: rec.Lane, start: rec.StartUS, end: rec.StartUS + rec.DurUS}
+			cells[key] = cs
+			order = append(order, key)
+		}
+		if rec.StartUS < cs.start {
+			cs.start = rec.StartUS
+		}
+		if e := rec.StartUS + rec.DurUS; e > cs.end {
+			cs.end = e
+		}
+		cs.busy += rec.DurUS
+		cs.spans++
+		if first || rec.StartUS < minStart {
+			minStart = rec.StartUS
+		}
+		if e := rec.StartUS + rec.DurUS; first || e > maxEnd {
+			maxEnd = e
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(cells) == 0 {
+		fmt.Fprintf(out, "span waterfall: no span records in %s\n", path)
+		return nil
+	}
+	sort.SliceStable(order, func(i, j int) bool { return cells[order[i]].start < cells[order[j]].start })
+
+	const width = 50
+	span := maxEnd - minStart
+	if span <= 0 {
+		span = 1
+	}
+	fmt.Fprintf(out, "span waterfall (%d cells over %.1f ms; #=busy window, lane on the right):\n",
+		len(cells), float64(span)/1000)
+	nameW := 0
+	for _, k := range order {
+		if len(k) > nameW {
+			nameW = len(k)
+		}
+	}
+	for _, k := range order {
+		cs := cells[k]
+		lead := int(int64(width) * (cs.start - minStart) / span)
+		bar := int(int64(width) * (cs.end - cs.start) / span)
+		if bar < 1 {
+			bar = 1
+		}
+		if lead+bar > width {
+			bar = width - lead
+		}
+		fmt.Fprintf(out, "  %-*s |%s%s%s| %7.1fms busy=%.1fms lane=%d spans=%d\n",
+			nameW, k,
+			strings.Repeat(" ", lead), strings.Repeat("#", bar), strings.Repeat(" ", width-lead-bar),
+			float64(cs.end-cs.start)/1000, float64(cs.busy)/1000, cs.lane, cs.spans)
+	}
+	fmt.Fprintln(out)
+	return nil
+}

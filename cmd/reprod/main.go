@@ -76,6 +76,8 @@ func run(argv []string, out io.Writer) error {
 		ciWidth     = fs.Float64("ci-width", 0, "stop each campaign early once the 95% CI of its SDC rate is no wider than this (0 = off)")
 		pruneMode   = fs.String("prune", "off", "static fault-site pruning for asm campaigns: off, dead (exact), exact (dead+masked), full (adds class dedup, statistical)")
 		dumpFusion  = fs.Int("dump-fusion", 0, "print the top N fused superinstruction patterns by dynamic executions to stderr")
+		serveAddr   = fs.String("serve", "", "serve live observability over HTTP on this address (host:port; :0 picks a port): /metrics, /progress, /debug/pprof")
+		serveDrain  = fs.Duration("serve-drain", 0, "with -serve: after the run completes, keep serving until one more /metrics scrape lands or this much time passes (0 = exit immediately)")
 		eventsOut   = fs.String("events-out", "", "write NDJSON observability events (spans + final metrics) to this file")
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable timeline) to this file")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -101,14 +103,39 @@ func run(argv []string, out io.Writer) error {
 	}
 
 	ob := obs.New()
+
+	// -serve: live observatory. /metrics snapshots the same registry the
+	// end-of-run summary renders from; /progress replays the NDJSON event
+	// stream to HTTP clients through a broadcast hub.
+	var hub *obs.Hub
+	var server *obs.Server
+	if *serveAddr != "" {
+		hub = obs.NewHub()
+		srv, err := obs.StartServer(*serveAddr, ob.Reg.Snapshot, hub)
+		if err != nil {
+			return err
+		}
+		server = srv
+		defer server.Close()
+		fmt.Fprintf(errw, "serving http://%s (/metrics, /progress, /debug/pprof)\n", server.Addr())
+	}
 	var events *obs.NDJSON
+	var sink io.Writer
 	if *eventsOut != "" {
 		f, err := os.Create(*eventsOut)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		events = obs.NewNDJSON(f, time.Time{})
+		sink = f
+		if hub != nil {
+			sink = io.MultiWriter(f, hub)
+		}
+	} else if hub != nil {
+		sink = hub
+	}
+	if sink != nil {
+		events = obs.NewNDJSON(sink, time.Time{})
 		events.Attach(ob.Trace)
 		events.Meta("reprod", argv)
 	}
@@ -232,6 +259,7 @@ func run(argv []string, out io.Writer) error {
 			return err
 		}
 		render("fig10", harness.RenderFig10(rows))
+		render("latency", harness.RenderLatency(rows))
 	}
 	if want("fig11") {
 		ran = true
@@ -280,6 +308,11 @@ func run(argv []string, out io.Writer) error {
 	if err := journal.Close(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	// The campaign counters are frozen from here on. Scrapes answered before
+	// this point may predate them; the drain window at the end waits for one
+	// that doesn't — a watcher that reacts to the summary below always gets
+	// the final counters.
+	scrapesBeforeSummary := server.Scrapes()
 
 	// One snapshot feeds both the human summary and the NDJSON metrics
 	// record, so the two always reconcile exactly.
@@ -321,6 +354,11 @@ func run(argv []string, out io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+	}
+	// Drain window: hold the endpoint open until a post-summary scrape reads
+	// the frozen counters — CI reconciles against it.
+	if server != nil && *serveDrain > 0 {
+		server.AwaitScrape(scrapesBeforeSummary, *serveDrain)
 	}
 	return nil
 }

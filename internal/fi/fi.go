@@ -173,6 +173,20 @@ func (c Campaign) observeOutcomes(res Result) {
 	if res.EarlyStopped {
 		c.Obs.Counter(obs.MEarlyStops).Add(1)
 	}
+	// Detection-latency histograms fold in pre-bucketed: LatencyBuckets and
+	// the registry histogram share one geometry, so the obs totals equal the
+	// per-campaign summaries exactly — including for journal-replayed
+	// campaigns, whose cell records carry the same frozen buckets.
+	if res.Latency.Unit != "" {
+		for o := Outcome(0); o < numOutcomes; o++ {
+			lh := res.Latency.ByOutcome[o]
+			if lh.N == 0 {
+				continue
+			}
+			c.Obs.Histogram(obs.MDetectLatencyPrefix+res.Latency.Unit+"."+o.String(), LatencyBuckets).
+				AddBuckets(lh.Counts, lh.Sum, lh.N)
+		}
+	}
 }
 
 // priorResult answers the campaign from its journaled cell record, if one
@@ -228,6 +242,12 @@ type Result struct {
 	// off. Counts answered statically are folded into Counts as Benign (dead,
 	// masked) or as their representative's outcome (deduped).
 	Pruned PruneSummary
+	// Latency holds the campaign's detection-latency histograms: for every
+	// executed plan whose fault was injected, the distance from injection to
+	// the terminal event, bucketed per outcome class. Units are machine
+	// cycles (asm) or retired IR instructions (ir); plans answered
+	// statically by pruning never executed and contribute nothing.
+	Latency LatencySummary
 }
 
 // Count returns the number of runs with the given outcome.
@@ -444,7 +464,7 @@ func newAsmCampaign(tgt AsmTarget, c Campaign, recordLocs bool) (*asmCampaign, e
 	return a, nil
 }
 
-func (a *asmCampaign) runOne(m *machine.Machine, p plannedFault) Outcome {
+func (a *asmCampaign) runOne(m *machine.Machine, p plannedFault) planResult {
 	opts := machine.RunOpts{
 		Args:     a.tgt.Args,
 		MaxSteps: a.c.MaxSteps,
@@ -459,7 +479,12 @@ func (a *asmCampaign) runOne(m *machine.Machine, p plannedFault) Outcome {
 			a.coldStarts.Add(1)
 		}
 	}
-	return classifyAsm(m.Run(opts), a.golden.Output)
+	r := m.Run(opts)
+	pr := planResult{o: classifyAsm(r, a.golden.Output)}
+	if r.Injected {
+		pr.lat, pr.hasLat = r.Cycles-r.FaultCycles, true
+	}
+	return pr
 }
 
 // run executes the plan through runPlans with a per-worker machine. Each
@@ -469,12 +494,12 @@ func (a *asmCampaign) runOne(m *machine.Machine, p plannedFault) Outcome {
 func (a *asmCampaign) run() (planOutcomes, error) {
 	isp := a.c.Obs.Span("inject")
 	isp.SetAttr("plans", len(a.plans))
-	po, err := runPlans(a.c, a.plans, func() (func(plannedFault) Outcome, error) {
+	po, err := runPlans(a.c, a.plans, func() (func(plannedFault) planResult, error) {
 		m := a.m0.Clone()
 		a.mu.Lock()
 		a.machines = append(a.machines, m)
 		a.mu.Unlock()
-		return func(p plannedFault) Outcome { return a.runOne(m, p) }, nil
+		return func(p plannedFault) planResult { return a.runOne(m, p) }, nil
 	})
 	isp.End()
 	a.observeDispatch()
@@ -529,6 +554,11 @@ func (a *asmCampaign) result(po planOutcomes) Result {
 		Cycles:       a.golden.Cycles,
 		EarlyStopped: early,
 		Checkpoint:   a.ckpt,
+		// Latency aggregates over the executed prefix po indexes: the
+		// generation order for plain campaigns (truncated on early stop),
+		// the dense representative set under pruning — expanded outcomes
+		// never executed, so they carry no latency.
+		Latency: aggregateLatency("cycles", po.samples, po.outcomes, po.lats, po.hasLat),
 	}
 	if a.part != nil {
 		res.Pruned = a.part.summary
@@ -636,12 +666,12 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	}
 	isp := c.Obs.Span("inject")
 	isp.SetAttr("plans", len(plans))
-	po, err := runPlans(c, plans, func() (func(plannedFault) Outcome, error) {
+	po, err := runPlans(c, plans, func() (func(plannedFault) planResult, error) {
 		// Workers clone the fully-loaded template: the decoded module and
 		// pristine memory image are shared, so per-worker setup skips the
 		// verify/decode passes and the data-image copy.
 		ip := ip0.Clone()
-		return func(p plannedFault) Outcome {
+		return func(p plannedFault) planResult {
 			opts := ir.RunOpts{
 				Args:     tgt.Args,
 				MaxSteps: c.MaxSteps,
@@ -656,7 +686,12 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 					coldStarts.Add(1)
 				}
 			}
-			return classifyIR(ip.Run(opts), golden.Output)
+			r := ip.Run(opts)
+			pr := planResult{o: classifyIR(r, golden.Output)}
+			if r.Injected {
+				pr.lat, pr.hasLat = float64(r.Steps-r.FaultStep), true
+			}
+			return pr
 		}, nil
 	})
 	isp.End()
@@ -666,6 +701,7 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	res.Samples = po.samples
 	res.Counts = po.counts
 	res.EarlyStopped = po.early
+	res.Latency = aggregateLatency("insts", po.samples, po.outcomes, po.lats, po.hasLat)
 	res.Checkpoint.Restores = restores.Load()
 	res.Checkpoint.ColdStarts = coldStarts.Load()
 	res.Checkpoint.SkippedInsts = skipped.Load()

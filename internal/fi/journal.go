@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"ferrum/internal/obs"
@@ -20,8 +21,13 @@ import (
 //
 // Record stream (one JSON object per line):
 //
-//	{"t":"meta","v":1,"meta":{...}}           — first line; config fingerprint
-//	{"t":"plan","c":"<key>","i":17,"o":1}     — plan i of campaign <key> had outcome o
+//	{"t":"meta","v":2,"meta":{...}}           — first line; config fingerprint
+//	{"t":"plan","c":"<key>","i":17,"o":1,
+//	 "s":204,"l":96}                          — plan i of campaign <key> had outcome o;
+//	                                            it hit dynamic site s and its fault ran
+//	                                            l engine units (cycles / retired insts)
+//	                                            before the terminal event. l is absent
+//	                                            when the fault was never injected.
 //	{"t":"cell","c":"<key>","res":{...}}      — campaign <key> completed with Result res
 //
 // A torn trailing record (the process died mid-write) is detected on load,
@@ -29,7 +35,9 @@ import (
 // is simply re-run.
 
 // journalVersion is bumped when the record schema changes incompatibly.
-const journalVersion = 1
+// v2 added the per-plan fault site ("s") and detection latency ("l") fields
+// and the Result.Latency summary inside cell records.
+const journalVersion = 2
 
 // defaultSyncBatch is how many records may accumulate before the journal
 // flushes and fsyncs. Batching amortises fsync latency across plans; a crash
@@ -77,6 +85,8 @@ type journalRecord struct {
 	C    string          `json:"c,omitempty"`
 	I    int             `json:"i,omitempty"`
 	O    Outcome         `json:"o,omitempty"`
+	S    *uint64         `json:"s,omitempty"` // dynamic fault site (plan records, v2+)
+	L    *float64        `json:"l,omitempty"` // detection latency in engine units; nil = not injected
 	Res  json.RawMessage `json:"res,omitempty"`
 }
 
@@ -169,9 +179,15 @@ func (j *Journal) syncLocked() {
 }
 
 // Plan records one completed fault plan: plan index i of campaign key had
-// outcome o.
-func (j *Journal) Plan(key string, i int, o Outcome) {
-	j.append(journalRecord{T: "plan", C: key, I: i, O: o})
+// outcome o, hitting dynamic site site. lat is the fault's detection
+// latency in engine units; hasLat false (the fault was never injected)
+// omits the latency field rather than journaling a spurious zero.
+func (j *Journal) Plan(key string, i int, o Outcome, site uint64, lat float64, hasLat bool) {
+	r := journalRecord{T: "plan", C: key, I: i, O: o, S: &site}
+	if hasLat {
+		r.L = &lat
+	}
+	j.append(r)
 }
 
 // Cell records a completed campaign's full Result and syncs immediately —
@@ -241,6 +257,15 @@ type CellState struct {
 	// Plans maps plan index → journaled outcome for the plans that completed
 	// before the process died.
 	Plans map[int]Outcome
+	// PlanLats maps plan index → journaled detection latency (engine units)
+	// for the subset of journaled plans whose fault was injected. Replayed
+	// alongside Plans so a resumed campaign's latency histograms match an
+	// uninterrupted run's exactly.
+	PlanLats map[int]float64
+	// PlanSites maps plan index → the dynamic fault site the plan hit, when
+	// the journal recorded it (schema v2+). Post-hoc analytics (fistat's
+	// per-site heatmap) key on it; resume does not need it.
+	PlanSites map[int]uint64
 }
 
 // JournalState is a loaded journal: everything a resumed run can skip.
@@ -327,13 +352,23 @@ func LoadJournal(path string) (*JournalState, error) {
 		switch r.T {
 		case "meta":
 			if r.V != journalVersion {
-				return nil, fmt.Errorf("fi: journal version %d, want %d", r.V, journalVersion)
+				return nil, fmt.Errorf("fi: journal %s uses schema v%d; this build reads v%d — "+
+					"finish it with the matching build, or re-run without -resume to record a fresh journal",
+					path, r.V, journalVersion)
 			}
 			st.Meta = *r.Meta
 			sawMeta = true
 		case "plan":
 			c := st.cell(r.C)
 			c.Plans[r.I] = r.O
+			if r.L != nil {
+				c.PlanLats[r.I] = *r.L
+			} else {
+				delete(c.PlanLats, r.I) // duplicate record without latency wins whole
+			}
+			if r.S != nil {
+				c.PlanSites[r.I] = *r.S
+			}
 		case "cell":
 			var res Result
 			if err := json.Unmarshal(r.Res, &res); err != nil {
@@ -353,10 +388,28 @@ func LoadJournal(path string) (*JournalState, error) {
 func (s *JournalState) cell(key string) *CellState {
 	c := s.cells[key]
 	if c == nil {
-		c = &CellState{Plans: map[int]Outcome{}}
+		c = &CellState{
+			Plans:     map[int]Outcome{},
+			PlanLats:  map[int]float64{},
+			PlanSites: map[int]uint64{},
+		}
 		s.cells[key] = c
 	}
 	return c
+}
+
+// Keys returns the journal's campaign keys in sorted order, for post-hoc
+// analytics that iterate every journaled campaign.
+func (s *JournalState) Keys() []string {
+	if s == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(s.cells))
+	for k := range s.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func validRecord(r journalRecord) bool {

@@ -22,9 +22,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign)
-	j.Plan("a", 3, SDC)
-	j.Plan("b", 1, Crash)
+	j.Plan("a", 0, Benign, 10, 128, true)
+	j.Plan("a", 3, SDC, 11, 0, false)
+	j.Plan("b", 1, Crash, 12, 7, true)
 	res := Result{Samples: 2, Counts: [numOutcomes]int{Benign: 1, SDC: 1}, DynSites: 9}
 	j.Cell("a", res)
 	if err := j.Close(); err != nil {
@@ -91,8 +91,8 @@ func TestJournalTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign)
-	j.Plan("a", 1, SDC)
+	j.Plan("a", 0, Benign, 0, 1, true)
+	j.Plan("a", 1, SDC, 1, 2, true)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestJournalTornTail(t *testing.T) {
 		t.Error("torn record survived the load")
 	}
 	// Appending after resume lands on a clean line boundary.
-	j2.Plan("a", 2, Hang)
+	j2.Plan("a", 2, Hang, 2, 3, true)
 	if err := j2.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestJournalMissingFinalNewline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Detected)
+	j.Plan("a", 0, Detected, 5, 42, true)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -179,8 +179,8 @@ func TestJournalMidFileCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign)
-	j.Plan("a", 1, Benign)
+	j.Plan("a", 0, Benign, 0, 1, true)
+	j.Plan("a", 1, Benign, 1, 1, true)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -219,9 +219,9 @@ func TestJournalDuplicatePlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign)
-	j.Plan("a", 0, Benign)
-	j.Plan("a", 1, SDC)
+	j.Plan("a", 0, Benign, 0, 4, true)
+	j.Plan("a", 0, Benign, 0, 4, true)
+	j.Plan("a", 1, SDC, 1, 2, true)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -234,11 +234,90 @@ func TestJournalDuplicatePlans(t *testing.T) {
 	}
 }
 
+// TestJournalVersionRefused: a journal from an older schema must be refused
+// with an actionable error naming both versions — never decoded on a guess
+// and never a panic. (v1 lacked the per-plan "s"/"l" fields and latency in
+// cell results; replaying it would silently drop telemetry.)
+func TestJournalVersionRefused(t *testing.T) {
+	path := journalPath(t)
+	v1 := `{"t":"meta","v":1,"meta":{"tool":"test","seed":42,"samples":80}}
+{"t":"plan","c":"a","i":0,"o":0}
+`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadJournal(path)
+	if err == nil {
+		t.Fatal("v1 journal loaded without error")
+	}
+	for _, needle := range []string{"schema v1", "v2", "re-run"} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("version error %q missing %q", err, needle)
+		}
+	}
+	if _, _, err := ResumeJournal(path); err == nil {
+		t.Error("v1 journal resumed without error")
+	}
+}
+
+// TestJournalV2ResumeByteIdentical: closing and resuming a v2 journal, then
+// appending nothing, must leave the file byte-identical — resume truncates
+// only torn tails, never rewrites committed records (latency fields
+// included).
+func TestJournalV2ResumeByteIdentical(t *testing.T) {
+	path := journalPath(t)
+	j, err := CreateJournal(path, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Plan("a", 0, Detected, 10, 128.5, true)
+	j.Plan("a", 1, Benign, 11, 0, false)
+	var res Result
+	res.Samples = 2
+	res.Counts[Detected] = 1
+	res.Counts[Benign] = 1
+	res.Latency.Unit = "cycles"
+	res.Latency.Observe(Detected, 128.5)
+	j.Cell("a", res)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, j2, err := ResumeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("resume rewrote committed bytes:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	// The replayed state carries the v2 fields intact.
+	a := st.Cell("a")
+	if a.PlanLats[0] != 128.5 || a.PlanSites[0] != 10 {
+		t.Errorf("v2 fields lost on resume: lats=%v sites=%v", a.PlanLats, a.PlanSites)
+	}
+	if _, ok := a.PlanLats[1]; ok {
+		t.Error("uninjected plan gained a latency on replay")
+	}
+	if a.Result == nil || a.Result.Latency.Unit != "cycles" || a.Result.Latency.N() != 1 {
+		t.Errorf("cell latency summary lost on resume: %+v", a.Result)
+	}
+}
+
 // TestJournalNilSafety: campaigns without a journal call the same methods;
 // every one of them must be a no-op on a nil receiver.
 func TestJournalNilSafety(t *testing.T) {
 	var j *Journal
-	j.Plan("a", 0, Benign)
+	j.Plan("a", 0, Benign, 0, 0, false)
 	j.Cell("a", Result{})
 	j.Observe(nil)
 	if err := j.Sync(); err != nil {

@@ -20,6 +20,12 @@ type SiteStats struct {
 	Detected int
 	Crashes  int
 	Hangs    int
+	// LatencySum/LatencyN aggregate detection latency (machine cycles from
+	// injection to the terminal event) over this location's executed faults.
+	// Under pruning only the executed representatives contribute, so
+	// LatencyN can be smaller than Faults.
+	LatencySum float64
+	LatencyN   int
 }
 
 // Proneness is the fraction of sampled faults at this location that became
@@ -29,6 +35,15 @@ func (s SiteStats) Proneness() float64 {
 		return 0
 	}
 	return float64(s.SDCs) / float64(s.Faults)
+}
+
+// MeanLatency is the average detection latency (cycles) over this
+// location's executed faults; 0 when none executed.
+func (s SiteStats) MeanLatency() float64 {
+	if s.LatencyN == 0 {
+		return 0
+	}
+	return s.LatencySum / float64(s.LatencyN)
 }
 
 // ProfileProneness runs a fault-injection campaign against the (raw)
@@ -46,7 +61,7 @@ func ProfileProneness(tgt AsmTarget, c Campaign) ([]SiteStats, error) {
 	// would lose data; journaled per-plan outcomes replay fine through
 	// runPlans, and the profile writes no cell record of its own.
 	if c.Prior != nil && c.Prior.Result != nil {
-		c.Prior = &CellState{Plans: c.Prior.Plans}
+		c.Prior = &CellState{Plans: c.Prior.Plans, PlanLats: c.Prior.PlanLats, PlanSites: c.Prior.PlanSites}
 	}
 	a, err := newAsmCampaign(tgt, c, true)
 	if err != nil {
@@ -87,6 +102,26 @@ func ProfileProneness(tgt AsmTarget, c Campaign) ([]SiteStats, error) {
 		case Hang:
 			st.Hangs++
 		}
+	}
+	// Latency attributes by the executed plan set po actually indexes (the
+	// dense representatives under pruning), not the expanded space: only
+	// executed faults measured anything.
+	execPlans := a.orig
+	if a.part != nil {
+		execPlans = a.part.exec
+	}
+	for i := 0; i < po.samples && i < len(execPlans); i++ {
+		if !po.hasLat[i] {
+			continue
+		}
+		loc := a.golden.SiteLocs[execPlans[i].site]
+		st := agg[loc]
+		if st == nil {
+			st = &SiteStats{Loc: loc}
+			agg[loc] = st
+		}
+		st.LatencySum += po.lats[i]
+		st.LatencyN++
 	}
 	out := make([]SiteStats, 0, len(agg))
 	for _, st := range agg {

@@ -279,8 +279,19 @@ func TestPruneProneness(t *testing.T) {
 		t.Fatalf("pruned profile has %d sites, full %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		// Latency aggregates over executed plans only, so a pruned profile
+		// legitimately observes fewer (class representatives stand in for
+		// their members, and statically-answered plans never ran); the
+		// outcome attribution is what must compose exactly.
+		g, w := got[i], want[i]
+		g.LatencySum, g.LatencyN = 0, 0
+		w.LatencySum, w.LatencyN = 0, 0
+		if g != w {
 			t.Errorf("site %d: pruned %+v != full %+v", i, got[i], want[i])
+		}
+		if got[i].LatencyN > want[i].LatencyN {
+			t.Errorf("site %d: pruned profile observed more latencies (%d) than the full one (%d)",
+				i, got[i].LatencyN, want[i].LatencyN)
 		}
 	}
 }

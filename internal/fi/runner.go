@@ -44,11 +44,25 @@ type planRun struct {
 	firstErr     error
 	done         []bool
 	outcomes     []Outcome
+	lats         []float64
+	hasLat       []bool
 	prefixLen    int
 	prefixCounts [numOutcomes]int
 	stopped      bool
 	stopAt       int
 	stopCounts   [numOutcomes]int
+}
+
+// planResult is what a campaign worker returns for one executed plan: the
+// classified outcome plus the fault's detection latency — the distance from
+// injection to the terminal event, in engine units (machine cycles for asm,
+// retired instructions for IR). hasLat is false when the fault was never
+// applied (the run should always reach its sampled site, but a missing
+// injection must not masquerade as a zero-latency detection).
+type planResult struct {
+	o      Outcome
+	lat    float64
+	hasLat bool
 }
 
 // planOutcomes is what runPlans hands back: the effective sample count
@@ -60,6 +74,10 @@ type planOutcomes struct {
 	counts   [numOutcomes]int
 	early    bool
 	outcomes []Outcome
+	// lats/hasLat carry per-index detection latencies for the plans that
+	// executed (fresh or journal-replayed); indexed like outcomes.
+	lats   []float64
+	hasLat []bool
 }
 
 // grab hands out the next batch of pending plans, or nil when the run is
@@ -89,14 +107,18 @@ func (pr *planRun) grab(nb int) []plannedFault {
 	return batch
 }
 
-func (pr *planRun) record(idx int, o Outcome) {
+func (pr *planRun) record(idx int, r planResult) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
 	if pr.done[idx] {
 		return
 	}
 	pr.done[idx] = true
-	pr.outcomes[idx] = o
+	pr.outcomes[idx] = r.o
+	if r.hasLat {
+		pr.lats[idx] = r.lat
+		pr.hasLat[idx] = true
+	}
 	pr.advanceLocked()
 }
 
@@ -134,7 +156,7 @@ func (pr *planRun) fail(err error) {
 func (pr *planRun) finish() (planOutcomes, error) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	po := planOutcomes{outcomes: pr.outcomes}
+	po := planOutcomes{outcomes: pr.outcomes, lats: pr.lats, hasLat: pr.hasLat}
 	switch {
 	case pr.firstErr != nil:
 		return po, pr.firstErr
@@ -148,10 +170,12 @@ func (pr *planRun) finish() (planOutcomes, error) {
 	return po, nil
 }
 
-// journalPlan appends one completed plan to the campaign's journal, if any.
-func (c Campaign) journalPlan(idx int, o Outcome) {
+// journalPlan appends one completed plan to the campaign's journal, if any:
+// its outcome, the dynamic fault site it hit, and the measured detection
+// latency (when the fault was injected).
+func (c Campaign) journalPlan(p plannedFault, r planResult) {
 	if c.Journal != nil && c.Key != "" {
-		c.Journal.Plan(c.Key, idx, o)
+		c.Journal.Plan(c.Key, p.idx, r.o, p.site, r.lat, r.hasLat)
 	}
 }
 
@@ -170,7 +194,7 @@ func (c Campaign) journalCell(res Result) {
 // site); outcome bookkeeping is always by the plan's generation index, so
 // results are independent of both ordering and worker count.
 func runPlans(c Campaign, plans []plannedFault,
-	newWorker func() (func(plannedFault) Outcome, error)) (planOutcomes, error) {
+	newWorker func() (func(plannedFault) planResult, error)) (planOutcomes, error) {
 	n := len(plans)
 	pr := &planRun{
 		n:        n,
@@ -178,6 +202,8 @@ func runPlans(c Campaign, plans []plannedFault,
 		cancel:   c.Cancel,
 		done:     make([]bool, n),
 		outcomes: make([]Outcome, n),
+		lats:     make([]float64, n),
+		hasLat:   make([]bool, n),
 	}
 	prefilled := 0
 	if prior := c.Prior; prior != nil && len(prior.Plans) > 0 {
@@ -185,6 +211,10 @@ func runPlans(c Campaign, plans []plannedFault,
 			if o, ok := prior.Plans[p.idx]; ok && p.idx < n {
 				pr.done[p.idx] = true
 				pr.outcomes[p.idx] = o
+				if l, ok := prior.PlanLats[p.idx]; ok {
+					pr.lats[p.idx] = l
+					pr.hasLat[p.idx] = true
+				}
 				prefilled++
 			} else {
 				pr.todo = append(pr.todo, p)
@@ -205,11 +235,11 @@ func runPlans(c Campaign, plans []plannedFault,
 	}
 	report(prefilled)
 
-	runBatch := func(w func(plannedFault) Outcome, batch []plannedFault) {
+	runBatch := func(w func(plannedFault) planResult, batch []plannedFault) {
 		for _, p := range batch {
-			o := w(p)
-			pr.record(p.idx, o)
-			c.journalPlan(p.idx, o)
+			r := w(p)
+			pr.record(p.idx, r)
+			c.journalPlan(p, r)
 		}
 		report(len(batch))
 	}

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"ferrum/internal/fi"
 )
 
 // table is a small text-table builder with right-padded columns.
@@ -94,6 +96,47 @@ func RenderFig10(rows []Fig10Row) string {
 		}
 		b.WriteByte('\n')
 	}
+	return b.String()
+}
+
+// RenderLatency renders the detection-latency table from the fig. 10
+// campaigns: machine cycles between fault injection and the terminal event,
+// per benchmark, technique, and outcome class. Short latencies mean the
+// detector (or the fault's own crash) fired close to the corruption — the
+// window a recovery scheme has to contain it. Bucketed quantiles are upper
+// bounds (p50<= is the smallest power-of-two bucket covering the median).
+func RenderLatency(rows []Fig10Row) string {
+	t := &table{header: []string{"benchmark", "technique", "outcome", "n", "mean", "p50<=", "p90<=", "max"}}
+	outcomes := []fi.Outcome{fi.Detected, fi.Crash, fi.Hang}
+	for _, r := range rows {
+		name := r.Benchmark
+		for _, tech := range append([]Technique{Raw}, Techniques...) {
+			res, ok := r.Counts[tech]
+			if !ok {
+				continue
+			}
+			for _, o := range outcomes {
+				h := res.Latency.Hist(o)
+				if h.N == 0 {
+					continue
+				}
+				t.add(name, string(tech), o.String(), fmt.Sprintf("%d", h.N),
+					fmt.Sprintf("%.0f", h.Mean()),
+					fmt.Sprintf("%.0f", h.Quantile(0.5)),
+					fmt.Sprintf("%.0f", h.Quantile(0.9)),
+					fmt.Sprintf("%.0f", h.Max))
+				name = ""
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Detection latency — cycles from injection to terminal event\n")
+	b.WriteString("(executed faults only; unit: machine cycles, assembly-level injection)\n\n")
+	if len(t.rows) == 0 {
+		b.WriteString("no injected faults reached a terminal event\n")
+		return b.String()
+	}
+	b.WriteString(t.String())
 	return b.String()
 }
 

@@ -37,6 +37,7 @@ type refInterp struct {
 	sites    uint64
 	fault    *ir.Fault
 	injected bool
+	injStep  uint64
 }
 
 type refFrame struct {
@@ -88,6 +89,7 @@ func (r *refInterp) run(opts ir.RunOpts) ir.RunResult {
 	r.output = r.output[:0]
 	r.steps, r.sites = 0, 0
 	r.injected = false
+	r.injStep = 0
 	r.fault = opts.Fault
 	r.maxSteps = opts.MaxSteps
 	if r.maxSteps == 0 {
@@ -104,10 +106,11 @@ func (r *refInterp) run(opts ir.RunOpts) ir.RunResult {
 
 	err := r.loop()
 	res := ir.RunResult{
-		Output:   append([]uint64(nil), r.output...),
-		Steps:    r.steps,
-		Sites:    r.sites,
-		Injected: r.injected,
+		Output:    append([]uint64(nil), r.output...),
+		Steps:     r.steps,
+		Sites:     r.sites,
+		Injected:  r.injected,
+		FaultStep: r.injStep,
 	}
 	switch e := err.(type) {
 	case nil:
@@ -267,6 +270,7 @@ func (r *refInterp) exec(in *ir.Inst, env map[string]uint64) error {
 			if r.fault != nil && r.sites == r.fault.Site {
 				result ^= 1 << (r.fault.Bit % 64)
 				r.injected = true
+				r.injStep = r.steps
 			}
 			r.sites++
 		}

@@ -76,6 +76,10 @@ type RunResult struct {
 	Sites    uint64
 	CrashMsg string
 	Injected bool
+	// FaultStep is the retired-instruction count at the moment the fault
+	// was applied (valid only when Injected). Steps - FaultStep is the
+	// detection latency in retired IR instructions.
+	FaultStep uint64
 }
 
 // frame is one activation record of the explicit call stack. The
@@ -118,6 +122,10 @@ type Interp struct {
 	sites    uint64
 	fault    *Fault
 	injected bool
+	// injStep is the retired-instruction count at the moment the fault was
+	// applied (valid only when injected). Steps - injStep is the fault's
+	// detection latency in retired IR instructions.
+	injStep uint64
 
 	checkpointEvery uint64
 	onCheckpoint    func(*Snapshot)
@@ -213,6 +221,7 @@ func (ip *Interp) Run(opts RunOpts) RunResult {
 		ip.output = ip.output[:0]
 		ip.steps, ip.sites = 0, 0
 		ip.injected = false
+		ip.injStep = 0
 		ip.recycleFrames()
 		entry := ip.dfuncs[ip.entry]
 		regs := ip.acquireRegs(entry.nregs)
@@ -234,10 +243,11 @@ func (ip *Interp) Run(opts RunOpts) RunResult {
 	err := ip.run()
 
 	res := RunResult{
-		Output:   append([]uint64(nil), ip.output...),
-		Steps:    ip.steps,
-		Sites:    ip.sites,
-		Injected: ip.injected,
+		Output:    append([]uint64(nil), ip.output...),
+		Steps:     ip.steps,
+		Sites:     ip.sites,
+		Injected:  ip.injected,
+		FaultStep: ip.injStep,
 	}
 	switch e := err.(type) {
 	case nil:
@@ -496,6 +506,7 @@ func (ip *Interp) exec(in *dinst, regs []uint64) error {
 		if ip.fault != nil && ip.sites == ip.fault.Site {
 			result ^= 1 << (ip.fault.Bit % 64)
 			ip.injected = true
+			ip.injStep = ip.steps
 		}
 		ip.sites++
 	}

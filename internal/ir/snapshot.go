@@ -71,6 +71,7 @@ type Snapshot struct {
 	steps    uint64
 	sites    uint64
 	injected bool
+	injStep  uint64
 
 	pages   []snapPage
 	memSize int
@@ -110,6 +111,7 @@ func (ip *Interp) Snapshot() *Snapshot {
 		steps:    ip.steps,
 		sites:    ip.sites,
 		injected: ip.injected,
+		injStep:  ip.injStep,
 		pages:    make([]snapPage, 0, len(ip.dirtyPages)),
 		memSize:  len(ip.mem),
 	}
@@ -186,5 +188,6 @@ func (ip *Interp) Restore(s *Snapshot) error {
 	ip.sp = s.sp
 	ip.output = append(ip.output[:0], s.output...)
 	ip.steps, ip.sites, ip.injected = s.steps, s.sites, s.injected
+	ip.injStep = s.injStep
 	return nil
 }

@@ -175,6 +175,8 @@ func (m *Machine) runBlockSlow(fault *Fault, maxSteps uint64, pc, end int) (Outc
 					m.applyFault(dest, b)
 				}
 				m.injected = true
+				m.injCycles = m.cyclesNow()
+				m.injDyn = m.dyn
 			}
 			m.sites++
 		}

@@ -1252,6 +1252,17 @@ func (m *Machine) flushSpan() {
 	m.scalarSpan, m.vectorSpan = 0, 0
 }
 
+// cyclesNow reports the effective cycle clock mid-run: flushed cycles plus
+// the dual-issue span accumulated since the last block boundary. This is
+// exactly what m.cycles would read after the next flushSpan if no further
+// work issued.
+func (m *Machine) cyclesNow() float64 {
+	if m.vectorSpan > m.scalarSpan {
+		return m.cycles + m.vectorSpan
+	}
+	return m.cycles + m.scalarSpan
+}
+
 func (m *Machine) readReg(r asm.Reg, w asm.Width) uint64 {
 	return m.gpr[r] & widthMask(w)
 }

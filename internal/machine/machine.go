@@ -63,6 +63,13 @@ type Result struct {
 	DynSites uint64 // dynamic instructions with a fault-injection destination
 	CrashMsg string
 	Injected bool // whether the planned fault was reached and applied
+	// FaultCycles and FaultDyn record the cycle clock and retired dynamic
+	// instruction count at the moment the fault was applied (valid only when
+	// Injected). Cycles - FaultCycles is the fault's detection latency on
+	// the machine cycle model: how long the corrupted state ran before the
+	// terminal event (detector trap, crash, hang cutoff, or normal exit).
+	FaultCycles float64
+	FaultDyn    uint64
 	// SiteDests holds the destination kind of each dynamic site, in site
 	// order, when RunOpts.RecordSites was set.
 	SiteDests []asm.DestKind
@@ -197,6 +204,13 @@ type Machine struct {
 	dyn      uint64
 	sites    uint64
 	injected bool
+
+	// Injection instant, captured when the planned fault is applied (cycle
+	// clock and retired instructions); zero until then. Only the two
+	// injection points write these — the fast block path never does, because
+	// blocks containing the fault site always fall back to runBlockSlow.
+	injCycles float64
+	injDyn    uint64
 
 	scalarSpan float64
 	vectorSpan float64
@@ -438,6 +452,8 @@ loop:
 					m.applyFault(dest, b)
 				}
 				m.injected = true
+				m.injCycles = m.cyclesNow()
+				m.injDyn = m.dyn
 			}
 			if record {
 				if opts.RecordSites {
@@ -478,6 +494,8 @@ done:
 		DynSites:    m.sites,
 		CrashMsg:    crashMsg,
 		Injected:    m.injected,
+		FaultCycles: m.injCycles,
+		FaultDyn:    m.injDyn,
 		SiteDests:   siteDests,
 		SiteLocs:    siteLocs,
 		SiteBits:    siteBits,
@@ -515,6 +533,7 @@ func (m *Machine) reset() {
 	m.pc = m.start
 	m.dyn, m.sites = 0, 0
 	m.injected = false
+	m.injCycles, m.injDyn = 0, 0
 	m.scalarSpan, m.vectorSpan, m.cycles = 0, 0, 0
 	// Stack grows down from the top of memory and starts empty — no
 	// sentinel is pushed. A stray top-level RET pops from the address one

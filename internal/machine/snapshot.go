@@ -59,13 +59,15 @@ func (m *Machine) restoreMem() {
 // long as both share the same pristine image; it is immutable after capture
 // and safe to restore concurrently into different machines.
 type Snapshot struct {
-	gpr      [asm.NumReg]uint64
-	x        [asm.NumXReg][8]uint64
-	flags    [asm.NumFlag]bool
-	pc       int
-	dyn      uint64
-	sites    uint64
-	injected bool
+	gpr       [asm.NumReg]uint64
+	x         [asm.NumXReg][8]uint64
+	flags     [asm.NumFlag]bool
+	pc        int
+	dyn       uint64
+	sites     uint64
+	injected  bool
+	injCycles float64
+	injDyn    uint64
 
 	output     []uint64
 	scalarSpan float64
@@ -108,6 +110,7 @@ func (m *Machine) Snapshot() *Snapshot {
 	s := &Snapshot{
 		gpr: m.gpr, x: m.x, flags: m.flags,
 		pc: m.pc, dyn: m.dyn, sites: m.sites, injected: m.injected,
+		injCycles: m.injCycles, injDyn: m.injDyn,
 		output:     append([]uint64(nil), m.output...),
 		scalarSpan: m.scalarSpan, vectorSpan: m.vectorSpan, cycles: m.cycles,
 		pages:   make([]snapPage, 0, len(m.dirtyPages)),
@@ -146,6 +149,7 @@ func (m *Machine) Restore(s *Snapshot) error {
 	}
 	m.gpr, m.x, m.flags = s.gpr, s.x, s.flags
 	m.pc, m.dyn, m.sites, m.injected = s.pc, s.dyn, s.sites, s.injected
+	m.injCycles, m.injDyn = s.injCycles, s.injDyn
 	m.output = append(m.output[:0], s.output...)
 	m.scalarSpan, m.vectorSpan, m.cycles = s.scalarSpan, s.vectorSpan, s.cycles
 	return nil

@@ -93,6 +93,28 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// AddBuckets folds a pre-bucketed distribution into the histogram: counts
+// must follow the histogram's own geometry (len(bounds)+1 entries, the
+// final one the +Inf bucket). Mismatched shapes are dropped rather than
+// smeared across the wrong buckets. Nil receivers are no-ops.
+func (h *Histogram) AddBuckets(counts []int64, sum float64, n int64) {
+	if h == nil || len(counts) != len(h.counts) {
+		return
+	}
+	for i := range counts {
+		if counts[i] != 0 {
+			h.counts[i].Add(counts[i])
+		}
+	}
+	h.n.Add(n)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+sum)) {
+			return
+		}
+	}
+}
+
 // HistSnapshot is one histogram's frozen state. Counts[i] is the number of
 // observations ≤ Bounds[i]; the final element counts the +Inf bucket.
 type HistSnapshot struct {

@@ -122,17 +122,22 @@ const (
 	MGoldenHits   = "cache.golden_hits"   // golden runs answered from cache
 
 	// Campaign-level, reported by internal/fi (supersede fi.CampaignStats).
-	MCampaigns        = "fi.campaigns"        // campaigns executed
-	MPlans            = "fi.plans"            // fault plans executed
-	MOutcomePrefix    = "fi.outcome."         // + benign|sdc|detected|crash|hang
-	MEarlyStops       = "fi.early_stops"      // campaigns ended early by the CI-width rule
-	MCkptCampaigns    = "ckpt.campaigns"      // campaigns with checkpointing on
-	MCkptSnapshots    = "ckpt.snapshots"      // snapshots recorded
-	MCkptBytes        = "ckpt.snapshot_bytes" // dirtied bytes captured
-	MCkptRestores     = "ckpt.restores"       // plans resumed from a snapshot
-	MCkptColdStarts   = "ckpt.cold_starts"    // plans run from scratch
-	MCkptSkippedInsts = "ckpt.skipped_insts"  // dynamic instructions fast-forwarded
-	HCellWallMS       = "sched.cell_wall_ms"  // histogram of cell wall-clock, ms
+	MCampaigns     = "fi.campaigns"   // campaigns executed
+	MPlans         = "fi.plans"       // fault plans executed
+	MOutcomePrefix = "fi.outcome."    // + benign|sdc|detected|crash|hang
+	MEarlyStops    = "fi.early_stops" // campaigns ended early by the CI-width rule
+	// MDetectLatencyPrefix + "<unit>.<outcome>" (unit "cycles" for asm
+	// campaigns, "insts" for IR) is the detection-latency histogram for
+	// that outcome class: injection → terminal event, bucketed on
+	// fi.LatencyBuckets.
+	MDetectLatencyPrefix = "fi.detect_latency."
+	MCkptCampaigns       = "ckpt.campaigns"      // campaigns with checkpointing on
+	MCkptSnapshots       = "ckpt.snapshots"      // snapshots recorded
+	MCkptBytes           = "ckpt.snapshot_bytes" // dirtied bytes captured
+	MCkptRestores        = "ckpt.restores"       // plans resumed from a snapshot
+	MCkptColdStarts      = "ckpt.cold_starts"    // plans run from scratch
+	MCkptSkippedInsts    = "ckpt.skipped_insts"  // dynamic instructions fast-forwarded
+	HCellWallMS          = "sched.cell_wall_ms"  // histogram of cell wall-clock, ms
 
 	// Static pruning (internal/prune driven by fi.Campaign.Prune).
 	MPrunedCampaigns = "fi.pruned_campaigns" // campaigns run in a prune mode

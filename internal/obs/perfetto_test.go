@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteTraceConcurrentLanes: spans emitted by concurrent cell workers
+// must export with stable lane→TID assignment (every span lands on the row
+// of the lane that ran it), valid JSON even when cell names contain quotes
+// and backslashes, and one thread_name metadata record per lane.
+func TestWriteTraceConcurrentLanes(t *testing.T) {
+	o := New()
+	const lanes = 8
+	const spansPerLane = 25
+	var wg sync.WaitGroup
+	for lane := 1; lane <= lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			cell := fmt.Sprintf(`bench"q%d"\tech`, lane) // hostile name: quotes + backslash
+			cx := o.Cell(cell, lane)
+			for i := 0; i < spansPerLane; i++ {
+				sp := cx.Span("inject")
+				sp.SetAttr("plan", fmt.Sprintf(`p"%d"`, i))
+				sp.End()
+			}
+		}(lane)
+	}
+	wg.Wait()
+
+	spans := o.Trace.Spans()
+	if len(spans) != lanes*spansPerLane {
+		t.Fatalf("spans = %d, want %d", len(spans), lanes*spansPerLane)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, spans, o.Trace.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace with quoted names is not valid JSON:\n%.400s", buf.String())
+	}
+
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	// Every slice must sit on the TID of the lane encoded in its cell name —
+	// concurrency must not smear spans across rows.
+	sliceCount := map[int]int{}
+	threadNames := map[int]bool{}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			cell, _ := ev.Args["cell"].(string)
+			wantCell := fmt.Sprintf(`bench"q%d"\tech`, ev.TID)
+			if cell != wantCell {
+				t.Fatalf("span on TID %d has cell %q, want %q", ev.TID, cell, wantCell)
+			}
+			sliceCount[ev.TID]++
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[ev.TID] = true
+			}
+		}
+	}
+	for lane := 1; lane <= lanes; lane++ {
+		if sliceCount[lane] != spansPerLane {
+			t.Errorf("lane %d has %d slices, want %d", lane, sliceCount[lane], spansPerLane)
+		}
+		if !threadNames[lane] {
+			t.Errorf("lane %d missing thread_name metadata", lane)
+		}
+	}
+
+	// Two exports of the same span list are byte-identical: lane metadata is
+	// sorted, not map-ordered.
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, spans, o.Trace.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("trace export is not deterministic for a fixed span list")
+	}
+
+	// The hostile names survive the round trip literally.
+	if !strings.Contains(buf.String(), `bench\"q1\"\\tech`) {
+		t.Errorf("escaped cell name missing from JSON:\n%.400s", buf.String())
+	}
+}

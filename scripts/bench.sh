@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Rerun the canonical benchmarks at the pinned settings and rewrite
-# BENCH_interp.json + BENCH_campaign.json in place, printing one
+# BENCH_interp.json + BENCH_campaign.json + BENCH_obs.json in place, printing one
 # machine-readable DELTA line per entry (file, benchmark, old ns, new ns,
 # old/new ratio). The previous numbers are kept inside the JSONs as prev_*
 # fields.
@@ -10,9 +10,9 @@
 # commit being compared against) to benchmark that checkout in a temporary
 # worktree on this host first, making the delta a same-host before/after.
 #
-# Usage: scripts/bench.sh [interp|campaign]     (default: both)
+# Usage: scripts/bench.sh [interp|campaign|obs]     (default: all)
 # Env:   BENCHTIME (default 2s), COUNT (default 3),
-#        CAMPAIGN_BENCHTIME (10x), BASELINE_REF (off)
+#        CAMPAIGN_BENCHTIME (10x), OBS_BENCHTIME (20x), BASELINE_REF (off)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +40,7 @@ bench() {
 
 interp_args=()
 campaign_args=()
+obs_args=()
 
 if [[ "$what" == all || "$what" == interp ]]; then
   pat='Benchmark(MachineRun|IRRun)'
@@ -63,4 +64,22 @@ if [[ "$what" == all || "$what" == campaign ]]; then
   campaign_args+=(-campaign "$tmp/campaign.txt")
 fi
 
-go run ./scripts/benchjson "${interp_args[@]}" "${campaign_args[@]}" -dir .
+if [[ "$what" == all || "$what" == obs ]]; then
+  # The obs-overhead guard needs the plain checkpointed campaign as the
+  # baseline row, so two sweeps concatenate into one parse file. The
+  # disabled mode still records detection latency into fi.Result (that
+  # path is unconditional); only sink publication is obs-gated.
+  flags=(-benchtime "${OBS_BENCHTIME:-20x}" -count "${COUNT:-3}")
+  if [[ -n "$baseline_wt" ]]; then
+    bench "$baseline_wt" 'BenchmarkObsOverhead' "$tmp/obs_prev_a.txt" "${flags[@]}"
+    bench "$baseline_wt" 'BenchmarkAsmCampaign/checkpointed' "$tmp/obs_prev_b.txt" "${flags[@]}"
+    cat "$tmp/obs_prev_a.txt" "$tmp/obs_prev_b.txt" > "$tmp/obs_prev.txt"
+    obs_args+=(-prev-obs "$tmp/obs_prev.txt")
+  fi
+  bench . 'BenchmarkObsOverhead' "$tmp/obs_a.txt" "${flags[@]}"
+  bench . 'BenchmarkAsmCampaign/checkpointed' "$tmp/obs_b.txt" "${flags[@]}"
+  cat "$tmp/obs_a.txt" "$tmp/obs_b.txt" > "$tmp/obs.txt"
+  obs_args+=(-obs "$tmp/obs.txt")
+fi
+
+go run ./scripts/benchjson "${interp_args[@]}" "${campaign_args[@]}" "${obs_args[@]}" -dir .

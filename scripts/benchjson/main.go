@@ -1,5 +1,5 @@
-// Command benchjson regenerates BENCH_interp.json and BENCH_campaign.json
-// from raw `go test -bench` output. scripts/bench.sh runs the canonical
+// Command benchjson regenerates BENCH_interp.json, BENCH_campaign.json and
+// BENCH_obs.json from raw `go test -bench` output. scripts/bench.sh runs the canonical
 // benchmarks at the pinned -benchtime/-count settings and pipes the output
 // here; this program takes the median across -count repetitions, rewrites
 // both JSON files in place, and prints a machine-readable before/after
@@ -256,6 +256,89 @@ func rewriteCampaign(path string, runs, prev benchRuns, cpu string) error {
 	return writeJSON(path, &f)
 }
 
+// --- BENCH_obs.json ---
+
+type obsPath struct {
+	NS        int64   `json:"ns_per_campaign"`
+	Plans     int64   `json:"plans_per_sec"`
+	PrevNS    int64   `json:"prev_ns_per_campaign,omitempty"`
+	PrevPlans int64   `json:"prev_plans_per_sec,omitempty"`
+	Delta     float64 `json:"delta_vs_prev,omitempty"`
+}
+
+type obsFile struct {
+	Description        string   `json:"description"`
+	Date               string   `json:"date"`
+	CPU                string   `json:"cpu"`
+	Samples            int      `json:"samples_per_campaign"`
+	Cell               string   `json:"cell"`
+	Baseline           *obsPath `json:"baseline_asm_checkpointed"`
+	Disabled           *obsPath `json:"obs_disabled"`
+	Enabled            *obsPath `json:"obs_enabled"`
+	DisabledVsBaseline float64  `json:"disabled_vs_baseline"`
+	Note               string   `json:"note"`
+}
+
+const obsDesc = "Observability off-path overhead (BenchmarkObsOverhead, bench_test.go). Same cell as BenchmarkAsmCampaign/checkpointed (bfs scale 1, seed 20240624, 250 samples, FERRUM-protected, checkpointed): 'disabled' runs with a nil obs.Ctx (the production default when no -events-out/-trace-out/-serve is given), 'enabled' runs with a live registry + tracer attached and publishes detection-latency histograms into it. Detection-latency capture itself (fi.Result per-outcome histograms) is unconditional in both modes. Median of -count runs. Regenerate with scripts/bench.sh obs, or: go test -run xxx -bench BenchmarkObsOverhead -benchtime 20x -count 3 . plus the same sweep of BenchmarkAsmCampaign/checkpointed."
+
+const obsNote = "disabled must stay within single-CPU run-to-run noise (~±5% on this container) of the plain checkpointed baseline: latency capture adds two counter subtractions and one bucket increment per injected plan, and every other obs call is a nil-receiver no-op when no sink is attached; spans wrap campaign phases only, never the per-plan injection loop."
+
+func rewriteObs(path string, runs, prev benchRuns, cpu string) error {
+	var f obsFile
+	if err := readJSON(path, &f); err != nil {
+		return err
+	}
+	update := func(name string, p *obsPath) error {
+		if p == nil {
+			return fmt.Errorf("%s: missing row for %s", path, name)
+		}
+		ns, err := runs.median(name, "ns/op")
+		if err != nil {
+			return err
+		}
+		plans, err := runs.median(name, "plans/s")
+		if err != nil {
+			return err
+		}
+		p.PrevNS, p.PrevPlans = p.NS, p.Plans
+		if prev != nil {
+			pns, err := prev.median(name, "ns/op")
+			if err != nil {
+				return err
+			}
+			pplans, err := prev.median(name, "plans/s")
+			if err != nil {
+				return err
+			}
+			p.PrevNS, p.PrevPlans = int64(pns), int64(pplans)
+		}
+		p.NS, p.Plans = int64(ns), int64(plans)
+		p.Delta = round2(float64(p.PrevNS) / ns)
+		deltaLine(path, name, p.PrevNS, p.NS)
+		return nil
+	}
+	for _, row := range []struct {
+		name string
+		p    *obsPath
+	}{
+		{"BenchmarkAsmCampaign/checkpointed", f.Baseline},
+		{"BenchmarkObsOverhead/disabled", f.Disabled},
+		{"BenchmarkObsOverhead/enabled", f.Enabled},
+	} {
+		if err := update(row.name, row.p); err != nil {
+			return err
+		}
+	}
+	f.DisabledVsBaseline = round2(float64(f.Disabled.NS) / float64(f.Baseline.NS))
+	f.Description = obsDesc
+	f.Note = obsNote
+	f.Date = time.Now().Format("2006-01-02")
+	if cpu != "" {
+		f.CPU = cpu
+	}
+	return writeJSON(path, &f)
+}
+
 // --- plumbing ---
 
 func readJSON(path string, v any) error {
@@ -287,12 +370,14 @@ func deltaLine(path, key string, oldNS, newNS int64) {
 func main() {
 	interp := flag.String("interp", "", "file with Benchmark(MachineRun|IRRun) output")
 	campaign := flag.String("campaign", "", "file with Benchmark(Asm|IR)Campaign output")
+	obsOut := flag.String("obs", "", "file with BenchmarkObsOverhead + BenchmarkAsmCampaign/checkpointed output")
 	prevInterp := flag.String("prev-interp", "", "optional baseline-checkout output for the interp before/after")
 	prevCampaign := flag.String("prev-campaign", "", "optional baseline-checkout output for the campaign before/after")
+	prevObs := flag.String("prev-obs", "", "optional baseline-checkout output for the obs before/after")
 	dir := flag.String("dir", ".", "directory holding the BENCH_*.json files")
 	flag.Parse()
-	if *interp == "" && *campaign == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: need -interp and/or -campaign output files")
+	if *interp == "" && *campaign == "" && *obsOut == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: need -interp, -campaign and/or -obs output files")
 		os.Exit(2)
 	}
 	loadPrev := func(path string) benchRuns {
@@ -320,6 +405,16 @@ func main() {
 		runs, cpu, err := parseBench(*campaign)
 		if err == nil {
 			err = rewriteCampaign(filepath.Join(*dir, "BENCH_campaign.json"), runs, loadPrev(*prevCampaign), cpu)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *obsOut != "" {
+		runs, cpu, err := parseBench(*obsOut)
+		if err == nil {
+			err = rewriteObs(filepath.Join(*dir, "BENCH_obs.json"), runs, loadPrev(*prevObs), cpu)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
