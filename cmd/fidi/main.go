@@ -306,24 +306,8 @@ func run(argv []string, out io.Writer) error {
 	// the final counters.
 	scrapesBeforeReport := server.Scrapes()
 
-	fmt.Fprintf(out, "technique: %s, level: %s, samples: %d, dynamic sites: %d\n",
-		*technique, *level, res.Samples, res.DynSites)
-	for _, o := range []fi.Outcome{fi.Benign, fi.SDC, fi.Detected, fi.Crash, fi.Hang} {
-		fmt.Fprintf(out, "  %-9s %5d  (%.1f%%)\n", o, res.Count(o), res.Rate(o)*100)
-	}
+	harness.RenderCampaign(out, *technique, *level, res)
 	lo, hi := res.CI95()
-	fmt.Fprintf(out, "SDC rate: %.3f  (95%% CI [%.3f, %.3f])\n", res.SDCRate(), lo, hi)
-	if res.Latency.N() > 0 {
-		fmt.Fprintf(out, "detection latency (%s):\n", res.Latency.Unit)
-		for _, o := range []fi.Outcome{fi.Benign, fi.SDC, fi.Detected, fi.Crash, fi.Hang} {
-			h := res.Latency.Hist(o)
-			if h.N == 0 {
-				continue
-			}
-			fmt.Fprintf(out, "  %-9s n=%-5d mean=%-8.0f p50<=%-8.0f p90<=%-8.0f max=%.0f\n",
-				o, h.N, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)
-		}
-	}
 	if res.EarlyStopped {
 		fmt.Fprintf(errw, "early stop: SDC-rate CI width reached %.4f after %d samples\n",
 			hi-lo, res.Samples)

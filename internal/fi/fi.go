@@ -77,6 +77,13 @@ type Campaign struct {
 	// CIWidth early stopping (the truncation prefix would no longer be a
 	// uniform sample).
 	Prune PruneMode
+	// Shard, if Count > 1, restricts the campaign to one shard of its plan
+	// space: the plans whose generation index is congruent to Shard.Index
+	// modulo Shard.Count, re-indexed densely so journaling and resume work
+	// per shard (see shard.go). Samples still names the full campaign's
+	// sample budget — every shard derives the identical plan sequence from
+	// it. Incompatible with Prune and CIWidth.
+	Shard ShardSpec
 	// Progress, if non-nil, receives the cumulative number of completed
 	// injections (out of Samples) as the campaign advances. It may be
 	// called concurrently from campaign worker goroutines; implementations
@@ -421,7 +428,7 @@ func newAsmCampaign(tgt AsmTarget, c Campaign, recordLocs bool) (*asmCampaign, e
 			return nil, fmt.Errorf("fi: prune: %d plan draws hit sites with missing/zero recorded width", fallbacks)
 		}
 	}
-	a.plans = plans
+	a.plans = shardPlans(plans, c.Shard)
 	a.orig = append([]plannedFault(nil), a.plans...)
 	if c.Prune != PruneOff {
 		if c.CIWidth > 0 {
@@ -573,6 +580,9 @@ func (a *asmCampaign) result(po planOutcomes) Result {
 // model. The fault plan is pre-generated from the seed, so results are
 // deterministic and independent of worker count.
 func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
+	if err := c.Shard.check(c); err != nil {
+		return Result{}, err
+	}
 	if res, ok := c.priorResult(); ok {
 		return res, nil
 	}
@@ -588,6 +598,9 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 	c.Stats.add(res.Checkpoint)
 	c.observe(res)
 	c.journalCell(res)
+	if err := c.journalErr(); err != nil {
+		return Result{}, err
+	}
 	return res, nil
 }
 
@@ -609,6 +622,9 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 		// liveness, flag consumers, masking idioms); IR sites have no
 		// equivalent metadata.
 		return Result{}, fmt.Errorf("fi: prune mode %v is not supported for IR campaigns", c.Prune)
+	}
+	if err := c.Shard.check(c); err != nil {
+		return Result{}, err
 	}
 	if res, ok := c.priorResult(); ok {
 		return res, nil
@@ -643,6 +659,7 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	plans = shardPlans(plans, c.Shard)
 
 	var (
 		cps                           *irCheckpoints
@@ -708,6 +725,9 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 	c.Stats.add(res.Checkpoint)
 	c.observe(res)
 	c.journalCell(res)
+	if err := c.journalErr(); err != nil {
+		return Result{}, err
+	}
 	return res, nil
 }
 

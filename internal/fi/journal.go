@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 
 	"ferrum/internal/obs"
@@ -65,17 +67,54 @@ type JournalMeta struct {
 	// a pruned journal's plan indices are dense representative indices, a
 	// different partition of the same seed's plan space.
 	Prune string `json:"prune,omitempty"`
+	// ShardIndex/ShardCount identify one shard of a distributed campaign
+	// (fiserve): the shard executes only the plan-generation indices
+	// congruent to ShardIndex mod ShardCount, journaled under dense
+	// shard-local indices. ShardCount zero means unsharded; a merged
+	// journal carries no shard fields — it speaks for the whole campaign.
+	ShardIndex int `json:"shard,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 }
 
-// Check reports an error naming the first field where the journal's meta
-// differs from the current invocation's.
-func (m JournalMeta) Check(want JournalMeta) error {
-	a, _ := json.Marshal(m)
-	b, _ := json.Marshal(want)
-	if bytes.Equal(a, b) {
-		return nil
+// metaField pairs one meta field's JSON name with its value in two metas,
+// for field-by-field comparison in declaration order.
+type metaField struct {
+	name string
+	a, b any
+}
+
+func (m JournalMeta) fieldsAgainst(w JournalMeta) []metaField {
+	return []metaField{
+		{"tool", m.Tool, w.Tool},
+		{"exp", m.Exp, w.Exp},
+		{"seed", m.Seed, w.Seed},
+		{"samples", m.Samples, w.Samples},
+		{"scale", m.Scale, w.Scale},
+		{"optimize", m.Optimize, w.Optimize},
+		{"benchmarks", strings.Join(m.Benchmarks, ","), strings.Join(w.Benchmarks, ",")},
+		{"technique", m.Technique, w.Technique},
+		{"level", m.Level, w.Level},
+		{"bits", m.Bits, w.Bits},
+		{"ci_width", m.CIWidth, w.CIWidth},
+		{"prune", m.Prune, w.Prune},
+		{"shard", m.ShardIndex, w.ShardIndex},
+		{"shard_count", m.ShardCount, w.ShardCount},
 	}
-	return fmt.Errorf("fi: journal was recorded under a different configuration: journal %s, invocation %s", a, b)
+}
+
+// Check reports an error naming the first field (in declaration order)
+// where the journal's meta differs from the current invocation's — e.g.
+// "journal seed=7, invocation seed=9" — so a mismatched resume, or a shard
+// worker leasing from a differently-configured coordinator, says exactly
+// what to fix instead of dumping both configurations to eyeball.
+func (m JournalMeta) Check(want JournalMeta) error {
+	for _, f := range m.fieldsAgainst(want) {
+		if f.a != f.b {
+			return fmt.Errorf("fi: journal was recorded under a different configuration: journal %s=%v, invocation %s=%v",
+				f.name, f.a, f.name, f.b)
+		}
+	}
+	return nil
 }
 
 type journalRecord struct {
@@ -90,12 +129,23 @@ type journalRecord struct {
 	Res  json.RawMessage `json:"res,omitempty"`
 }
 
+// JournalSink is the byte sink a Journal writes through: an *os.File for
+// on-disk journals, or a streaming transport (a fiserve shard worker
+// appending records over an HTTP request body). Sync must make every byte
+// written so far durable from the journal's point of view — fsync for
+// files, whatever flush the transport offers for streams.
+type JournalSink interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // Journal is the crash-safe campaign journal writer. All methods are safe
 // for concurrent use (campaign workers across scheduler cells share one
 // journal) and nil-safe, so un-journaled campaigns pay nothing.
 type Journal struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       JournalSink
 	w       *bufio.Writer
 	pending int
 	batch   int
@@ -112,14 +162,28 @@ func CreateJournal(path string, meta JournalMeta) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fi: create journal: %w", err)
 	}
-	j := &Journal{f: f, w: bufio.NewWriter(f), batch: defaultSyncBatch}
+	j, err := NewStreamJournal(f, meta)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// NewStreamJournal wraps an arbitrary sink as a campaign journal and writes
+// (and syncs) the meta record, exactly as CreateJournal does for a fresh
+// file. fiserve shard workers journal through it over a streaming HTTP
+// body: the coordinator owns the durable shard file, the worker only
+// appends records. The sink is not closed on error; that stays with the
+// caller who opened it.
+func NewStreamJournal(sink JournalSink, meta JournalMeta) (*Journal, error) {
+	j := &Journal{f: sink, w: bufio.NewWriter(sink), batch: defaultSyncBatch}
 	j.append(journalRecord{T: "meta", V: journalVersion, Meta: &meta})
 	j.mu.Lock()
 	j.syncLocked()
-	err = j.err
+	err := j.err
 	j.mu.Unlock()
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	return j, nil
@@ -314,6 +378,14 @@ func LoadJournal(path string) (*JournalState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fi: load journal: %w", err)
 	}
+	return LoadJournalData(data, path)
+}
+
+// LoadJournalData parses journal bytes already in hand — a shard journal
+// shipped inside a fiserve lease, or a coordinator's in-memory copy of a
+// shard file — with LoadJournal's exact semantics. name labels the source
+// in error messages.
+func LoadJournalData(data []byte, name string) (*JournalState, error) {
 	st := &JournalState{cells: map[string]*CellState{}}
 	sawMeta := false
 	off := int64(0)
@@ -354,7 +426,7 @@ func LoadJournal(path string) (*JournalState, error) {
 			if r.V != journalVersion {
 				return nil, fmt.Errorf("fi: journal %s uses schema v%d; this build reads v%d — "+
 					"finish it with the matching build, or re-run without -resume to record a fresh journal",
-					path, r.V, journalVersion)
+					name, r.V, journalVersion)
 			}
 			st.Meta = *r.Meta
 			sawMeta = true
@@ -379,11 +451,17 @@ func LoadJournal(path string) (*JournalState, error) {
 		off += lineLen
 	}
 	if !sawMeta {
-		return nil, fmt.Errorf("fi: journal %s has no meta record", path)
+		return nil, fmt.Errorf("fi: journal %s has no meta record", name)
 	}
 	st.validLen = off
 	return st, nil
 }
+
+// ValidLen is the byte length of the journal's parseable prefix — everything
+// before a torn trailing record. The fiserve coordinator truncates a dead
+// worker's shard journal to it before re-leasing, so the next worker appends
+// on a record boundary.
+func (s *JournalState) ValidLen() int64 { return s.validLen }
 
 func (s *JournalState) cell(key string) *CellState {
 	c := s.cells[key]
@@ -422,6 +500,40 @@ func validRecord(r journalRecord) bool {
 		return r.C != "" && len(r.Res) > 0
 	}
 	return false
+}
+
+// ResumeStreamJournal wraps a sink whose stream already begins with a meta
+// record — a re-leased fiserve shard appending to the coordinator's durable
+// shard file — so, unlike NewStreamJournal, no fresh meta record is written.
+func ResumeStreamJournal(sink JournalSink) *Journal {
+	return &Journal{f: sink, w: bufio.NewWriter(sink), batch: defaultSyncBatch}
+}
+
+// ValidateRecords checks that data is a whole number of well-formed journal
+// records — the unit a streaming shard worker appends in one sync. The
+// fiserve coordinator runs it on every records upload before the bytes reach
+// the durable shard file, so a garbled or mid-record-truncated upload is
+// rejected whole rather than tearing the journal.
+func ValidateRecords(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("fi: journal chunk does not end at a record boundary")
+	}
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		nl := bytes.IndexByte(data, '\n')
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r journalRecord
+		if err := json.Unmarshal(line, &r); err != nil || !validRecord(r) {
+			return fmt.Errorf("fi: journal chunk corrupt at line %d: %q", lineNo, line)
+		}
+	}
+	return nil
 }
 
 // ResumeJournal loads a journal and reopens it for appending. If the file

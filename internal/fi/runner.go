@@ -2,6 +2,7 @@ package fi
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -107,11 +108,29 @@ func (pr *planRun) grab(nb int) []plannedFault {
 	return batch
 }
 
-func (pr *planRun) record(idx int, r planResult) {
+// record stores one executed plan's result and reports whether the plan
+// still counts toward the campaign — false once the run is canceled or the
+// plan falls beyond an early-stop truncation point. Workers finishing their
+// in-hand batch after a stop/cancel get false and must not journal the
+// plan: finish() discards it, so journaling it would leave the journal with
+// more plan records than the result (and the fi.* counters) account for.
+func (pr *planRun) record(idx int, r planResult) bool {
+	if pr.cancel != nil {
+		// Re-check cancellation here, not only in grab(): a batch in hand
+		// when Cancel fires still runs to the batch boundary, and its
+		// remaining plans must be discarded, not journaled.
+		select {
+		case <-pr.cancel:
+			pr.mu.Lock()
+			pr.canceled = true
+			pr.mu.Unlock()
+		default:
+		}
+	}
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	if pr.done[idx] {
-		return
+	if pr.canceled || pr.done[idx] {
+		return false
 	}
 	pr.done[idx] = true
 	pr.outcomes[idx] = r.o
@@ -120,6 +139,10 @@ func (pr *planRun) record(idx int, r planResult) {
 		pr.hasLat[idx] = true
 	}
 	pr.advanceLocked()
+	// A plan that itself completed the qualifying prefix (idx < stopAt)
+	// counts; anything at or past the truncation point is discarded by
+	// finish() and must stay out of the journal.
+	return !pr.stopped || idx < pr.stopAt
 }
 
 // advanceLocked extends the completed prefix one plan at a time, testing
@@ -186,6 +209,21 @@ func (c Campaign) journalCell(res Result) {
 	}
 }
 
+// journalErr surfaces a latched journal write failure at the campaign
+// boundary. Journal.append latches the first error and drops every later
+// record; without this check a full disk silently yields a truncated
+// journal that -resume would happily treat as valid, so a journaled
+// campaign whose journal broke must fail, not succeed with quiet data loss.
+func (c Campaign) journalErr() error {
+	if c.Journal == nil || c.Key == "" {
+		return nil
+	}
+	if err := c.Journal.Err(); err != nil {
+		return fmt.Errorf("fi: campaign %q: journal write failed: %w", c.Key, err)
+	}
+	return nil
+}
+
 // runPlans executes the fault plan with the campaign's worker pool: prior
 // (journal-replayed) outcomes are prefilled without running anything, each
 // freshly executed plan is journaled, cancellation is honoured at batch
@@ -238,8 +276,9 @@ func runPlans(c Campaign, plans []plannedFault,
 	runBatch := func(w func(plannedFault) planResult, batch []plannedFault) {
 		for _, p := range batch {
 			r := w(p)
-			pr.record(p.idx, r)
-			c.journalPlan(p, r)
+			if pr.record(p.idx, r) {
+				c.journalPlan(p, r)
+			}
 		}
 		report(len(batch))
 	}

@@ -1,0 +1,399 @@
+package fi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestJournalMetaCheckNamesField pins the Check contract: a mismatch names
+// the first differing field and both values, instead of dumping two JSON
+// blobs to eyeball.
+func TestJournalMetaCheckNamesField(t *testing.T) {
+	base := JournalMeta{Tool: "test", Seed: 7, Samples: 80, Benchmarks: []string{"bfs", "lud"}}
+	if err := base.Check(base); err != nil {
+		t.Fatalf("identical metas: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*JournalMeta)
+		want   string
+	}{
+		{"seed", func(m *JournalMeta) { m.Seed = 9 }, "journal seed=7, invocation seed=9"},
+		{"samples", func(m *JournalMeta) { m.Samples = 100 }, "journal samples=80, invocation samples=100"},
+		{"benchmarks", func(m *JournalMeta) { m.Benchmarks = []string{"bfs"} }, "journal benchmarks=bfs,lud, invocation benchmarks=bfs"},
+		{"prune", func(m *JournalMeta) { m.Prune = "full" }, "journal prune=, invocation prune=full"},
+		{"shard", func(m *JournalMeta) { m.ShardIndex = 1 }, "journal shard=0, invocation shard=1"},
+		{"shard_count", func(m *JournalMeta) { m.ShardCount = 4 }, "journal shard_count=0, invocation shard_count=4"},
+	}
+	for _, tc := range cases {
+		other := base
+		tc.mutate(&other)
+		err := base.Check(other)
+		if err == nil {
+			t.Errorf("%s: differing metas passed Check", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the field as %q", tc.name, err, tc.want)
+		}
+	}
+	// Seed differs before samples in declaration order; only the first
+	// differing field is reported.
+	other := base
+	other.Seed, other.Samples = 9, 100
+	if err := base.Check(other); err == nil || !strings.Contains(err.Error(), "seed=") ||
+		strings.Contains(err.Error(), "samples=") {
+		t.Errorf("multi-field mismatch reported %q, want first field (seed) only", err)
+	}
+}
+
+// failSink is a JournalSink whose writes start failing after allow bytes
+// worth of calls have gone through — a full disk, from the journal's side.
+type failSink struct {
+	allow int // writes to accept before failing
+	wrote int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (s *failSink) Write(p []byte) (int, error) {
+	if s.wrote >= s.allow {
+		return 0, errSinkFull
+	}
+	s.wrote++
+	return len(p), nil
+}
+func (s *failSink) Sync() error  { return nil }
+func (s *failSink) Close() error { return nil }
+
+// TestJournalWriteErrorFailsCampaign pins the swallowed-write-error fix: a
+// journaled campaign whose journal latched a write failure must fail with a
+// wrapped error, not return success over a silently truncated journal.
+func TestJournalWriteErrorFailsCampaign(t *testing.T) {
+	sink := &failSink{allow: 1} // meta record goes through, everything after fails
+	j, err := NewStreamJournal(sink, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := asmTarget(t, false)
+	c := Campaign{Samples: 40, Seed: 3, Workers: 1, Journal: j, Key: "cell"}
+	_, err = RunAsmCampaign(tgt, c)
+	if err == nil {
+		t.Fatal("campaign with a failing journal returned success")
+	}
+	if !errors.Is(err, errSinkFull) {
+		t.Errorf("campaign error %v does not wrap the sink error", err)
+	}
+	if !strings.Contains(err.Error(), "journal write failed") {
+		t.Errorf("campaign error %q does not identify the journal", err)
+	}
+}
+
+// TestNoJournalPastEarlyStop pins the post-stop journaling fix. The plan
+// order is crafted so the early-stop decision fires on the first plan of a
+// batch: generation index 63 is deferred to position 64, so recording it
+// completes the 64-plan prefix (CIWidth 0.25 exceeds the worst-case Wilson
+// width there) while the worker still holds 15 in-hand plans. Those plans
+// execute — cancellation and stopping are batch-granular — but must not be
+// journaled: finish() discards them, and journaling them would leave more
+// plan records than the fi.* totals account for.
+func TestNoJournalPastEarlyStop(t *testing.T) {
+	var plans []plannedFault
+	for i := 0; i < 63; i++ {
+		plans = append(plans, plannedFault{idx: i, site: uint64(i)})
+	}
+	plans = append(plans, plannedFault{idx: 64, site: 64})
+	plans = append(plans, plannedFault{idx: 63, site: 63})
+	for i := 65; i < 128; i++ {
+		plans = append(plans, plannedFault{idx: i, site: uint64(i)})
+	}
+	path := journalPath(t)
+	j, err := CreateJournal(path, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Samples: len(plans), CIWidth: 0.25, Workers: 1, Journal: j, Key: "cell"}
+	po, err := runPlans(c, plans, func() (func(plannedFault) planResult, error) {
+		return func(plannedFault) planResult { return planResult{o: Benign} }, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !po.early || po.samples != earlyStopStride {
+		t.Fatalf("stopped=%v at %d samples, want early stop at %d", po.early, po.samples, earlyStopStride)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Cell("cell")
+	// 65 records: the 64 counted prefix plans, plus index 64 — executed and
+	// journaled before the stop decision existed, which resume replays
+	// harmlessly. The 15 in-hand plans finished after the stop (indices
+	// 65..79) are the bug: pre-fix they were journaled too (80 records).
+	if want := earlyStopStride + 1; len(cs.Plans) != want {
+		t.Errorf("early-stopped campaign journaled %d plans, want exactly %d", len(cs.Plans), want)
+	}
+	for i := range cs.Plans {
+		if i > earlyStopStride {
+			t.Errorf("journal holds plan %d, past the truncation point", i)
+		}
+	}
+}
+
+// TestNoJournalPastCancel: the same batch-in-hand rule for cancellation —
+// plans finishing after Cancel fired are discarded by finish() and must not
+// reach the journal.
+func TestNoJournalPastCancel(t *testing.T) {
+	var plans []plannedFault
+	for i := 0; i < 32; i++ {
+		plans = append(plans, plannedFault{idx: i, site: uint64(i)})
+	}
+	path := journalPath(t)
+	j, err := CreateJournal(path, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	c := Campaign{Samples: len(plans), Workers: 1, Cancel: cancel, Journal: j, Key: "cell"}
+	_, err = runPlans(c, plans, func() (func(plannedFault) planResult, error) {
+		return func(p plannedFault) planResult {
+			if p.idx == 20 { // mid-batch: positions 21..31 are still in hand
+				close(cancel)
+			}
+			return planResult{o: Benign}
+		}, nil
+	})
+	if !errors.Is(err, ErrCampaignCanceled) {
+		t.Fatalf("err = %v, want ErrCampaignCanceled", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plans 0..19 were recorded before Cancel fired; plan 20's own record —
+	// and everything after — sees the closed channel and is discarded.
+	if cs := st.Cell("cell"); len(cs.Plans) != 20 {
+		t.Errorf("canceled campaign journaled %d plans, want 20", len(cs.Plans))
+	}
+}
+
+// TestShardPlansPartition: the round-robin shard partition is exact — every
+// generation index lands in exactly one shard, shard-local indices are
+// dense ranks, and ShardSpec.global inverts the re-indexing in closed form.
+func TestShardPlansPartition(t *testing.T) {
+	const samples = 103 // deliberately not a multiple of the shard count
+	plans := mustPlans(t, Campaign{Samples: samples, Seed: 42}, 17, nil)
+	for _, count := range []int{2, 3, 4} {
+		seen := map[int]plannedFault{}
+		for s := 0; s < count; s++ {
+			spec := ShardSpec{Index: s, Count: count}
+			for local, p := range shardPlans(plans, spec) {
+				if p.idx != local {
+					t.Fatalf("count=%d shard=%d: plan at rank %d carries local index %d", count, s, local, p.idx)
+				}
+				g := spec.global(local)
+				if _, dup := seen[g]; dup {
+					t.Fatalf("count=%d: generation index %d assigned to two shards", count, g)
+				}
+				seen[g] = p
+			}
+		}
+		if len(seen) != samples {
+			t.Fatalf("count=%d: shards cover %d of %d plans", count, len(seen), samples)
+		}
+		for g, p := range seen {
+			want := plans[g]
+			if p.site != want.site || p.bit != want.bit {
+				t.Fatalf("count=%d: generation index %d mapped to plan %+v, want %+v", count, g, p, want)
+			}
+		}
+	}
+}
+
+// TestShardSpecCheck: invalid or incompatible shard specs are rejected
+// before any work happens.
+func TestShardSpecCheck(t *testing.T) {
+	tgt := asmTarget(t, false)
+	for _, tc := range []struct {
+		c    Campaign
+		want string
+	}{
+		{Campaign{Samples: 10, Shard: ShardSpec{Index: 3, Count: 2}}, "out of range"},
+		{Campaign{Samples: 10, Shard: ShardSpec{Index: 1}}, "index without a shard count"},
+		{Campaign{Samples: 10, Shard: ShardSpec{Count: 2}, Prune: PruneFull}, "incompatible with prune"},
+		{Campaign{Samples: 10, Shard: ShardSpec{Count: 2}, CIWidth: 0.1}, "incompatible with CI-width"},
+	} {
+		_, err := RunAsmCampaign(tgt, tc.c)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("shard %+v: err = %v, want %q", tc.c.Shard, err, tc.want)
+		}
+	}
+}
+
+// testShardMergeEquivalence runs one campaign single-process and as a set
+// of sharded campaigns, then requires the merged shard journals and Results
+// to reproduce the single-process run byte for byte in canonical form.
+func testShardMergeEquivalence(t *testing.T, count int, protect bool) {
+	t.Helper()
+	inst := equivBench(t, "bfs")
+	tgt := equivAsmTarget(t, inst, protect)
+	base := Campaign{Samples: 80, Seed: 12345, MaxSteps: equivSteps, Workers: 2}
+	meta := JournalMeta{Tool: "test", Seed: base.Seed, Samples: base.Samples}
+
+	singlePath := journalPath(t)
+	j, err := CreateJournal(singlePath, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := base
+	c.Journal, c.Key = j, "cell"
+	want, err := RunAsmCampaign(tgt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	singleState, err := LoadJournal(singlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var states []*JournalState
+	var results []Result
+	for s := 0; s < count; s++ {
+		smeta := meta
+		smeta.ShardIndex, smeta.ShardCount = s, count
+		path := fmt.Sprintf("%s.shard%d", singlePath, s)
+		sj, err := CreateJournal(path, smeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := base
+		sc.Shard = ShardSpec{Index: s, Count: count}
+		sc.Journal, sc.Key = sj, "cell"
+		res, err := RunAsmCampaign(tgt, sc)
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", s, count, err)
+		}
+		if err := sj.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := LoadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, st)
+		results = append(results, res)
+	}
+
+	merged, err := MergeShardResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Samples != want.Samples || merged.Counts != want.Counts {
+		t.Errorf("merged result counts %v (n=%d) != single-process %v (n=%d)",
+			merged.Counts, merged.Samples, want.Counts, want.Samples)
+	}
+	if merged.DynSites != want.DynSites || merged.Cycles != want.Cycles {
+		t.Errorf("merged golden-run fields differ from single-process run")
+	}
+	if merged.Latency.N() != want.Latency.N() {
+		t.Errorf("merged latency has %d samples, single-process %d", merged.Latency.N(), want.Latency.N())
+	}
+
+	mergedState, err := MergeShardStates(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single, sharded bytes.Buffer
+	if err := singleState.WriteCanonical(&single); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergedState.WriteCanonical(&sharded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(single.Bytes(), sharded.Bytes()) {
+		t.Errorf("canonical merged journal differs from single-process canonical journal:\nsingle:\n%s\nmerged:\n%s",
+			&single, &sharded)
+	}
+}
+
+func TestShardMergeEquivalenceRaw(t *testing.T) {
+	for _, count := range []int{2, 4} {
+		testShardMergeEquivalence(t, count, false)
+	}
+}
+
+func TestShardMergeEquivalenceProtected(t *testing.T) {
+	testShardMergeEquivalence(t, 2, true)
+}
+
+// TestShardMergeEquivalenceIR: the sharding and merge machinery is
+// level-agnostic — IR campaigns shard identically.
+func TestShardMergeEquivalenceIR(t *testing.T) {
+	inst := equivBench(t, "bfs")
+	tgt := equivIRTarget(t, inst, false)
+	base := Campaign{Samples: 60, Seed: 12345, MaxSteps: equivSteps, Workers: 2}
+	want, err := RunIRCampaign(tgt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	for s := 0; s < 3; s++ {
+		sc := base
+		sc.Shard = ShardSpec{Index: s, Count: 3}
+		res, err := RunIRCampaign(tgt, sc)
+		if err != nil {
+			t.Fatalf("shard %d/3: %v", s, err)
+		}
+		results = append(results, res)
+	}
+	merged, err := MergeShardResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Samples != want.Samples || merged.Counts != want.Counts {
+		t.Errorf("merged IR result counts %v (n=%d) != single-process %v (n=%d)",
+			merged.Counts, merged.Samples, want.Counts, want.Samples)
+	}
+	if merged.Latency.N() != want.Latency.N() || merged.Latency.Unit != want.Latency.Unit {
+		t.Errorf("merged IR latency (%s, n=%d) != single-process (%s, n=%d)",
+			merged.Latency.Unit, merged.Latency.N(), want.Latency.Unit, want.Latency.N())
+	}
+}
+
+// TestMergeShardStatesRejects: incomplete shard sets, duplicate indices and
+// cross-configuration shards refuse to merge.
+func TestMergeShardStatesRejects(t *testing.T) {
+	mk := func(index, count int, seed int64) *JournalState {
+		return &JournalState{
+			Meta:  JournalMeta{Tool: "test", Seed: seed, Samples: 80, ShardIndex: index, ShardCount: count},
+			cells: map[string]*CellState{},
+		}
+	}
+	if _, err := MergeShardStates(nil); err == nil {
+		t.Error("empty shard set merged")
+	}
+	if _, err := MergeShardStates([]*JournalState{mk(0, 3, 1), mk(1, 3, 1)}); err == nil {
+		t.Error("incomplete shard set (2 of 3) merged")
+	}
+	if _, err := MergeShardStates([]*JournalState{mk(0, 2, 1), mk(0, 2, 1)}); err == nil {
+		t.Error("duplicate shard index merged")
+	}
+	if _, err := MergeShardStates([]*JournalState{mk(0, 2, 1), mk(1, 2, 2)}); err == nil {
+		t.Error("shards from different seeds merged")
+	} else if !strings.Contains(err.Error(), "seed=") {
+		t.Errorf("cross-seed merge error %q does not name the field", err)
+	}
+}

@@ -1,0 +1,316 @@
+package fiserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ferrum/internal/fi"
+	"ferrum/internal/harness"
+	"ferrum/internal/obs"
+)
+
+// ErrWorkerDied is what the test-only DieAfterSyncs hook surfaces: the
+// worker simulated a crash mid-shard (durable records already uploaded stay
+// in the coordinator's shard journal; nothing else is sent, exactly like a
+// killed process).
+var ErrWorkerDied = errors.New("fiserve: worker died (test hook)")
+
+// Worker executes leased shards against a coordinator. Zero value plus Base
+// is usable; Run polls until stopped.
+type Worker struct {
+	// Base is the coordinator root, "http://host:port".
+	Base string
+	// Name labels this worker in leases and statuses.
+	Name string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// Workers is the intra-campaign parallelism per shard (0 = GOMAXPROCS).
+	Workers int
+	// Poll is the idle lease-poll interval (default 100ms).
+	Poll time.Duration
+	// ExitOnDrain makes Run return once the coordinator reports no
+	// unfinished campaigns. Off by default: a worker that polls an idle
+	// coordinator stays up waiting for future submissions.
+	ExitOnDrain bool
+	// DieAfterSyncs, when > 0, is a test hook: after that many successful
+	// record uploads (across the worker's lifetime) the journal sink starts
+	// failing and the worker reports ErrWorkerDied without notifying the
+	// coordinator — a silent crash the watchdog must recover from.
+	DieAfterSyncs int
+
+	syncs atomic.Int64
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) postJSON(path string, v any) (*http.Response, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client().Post(w.Base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("fiserve: POST %s: %w", path, err)
+	}
+	return resp, nil
+}
+
+// postChecked POSTs v and expects a 2xx, discarding the body.
+func (w *Worker) postChecked(path string, v any) error {
+	resp, err := w.postJSON(path, v)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fiserve: POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Run polls for leases and executes them until stop closes — or, with
+// ExitOnDrain, until the coordinator reports itself drained. A worker that
+// dies via DieAfterSyncs stops immediately with ErrWorkerDied.
+func (w *Worker) Run(stop <-chan struct{}) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		worked, drained, err := w.RunOne()
+		if errors.Is(err, ErrWorkerDied) {
+			return err
+		}
+		if err != nil {
+			// Transient (coordinator restarting, lease raced away): back off
+			// and keep polling; the lease protocol already released or will
+			// watchdog the shard.
+			worked = false
+		}
+		if drained && w.ExitOnDrain {
+			return nil
+		}
+		if !worked {
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(poll):
+			}
+		}
+	}
+}
+
+// RunOne leases and executes at most one shard. worked reports whether a
+// lease was executed; drained that the coordinator has no unfinished work.
+func (w *Worker) RunOne() (worked, drained bool, err error) {
+	resp, err := w.postJSON("/api/lease", LeaseRequest{Worker: w.Name})
+	if err != nil {
+		return false, false, err
+	}
+	var lr LeaseResponse
+	jerr := json.NewDecoder(resp.Body).Decode(&lr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, false, fmt.Errorf("fiserve: lease: %s", resp.Status)
+	}
+	if jerr != nil {
+		return false, false, fmt.Errorf("fiserve: lease: %w", jerr)
+	}
+	if lr.Lease == nil {
+		return false, lr.Drained, nil
+	}
+	if err := w.execute(lr.Lease); err != nil {
+		if errors.Is(err, ErrWorkerDied) {
+			return true, false, err
+		}
+		// Give the shard back right away instead of waiting out the
+		// watchdog; a stale 409 here just means it was already re-leased.
+		w.postChecked("/api/release", ReleaseRequest{
+			Campaign: lr.Lease.Campaign, Shard: lr.Lease.Shard,
+			Epoch: lr.Lease.Epoch, Error: err.Error(),
+		})
+		return true, false, err
+	}
+	return true, false, nil
+}
+
+// execute runs one leased shard: rebuild the target from the spec, resume
+// from the lease's prior journal prefix, stream fresh records back through
+// the coordinator's durable shard file, and deliver the result plus this
+// worker's metrics snapshot.
+func (w *Worker) execute(l *Lease) error {
+	var prior *fi.CellState
+	resumed := len(l.Prior) > 0
+	if resumed {
+		st, err := fi.LoadJournalData(l.Prior, "lease prior")
+		if err != nil {
+			return fmt.Errorf("fiserve: lease prior journal: %w", err)
+		}
+		// The prior journal must have been recorded under this lease's
+		// exact configuration; Check names the first differing field.
+		if err := st.Meta.Check(l.Meta); err != nil {
+			return err
+		}
+		prior = st.Cell(l.Key)
+	}
+	ob := obs.New()
+	sink := &recordSink{w: w, l: l}
+	var journal *fi.Journal
+	if resumed {
+		// The shard file already starts with the meta record; appending
+		// another would double-count it in the merged accounting.
+		journal = fi.ResumeStreamJournal(sink)
+	} else {
+		j, err := fi.NewStreamJournal(sink, l.Meta)
+		if err != nil {
+			return err
+		}
+		journal = j
+	}
+	journal.Observe(ob)
+
+	// Heartbeats are time-driven, not plan-driven: a single plan can run
+	// millions of steps (a hang or a late-detected SDC), and a lease must
+	// not be revoked just because one plan outlasts the watchdog. The
+	// ticker covers the target build too, and goes silent the moment the
+	// sink dies — a dead worker stops renewing exactly like a killed
+	// process.
+	var done atomic.Int64
+	interval := l.LeaseTimeout / 4
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if sink.died() {
+					return
+				}
+				w.postChecked("/api/heartbeat", HeartbeatRequest{
+					Campaign: l.Campaign, Shard: l.Shard, Epoch: l.Epoch,
+					Done: int(done.Load()),
+				})
+			}
+		}
+	}()
+	var hbOnce sync.Once
+	stopHB := func() { hbOnce.Do(func() { close(hbStop) }); hbWG.Wait() }
+	defer stopHB()
+
+	c := fi.Campaign{
+		Workers: w.Workers,
+		Shard:   fi.ShardSpec{Index: l.Shard, Count: l.ShardCount},
+		Journal: journal, Key: l.Key, Prior: prior,
+		Obs: ob.Cell(l.Campaign+"/"+fmt.Sprint(l.Shard), 0),
+		Progress: func(n int) {
+			for {
+				cur := done.Load()
+				if int64(n) <= cur || done.CompareAndSwap(cur, int64(n)) {
+					return
+				}
+			}
+		},
+	}
+	res, err := harness.RunSpec(l.Spec, c)
+	stopHB() // no beats may race the complete/release below
+	if err == nil {
+		err = journal.Close()
+	} else {
+		journal.Close()
+	}
+	if err != nil {
+		if sink.died() {
+			return ErrWorkerDied
+		}
+		return err
+	}
+	return w.postChecked("/api/complete", CompleteRequest{
+		Campaign: l.Campaign, Shard: l.Shard, Epoch: l.Epoch,
+		Result: res, Snapshot: ob.Reg.Snapshot(),
+	})
+}
+
+// recordSink adapts the records upload to fi.JournalSink: Write buffers,
+// Sync POSTs the buffered chunk to the coordinator, which appends it to the
+// durable shard file and fsyncs before answering. A failed upload poisons
+// the journal (Journal.Err), which fails the campaign at the next cell
+// boundary — exactly like a failed fsync on a local journal.
+type recordSink struct {
+	w   *Worker
+	l   *Lease
+	mu  sync.Mutex
+	buf bytes.Buffer
+	dd  bool // DieAfterSyncs tripped
+}
+
+func (s *recordSink) died() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dd
+}
+
+func (s *recordSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *recordSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buf.Len() == 0 {
+		return nil
+	}
+	if s.w.DieAfterSyncs > 0 && s.w.syncs.Load() >= int64(s.w.DieAfterSyncs) {
+		s.dd = true
+		return ErrWorkerDied
+	}
+	url := fmt.Sprintf("%s/api/records?campaign=%s&shard=%d&epoch=%d",
+		s.w.Base, s.l.Campaign, s.l.Shard, s.l.Epoch)
+	resp, err := s.w.client().Post(url, "application/x-ndjson", bytes.NewReader(s.buf.Bytes()))
+	if err != nil {
+		return fmt.Errorf("fiserve: records upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fiserve: records upload: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	s.buf.Reset()
+	s.w.syncs.Add(1)
+	return nil
+}
+
+func (s *recordSink) Close() error {
+	return s.Sync()
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ferrum/internal/fi"
+)
+
+// TestDelegateEquivalence: an experiment whose campaign cells are routed
+// through Options.Delegate — with the delegate executing each CampaignSpec
+// via RunSpec, the way a fiserve worker does — renders byte-identical
+// tables to the same experiment run fully in-process.
+func TestDelegateEquivalence(t *testing.T) {
+	local, err := Fig10(testOpts("bfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	opts := testOpts("bfs")
+	opts.Delegate = func(sp CampaignSpec) (fi.Result, error) {
+		calls.Add(1)
+		if sp.Bench != "bfs" || sp.Level != "asm" || sp.Samples != opts.Samples || sp.Seed != opts.Seed {
+			t.Errorf("unexpected spec: %+v", sp)
+		}
+		// A different worker count than the local run: results are
+		// worker-count independent, so the tables must still match.
+		return RunSpec(sp, fi.Campaign{Workers: 3})
+	}
+	delegated, err := Fig10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 { // raw + 3 techniques
+		t.Errorf("delegate called %d times, want 4", calls.Load())
+	}
+	if got, want := RenderFig10(delegated), RenderFig10(local); got != want {
+		t.Errorf("delegated Fig10 differs:\n--- local ---\n%s\n--- delegated ---\n%s", want, got)
+	}
+	if got, want := RenderLatency(delegated), RenderLatency(local); got != want {
+		t.Errorf("delegated latency table differs:\n--- local ---\n%s\n--- delegated ---\n%s", want, got)
+	}
+}
+
+// TestDelegateEquivalenceGap: the four-kind Gap experiment (IR and assembly
+// levels) delegates both levels correctly.
+func TestDelegateEquivalenceGap(t *testing.T) {
+	base := Options{Samples: 200, Seed: 5, Benchmarks: []string{"knn"}}
+	local, err := Gap(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := map[string]int{}
+	del := base
+	del.Delegate = func(sp CampaignSpec) (fi.Result, error) {
+		levels[sp.Level]++
+		return RunSpec(sp, fi.Campaign{Workers: 2})
+	}
+	delegated, err := Gap(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels["ir"] != 2 || levels["asm"] != 2 {
+		t.Errorf("delegate calls per level = %v, want 2 ir + 2 asm", levels)
+	}
+	if got, want := RenderGap(delegated), RenderGap(local); got != want {
+		t.Errorf("delegated Gap differs:\n--- local ---\n%s\n--- delegated ---\n%s", want, got)
+	}
+}
+
+// TestRunSpecErrors: specs naming unknown benchmarks, levels or IR-level
+// techniques are rejected with the offending name in the message.
+func TestRunSpecErrors(t *testing.T) {
+	for _, tc := range []struct {
+		spec CampaignSpec
+		want string
+	}{
+		{CampaignSpec{Bench: "nope", Level: "asm", Technique: Raw, Samples: 1}, "unknown benchmark"},
+		{CampaignSpec{Bench: "bfs", Level: "bogus", Technique: Raw, Samples: 1}, "unknown injection level"},
+		{CampaignSpec{Bench: "bfs", Level: "ir", Technique: Ferrum, Samples: 1}, "ir-level-eddi"},
+	} {
+		_, err := RunSpec(tc.spec, fi.Campaign{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("RunSpec(%+v) error = %v, want %q", tc.spec, err, tc.want)
+		}
+	}
+}

@@ -42,11 +42,7 @@ func Fig10(opts Options) ([]Fig10Row, error) {
 				name: inst.Bench.Name + "/" + string(tech),
 				inj:  opts.Samples,
 				run: func(cc *cellCtx) error {
-					build, err := s.build(cc.cx, instanceAt{inst, opts.Seed}, tech)
-					if err != nil {
-						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
-					}
-					res, err := fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cc))
+					res, err := s.asmCampaignCell(cc, instanceAt{inst, opts.Seed}, tech)
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, tech, err)
 					}
@@ -263,31 +259,16 @@ func Gap(opts Options) ([]GapRow, error) {
 				run: func(cc *cellCtx) error {
 					var res fi.Result
 					var err error
-					// The prune analysis is assembly-level; IR cells run
-					// unpruned rather than erroring out of the whole suite.
-					irCamp := s.campaign(cc)
-					irCamp.Prune = fi.PruneOff
+					at := instanceAt{inst, opts.Seed}
 					switch kind {
 					case "ir-raw":
-						res, err = fi.RunIRCampaign(irTarget(inst, inst.Mod), irCamp)
+						res, err = s.irCampaignCell(cc, at, Raw)
 					case "ir-prot":
-						var build *Build
-						build, err = s.build(cc.cx, instanceAt{inst, opts.Seed}, IREDDI)
-						if err == nil {
-							res, err = fi.RunIRCampaign(irTarget(inst, build.ProtectedIR), irCamp)
-						}
+						res, err = s.irCampaignCell(cc, at, IREDDI)
 					case "asm-raw":
-						var build *Build
-						build, err = s.build(cc.cx, instanceAt{inst, opts.Seed}, Raw)
-						if err == nil {
-							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cc))
-						}
+						res, err = s.asmCampaignCell(cc, at, Raw)
 					case "asm-prot":
-						var build *Build
-						build, err = s.build(cc.cx, instanceAt{inst, opts.Seed}, IREDDI)
-						if err == nil {
-							res, err = fi.RunAsmCampaign(asmTarget(inst, build), s.campaign(cc))
-						}
+						res, err = s.asmCampaignCell(cc, at, IREDDI)
 					}
 					if err != nil {
 						return fmt.Errorf("%s/%s: %w", inst.Bench.Name, kind, err)

@@ -224,6 +224,85 @@ type Options struct {
 	// stream and Perfetto export all render from its registry. Nil disables
 	// all instrumentation (nil observer handles are no-ops throughout).
 	Obs *obs.Observer
+	// Delegate, if non-nil, routes every injection-campaign cell to an
+	// external campaign service (the fiserve coordinator) instead of
+	// building and running it in this process: the scheduler hands over a
+	// CampaignSpec and adopts whatever Result comes back. Campaign results
+	// are deterministic functions of the spec, so delegated tables are
+	// byte-identical to local ones. Build-only experiments (Fig11, ExecTime)
+	// always run locally; journaling, pruning and early stopping belong to
+	// the service in delegated mode, not to these Options.
+	Delegate func(CampaignSpec) (fi.Result, error)
+}
+
+// CampaignSpec names one injection campaign precisely enough for another
+// process to reproduce it: the deterministic plan space (samples, seed,
+// bits) plus the target recipe (benchmark, scale, technique, level,
+// optimization). It deliberately carries no worker counts, journal paths or
+// checkpoint tuning — nothing that can change the campaign's result.
+type CampaignSpec struct {
+	Bench     string    `json:"bench"`
+	Technique Technique `json:"technique"`
+	Level     string    `json:"level"` // "asm" or "ir"
+	Samples   int       `json:"samples"`
+	Seed      int64     `json:"seed"`
+	Scale     int       `json:"scale"`
+	Bits      int       `json:"bits,omitempty"`
+	Optimize  bool      `json:"optimize,omitempty"`
+}
+
+// RunSpec executes one CampaignSpec in this process: it instantiates the
+// named benchmark at the spec's scale and seed, builds the technique, and
+// runs the injection campaign. The caller's Campaign supplies everything a
+// spec deliberately omits — worker count, sharding, journal, observability —
+// while RunSpec fills in the result-determining fields from the spec.
+// fiserve workers execute leased shards through this, and a local
+// Options.Delegate built on it reproduces in-process results exactly.
+func RunSpec(spec CampaignSpec, c fi.Campaign) (fi.Result, error) {
+	b, ok := rodinia.ByName(spec.Bench)
+	if !ok {
+		return fi.Result{}, fmt.Errorf("harness: unknown benchmark %q", spec.Bench)
+	}
+	scale := spec.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	inst, err := b.Instantiate(scale, spec.Seed)
+	if err != nil {
+		return fi.Result{}, err
+	}
+	c.Samples = spec.Samples
+	c.Seed = spec.Seed
+	if spec.Bits > 0 {
+		c.BitsPerFault = spec.Bits
+	}
+	switch spec.Level {
+	case "ir":
+		mod := inst.Mod
+		switch spec.Technique {
+		case Raw:
+		case IREDDI:
+			build, err := BuildTechniqueOpts(inst.Mod, IREDDI, BuildOptions{Optimize: spec.Optimize})
+			if err != nil {
+				return fi.Result{}, err
+			}
+			mod = build.ProtectedIR
+		default:
+			return fi.Result{}, fmt.Errorf("harness: IR-level injection supports raw and ir-level-eddi, not %q", spec.Technique)
+		}
+		// The prune analysis is assembly-level; IR campaigns always run
+		// unpruned (matching irCampaignCell).
+		c.Prune = fi.PruneOff
+		return fi.RunIRCampaign(irTarget(inst, mod), c)
+	case "asm":
+		build, err := BuildTechniqueOpts(inst.Mod, spec.Technique, BuildOptions{Optimize: spec.Optimize})
+		if err != nil {
+			return fi.Result{}, err
+		}
+		return fi.RunAsmCampaign(asmTarget(inst, build), c)
+	default:
+		return fi.Result{}, fmt.Errorf("harness: unknown injection level %q", spec.Level)
+	}
 }
 
 func (o Options) withDefaults() Options {

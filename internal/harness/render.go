@@ -2,10 +2,38 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"ferrum/internal/fi"
 )
+
+// RenderCampaign prints one campaign's result table: the outcome
+// distribution, the SDC rate with its 95% CI, and the per-outcome
+// detection-latency summary when latencies were recorded. fidi prints it
+// for local runs and the fiserve coordinator prints it for merged sharded
+// runs, so a distributed campaign's table is string-for-string the
+// single-process one.
+func RenderCampaign(w io.Writer, technique, level string, res fi.Result) {
+	fmt.Fprintf(w, "technique: %s, level: %s, samples: %d, dynamic sites: %d\n",
+		technique, level, res.Samples, res.DynSites)
+	for _, o := range []fi.Outcome{fi.Benign, fi.SDC, fi.Detected, fi.Crash, fi.Hang} {
+		fmt.Fprintf(w, "  %-9s %5d  (%.1f%%)\n", o, res.Count(o), res.Rate(o)*100)
+	}
+	lo, hi := res.CI95()
+	fmt.Fprintf(w, "SDC rate: %.3f  (95%% CI [%.3f, %.3f])\n", res.SDCRate(), lo, hi)
+	if res.Latency.N() > 0 {
+		fmt.Fprintf(w, "detection latency (%s):\n", res.Latency.Unit)
+		for _, o := range []fi.Outcome{fi.Benign, fi.SDC, fi.Detected, fi.Crash, fi.Hang} {
+			h := res.Latency.Hist(o)
+			if h.N == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-9s n=%-5d mean=%-8.0f p50<=%-8.0f p90<=%-8.0f max=%.0f\n",
+				o, h.N, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)
+		}
+	}
+}
 
 // table is a small text-table builder with right-padded columns.
 type table struct {

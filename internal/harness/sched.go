@@ -132,6 +132,15 @@ func (s *scheduler) attempt(cx *obs.Ctx, c cellSpec) error {
 		s.opts.Obs.Counter(obs.MSchedTimeouts).Add(1)
 		return fmt.Errorf("%s: %w after %v (%v)", c.name, ErrCellTimeout, s.opts.CellTimeout, err)
 	}
+	if err == nil {
+		// A latched journal write error (full disk, yanked volume) means this
+		// cell's records may be missing even though the campaign itself
+		// succeeded; surfacing it here fails the cell instead of leaving a
+		// silently truncated journal for -resume to trust.
+		if jerr := s.opts.Journal.Err(); jerr != nil {
+			return fmt.Errorf("%s: journal write failed: %w", c.name, jerr)
+		}
+	}
 	return err
 }
 
@@ -157,8 +166,58 @@ func (s *scheduler) attempts(cx *obs.Ctx, c cellSpec) error {
 	}
 }
 
+// spec names the campaign a cell is about to run, for delegation to an
+// external campaign service. The spec's seed is the campaign seed; in every
+// campaign experiment it is also the instance seed, so the remote side
+// regenerates the identical benchmark instance and fault plan.
+func (s *scheduler) spec(tech Technique, level string) CampaignSpec {
+	return CampaignSpec{
+		Technique: tech, Level: level,
+		Samples: s.opts.Samples, Seed: s.opts.Seed, Scale: s.opts.Scale,
+		Optimize: s.opts.Optimize,
+	}
+}
+
+// asmCampaignCell runs one (benchmark × technique) assembly-level campaign
+// cell — locally (memoised build, then RunAsmCampaign), or through
+// Options.Delegate when the experiment's campaigns are served remotely.
+func (s *scheduler) asmCampaignCell(cc *cellCtx, inst instanceAt, tech Technique) (fi.Result, error) {
+	if s.opts.Delegate != nil {
+		sp := s.spec(tech, "asm")
+		sp.Bench = inst.inst.Bench.Name
+		return s.opts.Delegate(sp)
+	}
+	build, err := s.build(cc.cx, inst, tech)
+	if err != nil {
+		return fi.Result{}, err
+	}
+	return fi.RunAsmCampaign(asmTarget(inst.inst, build), s.campaign(cc))
+}
+
+/// irCampaignCell is asmCampaignCell's IR-level counterpart: raw injects the
+// benchmark module as-is, IREDDI injects the protected IR. Prune is always
+// off at IR level (the analysis is assembly-only), locally and delegated.
+func (s *scheduler) irCampaignCell(cc *cellCtx, inst instanceAt, tech Technique) (fi.Result, error) {
+	if s.opts.Delegate != nil {
+		sp := s.spec(tech, "ir")
+		sp.Bench = inst.inst.Bench.Name
+		return s.opts.Delegate(sp)
+	}
+	mod := inst.inst.Mod
+	if tech == IREDDI {
+		build, err := s.build(cc.cx, inst, IREDDI)
+		if err != nil {
+			return fi.Result{}, err
+		}
+		mod = build.ProtectedIR
+	}
+	c := s.campaign(cc)
+	c.Prune = fi.PruneOff
+	return fi.RunIRCampaign(irTarget(inst.inst, mod), c)
+}
+
 // build memoises the technique build for an instance at the scheduler's
-// scale/seed/optimize settings. The span shows what the cell actually paid:
+/// scale/seed/optimize settings. The span shows what the cell actually paid:
 // cache hits collapse to microseconds on the timeline.
 func (s *scheduler) build(cx *obs.Ctx, inst instanceAt, tech Technique) (*Build, error) {
 	sp := cx.Span("build")

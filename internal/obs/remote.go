@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// remote.go is the scrape side of multi-process observability: the fiserve
+// coordinator pulls each worker's /metrics surface as a Snapshot and merges
+// the pieces into its own registry view. Fetched snapshots are keyed by
+// sanitised metric names (the only names the wire format carries), which
+// Snapshot.Merge handles like any other: merging a fetched snapshot into a
+// live registry snapshot adds counters and histogram buckets under whichever
+// spelling each side uses, so callers merging across the wire should fetch
+// both sides or sanitise first.
+
+// FetchSnapshot scrapes base's /metrics endpoint and parses the exposition
+// body into a Snapshot. base is the server root ("http://host:port"); a nil
+// client uses http.DefaultClient.
+func FetchSnapshot(client *http.Client, base string) (Snapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimSuffix(base, "/") + "/metrics"
+	resp, err := client.Get(url)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("obs: fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Snapshot{}, fmt.Errorf("obs: fetch %s: %s", url, resp.Status)
+	}
+	s, err := ParsePrometheus(resp.Body)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("obs: fetch %s: %w", url, err)
+	}
+	return s, nil
+}
+
+// FilterSnapshot returns a copy of s holding only the metrics keep accepts.
+// The coordinator uses it to strip fi.* campaign counters out of worker
+// snapshots before merging: merged campaign Results are replayed into the
+// coordinator's own registry exactly once (fi.ReplayResult), so admitting
+// the workers' per-shard fi.* totals as well would double-count every plan.
+func FilterSnapshot(s Snapshot, keep func(name string) bool) Snapshot {
+	out := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	for k, v := range s.Counters {
+		if keep(k) {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if keep(k) {
+			out.Gauges[k] = v
+		}
+	}
+	for k, h := range s.Hists {
+		if keep(k) {
+			out.Hists[k] = h.clone()
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFetchSnapshotRoundTrip: a snapshot scraped over HTTP from a live
+// Server equals the registry's own snapshot under sanitised names,
+// histograms included.
+func TestFetchSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fi.plans").Add(42)
+	reg.Counter("journal.records").Add(45)
+	reg.Gauge("sched.live").Set(3)
+	h := reg.Histogram("fi.detect_latency.cycles.detected", []float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	srv, err := StartServer("127.0.0.1:0", reg.Snapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got, err := FetchSnapshot(nil, "http://"+srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["fi_plans"] != 42 || got.Counters["journal_records"] != 45 {
+		t.Errorf("fetched counters = %v", got.Counters)
+	}
+	if got.Gauges["sched_live"] != 3 {
+		t.Errorf("fetched gauges = %v", got.Gauges)
+	}
+	hs, ok := got.Hists["fi_detect_latency_cycles_detected"]
+	if !ok {
+		t.Fatalf("fetched hists = %v, want latency histogram", got.Hists)
+	}
+	if hs.Count != 3 || hs.Sum != 5055 {
+		t.Errorf("fetched histogram count=%d sum=%g, want 3, 5055", hs.Count, hs.Sum)
+	}
+	// 5 → (1,10], 50 → (10,100], 5000 → +Inf.
+	if len(hs.Counts) != 4 {
+		t.Fatalf("fetched histogram has %d buckets, want 4", len(hs.Counts))
+	}
+	for i, c := range []int64{0, 1, 1, 1} {
+		if hs.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], c)
+		}
+	}
+}
+
+// TestFetchSnapshotErrors: unreachable servers and non-200 responses are
+// reported, not parsed.
+func TestFetchSnapshotErrors(t *testing.T) {
+	if _, err := FetchSnapshot(nil, "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable server produced no error")
+	}
+	srv, err := StartServer("127.0.0.1:0", func() Snapshot { return Snapshot{} }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := FetchSnapshot(nil, "http://"+srv.Addr()+"/nope"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("404 fetch error = %v, want status in message", err)
+	}
+}
+
+// TestFilterSnapshotSplitsNamespaces: the coordinator's merge rule — strip
+// fi_* from worker snapshots, keep everything else — composes out of
+// FilterSnapshot + Merge without double-counting.
+func TestFilterSnapshotSplitsNamespaces(t *testing.T) {
+	worker := Snapshot{
+		Counters: map[string]int64{"fi_plans": 40, "journal_records": 41, "ckpt_restores": 12},
+		Gauges:   map[string]int64{"sched_live": 2},
+		Hists: map[string]HistSnapshot{
+			"fi_detect_latency_cycles_detected": {Bounds: []float64{1}, Counts: []int64{1, 2}, Sum: 9, Count: 3},
+		},
+	}
+	keep := func(name string) bool { return !strings.HasPrefix(name, "fi_") }
+	f := FilterSnapshot(worker, keep)
+	if _, ok := f.Counters["fi_plans"]; ok {
+		t.Error("fi_plans survived the filter")
+	}
+	if _, ok := f.Hists["fi_detect_latency_cycles_detected"]; ok {
+		t.Error("fi_* histogram survived the filter")
+	}
+	if f.Counters["journal_records"] != 41 || f.Counters["ckpt_restores"] != 12 || f.Gauges["sched_live"] != 2 {
+		t.Errorf("filtered snapshot lost non-fi metrics: %v %v", f.Counters, f.Gauges)
+	}
+	// The filtered copy is detached from the original's histogram storage.
+	worker.Hists["fi_detect_latency_cycles_detected"].Counts[0] = 99
+	merged := Snapshot{Counters: map[string]int64{"journal_records": 1}}.Merge(f)
+	if merged.Counters["journal_records"] != 42 {
+		t.Errorf("merged journal_records = %d, want 42", merged.Counters["journal_records"])
+	}
+}

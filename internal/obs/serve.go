@@ -302,6 +302,14 @@ type Server struct {
 // called per scrape, so a scrape after the run's summary sees the final
 // frozen counters.
 func StartServer(addr string, snap func() Snapshot, hub *Hub) (*Server, error) {
+	return StartServerMux(addr, snap, hub, nil)
+}
+
+// StartServerMux is StartServer with caller-supplied routes: extra, if
+// non-nil, is handed the mux before the server starts, so a service (the
+// fiserve coordinator) can mount its API next to the standard observability
+// surface and share one listener.
+func StartServerMux(addr string, snap func() Snapshot, hub *Hub, extra func(*http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: serve: %w", err)
@@ -348,6 +356,9 @@ func StartServer(addr string, snap func() Snapshot, hub *Hub) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if extra != nil {
+		extra(mux)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
