@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"ferrum/internal/backend"
+	"ferrum/internal/compose"
 	"ferrum/internal/ferrumpass"
 	"ferrum/internal/fi"
 	"ferrum/internal/harness"
@@ -441,6 +442,75 @@ func BenchmarkAsmCampaign(b *testing.B) {
 			}
 		})
 	}
+}
+
+// composeSamples is BenchmarkCompose's per-campaign budget. The reuse side's
+// cost is sample-independent (golden + recording runs only), so the paper-
+// scale budget is what makes the headline ratio honest.
+const composeSamples = 1000
+
+// BenchmarkCompose measures the compositional campaign's section-reuse
+// speedup, the headline number of BENCH_compose.json: 'full' runs the
+// composed campaign cold (fresh section cache every iteration — golden run,
+// recording run, and every plan executed), 'reuse' runs the identical
+// campaign against warm tables (every plan served from cache; only the
+// golden and recording runs execute). The ratio is the wall-clock saving a
+// re-run pays after an edit that reaches no section. The cell is the raw
+// (unprotected) bfs campaign — the fault-space measurement a protection
+// developer re-runs most, and the one whose plans run longest (no detector
+// truncates them), so it is also where composition pays most.
+func BenchmarkCompose(b *testing.B) {
+	inst, err := rodinia.BFS.Instantiate(1, harness.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := backend.Compile(inst.Mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt := fi.AsmTarget{
+		Prog:    prog,
+		MemSize: 1 << 20,
+		Args:    inst.Args,
+		Setup:   func(w fi.MemWriter) error { return inst.Setup(w) },
+	}
+	base := fi.Campaign{Samples: composeSamples, Seed: harness.DefaultSeed, Compose: fi.ComposeOn}
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := base
+			c.SectionCache = compose.NewCache() // cold: every plan executes
+			if _, err := fi.RunAsmCampaign(tgt, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(composeSamples)*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+	})
+	b.Run("reuse", func(b *testing.B) {
+		warm := compose.NewCache()
+		c := base
+		c.SectionCache = warm
+		if _, err := fi.RunAsmCampaign(tgt, c); err != nil {
+			b.Fatal(err) // populate the tables outside the timer
+		}
+		b.ResetTimer()
+		var res fi.Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := base
+			c.SectionCache = warm.Clone() // shared tables, fresh counters
+			b.StartTimer()
+			var err error
+			res, err = fi.RunAsmCampaign(tgt, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if res.Checkpoint.Restores != 0 || res.Checkpoint.ColdStarts != 0 {
+			b.Fatalf("warm run executed plans: %+v", res.Checkpoint)
+		}
+		b.ReportMetric(float64(composeSamples)*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+	})
 }
 
 // BenchmarkObsOverhead proves the observability layer is off-path: the same

@@ -66,6 +66,7 @@ func run(argv []string, out io.Writer) error {
 		resume    = fs.Bool("resume", false, "resume from the -journal file of an interrupted campaign instead of starting fresh")
 		ciWidth   = fs.Float64("ci-width", 0, "stop the campaign early once the 95% CI of the SDC rate is no wider than this (0 = off)")
 		pruneStr  = fs.String("prune", "off", "static fault-site pruning (asm level only): off, dead (exact), exact (dead+masked), full (adds class dedup, statistical)")
+		compStr   = fs.String("compose", "off", "compositional campaigns (asm level only): off, on (sectioned at checkpoint boundaries), validate (also run the monolithic campaign and gate the composed rates against it)")
 		noCkpt    = fs.Bool("no-checkpoint", false, "disable checkpointed fast-forwarding (identical results, slower)")
 		ckptEvery = fs.Uint64("checkpoint-every", 0, "snapshot spacing K in dynamic sites (0 = auto-tune)")
 		progress  = fs.Bool("progress", false, "stream throttled injection progress to stderr")
@@ -201,10 +202,29 @@ func run(argv []string, out io.Writer) error {
 		}
 	}
 
+	composeMode, cerr := fi.ParseComposeMode(*compStr)
+	if cerr != nil {
+		return cerr
+	}
+	if composeMode != fi.ComposeOff {
+		if *level == "ir" {
+			return fmt.Errorf("-compose requires -level asm (sections are cut at assembly checkpoint boundaries)")
+		}
+		if prune != fi.PruneOff {
+			return fmt.Errorf("-compose is incompatible with -prune (pruned campaigns have no per-section plan strata)")
+		}
+		if *ciWidth > 0 {
+			return fmt.Errorf("-compose is incompatible with -ci-width (per-section budgets are fixed up front)")
+		}
+		if *noCkpt {
+			return fmt.Errorf("-compose requires checkpointing (sections are cut at checkpoint boundaries); drop -no-checkpoint")
+		}
+	}
+
 	campaign := fi.Campaign{
 		Samples: *samples, Seed: *seed, BitsPerFault: *bits,
 		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
-		CIWidth: *ciWidth, Prune: prune,
+		CIWidth: *ciWidth, Prune: prune, Compose: composeMode,
 		Obs: cx,
 	}
 	if *resume && *journalP == "" {
@@ -219,6 +239,9 @@ func run(argv []string, out io.Writer) error {
 		}
 		if prune != fi.PruneOff {
 			meta.Prune = prune.String()
+		}
+		if composeMode != fi.ComposeOff {
+			meta.Compose = composeMode.String()
 		}
 		var journal *fi.Journal
 		if *resume {
@@ -323,6 +346,23 @@ func run(argv []string, out io.Writer) error {
 			"pruning (%s): %d of %d plans answered statically (%d dead, %d masked, %d deduped), %d executed across %d classes\n",
 			pr.Mode, pr.Planned-pr.Executed, pr.Planned,
 			pr.Dead, pr.Masked, pr.Deduped, pr.Executed, pr.Classes)
+	}
+	if cs := res.Composed; cs.Enabled {
+		fmt.Fprintf(errw,
+			"compose (%s): %d sections at K=%d; %d of %d plans classified at their section boundary, %d fell back to end-to-end\n",
+			cs.Mode, len(cs.Rows), cs.Interval, cs.Sections, cs.Composed, cs.Fallbacks)
+		if v := cs.Validation; v != nil {
+			verdict := "within"
+			if !v.OK {
+				verdict = "OUTSIDE"
+			}
+			fmt.Fprintf(errw,
+				"compose validate: SDC %.4f vs monolithic %.4f (tol %.4f), detected %.4f vs %.4f (tol %.4f) — %s tolerance\n",
+				v.SDC, v.MonoSDC, v.SDCTol, v.Detected, v.MonoDetected, v.DetectedTol, verdict)
+			if !v.OK {
+				return fmt.Errorf("compose validation failed: composed rates fall outside the monolithic Wilson tolerance")
+			}
+		}
 	}
 
 	if *trace > 0 && *level != "ir" {

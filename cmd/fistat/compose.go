@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"ferrum/internal/fi"
+)
+
+// composeReport renders the per-section propagation table for every
+// completed cell that ran compositionally: one row per section with its
+// dynamic-site range, content fingerprint, plan budget, fallback count and
+// outcome split. The fingerprint is the section-cache key — two journals
+// showing the same fingerprint for a section measured the same code under
+// the same entry/exit states, so its table is reusable between them.
+func composeReport(out io.Writer, st *fi.JournalState) {
+	for _, key := range st.Keys() {
+		cs := st.Cell(key)
+		if cs.Result == nil || !cs.Result.Composed.Enabled {
+			continue
+		}
+		comp := cs.Result.Composed
+		fmt.Fprintf(out, "compose (%s) %s: %d sections at K=%d; %d boundary-classified + %d fallbacks = %d plans\n",
+			comp.Mode, key, len(comp.Rows), comp.Interval,
+			comp.Sections, comp.Fallbacks, comp.Composed)
+		t := newTable("section", "sites", "fingerprint", "plans", "fallback",
+			"benign", "sdc", "detected", "crash", "hang", "sdc-rate")
+		for i, row := range comp.Rows {
+			rate := 0.0
+			if row.Plans > 0 {
+				rate = float64(row.Counts[fi.SDC]) / float64(row.Plans)
+			}
+			t.add(fmt.Sprintf("%d", i),
+				fmt.Sprintf("%d-%d", row.Start, row.End),
+				row.Fingerprint,
+				fmt.Sprintf("%d", row.Plans), fmt.Sprintf("%d", row.Fallbacks),
+				fmt.Sprintf("%d", row.Counts[fi.Benign]), fmt.Sprintf("%d", row.Counts[fi.SDC]),
+				fmt.Sprintf("%d", row.Counts[fi.Detected]), fmt.Sprintf("%d", row.Counts[fi.Crash]),
+				fmt.Sprintf("%d", row.Counts[fi.Hang]),
+				fmt.Sprintf("%.3f", rate))
+		}
+		fmt.Fprint(out, t.String())
+		if v := comp.Validation; v != nil {
+			verdict := "within"
+			if !v.OK {
+				verdict = "OUTSIDE"
+			}
+			fmt.Fprintf(out, "validated against monolithic (n=%d): SDC %.3f vs %.3f (tol %.3f), detected %.3f vs %.3f (tol %.3f) — %s tolerance\n",
+				v.MonoSamples, v.SDC, v.MonoSDC, v.SDCTol,
+				v.Detected, v.MonoDetected, v.DetectedTol, verdict)
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// composeDiff annotates, for every cell composed in both journals, which
+// sections a re-run against b's program would re-inject and which it would
+// reuse: a section whose fingerprint is unchanged between the journals has
+// an identical cached table, so only its fallback-class plans re-run; a
+// changed fingerprint means the edit reached that section's code or
+// boundary states and the whole stratum is re-injected.
+func composeDiff(out io.Writer, stA, stB *fi.JournalState) {
+	header := false
+	for _, key := range stB.Keys() {
+		ca, cb := stA.Cell(key), stB.Cell(key)
+		if ca == nil || cb == nil || ca.Result == nil || cb.Result == nil {
+			continue
+		}
+		compA, compB := ca.Result.Composed, cb.Result.Composed
+		if !compA.Enabled || !compB.Enabled {
+			continue
+		}
+		if !header {
+			fmt.Fprintln(out, "\ncompose sections (= reused: fingerprint unchanged, cached table still valid; # re-injected):")
+			header = true
+		}
+		if len(compA.Rows) != len(compB.Rows) {
+			fmt.Fprintf(out, "  %s: section partition changed (%d → %d sections); nothing reusable\n",
+				key, len(compA.Rows), len(compB.Rows))
+			continue
+		}
+		strip := make([]byte, len(compB.Rows))
+		reused, reusedPlans := 0, 0
+		for i, rb := range compB.Rows {
+			ra := compA.Rows[i]
+			switch {
+			case ra.Start != rb.Start || ra.End != rb.End:
+				strip[i] = '#'
+			case ra.Fingerprint == rb.Fingerprint:
+				strip[i] = '='
+				reused++
+				reusedPlans += rb.Plans - rb.Fallbacks
+			default:
+				strip[i] = '#'
+			}
+		}
+		fmt.Fprintf(out, "  %s: %d/%d sections reused (%d plans servable from a's tables) [%s]\n",
+			key, reused, len(compB.Rows), reusedPlans, strip)
+	}
+}

@@ -64,6 +64,7 @@ func runDiff(out io.Writer, pathA, pathB string) error {
 			latShift(a, b))
 	}
 	fmt.Fprint(out, t.String())
+	composeDiff(out, stA, stB)
 	return nil
 }
 

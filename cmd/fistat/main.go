@@ -192,6 +192,8 @@ func report(out io.Writer, path string, st *fi.JournalState, top int) {
 	fmt.Fprintf(out, "\noutcomes: %d plans across %d campaigns: %s\n\n",
 		totalPlans, len(aggs), strings.Join(parts, ", "))
 
+	composeReport(out, st)
+
 	// Detection-latency histograms, merged per technique (and unit).
 	type techLat struct {
 		tech string

@@ -19,10 +19,10 @@ func writeJournal(t *testing.T, path string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("bfs/ferrum/asm", 0, fi.Detected, 10, 8, true)
-	j.Plan("bfs/ferrum/asm", 1, fi.Benign, 20, 4000, true)
-	j.Plan("bfs/ferrum/asm", 2, fi.Detected, 30, 16, true)
-	j.Plan("bfs/ferrum/asm", 3, fi.Crash, 40, 2, true)
+	j.Plan("bfs/ferrum/asm", 0, fi.Detected, 10, 8, true, false)
+	j.Plan("bfs/ferrum/asm", 1, fi.Benign, 20, 4000, true, false)
+	j.Plan("bfs/ferrum/asm", 2, fi.Detected, 30, 16, true, false)
+	j.Plan("bfs/ferrum/asm", 3, fi.Crash, 40, 2, true, false)
 	var res fi.Result
 	res.Samples = 4
 	res.Counts[fi.Benign] = 1
@@ -34,8 +34,8 @@ func writeJournal(t *testing.T, path string) {
 	res.Latency.Observe(fi.Crash, 2)
 	res.Latency.Unit = "cycles"
 	j.Cell("bfs/ferrum/asm", res)
-	j.Plan("bfs/raw/asm", 0, fi.SDC, 11, 100, true)
-	j.Plan("bfs/raw/asm", 1, fi.Crash, 12, 3, true)
+	j.Plan("bfs/raw/asm", 0, fi.SDC, 11, 100, true, false)
+	j.Plan("bfs/raw/asm", 1, fi.Crash, 12, 3, true, false)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -178,9 +178,9 @@ func TestDiff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("bfs/raw/asm", 0, fi.Detected, 11, 90, true)
-	j.Plan("bfs/raw/asm", 1, fi.Crash, 12, 3, true)
-	j.Plan("only-in-b", 0, fi.Benign, 1, 5, true)
+	j.Plan("bfs/raw/asm", 0, fi.Detected, 11, 90, true, false)
+	j.Plan("bfs/raw/asm", 1, fi.Crash, 12, 3, true, false)
+	j.Plan("only-in-b", 0, fi.Benign, 1, 5, true, false)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -192,6 +192,81 @@ func TestDiff(t *testing.T) {
 	for _, needle := range []string{"1→0", "0→1", "(a only)", "(b only)", "Δsdc-rate"} {
 		if !strings.Contains(s, needle) {
 			t.Errorf("diff missing %q:\n%s", needle, s)
+		}
+	}
+}
+
+// composedResult fabricates a completed compositional cell: three sections,
+// the middle one carrying a fallback.
+func composedResult(fps [3]string) fi.Result {
+	var res fi.Result
+	res.Samples = 30
+	res.Counts[fi.Benign] = 20
+	res.Counts[fi.SDC] = 6
+	res.Counts[fi.Crash] = 4
+	res.Composed = fi.ComposeSummary{
+		Enabled: true, Mode: "on", Interval: 10,
+		Composed: 30, Sections: 29, Fallbacks: 1,
+		Rows: []fi.SectionRow{
+			{Start: 0, End: 10, Fingerprint: fps[0], Plans: 10, Counts: [5]int{8, 1, 0, 1, 0}},
+			{Start: 10, End: 20, Fingerprint: fps[1], Plans: 10, Fallbacks: 1, Counts: [5]int{6, 3, 0, 1, 0}},
+			{Start: 20, End: 30, Fingerprint: fps[2], Plans: 10, Counts: [5]int{6, 2, 0, 2, 0}},
+		},
+	}
+	return res
+}
+
+func writeComposedJournal(t *testing.T, path string, fps [3]string) {
+	t.Helper()
+	j, err := fi.CreateJournal(path, fi.JournalMeta{Tool: "test", Seed: 3, Samples: 30, Compose: "on"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cell("bfs/raw/asm", composedResult(fps))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComposeReportAndDiff: the per-section propagation table renders from
+// the journaled ComposeSummary, and -diff annotates reused vs re-injected
+// sections by fingerprint equality.
+func TestComposeReportAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.ndjson"), filepath.Join(dir, "b.ndjson")
+	writeComposedJournal(t, a, [3]string{"aaaa", "bbbb", "cccc"})
+	// b: the edit reached only the middle section.
+	writeComposedJournal(t, b, [3]string{"aaaa", "beef", "cccc"})
+
+	var out strings.Builder
+	if err := run([]string{"-journal", a}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, needle := range []string{
+		"compose (on) bfs/raw/asm: 3 sections at K=10; 29 boundary-classified + 1 fallbacks = 30 plans",
+		"fingerprint",
+		"10-20",
+		"bbbb",
+	} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("compose report missing %q:\n%s", needle, s)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-diff", a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	for _, needle := range []string{
+		"compose sections",
+		"bfs/raw/asm: 2/3 sections reused",
+		"[=#=]",
+		"20 plans servable", // sections 0 and 2: 10 plans each, no fallbacks
+	} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("compose diff missing %q:\n%s", needle, s)
 		}
 	}
 }

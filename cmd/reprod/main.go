@@ -75,6 +75,7 @@ func run(argv []string, out io.Writer) error {
 		retryBack   = fs.Duration("retry-backoff", 0, "sleep before the first cell retry, doubled each further attempt")
 		ciWidth     = fs.Float64("ci-width", 0, "stop each campaign early once the 95% CI of its SDC rate is no wider than this (0 = off)")
 		pruneMode   = fs.String("prune", "off", "static fault-site pruning for asm campaigns: off, dead (exact), exact (dead+masked), full (adds class dedup, statistical)")
+		compMode    = fs.String("compose", "off", "compositional asm campaigns: off, on (sectioned at checkpoint boundaries, per-section tables cached across cells), validate (also run each monolithic campaign and gate the composed rates)")
 		dumpFusion  = fs.Int("dump-fusion", 0, "print the top N fused superinstruction patterns by dynamic executions to stderr")
 		serveAddr   = fs.String("serve", "", "serve live observability over HTTP on this address (host:port; :0 picks a port): /metrics, /progress, /debug/pprof")
 		serveDrain  = fs.Duration("serve-drain", 0, "with -serve: after the run completes, keep serving until one more /metrics scrape lands or this much time passes (0 = exit immediately)")
@@ -147,13 +148,28 @@ func run(argv []string, out io.Writer) error {
 	if prune != fi.PruneOff && *ciWidth > 0 {
 		return fmt.Errorf("-prune is incompatible with -ci-width (pruned campaigns have no uniform plan prefix)")
 	}
+	composeMode, err := fi.ParseComposeMode(*compMode)
+	if err != nil {
+		return err
+	}
+	if composeMode != fi.ComposeOff {
+		if prune != fi.PruneOff {
+			return fmt.Errorf("-compose is incompatible with -prune (pruned campaigns have no per-section plan strata)")
+		}
+		if *ciWidth > 0 {
+			return fmt.Errorf("-compose is incompatible with -ci-width (per-section budgets are fixed up front)")
+		}
+		if *noCkpt {
+			return fmt.Errorf("-compose requires checkpointing (sections are cut at checkpoint boundaries); drop -no-checkpoint")
+		}
+	}
 
 	opts := harness.Options{
 		Samples: *samples, Seed: *seed, Scale: *scale, Workers: *workers,
 		Optimize: *o1, CellWorkers: *cellWorkers, Cache: harness.NewBuildCache(),
 		NoCheckpoint: *noCkpt, CheckpointEvery: *ckptEvery,
 		CellTimeout: *cellTimeout, MaxRetries: *maxRetries, RetryBackoff: *retryBack,
-		CIWidth: *ciWidth, Prune: prune,
+		CIWidth: *ciWidth, Prune: prune, Compose: composeMode,
 		Obs: ob,
 	}
 	if *progress {
@@ -197,6 +213,9 @@ func run(argv []string, out io.Writer) error {
 		}
 		if prune != fi.PruneOff {
 			meta.Prune = prune.String()
+		}
+		if composeMode != fi.ComposeOff {
+			meta.Compose = composeMode.String()
 		}
 		if *resume {
 			st, j, err := fi.ResumeJournal(*journalPath)

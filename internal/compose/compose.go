@@ -1,0 +1,256 @@
+// Package compose implements the compositional half of ROADMAP item 1, after
+// FastFlip (PAPERS.md): partition a program into sections at the golden-run
+// checkpoint boundaries, measure each section's error propagation once, and
+// compose whole-program outcome distributions. The package is deliberately
+// policy-free — it provides the section fingerprints, boundary-descriptor
+// classification, budget allocation, and the per-section propagation-table
+// cache; internal/fi owns the campaign loop that uses them.
+package compose
+
+import (
+	"hash/fnv"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/liveness"
+	"ferrum/internal/machine"
+)
+
+// Verdict is the composition-time meaning of a section-boundary descriptor.
+type Verdict uint8
+
+const (
+	// VerdictBenign: the error dissipated (or survives only in state the
+	// downstream provably never reads) and the output prefix matches golden,
+	// so the whole-program outcome is Benign.
+	VerdictBenign Verdict = iota
+	// VerdictSDC: the machine state at the boundary is clean modulo dead
+	// state but the output prefix already differs from golden. The downstream
+	// appends the golden suffix to a wrong prefix, so the final output is
+	// wrong with no detection left to fire: SDC.
+	VerdictSDC
+	// VerdictFallback: the descriptor is ambiguous (control-flow, memory,
+	// vector or live-register divergence) — the plan must run end-to-end.
+	VerdictFallback
+)
+
+// String names the verdict for tables and logs.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictBenign:
+		return "benign"
+	case VerdictSDC:
+		return "sdc"
+	case VerdictFallback:
+		return "fallback"
+	}
+	return "unknown"
+}
+
+// Classify maps a boundary diff to a composition verdict. deadRegs and
+// deadFlags are the state the downstream section provably never reads
+// (DeadSets at the boundary's static location); differences confined to them
+// are tolerated. exact reports that NO difference was tolerated — the
+// machine state matched golden bit for bit — which is what makes the verdict
+// robust to edits of the downstream sections (see Class).
+func Classify(d machine.BoundaryDiff, deadRegs liveness.RegSet, deadFlags liveness.FlagSet) (verdict Verdict, exact bool) {
+	if !d.Comparable || d.PC || d.Dyn || d.Mem || d.XMM {
+		return VerdictFallback, false
+	}
+	for _, r := range d.GPRs {
+		if !deadRegs.Has(r) {
+			return VerdictFallback, false
+		}
+	}
+	for _, f := range d.Flags {
+		if !deadFlags.Has(f) {
+			return VerdictFallback, false
+		}
+	}
+	exact = len(d.GPRs) == 0 && len(d.Flags) == 0
+	if d.Output {
+		return VerdictSDC, exact
+	}
+	return VerdictBenign, exact
+}
+
+// DeadSets computes the registers and flags whose corruption at the static
+// location (fn, idx) — the golden boundary pc — the downstream execution
+// provably never observes. A GPR is dead only when the intra-function
+// dataflow (CallPreserves: liveness flows through calls untouched, the safe
+// direction for deadness) reports it not live at idx, the function performs
+// no calls (so no callee could read it before redefinition), and no other
+// function in the program mentions it at all (so no later-executing code —
+// including the caller after ret — can read it). Flags need no such escape
+// condition: FlagsRead models call and ret as reading every flag, so a flag
+// that could cross the function boundary is already live.
+func DeadSets(prog *asm.Program, fn string, idx int) (liveness.RegSet, liveness.FlagSet) {
+	f := prog.Func(fn)
+	if f == nil {
+		return 0, 0
+	}
+	var deadR liveness.RegSet
+	hasCall := false
+	for _, in := range f.Insts {
+		if in.Op == asm.CALL {
+			hasCall = true
+			break
+		}
+	}
+	if !hasCall {
+		if live, ok := liveness.AnalyzeCalls(f, liveness.CallPreserves).LiveAt(idx); ok {
+			var others liveness.RegSet
+			for _, g := range prog.Funcs {
+				if g.Name != fn {
+					others.Union(liveness.UsedGPRs(g))
+				}
+			}
+			for r := asm.RNone + 1; r < asm.NumReg; r++ {
+				if !live.Has(r) && !others.Has(r) {
+					deadR.Add(r)
+				}
+			}
+		}
+	}
+	var deadF liveness.FlagSet
+	if live, ok := liveness.AnalyzeFlags(f).LiveAt(idx); ok {
+		for fb := asm.Flag(0); fb < asm.NumFlag; fb++ {
+			if !live.Has(fb) {
+				deadF.Add(fb)
+			}
+		}
+	}
+	return deadR, deadF
+}
+
+// Mix folds words into one fnv-64a digest; the building block for every
+// fingerprint in this package.
+func Mix(vals ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vals {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// SectionSeed derives a section-local RNG seed from the campaign seed and
+// the section's site range. Deterministic in the section identity, not its
+// ordinal, so inserting a section upstream does not reshuffle the plans of
+// the sections after it.
+func SectionSeed(seed int64, start, end uint64) int64 {
+	return int64(Mix(uint64(seed), start, end, 0x5ec7105eed))
+}
+
+// Alloc splits a total sample budget across sections proportionally to
+// their weights (site counts) by largest remainder, so the per-section
+// budgets always sum exactly to total. Zero-weight sections get zero.
+func Alloc(total int, weights []uint64) []int {
+	n := make([]int, len(weights))
+	if total <= 0 || len(weights) == 0 {
+		return n
+	}
+	var sum uint64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum == 0 {
+		return n
+	}
+	given := 0
+	rems := make([]uint64, len(weights))
+	for i, w := range weights {
+		q := uint64(total) * w
+		n[i] = int(q / sum)
+		rems[i] = q % sum
+		given += n[i]
+	}
+	for given < total {
+		best := -1
+		for i, r := range rems {
+			if weights[i] == 0 {
+				continue
+			}
+			if best < 0 || r > rems[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		n[best]++
+		rems[best] = 0
+		given++
+	}
+	return n
+}
+
+// CodeDigest fingerprints the code of the named functions: each function's
+// name followed by the rendered text of its instructions. Rendered text is
+// the right granularity — it captures opcodes, operands, labels and
+// provenance-free structure while staying stable across process runs.
+func CodeDigest(prog *asm.Program, fns []string) uint64 {
+	h := fnv.New64a()
+	for _, name := range fns {
+		f := prog.Func(name)
+		if f == nil {
+			continue
+		}
+		h.Write([]byte(f.Name))
+		h.Write([]byte{0})
+		for _, in := range f.Insts {
+			for _, l := range in.Labels {
+				h.Write([]byte(l))
+				h.Write([]byte{':'})
+			}
+			h.Write([]byte(in.String()))
+			h.Write([]byte{'\n'})
+		}
+	}
+	return h.Sum64()
+}
+
+// FnsInRange returns the (deduplicated, first-execution-ordered) names of
+// the functions whose golden execution overlaps the site range [start, end).
+// Spans are conservative: a span touching the range at either edge counts,
+// so zero-site functions executing inside a section still pin that section's
+// fingerprint to their code.
+func FnsInRange(spans []machine.FnSpan, start, end uint64) []string {
+	var fns []string
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Start > end || sp.End < start {
+			continue
+		}
+		if !seen[sp.Fn] {
+			seen[sp.Fn] = true
+			fns = append(fns, sp.Fn)
+		}
+	}
+	return fns
+}
+
+// OutputDigest fingerprints an output stream.
+func OutputDigest(out []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range out {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,152 @@
+package compose
+
+import (
+	"testing"
+
+	"ferrum/internal/asm"
+	"ferrum/internal/liveness"
+	"ferrum/internal/machine"
+)
+
+func TestAllocExactAndProportional(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []uint64
+	}{
+		{1000, []uint64{100, 200, 700}},
+		{7, []uint64{1, 1, 1}},
+		{5, []uint64{0, 10, 0}},
+		{0, []uint64{3, 4}},
+		{10, []uint64{}},
+		{3, []uint64{0, 0}},
+		{1000, []uint64{1, 1, 1, 999999}},
+	}
+	for _, c := range cases {
+		got := Alloc(c.total, c.weights)
+		if len(got) != len(c.weights) {
+			t.Fatalf("Alloc(%d, %v) returned %d entries", c.total, c.weights, len(got))
+		}
+		sum, wsum := 0, uint64(0)
+		for i, n := range got {
+			sum += n
+			wsum += c.weights[i]
+			if c.weights[i] == 0 && n != 0 {
+				t.Errorf("Alloc(%d, %v): zero-weight section got %d", c.total, c.weights, n)
+			}
+		}
+		want := c.total
+		if want < 0 || wsum == 0 {
+			want = 0
+		}
+		if sum != want {
+			t.Errorf("Alloc(%d, %v) = %v, sums to %d", c.total, c.weights, got, sum)
+		}
+	}
+	// Proportionality within one unit of the exact share.
+	got := Alloc(1000, []uint64{100, 200, 700})
+	for i, want := range []int{100, 200, 700} {
+		if got[i] < want-1 || got[i] > want+1 {
+			t.Errorf("budget[%d] = %d, want ~%d", i, got[i], want)
+		}
+	}
+}
+
+func TestSectionSeedIdentity(t *testing.T) {
+	a := SectionSeed(42, 0, 100)
+	if a != SectionSeed(42, 0, 100) {
+		t.Error("seed not deterministic")
+	}
+	for _, other := range []int64{
+		SectionSeed(42, 100, 200),
+		SectionSeed(42, 0, 101),
+		SectionSeed(43, 0, 100),
+	} {
+		if other == a {
+			t.Error("distinct section identities collided")
+		}
+	}
+}
+
+func TestClassifyVerdicts(t *testing.T) {
+	var deadR liveness.RegSet
+	deadR.Add(asm.RAX)
+	var deadF liveness.FlagSet
+	deadF.Add(asm.FlagZF)
+
+	cases := []struct {
+		name  string
+		d     machine.BoundaryDiff
+		want  Verdict
+		exact bool
+	}{
+		{"clean", machine.BoundaryDiff{Comparable: true}, VerdictBenign, true},
+		{"clean-sdc", machine.BoundaryDiff{Comparable: true, Output: true}, VerdictSDC, true},
+		{"incomparable", machine.BoundaryDiff{}, VerdictFallback, false},
+		{"pc", machine.BoundaryDiff{Comparable: true, PC: true}, VerdictFallback, false},
+		{"mem", machine.BoundaryDiff{Comparable: true, Mem: true}, VerdictFallback, false},
+		{"xmm", machine.BoundaryDiff{Comparable: true, XMM: true}, VerdictFallback, false},
+		{"dyn", machine.BoundaryDiff{Comparable: true, Dyn: true}, VerdictFallback, false},
+		{"dead-reg", machine.BoundaryDiff{Comparable: true, GPRs: []asm.Reg{asm.RAX}}, VerdictBenign, false},
+		{"live-reg", machine.BoundaryDiff{Comparable: true, GPRs: []asm.Reg{asm.RBX}}, VerdictFallback, false},
+		{"dead-flag", machine.BoundaryDiff{Comparable: true, Flags: []asm.Flag{asm.FlagZF}}, VerdictBenign, false},
+		{"live-flag", machine.BoundaryDiff{Comparable: true, Flags: []asm.Flag{asm.FlagSF}}, VerdictFallback, false},
+		{"dead-reg-sdc", machine.BoundaryDiff{Comparable: true, Output: true, GPRs: []asm.Reg{asm.RAX}}, VerdictSDC, false},
+	}
+	for _, c := range cases {
+		v, exact := Classify(c.d, deadR, deadF)
+		if v != c.want || exact != c.exact {
+			t.Errorf("%s: Classify = (%v, %v), want (%v, %v)", c.name, v, exact, c.want, c.exact)
+		}
+	}
+}
+
+func TestFnsInRange(t *testing.T) {
+	spans := []machine.FnSpan{
+		{Fn: "main", Start: 0, End: 10},
+		{Fn: "kernel", Start: 10, End: 50},
+		{Fn: "main", Start: 50, End: 50}, // zero-site tail
+		{Fn: "fini", Start: 50, End: 60},
+	}
+	got := FnsInRange(spans, 10, 49)
+	if len(got) != 2 || got[0] != "main" || got[1] != "kernel" {
+		t.Errorf("FnsInRange mid = %v", got)
+	}
+	got = FnsInRange(spans, 50, 60)
+	if len(got) != 3 { // kernel's span touches 50, main's zero-site span too
+		t.Errorf("FnsInRange tail = %v", got)
+	}
+	if got := FnsInRange(nil, 0, 10); len(got) != 0 {
+		t.Errorf("FnsInRange(nil) = %v", got)
+	}
+}
+
+func TestCacheClasses(t *testing.T) {
+	c := NewCache()
+	tbl := &Table{GlobalDigest: 7, Plans: []CachedPlan{{Site: 1, Bit: 2, Outcome: 1}}}
+	if c.Get(99) != nil {
+		t.Error("hit on empty cache")
+	}
+	c.Put(99, tbl)
+	if got := c.Get(99); got != tbl {
+		t.Error("miss after Put")
+	}
+	c.Served(1)
+	st := c.CacheStats()
+	if st.SectionHits != 1 || st.SectionMisses != 1 || st.PlansServed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	cl := c.Clone()
+	if cl.Len() != 1 || cl.Get(99) != tbl {
+		t.Error("clone lost tables")
+	}
+	if s := cl.CacheStats(); s.SectionHits != 1 || s.SectionMisses != 0 {
+		t.Errorf("clone stats not fresh: %+v", s)
+	}
+	// nil-receiver safety
+	var nilCache *Cache
+	if nilCache.Get(1) != nil || nilCache.Len() != 0 {
+		t.Error("nil cache misbehaved")
+	}
+	nilCache.Put(1, tbl)
+	nilCache.Served(3)
+}

@@ -1,0 +1,204 @@
+package fi
+
+import (
+	"reflect"
+	"testing"
+
+	"ferrum/internal/backend"
+	"ferrum/internal/compose"
+	"ferrum/internal/ir"
+)
+
+// twoKernelSrc is a two-phase program for the section-reuse test: main runs
+// kernelA (writes the scratch array) then kernelB (reduces it). The %5 in
+// kernelB's xor is the "edited line" — twoKernelEdited differs only there,
+// preserving instruction counts, control flow and every PC, so the sections
+// covering kernelA's execution keep their content fingerprints while the
+// kernelB sections (and the whole-program digest) change.
+const twoKernelSrc = `
+func @kernelA(%base, %n) {
+entry:
+  %i = alloca 1
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = icmp slt %iv, %n
+  br %c, body, done
+body:
+  %p = gep %base, %iv
+  %v = load %p
+  %v2 = mul %v, 3
+  %v3 = add %v2, 11
+  store %v3, %p
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  %z = load %base
+  ret %z
+}
+func @kernelB(%base, %n) {
+entry:
+  %i = alloca 1
+  %acc = alloca 1
+  store 0, %i
+  store 0, %acc
+  br loop
+loop:
+  %iv = load %i
+  %c = icmp slt %iv, %n
+  br %c, body, done
+body:
+  %p = gep %base, %iv
+  %v = load %p
+  %v2 = xor %v, 5
+  %a = load %acc
+  %a2 = add %a, %v2
+  store %a2, %acc
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  %r = load %acc
+  out %r
+  ret %r
+}
+func @main(%n, %base) {
+entry:
+  %a = call @kernelA(%base, %n)
+  out %a
+  %b = call @kernelB(%base, %n)
+  out %b
+  ret %b
+}
+`
+
+func twoKernelTarget(t *testing.T, src string) AsmTarget {
+	t.Helper()
+	mod, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := backend.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AsmTarget{Prog: prog, MemSize: memSize, Args: []uint64{8, 8192}, Setup: loadArray}
+}
+
+// TestComposeCacheReuseOnEdit is the headline re-injection property: after
+// editing one kernel of a two-kernel program, a composed campaign against a
+// warm section cache re-executes only the sections whose fingerprint the
+// edit reached, serves the untouched sections' local-class plans from
+// cache, and still produces results byte-identical to a cold campaign
+// against the edited program.
+func TestComposeCacheReuseOnEdit(t *testing.T) {
+	tgtA := twoKernelTarget(t, twoKernelSrc)
+	edited := "%v2 = xor %v, 13"
+	tgtB := twoKernelTarget(t, replaceOnce(t, twoKernelSrc, "%v2 = xor %v, 5", edited))
+
+	base := Campaign{Samples: 200, Seed: 11, MaxSteps: equivSteps, Workers: 4,
+		Compose: ComposeOn, CheckpointEvery: 16}
+
+	cache := compose.NewCache()
+	c := base
+	c.SectionCache = cache
+	resA, err := RunAsmCampaign(tgtA, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := base
+	warm.SectionCache = cache.Clone() // shared tables, fresh counters
+	resB, err := RunAsmCampaign(tgtB, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.SectionCache.CacheStats()
+
+	// Correctness first: the warm-cache result must be byte-identical to a
+	// cold campaign against the edited program.
+	cold := base
+	want, err := RunAsmCampaign(tgtB, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Counts != want.Counts {
+		t.Errorf("warm counts %v != cold %v", resB.Counts, want.Counts)
+	}
+	if !reflect.DeepEqual(resB.Composed, want.Composed) {
+		t.Errorf("warm composed summary differs from cold\ngot  %+v\nwant %+v",
+			resB.Composed, want.Composed)
+	}
+
+	// The edit preserved instruction counts and control flow, so the section
+	// partition is identical; only the fingerprints of sections reaching
+	// kernelB (plus boundary states downstream of it) may change.
+	if resA.DynSites != resB.DynSites {
+		t.Fatalf("edit changed DynSites %d -> %d", resA.DynSites, resB.DynSites)
+	}
+	rowsA, rowsB := resA.Composed.Rows, resB.Composed.Rows
+	if len(rowsA) != len(rowsB) {
+		t.Fatalf("section count changed %d -> %d", len(rowsA), len(rowsB))
+	}
+	sameSecs, changedSecs, samePlans, sameFallbacks := 0, 0, 0, 0
+	for i := range rowsA {
+		if rowsA[i].Start != rowsB[i].Start || rowsA[i].End != rowsB[i].End {
+			t.Fatalf("section %d range changed: %+v vs %+v", i, rowsA[i], rowsB[i])
+		}
+		if rowsA[i].Fingerprint == rowsB[i].Fingerprint {
+			sameSecs++
+			samePlans += rowsB[i].Plans
+			sameFallbacks += rowsB[i].Fallbacks
+		} else {
+			changedSecs++
+		}
+	}
+	if changedSecs == 0 {
+		t.Fatal("edit changed no section fingerprint — the test edits nothing")
+	}
+	if sameSecs == 0 {
+		t.Fatal("edit changed every section fingerprint — no reuse possible")
+	}
+
+	// The untouched sections' local-class plans must be served from cache.
+	// Their fallback (and dead-tolerated) plans are ClassGlobal — measured
+	// under the old whole-program digest — and legitimately re-run.
+	minServed := samePlans - sameFallbacks
+	if st.PlansServed < minServed/2 || st.PlansServed == 0 {
+		t.Errorf("served %d plans from cache; %d sections unchanged carrying %d plans (%d fallbacks)",
+			st.PlansServed, sameSecs, samePlans, sameFallbacks)
+	}
+	executed := int(resB.Checkpoint.Restores + resB.Checkpoint.ColdStarts)
+	if executed+st.PlansServed != base.Samples {
+		t.Errorf("executed %d + served %d != samples %d", executed, st.PlansServed, base.Samples)
+	}
+	if executed >= base.Samples {
+		t.Errorf("warm run re-executed every plan")
+	}
+	t.Logf("edit reuse: %d/%d sections unchanged, %d/%d plans served, %d re-executed",
+		sameSecs, len(rowsA), st.PlansServed, base.Samples, executed)
+}
+
+func replaceOnce(t *testing.T, s, old, new string) string {
+	t.Helper()
+	i := indexOf(s, old)
+	if i < 0 {
+		t.Fatalf("pattern %q not found", old)
+	}
+	out := s[:i] + new + s[i+len(old):]
+	if indexOf(out[i+len(new):], old) >= 0 {
+		t.Fatalf("pattern %q not unique", old)
+	}
+	return out
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,224 @@
+package fi
+
+import (
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"ferrum/internal/compose"
+)
+
+// Compositional campaigns are a different estimator over the same fault
+// space, not a replay of the monolithic plan, so "equivalent" means
+// statistically: the composed SDC and detection rates must sit within the
+// summed Wilson 95% half-widths of the monolithic rates on every cell.
+// ComposeValidate computes exactly that gate. These tests are part of the
+// -race PR tier (go test -run 'Equiv|Snapshot' -race).
+
+// TestComposeEquivMonolithic gates composed-vs-monolithic rate agreement on
+// {bfs, lud} × {raw, ferrum}, and checks the ledger identity exactly.
+func TestComposeEquivMonolithic(t *testing.T) {
+	for _, bench := range []string{"bfs", "lud"} {
+		inst := equivBench(t, bench)
+		for _, protect := range []bool{false, true} {
+			tech := map[bool]string{false: "raw", true: "ferrum"}[protect]
+			tgt := equivAsmTarget(t, inst, protect)
+			c := Campaign{Samples: 150, Seed: 4242, MaxSteps: equivSteps,
+				Workers: 4, Compose: ComposeValidate}
+			res, err := RunAsmCampaign(tgt, c)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, tech, err)
+			}
+			cs := res.Composed
+			if !cs.Enabled || cs.Mode != "validate" {
+				t.Fatalf("%s/%s: compose summary %+v", bench, tech, cs)
+			}
+			if cs.Composed != cs.Sections+cs.Fallbacks {
+				t.Errorf("%s/%s: ledger %d != %d sections + %d fallbacks",
+					bench, tech, cs.Composed, cs.Sections, cs.Fallbacks)
+			}
+			if cs.Composed != res.Samples || res.Samples != c.Samples {
+				t.Errorf("%s/%s: composed %d, samples %d, want %d",
+					bench, tech, cs.Composed, res.Samples, c.Samples)
+			}
+			plans, fbs := 0, 0
+			var counts [numOutcomes]int
+			for _, row := range cs.Rows {
+				plans += row.Plans
+				fbs += row.Fallbacks
+				for o, n := range row.Counts {
+					counts[o] += n
+				}
+				if row.End <= row.Start || row.Fingerprint == "" {
+					t.Errorf("%s/%s: malformed row %+v", bench, tech, row)
+				}
+			}
+			if plans != cs.Composed || fbs != cs.Fallbacks || counts != res.Counts {
+				t.Errorf("%s/%s: rows sum plans=%d fbs=%d counts=%v, want %d/%d/%v",
+					bench, tech, plans, fbs, counts, cs.Composed, cs.Fallbacks, res.Counts)
+			}
+			v := cs.Validation
+			if v == nil {
+				t.Fatalf("%s/%s: no validation block", bench, tech)
+			}
+			if !v.OK {
+				t.Errorf("%s/%s: composed rates outside tolerance: SDC %.3f vs %.3f (tol %.3f), detected %.3f vs %.3f (tol %.3f)",
+					bench, tech, v.SDC, v.MonoSDC, v.SDCTol, v.Detected, v.MonoDetected, v.DetectedTol)
+			}
+			if math.Abs(v.SDC-res.SDCRate()) > 1e-12 {
+				t.Errorf("%s/%s: validation SDC %.6f != result %.6f", bench, tech, v.SDC, res.SDCRate())
+			}
+		}
+	}
+}
+
+// TestComposeEquivDeterminism: identical campaigns produce identical Counts
+// and Composed summaries for any worker count.
+func TestComposeEquivDeterminism(t *testing.T) {
+	inst := equivBench(t, "bfs")
+	tgt := equivAsmTarget(t, inst, true)
+	base := Campaign{Samples: 120, Seed: 99, MaxSteps: equivSteps, Compose: ComposeOn}
+	var want Result
+	for i, workers := range []int{1, 8, 3} {
+		c := base
+		c.Workers = workers
+		got, err := RunAsmCampaign(tgt, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got.Counts != want.Counts {
+			t.Errorf("workers=%d: counts %v != %v", workers, got.Counts, want.Counts)
+		}
+		if !reflect.DeepEqual(got.Composed, want.Composed) {
+			t.Errorf("workers=%d: composed summary differs", workers)
+		}
+		if !reflect.DeepEqual(got.Latency, want.Latency) {
+			t.Errorf("workers=%d: latency summary differs", workers)
+		}
+	}
+}
+
+// TestComposeEquivResume: a composed campaign killed mid-section and resumed
+// from its journal must be byte-identical (Counts, Composed, Latency) to the
+// uninterrupted run, at 1 and 8 workers.
+func TestComposeEquivResume(t *testing.T) {
+	inst := equivBench(t, "bfs")
+	tgt := equivAsmTarget(t, inst, false)
+	base := Campaign{Samples: 100, Seed: 7, MaxSteps: equivSteps, Compose: ComposeOn}
+
+	clean, err := RunAsmCampaign(tgt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	meta := JournalMeta{Tool: "test", Samples: base.Samples, Seed: base.Seed,
+		Compose: "on"}
+	for _, workers := range []int{1, 8} {
+		path := journalPath(t)
+		j, err := CreateJournal(path, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cancel partway through: the campaign stops at a batch boundary with
+		// a partial journal — some sections half-measured.
+		cancel := make(chan struct{})
+		var ran atomic.Int64
+		c := base
+		c.Workers = workers
+		c.Cancel = cancel
+		c.Journal = j
+		c.Key = "cell"
+		c.Progress = func(done int) {
+			if ran.Add(1) == 2 {
+				close(cancel)
+			}
+		}
+		_, err = RunAsmCampaign(tgt, c)
+		if err == nil {
+			// The campaign won the race; the resume below degenerates to a
+			// full journal replay, which must still be byte-identical.
+			t.Logf("workers=%d: campaign completed before cancel", workers)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		st, j2, err := ResumeJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Meta.Check(meta); err != nil {
+			t.Fatal(err)
+		}
+		rc := base
+		rc.Workers = workers
+		rc.Journal = j2
+		rc.Key = "cell"
+		rc.Prior = st.Cell("cell")
+		got, err := RunAsmCampaign(tgt, rc)
+		if err != nil {
+			t.Fatalf("workers=%d: resume: %v", workers, err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got.Counts != clean.Counts {
+			t.Errorf("workers=%d: resumed counts %v != clean %v", workers, got.Counts, clean.Counts)
+		}
+		if !reflect.DeepEqual(got.Composed, clean.Composed) {
+			t.Errorf("workers=%d: resumed composed summary differs\ngot  %+v\nwant %+v",
+				workers, got.Composed, clean.Composed)
+		}
+		if !reflect.DeepEqual(got.Latency, clean.Latency) {
+			t.Errorf("workers=%d: resumed latency differs", workers)
+		}
+	}
+}
+
+// TestComposeEquivCacheWarm: re-running an unchanged program against a warm
+// section cache serves every plan from the tables — zero executions — and
+// reproduces the cold result byte-identically.
+func TestComposeEquivCacheWarm(t *testing.T) {
+	inst := equivBench(t, "lud")
+	tgt := equivAsmTarget(t, inst, false)
+	cache := compose.NewCache()
+	c := Campaign{Samples: 120, Seed: 31, MaxSteps: equivSteps, Workers: 4,
+		Compose: ComposeOn, SectionCache: cache}
+	cold, err := RunAsmCampaign(tgt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.CacheStats()
+	if st.SectionHits != 0 || st.PlansServed != 0 {
+		t.Fatalf("cold run hit the cache: %+v", st)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cold run stored no tables")
+	}
+
+	warm, err := RunAsmCampaign(tgt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = cache.CacheStats()
+	if st.SectionHits == 0 || st.PlansServed != c.Samples {
+		t.Errorf("warm run served %d plans over %d section hits, want all %d plans",
+			st.PlansServed, st.SectionHits, c.Samples)
+	}
+	if warm.Counts != cold.Counts {
+		t.Errorf("warm counts %v != cold %v", warm.Counts, cold.Counts)
+	}
+	if !reflect.DeepEqual(warm.Composed, cold.Composed) {
+		t.Errorf("warm composed summary differs\ngot  %+v\nwant %+v", warm.Composed, cold.Composed)
+	}
+	// The warm campaign still re-runs golden + recording, but no injections:
+	// its checkpoint counters must show zero plan executions.
+	if warm.Checkpoint.Restores != 0 || warm.Checkpoint.ColdStarts != 0 {
+		t.Errorf("warm run executed plans: %+v", warm.Checkpoint)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"ferrum/internal/asm"
+	"ferrum/internal/compose"
 	"ferrum/internal/ir"
 	"ferrum/internal/machine"
 	"ferrum/internal/obs"
@@ -77,6 +78,21 @@ type Campaign struct {
 	// CIWidth early stopping (the truncation prefix would no longer be a
 	// uniform sample).
 	Prune PruneMode
+	// Compose, if not ComposeOff, runs the campaign compositionally:
+	// the program is partitioned into sections at the golden checkpoint
+	// boundaries, the sample budget is stratified across sections by site
+	// count, and each plan runs only to its section boundary where its
+	// propagation descriptor is classified against the downstream live-in
+	// state — with an end-to-end fallback whenever the descriptor is
+	// ambiguous. ComposeValidate additionally runs the monolithic campaign
+	// and reports the rate agreement. Assembly-level campaigns only;
+	// incompatible with Prune, CIWidth, sharding and NoCheckpoint.
+	Compose ComposeMode
+	// SectionCache, if non-nil with Compose on, memoises per-section
+	// propagation tables across campaigns keyed by section content
+	// fingerprint, so re-running after an edit re-injects only the changed
+	// sections and serves the rest from cache.
+	SectionCache *compose.Cache
 	// Shard, if Count > 1, restricts the campaign to one shard of its plan
 	// space: the plans whose generation index is congruent to Shard.Index
 	// modulo Shard.Count, re-indexed densely so journaling and resume work
@@ -150,6 +166,12 @@ func (c Campaign) observe(res Result) {
 		c.Obs.Counter(obs.MPrunedDead).Add(int64(pr.Dead))
 		c.Obs.Counter(obs.MPrunedMasked).Add(int64(pr.Masked))
 		c.Obs.Counter(obs.MPrunedDedup).Add(int64(pr.Deduped))
+	}
+	if cs := res.Composed; cs.Enabled {
+		c.Obs.Counter(obs.MComposedCampaigns).Add(1)
+		c.Obs.Counter(obs.MComposedPlans).Add(int64(cs.Sections))
+		c.Obs.Counter(obs.MComposedSections).Add(int64(len(cs.Rows)))
+		c.Obs.Counter(obs.MComposedFallbacks).Add(int64(cs.Fallbacks))
 	}
 	if ck := res.Checkpoint; ck.Enabled {
 		c.Obs.Counter(obs.MCkptCampaigns).Add(1)
@@ -255,6 +277,12 @@ type Result struct {
 	// cycles (asm) or retired IR instructions (ir); plans answered
 	// statically by pruning never executed and contribute nothing.
 	Latency LatencySummary
+	// Composed reports the compositional-campaign ledger (sections, boundary
+	// classifications, fallbacks, validation); zero when Compose was off.
+	// Cache activity is deliberately absent: it describes work avoided by a
+	// particular process, not the campaign's outcome, so resumed and
+	// cache-warm runs stay byte-identical to cold ones.
+	Composed ComposeSummary
 }
 
 // Count returns the number of runs with the given outcome.
@@ -507,7 +535,7 @@ func (a *asmCampaign) run() (planOutcomes, error) {
 		a.machines = append(a.machines, m)
 		a.mu.Unlock()
 		return func(p plannedFault) planResult { return a.runOne(m, p) }, nil
-	})
+	}, nil)
 	isp.End()
 	a.observeDispatch()
 	return po, err
@@ -583,6 +611,15 @@ func RunAsmCampaign(tgt AsmTarget, c Campaign) (Result, error) {
 	if err := c.Shard.check(c); err != nil {
 		return Result{}, err
 	}
+	if c.Compose != ComposeOff {
+		if err := c.composeCheck(); err != nil {
+			return Result{}, err
+		}
+		if res, ok := c.priorResult(); ok {
+			return res, nil
+		}
+		return runComposedAsmCampaign(tgt, c)
+	}
 	if res, ok := c.priorResult(); ok {
 		return res, nil
 	}
@@ -622,6 +659,11 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 		// liveness, flag consumers, masking idioms); IR sites have no
 		// equivalent metadata.
 		return Result{}, fmt.Errorf("fi: prune mode %v is not supported for IR campaigns", c.Prune)
+	}
+	if c.Compose != ComposeOff {
+		// Section boundaries are machine snapshots and boundary descriptors
+		// are register/flag/page diffs; the IR interpreter has neither.
+		return Result{}, fmt.Errorf("fi: compose mode %v is not supported for IR campaigns", c.Compose)
 	}
 	if err := c.Shard.check(c); err != nil {
 		return Result{}, err
@@ -710,7 +752,7 @@ func RunIRCampaign(tgt IRTarget, c Campaign) (Result, error) {
 			}
 			return pr
 		}, nil
-	})
+	}, nil)
 	isp.End()
 	if err != nil {
 		return Result{}, err

@@ -67,6 +67,11 @@ type JournalMeta struct {
 	// a pruned journal's plan indices are dense representative indices, a
 	// different partition of the same seed's plan space.
 	Prune string `json:"prune,omitempty"`
+	// Compose is the ComposeMode string ("" when off). It must guard resume
+	// for the same reason as Prune: a composed journal's plan indices come
+	// from per-section stratified sampling, a different plan sequence than
+	// the monolithic draw from the same seed.
+	Compose string `json:"compose,omitempty"`
 	// ShardIndex/ShardCount identify one shard of a distributed campaign
 	// (fiserve): the shard executes only the plan-generation indices
 	// congruent to ShardIndex mod ShardCount, journaled under dense
@@ -97,6 +102,7 @@ func (m JournalMeta) fieldsAgainst(w JournalMeta) []metaField {
 		{"bits", m.Bits, w.Bits},
 		{"ci_width", m.CIWidth, w.CIWidth},
 		{"prune", m.Prune, w.Prune},
+		{"compose", m.Compose, w.Compose},
 		{"shard", m.ShardIndex, w.ShardIndex},
 		{"shard_count", m.ShardCount, w.ShardCount},
 	}
@@ -124,8 +130,9 @@ type journalRecord struct {
 	C    string          `json:"c,omitempty"`
 	I    int             `json:"i,omitempty"`
 	O    Outcome         `json:"o,omitempty"`
-	S    *uint64         `json:"s,omitempty"` // dynamic fault site (plan records, v2+)
-	L    *float64        `json:"l,omitempty"` // detection latency in engine units; nil = not injected
+	S    *uint64         `json:"s,omitempty"`  // dynamic fault site (plan records, v2+)
+	L    *float64        `json:"l,omitempty"`  // detection latency in engine units; nil = not injected
+	FB   *bool           `json:"fb,omitempty"` // composed-campaign fallback plan (absent = false)
 	Res  json.RawMessage `json:"res,omitempty"`
 }
 
@@ -245,11 +252,16 @@ func (j *Journal) syncLocked() {
 // Plan records one completed fault plan: plan index i of campaign key had
 // outcome o, hitting dynamic site site. lat is the fault's detection
 // latency in engine units; hasLat false (the fault was never injected)
-// omits the latency field rather than journaling a spurious zero.
-func (j *Journal) Plan(key string, i int, o Outcome, site uint64, lat float64, hasLat bool) {
+// omits the latency field rather than journaling a spurious zero. fb marks
+// a composed-campaign fallback plan (omitted when false), so a resumed
+// composed campaign rebuilds the identical Sections/Fallbacks ledger.
+func (j *Journal) Plan(key string, i int, o Outcome, site uint64, lat float64, hasLat, fb bool) {
 	r := journalRecord{T: "plan", C: key, I: i, O: o, S: &site}
 	if hasLat {
 		r.L = &lat
+	}
+	if fb {
+		r.FB = &fb
 	}
 	j.append(r)
 }
@@ -330,6 +342,9 @@ type CellState struct {
 	// the journal recorded it (schema v2+). Post-hoc analytics (fistat's
 	// per-site heatmap) key on it; resume does not need it.
 	PlanSites map[int]uint64
+	// PlanFB holds the plan indices journaled as composed-campaign fallback
+	// plans (membership = true), so resume replays the fallback ledger.
+	PlanFB map[int]bool
 }
 
 // JournalState is a loaded journal: everything a resumed run can skip.
@@ -441,6 +456,11 @@ func LoadJournalData(data []byte, name string) (*JournalState, error) {
 			if r.S != nil {
 				c.PlanSites[r.I] = *r.S
 			}
+			if r.FB != nil && *r.FB {
+				c.PlanFB[r.I] = true
+			} else {
+				delete(c.PlanFB, r.I) // duplicate record without the flag wins whole
+			}
 		case "cell":
 			var res Result
 			if err := json.Unmarshal(r.Res, &res); err != nil {
@@ -470,6 +490,7 @@ func (s *JournalState) cell(key string) *CellState {
 			Plans:     map[int]Outcome{},
 			PlanLats:  map[int]float64{},
 			PlanSites: map[int]uint64{},
+			PlanFB:    map[int]bool{},
 		}
 		s.cells[key] = c
 	}

@@ -22,9 +22,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign, 10, 128, true)
-	j.Plan("a", 3, SDC, 11, 0, false)
-	j.Plan("b", 1, Crash, 12, 7, true)
+	j.Plan("a", 0, Benign, 10, 128, true, false)
+	j.Plan("a", 3, SDC, 11, 0, false, false)
+	j.Plan("b", 1, Crash, 12, 7, true, false)
 	res := Result{Samples: 2, Counts: [numOutcomes]int{Benign: 1, SDC: 1}, DynSites: 9}
 	j.Cell("a", res)
 	if err := j.Close(); err != nil {
@@ -91,8 +91,8 @@ func TestJournalTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign, 0, 1, true)
-	j.Plan("a", 1, SDC, 1, 2, true)
+	j.Plan("a", 0, Benign, 0, 1, true, false)
+	j.Plan("a", 1, SDC, 1, 2, true, false)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestJournalTornTail(t *testing.T) {
 		t.Error("torn record survived the load")
 	}
 	// Appending after resume lands on a clean line boundary.
-	j2.Plan("a", 2, Hang, 2, 3, true)
+	j2.Plan("a", 2, Hang, 2, 3, true, false)
 	if err := j2.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestJournalMissingFinalNewline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Detected, 5, 42, true)
+	j.Plan("a", 0, Detected, 5, 42, true, false)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -179,8 +179,8 @@ func TestJournalMidFileCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign, 0, 1, true)
-	j.Plan("a", 1, Benign, 1, 1, true)
+	j.Plan("a", 0, Benign, 0, 1, true, false)
+	j.Plan("a", 1, Benign, 1, 1, true, false)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -219,9 +219,9 @@ func TestJournalDuplicatePlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Benign, 0, 4, true)
-	j.Plan("a", 0, Benign, 0, 4, true)
-	j.Plan("a", 1, SDC, 1, 2, true)
+	j.Plan("a", 0, Benign, 0, 4, true, false)
+	j.Plan("a", 0, Benign, 0, 4, true, false)
+	j.Plan("a", 1, SDC, 1, 2, true, false)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -270,8 +270,8 @@ func TestJournalV2ResumeByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Plan("a", 0, Detected, 10, 128.5, true)
-	j.Plan("a", 1, Benign, 11, 0, false)
+	j.Plan("a", 0, Detected, 10, 128.5, true, false)
+	j.Plan("a", 1, Benign, 11, 0, false, false)
 	var res Result
 	res.Samples = 2
 	res.Counts[Detected] = 1
@@ -317,7 +317,7 @@ func TestJournalV2ResumeByteIdentical(t *testing.T) {
 // every one of them must be a no-op on a nil receiver.
 func TestJournalNilSafety(t *testing.T) {
 	var j *Journal
-	j.Plan("a", 0, Benign, 0, 0, false)
+	j.Plan("a", 0, Benign, 0, 0, false, false)
 	j.Cell("a", Result{})
 	j.Observe(nil)
 	if err := j.Sync(); err != nil {

@@ -47,6 +47,7 @@ type planRun struct {
 	outcomes     []Outcome
 	lats         []float64
 	hasLat       []bool
+	fbs          []bool
 	prefixLen    int
 	prefixCounts [numOutcomes]int
 	stopped      bool
@@ -64,6 +65,10 @@ type planResult struct {
 	o      Outcome
 	lat    float64
 	hasLat bool
+	// fb marks a composed-campaign plan that could not be answered at its
+	// section boundary and ran end-to-end instead (the soundness fallback).
+	// Always false outside compose mode.
+	fb bool
 }
 
 // planOutcomes is what runPlans hands back: the effective sample count
@@ -79,6 +84,8 @@ type planOutcomes struct {
 	// executed (fresh or journal-replayed); indexed like outcomes.
 	lats   []float64
 	hasLat []bool
+	// fbs marks composed-campaign fallback plans, indexed like outcomes.
+	fbs []bool
 }
 
 // grab hands out the next batch of pending plans, or nil when the run is
@@ -138,6 +145,7 @@ func (pr *planRun) record(idx int, r planResult) bool {
 		pr.lats[idx] = r.lat
 		pr.hasLat[idx] = true
 	}
+	pr.fbs[idx] = r.fb
 	pr.advanceLocked()
 	// A plan that itself completed the qualifying prefix (idx < stopAt)
 	// counts; anything at or past the truncation point is discarded by
@@ -179,7 +187,7 @@ func (pr *planRun) fail(err error) {
 func (pr *planRun) finish() (planOutcomes, error) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	po := planOutcomes{outcomes: pr.outcomes, lats: pr.lats, hasLat: pr.hasLat}
+	po := planOutcomes{outcomes: pr.outcomes, lats: pr.lats, hasLat: pr.hasLat, fbs: pr.fbs}
 	switch {
 	case pr.firstErr != nil:
 		return po, pr.firstErr
@@ -198,7 +206,7 @@ func (pr *planRun) finish() (planOutcomes, error) {
 // latency (when the fault was injected).
 func (c Campaign) journalPlan(p plannedFault, r planResult) {
 	if c.Journal != nil && c.Key != "" {
-		c.Journal.Plan(c.Key, p.idx, r.o, p.site, r.lat, r.hasLat)
+		c.Journal.Plan(c.Key, p.idx, r.o, p.site, r.lat, r.hasLat, r.fb)
 	}
 }
 
@@ -225,14 +233,17 @@ func (c Campaign) journalErr() error {
 }
 
 // runPlans executes the fault plan with the campaign's worker pool: prior
-// (journal-replayed) outcomes are prefilled without running anything, each
-// freshly executed plan is journaled, cancellation is honoured at batch
-// boundaries, and the CI-width early-stop rule is applied to the completed
-// prefix. plans may be in any order (the checkpointing path sorts them by
-// site); outcome bookkeeping is always by the plan's generation index, so
-// results are independent of both ordering and worker count.
+// (journal-replayed) outcomes are prefilled without running anything, plans
+// answered by the compose section cache are prefilled AND journaled (the
+// journal must stay complete even when nothing executed), each freshly
+// executed plan is journaled, cancellation is honoured at batch boundaries,
+// and the CI-width early-stop rule is applied to the completed prefix.
+// plans may be in any order (the checkpointing path sorts them by site);
+// outcome bookkeeping is always by the plan's generation index, so results
+// are independent of both ordering and worker count.
 func runPlans(c Campaign, plans []plannedFault,
-	newWorker func() (func(plannedFault) planResult, error)) (planOutcomes, error) {
+	newWorker func() (func(plannedFault) planResult, error),
+	cached map[int]planResult) (planOutcomes, error) {
 	n := len(plans)
 	pr := &planRun{
 		n:        n,
@@ -242,28 +253,47 @@ func runPlans(c Campaign, plans []plannedFault,
 		outcomes: make([]Outcome, n),
 		lats:     make([]float64, n),
 		hasLat:   make([]bool, n),
+		fbs:      make([]bool, n),
 	}
-	prefilled := 0
-	if prior := c.Prior; prior != nil && len(prior.Plans) > 0 {
+	prior := c.Prior
+	prefill := func(idx int, r planResult) {
+		pr.done[idx] = true
+		pr.outcomes[idx] = r.o
+		if r.hasLat {
+			pr.lats[idx] = r.lat
+			pr.hasLat[idx] = true
+		}
+		pr.fbs[idx] = r.fb
+	}
+	prefilled, replayed := 0, 0
+	if (prior != nil && len(prior.Plans) > 0) || len(cached) > 0 {
 		for _, p := range plans {
-			if o, ok := prior.Plans[p.idx]; ok && p.idx < n {
-				pr.done[p.idx] = true
-				pr.outcomes[p.idx] = o
-				if l, ok := prior.PlanLats[p.idx]; ok {
-					pr.lats[p.idx] = l
-					pr.hasLat[p.idx] = true
+			if prior != nil && p.idx < n {
+				if o, ok := prior.Plans[p.idx]; ok {
+					r := planResult{o: o, fb: prior.PlanFB[p.idx]}
+					if l, ok := prior.PlanLats[p.idx]; ok {
+						r.lat, r.hasLat = l, true
+					}
+					prefill(p.idx, r)
+					prefilled++
+					replayed++
+					continue
 				}
-				prefilled++
-			} else {
-				pr.todo = append(pr.todo, p)
 			}
+			if r, ok := cached[p.idx]; ok && p.idx < n {
+				prefill(p.idx, r)
+				c.journalPlan(p, r)
+				prefilled++
+				continue
+			}
+			pr.todo = append(pr.todo, p)
 		}
 		pr.advanceLocked()
 	} else {
 		pr.todo = plans
 	}
-	if prefilled > 0 {
-		c.Obs.Counter(obs.MJournalSkippedPlans).Add(int64(prefilled))
+	if replayed > 0 {
+		c.Obs.Counter(obs.MJournalSkippedPlans).Add(int64(replayed))
 	}
 	var done int64
 	report := func(k int) {

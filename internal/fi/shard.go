@@ -62,6 +62,12 @@ func (s ShardSpec) check(c Campaign) error {
 	if c.CIWidth > 0 {
 		return fmt.Errorf("fi: shard %d/%d: sharding is incompatible with CI-width early stopping", s.Index, s.Count)
 	}
+	if c.Compose != ComposeOff {
+		// Compose stratifies the plan space per section; a round-robin
+		// residue of it is no longer a per-section budget, and the section
+		// cache would be partitioned across workers.
+		return fmt.Errorf("fi: shard %d/%d: sharding is incompatible with compose mode %v", s.Index, s.Count, c.Compose)
+	}
 	return nil
 }
 
@@ -108,6 +114,9 @@ func MergeShardResults(shards []Result) (Result, error) {
 		}
 		if s.Pruned.Enabled || m.Pruned.Enabled {
 			return Result{}, fmt.Errorf("fi: merge shards: shard results must not be pruned")
+		}
+		if s.Composed.Enabled || m.Composed.Enabled {
+			return Result{}, fmt.Errorf("fi: merge shards: shard results must not be composed")
 		}
 		m.Samples += s.Samples
 		for o := range m.Counts {
@@ -185,6 +194,9 @@ func MergeShardStates(states []*JournalState) (*JournalState, error) {
 				if site, ok := sc.PlanSites[local]; ok {
 					mc.PlanSites[g] = site
 				}
+				if sc.PlanFB[local] {
+					mc.PlanFB[g] = true
+				}
 			}
 			if sc.Result == nil {
 				complete = false
@@ -241,6 +253,10 @@ func (s *JournalState) WriteCanonical(w io.Writer) error {
 			if l, ok := c.PlanLats[i]; ok {
 				lat := l
 				r.L = &lat
+			}
+			if c.PlanFB[i] {
+				fb := true
+				r.FB = &fb
 			}
 			if err := enc(r); err != nil {
 				return err

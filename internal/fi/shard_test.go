@@ -118,7 +118,7 @@ func TestNoJournalPastEarlyStop(t *testing.T) {
 	c := Campaign{Samples: len(plans), CIWidth: 0.25, Workers: 1, Journal: j, Key: "cell"}
 	po, err := runPlans(c, plans, func() (func(plannedFault) planResult, error) {
 		return func(plannedFault) planResult { return planResult{o: Benign} }, nil
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestNoJournalPastCancel(t *testing.T) {
 			}
 			return planResult{o: Benign}
 		}, nil
-	})
+	}, nil)
 	if !errors.Is(err, ErrCampaignCanceled) {
 		t.Fatalf("err = %v, want ErrCampaignCanceled", err)
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"sync"
 
+	"ferrum/internal/compose"
 	"ferrum/internal/obs"
 	"ferrum/internal/rodinia"
 )
@@ -39,6 +40,11 @@ type BuildCache struct {
 	insts   map[instKey]*instEntry
 	builds  map[buildKey]*buildEntry
 	goldens map[buildKey]*goldenEntry
+	// sections memoises compositional campaigns' per-section propagation
+	// tables (keyed by section content fingerprint inside the compose
+	// cache). It rides in the BuildCache so one suite-wide cache gives every
+	// experiment both build reuse and section reuse.
+	sections *compose.Cache
 
 	// Hit/miss counters. They start as standalone obs counters so an
 	// unobserved cache still counts; Observe rebinds them to a registry,
@@ -75,6 +81,7 @@ func NewBuildCache() *BuildCache {
 		insts:        map[instKey]*instEntry{},
 		builds:       map[buildKey]*buildEntry{},
 		goldens:      map[buildKey]*goldenEntry{},
+		sections:     compose.NewCache(),
 		instances:    &obs.Counter{},
 		buildHits:    &obs.Counter{},
 		buildMisses:  &obs.Counter{},
@@ -107,6 +114,15 @@ func (c *BuildCache) Observe(o *obs.Observer) {
 	rebind(&c.buildMisses, obs.MBuildMisses)
 	rebind(&c.goldenHits, obs.MGoldenHits)
 	rebind(&c.goldenMisses, obs.MGoldenMisses)
+	c.sections.Observe(o)
+}
+
+// Sections returns the cache's compose section-table cache.
+func (c *BuildCache) Sections() *compose.Cache {
+	if c == nil {
+		return nil
+	}
+	return c.sections
 }
 
 // CacheStats is a snapshot of the cache's hit/miss counters. Misses count

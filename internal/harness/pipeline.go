@@ -12,6 +12,7 @@ import (
 
 	"ferrum/internal/asm"
 	"ferrum/internal/backend"
+	"ferrum/internal/compose"
 	"ferrum/internal/eddi"
 	"ferrum/internal/ferrumpass"
 	"ferrum/internal/fi"
@@ -204,6 +205,19 @@ type Options struct {
 	// IR-level cells ignore it (the analysis is assembly-only).
 	// Incompatible with CIWidth.
 	Prune fi.PruneMode
+	// Compose selects compositional sectioned campaigns for every
+	// assembly-level campaign cell (see fi.Campaign.Compose): plans run only
+	// to their section boundary, boundary descriptors compose into
+	// whole-program outcomes, and per-section propagation tables are cached
+	// by content fingerprint so re-runs re-inject only changed sections.
+	// IR-level cells ignore it (sections are machine snapshots).
+	// Incompatible with Prune, CIWidth and delegation.
+	Compose fi.ComposeMode
+	// SectionCache supplies the section-table cache compose mode serves
+	// from. Nil with Compose on uses the BuildCache's shared section cache,
+	// so a suite reuses tables across experiments exactly as it reuses
+	// builds.
+	SectionCache *compose.Cache
 	// Journal, if non-nil, makes every campaign cell durable: one record
 	// per completed plan and per completed campaign, keyed by
 	// "<experiment>/<cell>", fsync-batched (see fi.CreateJournal).
@@ -323,9 +337,13 @@ func (o Options) withDefaults() Options {
 	if o.Cache == nil {
 		o.Cache = NewBuildCache()
 	}
+	if o.SectionCache == nil && o.Compose != fi.ComposeOff {
+		o.SectionCache = o.Cache.Sections()
+	}
 	// Bind the cache's counters into the observer's registry so cache.*
 	// metrics appear alongside everything else (idempotent per observer).
 	o.Cache.Observe(o.Obs)
+	o.SectionCache.Observe(o.Obs)
 	o.Journal.Observe(o.Obs)
 	return o
 }

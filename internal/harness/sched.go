@@ -103,6 +103,8 @@ func (s *scheduler) campaign(cc *cellCtx) fi.Campaign {
 		CheckpointEvery: s.opts.CheckpointEvery,
 		CIWidth:         s.opts.CIWidth,
 		Prune:           s.opts.Prune,
+		Compose:         s.opts.Compose,
+		SectionCache:    s.opts.SectionCache,
 		Cancel:          cc.cancel,
 		Journal:         s.opts.Journal,
 		Key:             cc.key,
@@ -213,6 +215,9 @@ func (s *scheduler) irCampaignCell(cc *cellCtx, inst instanceAt, tech Technique)
 	}
 	c := s.campaign(cc)
 	c.Prune = fi.PruneOff
+	// Compose is assembly-only too: sections are machine snapshots and
+	// boundary descriptors are register/flag/page diffs.
+	c.Compose, c.SectionCache = fi.ComposeOff, nil
 	return fi.RunIRCampaign(irTarget(inst.inst, mod), c)
 }
 

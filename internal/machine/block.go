@@ -82,7 +82,7 @@ func (m *Machine) buildBlocks() {
 // established the run preconditions (no per-instruction observers, no
 // checkpoint schedule). It returns the terminal outcome and crash message;
 // the shared Run epilogue flushes spans and assembles the Result.
-func (m *Machine) runBlocks(fault *Fault, maxSteps uint64) (Outcome, string) {
+func (m *Machine) runBlocks(fault *Fault, maxSteps, stopAt uint64) (Outcome, string) {
 	// The dispatch tables are loop-invariant; locals keep their headers in
 	// registers instead of reloading them through m on every instruction.
 	uops := m.uops
@@ -99,11 +99,14 @@ func (m *Machine) runBlocks(fault *Fault, maxSteps uint64) (Outcome, string) {
 		end := int(blockEnd[pc])
 		// Fall back to exact per-instruction execution when the step
 		// budget could expire inside the block (legacy checks the budget
-		// before every instruction) or the planned fault site could land
-		// on one of the block's remaining destinations.
+		// before every instruction), the planned fault site could land
+		// on one of the block's remaining destinations, or the site-count
+		// stop boundary falls within the block — fused uops retire several
+		// sites per step, so the fast path could blow straight past it.
 		if m.dyn+uint64(end-pc) > maxSteps ||
-			(fault != nil && !m.injected && fault.Site < m.sites+uint64(m.siteSuffix[pc])) {
-			if out, msg, done := m.runBlockSlow(fault, maxSteps, pc, end); done {
+			(fault != nil && !m.injected && fault.Site < m.sites+uint64(m.siteSuffix[pc])) ||
+			(stopAt > 0 && stopAt <= m.sites+uint64(m.siteSuffix[pc])) {
+			if out, msg, done := m.runBlockSlow(fault, maxSteps, stopAt, pc, end); done {
 				return out, msg
 			}
 			continue
@@ -154,7 +157,7 @@ func (m *Machine) runBlocks(fault *Fault, maxSteps uint64) (Outcome, string) {
 // position executes its original single uop, which is what makes the slow
 // block bit-identical to the pre-fusion interpreter. It reports done=false
 // when control left the block with the run still live.
-func (m *Machine) runBlockSlow(fault *Fault, maxSteps uint64, pc, end int) (Outcome, string, bool) {
+func (m *Machine) runBlockSlow(fault *Fault, maxSteps, stopAt uint64, pc, end int) (Outcome, string, bool) {
 	i := pc
 	for i < end {
 		if m.dyn >= maxSteps {
@@ -179,6 +182,10 @@ func (m *Machine) runBlockSlow(fault *Fault, maxSteps uint64, pc, end int) (Outc
 				m.injDyn = m.dyn
 			}
 			m.sites++
+			if stopAt > 0 && m.sites == stopAt {
+				m.boundary = m.Snapshot()
+				return OutcomeBoundary, "", true
+			}
 		}
 		switch next {
 		case nextHalt:

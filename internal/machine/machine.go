@@ -22,6 +22,12 @@ const (
 	OutcomeDetected                // reached DETECT (a checker fired)
 	OutcomeCrash                   // memory fault, bad control transfer, div error
 	OutcomeHang                    // exceeded the step budget
+	// OutcomeBoundary reports that the run reached RunOpts.StopAtSites
+	// dynamic fault-injection sites and stopped there, with the machine state
+	// captured in Result.Boundary. It is a sectioning outcome, not a terminal
+	// program state: compositional campaigns classify the boundary state
+	// against the golden run's snapshot at the same site count.
+	OutcomeBoundary
 )
 
 // String names the outcome.
@@ -35,6 +41,8 @@ func (o Outcome) String() string {
 		return "crash"
 	case OutcomeHang:
 		return "hang"
+	case OutcomeBoundary:
+		return "boundary"
 	}
 	return fmt.Sprintf("outcome?%d", o)
 }
@@ -92,6 +100,13 @@ type Result struct {
 	// Trace holds the last RunOpts.Trace executed instructions, oldest
 	// first, each rendered as "<tag>\t<instruction>".
 	Trace []string
+	// Boundary holds the machine state at the stop point when the run ended
+	// with OutcomeBoundary (RunOpts.StopAtSites), captured at exactly the
+	// state an OnCheckpoint snapshot at the same site count would see.
+	Boundary *Snapshot
+	// FnSpans records which functions executed over which dynamic-site
+	// intervals when RunOpts.RecordFnSpans was set, in execution order.
+	FnSpans []FnSpan
 }
 
 // RunOpts configures one execution.
@@ -134,6 +149,29 @@ type RunOpts struct {
 	// semantics. RecordSites/RecordSiteLocs/Profile/Trace observe only the
 	// resumed suffix.
 	Resume *Snapshot
+	// StopAtSites, if > 0, ends the run with OutcomeBoundary the moment the
+	// dynamic site counter reaches it, capturing the machine state in
+	// Result.Boundary. The capture point is identical to OnCheckpoint's
+	// (after the site instruction retires, before span flushing), so a
+	// boundary snapshot is digest-comparable with a golden checkpoint taken
+	// at the same site count. Runs that terminate first report their
+	// terminal outcome as usual.
+	StopAtSites uint64
+	// RecordFnSpans records which function was executing over which
+	// dynamic-site interval in Result.FnSpans. Compositional campaigns use
+	// the spans to fingerprint the code a section actually executes —
+	// including functions that retire no fault sites of their own.
+	RecordFnSpans bool
+}
+
+// FnSpan records that function Fn was the executing function while the
+// dynamic site counter ran from Start to End. Spans are half-open in
+// spirit ([Start, End)) but a function entered and left without retiring a
+// site yields an empty Start == End span, which still marks it as having
+// executed at that point in the schedule.
+type FnSpan struct {
+	Fn         string
+	Start, End uint64
 }
 
 // DefaultMaxSteps bounds executions that lost control of their loop
@@ -215,6 +253,11 @@ type Machine struct {
 	scalarSpan float64
 	vectorSpan float64
 	cycles     float64
+
+	// boundary holds the StopAtSites capture for the current run; cleared at
+	// the top of Run. Both dispatch tiers write it (runBlockSlow cannot
+	// return a snapshot through the block loop's plumbing).
+	boundary *Snapshot
 
 	costs *CostModel
 }
@@ -363,6 +406,7 @@ func (m *Machine) Run(opts RunOpts) Result {
 	if sitesHint == 0 {
 		sitesHint = m.lastSites
 	}
+	m.boundary = nil
 	if opts.Resume != nil {
 		if err := m.Restore(opts.Resume); err != nil {
 			return Result{Outcome: OutcomeCrash, CrashMsg: err.Error()}
@@ -402,7 +446,10 @@ func (m *Machine) Run(opts RunOpts) Result {
 	// One register-resident bool keeps the per-site hot path to a single
 	// predicted branch on injection runs, where no recording is active.
 	record := opts.RecordSites || opts.RecordSiteLocs || opts.RecordSiteBits ||
-		opts.RecordSiteStatics
+		opts.RecordSiteStatics || opts.RecordFnSpans
+	var fnSpans []FnSpan
+	var curFn string
+	var spanStart uint64
 	var prof *profile
 	if opts.Profile {
 		prof = &profile{}
@@ -418,7 +465,7 @@ func (m *Machine) Run(opts RunOpts) Result {
 	// RunOpts semantics exactly; both paths produce bit-identical Results.
 	if !m.noBlocks && !record && prof == nil && trace == nil &&
 		(opts.CheckpointEvery == 0 || opts.OnCheckpoint == nil) {
-		outcome, crashMsg = m.runBlocks(opts.Fault, maxSteps)
+		outcome, crashMsg = m.runBlocks(opts.Fault, maxSteps, opts.StopAtSites)
 		goto done
 	}
 loop:
@@ -432,6 +479,14 @@ loop:
 		pc := m.pc
 		u := &m.uops[pc]
 		m.dyn++
+		if opts.RecordFnSpans {
+			if fn := m.insts[pc].fn; fn != curFn {
+				if curFn != "" {
+					fnSpans = append(fnSpans, FnSpan{Fn: curFn, Start: spanStart, End: m.sites})
+				}
+				curFn, spanStart = fn, m.sites
+			}
+		}
 		if prof != nil {
 			prof.record(&m.insts[pc])
 		}
@@ -473,6 +528,13 @@ loop:
 			if opts.CheckpointEvery > 0 && m.sites%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
 				opts.OnCheckpoint(m.Snapshot())
 			}
+			if opts.StopAtSites > 0 && m.sites == opts.StopAtSites {
+				// Capture before the epilogue's span flush so the boundary
+				// state matches a golden OnCheckpoint snapshot bit for bit.
+				m.boundary = m.Snapshot()
+				outcome = OutcomeBoundary
+				break loop
+			}
 		}
 		switch next {
 		case nextHalt:
@@ -484,6 +546,9 @@ loop:
 		}
 	}
 done:
+	if opts.RecordFnSpans && curFn != "" {
+		fnSpans = append(fnSpans, FnSpan{Fn: curFn, Start: spanStart, End: m.sites})
+	}
 	m.flushSpan()
 	m.lastSites = m.sites
 	return Result{
@@ -502,6 +567,8 @@ done:
 		SiteStatics: siteStatics,
 		Profile:     prof.export(),
 		Trace:       trace.dump(),
+		Boundary:    m.boundary,
+		FnSpans:     fnSpans,
 	}
 }
 

@@ -155,6 +155,17 @@ const (
 	// fused pattern's dynamic executions; -dump-fusion renders the top N.
 	MFusionPrefix = "machine.fusion."
 
+	// Compositional campaigns (internal/fi driven by fi.Campaign.Compose,
+	// section-table cache in internal/compose).
+	MComposedCampaigns = "fi.composed_campaigns" // campaigns run in a compose mode
+	MComposedPlans     = "fi.composed_plans"     // plans resolved at a section boundary
+	MComposedSections  = "fi.composed_sections"  // sections measured or served
+	MComposedFallbacks = "fi.composed_fallbacks" // plans run end-to-end (ambiguous boundary)
+
+	MComposeSectionHits   = "compose.cache_section_hits"   // section tables answered from cache
+	MComposeSectionMisses = "compose.cache_section_misses" // section tables measured fresh
+	MComposePlansServed   = "compose.cache_plans_served"   // plans answered from cached tables
+
 	// Durable-campaign journal (written by internal/fi and the CLIs).
 	MJournalRecords      = "journal.records"       // records appended this process
 	MJournalSyncs        = "journal.syncs"         // fsync batches flushed

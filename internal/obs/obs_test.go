@@ -247,6 +247,14 @@ func TestRenderSummary(t *testing.T) {
 	r.Counter(MPlans).Add(240)
 	r.Counter(MOutcomePrefix + "benign").Add(200)
 	r.Counter(MOutcomePrefix + "sdc").Add(40)
+	r.Counter(MComposedCampaigns).Add(2)
+	r.Counter(MComposedSections).Add(26)
+	r.Counter(MComposedPlans).Add(90)
+	r.Counter(MComposedFallbacks).Add(30)
+	r.Counter(MComposeSectionHits).Add(13)
+	r.Counter(MComposeSectionMisses).Add(13)
+	r.Counter(MComposePlansServed).Add(35)
+	r.Counter(MWidthFallbacks).Add(3)
 	var buf bytes.Buffer
 	spans := []Span{
 		{Name: "cell", Cell: "bfs/ferrum", Dur: 2 * time.Second},
@@ -259,16 +267,22 @@ func TestRenderSummary(t *testing.T) {
 		"builds: 4 unique, 2 cache hits", "goldens: 4 unique, 1 cache hits",
 		"checkpointing: 4 campaigns, 57 snapshots (2 KiB)",
 		"outcomes: 240 plans across 4 campaigns: 200 benign, 40 sdc",
+		"compose: 2 campaigns, 26 sections; 90 plans boundary-classified, 30 fell back end-to-end",
+		"compose cache: 13 section tables reused, 13 measured fresh, 35 plans served without execution",
+		"site widths: 3 sites fell back to full-width faults",
 		"slowest cells: bfs/ferrum 2s, bfs/raw 1s",
 	} {
 		if !strings.Contains(got, needle) {
 			t.Errorf("summary missing %q:\n%s", needle, got)
 		}
 	}
-	// A run with no checkpointing and no campaigns prints neither line.
+	// A run with no checkpointing, no campaigns, no compose prints none of
+	// their lines.
 	buf.Reset()
 	RenderSummary(&buf, NewRegistry().Snapshot(), 0, nil)
-	if strings.Contains(buf.String(), "checkpointing") || strings.Contains(buf.String(), "outcomes") {
-		t.Errorf("empty-run summary has spurious lines:\n%s", buf.String())
+	for _, spurious := range []string{"checkpointing", "outcomes", "compose", "site widths"} {
+		if strings.Contains(buf.String(), spurious) {
+			t.Errorf("empty-run summary has spurious %q line:\n%s", spurious, buf.String())
+		}
 	}
 }

@@ -38,6 +38,21 @@ func RenderSummary(w io.Writer, s Snapshot, wall time.Duration, spans []Span) {
 			n, c(MPrunedPlans), c(MPrunedDead), c(MPrunedMasked), c(MPrunedDedup))
 	}
 
+	if n := c(MComposedCampaigns); n > 0 {
+		fmt.Fprintf(w,
+			"compose: %d campaigns, %d sections; %d plans boundary-classified, %d fell back end-to-end\n",
+			n, c(MComposedSections), c(MComposedPlans), c(MComposedFallbacks))
+		if hits, misses := c(MComposeSectionHits), c(MComposeSectionMisses); hits+misses > 0 {
+			fmt.Fprintf(w,
+				"compose cache: %d section tables reused, %d measured fresh, %d plans served without execution\n",
+				hits, misses, c(MComposePlansServed))
+		}
+	}
+
+	if n := c(MWidthFallbacks); n > 0 {
+		fmt.Fprintf(w, "site widths: %d sites fell back to full-width faults (no recorded width)\n", n)
+	}
+
 	if plans := c(MPlans); plans > 0 {
 		var parts []string
 		for _, o := range []string{"benign", "sdc", "detected", "crash", "hang"} {

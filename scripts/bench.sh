@@ -10,9 +10,10 @@
 # commit being compared against) to benchmark that checkout in a temporary
 # worktree on this host first, making the delta a same-host before/after.
 #
-# Usage: scripts/bench.sh [interp|campaign|obs]     (default: all)
+# Usage: scripts/bench.sh [interp|campaign|obs|compose]     (default: all)
 # Env:   BENCHTIME (default 2s), COUNT (default 3),
-#        CAMPAIGN_BENCHTIME (10x), OBS_BENCHTIME (20x), BASELINE_REF (off)
+#        CAMPAIGN_BENCHTIME (10x), OBS_BENCHTIME (20x),
+#        COMPOSE_BENCHTIME (10x), BASELINE_REF (off)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +42,7 @@ bench() {
 interp_args=()
 campaign_args=()
 obs_args=()
+compose_args=()
 
 if [[ "$what" == all || "$what" == interp ]]; then
   pat='Benchmark(MachineRun|IRRun)'
@@ -82,4 +84,16 @@ if [[ "$what" == all || "$what" == obs ]]; then
   obs_args+=(-obs "$tmp/obs.txt")
 fi
 
-go run ./scripts/benchjson "${interp_args[@]}" "${campaign_args[@]}" "${obs_args[@]}" -dir .
+if [[ "$what" == all || "$what" == compose ]]; then
+  # Section-reuse headline: BENCH_compose.json asserts >= 3x full-vs-reuse.
+  pat='BenchmarkCompose$'
+  flags=(-benchtime "${COMPOSE_BENCHTIME:-10x}")
+  if [[ -n "$baseline_wt" ]]; then
+    bench "$baseline_wt" "$pat" "$tmp/compose_prev.txt" "${flags[@]}"
+    compose_args+=(-prev-compose "$tmp/compose_prev.txt")
+  fi
+  bench . "$pat" "$tmp/compose.txt" "${flags[@]}"
+  compose_args+=(-compose "$tmp/compose.txt")
+fi
+
+go run ./scripts/benchjson "${interp_args[@]}" "${campaign_args[@]}" "${obs_args[@]}" "${compose_args[@]}" -dir .

@@ -339,6 +339,78 @@ func rewriteObs(path string, runs, prev benchRuns, cpu string) error {
 	return writeJSON(path, &f)
 }
 
+// --- BENCH_compose.json ---
+
+type composeFile struct {
+	Description string   `json:"description"`
+	Date        string   `json:"date"`
+	CPU         string   `json:"cpu"`
+	Samples     int      `json:"samples_per_campaign"`
+	Cell        string   `json:"cell"`
+	Full        *obsPath `json:"full"`
+	Reuse       *obsPath `json:"reuse"`
+	Speedup     float64  `json:"speedup_reuse"`
+	Note        string   `json:"note"`
+}
+
+const composeDesc = "Compositional-campaign section reuse (BenchmarkCompose, bench_test.go). Cell: bfs scale 1, seed 20240624, 1000 samples, raw (unprotected), Compose: on. 'full' runs the composed campaign against a cold section cache (golden run, recording run, every plan executed); 'reuse' runs the identical campaign against warm per-section propagation tables (every plan served from cache; only the golden and recording runs execute). speedup_reuse = full ns / reuse ns — the wall-clock saving a re-run pays when no section's content fingerprint changed. prev_* fields are the before side of the delta (the same-host baseline ref when regenerated with BASELINE_REF, otherwise the previous regeneration). Regenerate with scripts/bench.sh compose, or: go test -run xxx -bench 'BenchmarkCompose$' -benchtime 10x ."
+
+const composeNote = "speedup_reuse must stay >= 3x: the reuse side's cost is sample-independent (two uninjected executions plus cache lookups), so falling under 3x means either the cache stopped serving (check compose.cache_plans_served) or the recording run regressed."
+
+func rewriteCompose(path string, runs, prev benchRuns, cpu string) error {
+	f := composeFile{Full: &obsPath{}, Reuse: &obsPath{}}
+	if _, err := os.Stat(path); err == nil {
+		if err := readJSON(path, &f); err != nil {
+			return err
+		}
+	}
+	update := func(name string, p *obsPath) error {
+		ns, err := runs.median(name, "ns/op")
+		if err != nil {
+			return err
+		}
+		plans, err := runs.median(name, "plans/s")
+		if err != nil {
+			return err
+		}
+		p.PrevNS, p.PrevPlans = p.NS, p.Plans
+		if prev != nil {
+			pns, err := prev.median(name, "ns/op")
+			if err != nil {
+				return err
+			}
+			pplans, err := prev.median(name, "plans/s")
+			if err != nil {
+				return err
+			}
+			p.PrevNS, p.PrevPlans = int64(pns), int64(pplans)
+		}
+		p.NS, p.Plans = int64(ns), int64(plans)
+		p.Delta = round2(float64(p.PrevNS) / ns)
+		deltaLine(path, name, p.PrevNS, p.NS)
+		return nil
+	}
+	if err := update("BenchmarkCompose/full", f.Full); err != nil {
+		return err
+	}
+	if err := update("BenchmarkCompose/reuse", f.Reuse); err != nil {
+		return err
+	}
+	f.Speedup = round2(float64(f.Full.NS) / float64(f.Reuse.NS))
+	f.Samples = 1000
+	f.Cell = "bfs/raw"
+	f.Description = composeDesc
+	f.Note = composeNote
+	f.Date = time.Now().Format("2006-01-02")
+	if cpu != "" {
+		f.CPU = cpu
+	}
+	if f.Speedup < 3 {
+		fmt.Fprintf(os.Stderr, "benchjson: WARNING: compose reuse speedup %.2fx below the 3x floor\n", f.Speedup)
+	}
+	return writeJSON(path, &f)
+}
+
 // --- plumbing ---
 
 func readJSON(path string, v any) error {
@@ -371,13 +443,15 @@ func main() {
 	interp := flag.String("interp", "", "file with Benchmark(MachineRun|IRRun) output")
 	campaign := flag.String("campaign", "", "file with Benchmark(Asm|IR)Campaign output")
 	obsOut := flag.String("obs", "", "file with BenchmarkObsOverhead + BenchmarkAsmCampaign/checkpointed output")
+	composeOut := flag.String("compose", "", "file with BenchmarkCompose output")
 	prevInterp := flag.String("prev-interp", "", "optional baseline-checkout output for the interp before/after")
 	prevCampaign := flag.String("prev-campaign", "", "optional baseline-checkout output for the campaign before/after")
 	prevObs := flag.String("prev-obs", "", "optional baseline-checkout output for the obs before/after")
+	prevCompose := flag.String("prev-compose", "", "optional baseline-checkout output for the compose before/after")
 	dir := flag.String("dir", ".", "directory holding the BENCH_*.json files")
 	flag.Parse()
-	if *interp == "" && *campaign == "" && *obsOut == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: need -interp, -campaign and/or -obs output files")
+	if *interp == "" && *campaign == "" && *obsOut == "" && *composeOut == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: need -interp, -campaign, -obs and/or -compose output files")
 		os.Exit(2)
 	}
 	loadPrev := func(path string) benchRuns {
@@ -415,6 +489,16 @@ func main() {
 		runs, cpu, err := parseBench(*obsOut)
 		if err == nil {
 			err = rewriteObs(filepath.Join(*dir, "BENCH_obs.json"), runs, loadPrev(*prevObs), cpu)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *composeOut != "" {
+		runs, cpu, err := parseBench(*composeOut)
+		if err == nil {
+			err = rewriteCompose(filepath.Join(*dir, "BENCH_compose.json"), runs, loadPrev(*prevCompose), cpu)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
